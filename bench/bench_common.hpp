@@ -1,0 +1,54 @@
+// Shared helpers for the evaluation benches (Figs. 11-14): workload
+// construction per the paper's §IV setup and CDF printing.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "eval/comparison.hpp"
+#include "eval/export.hpp"
+#include "metrics/report.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::benchcommon {
+
+/// The paper's workload: one replayed Azure minute — 800 CPU-intensive
+/// invocations, or the first 400 for I/O (§IV "Benchmarks").
+inline trace::Workload paper_workload(trace::FunctionKind kind, const Config& config) {
+  trace::WorkloadSpec spec;
+  spec.kind = kind;
+  spec.invocations = static_cast<std::size_t>(config.get_int(
+      "invocations", kind == trace::FunctionKind::kIo ? 400 : 800));
+  spec.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  return trace::synthesize_workload(spec);
+}
+
+/// Writes the comparison's full figure data as JSON when the user passed
+/// `out=<path>` — for external plotting of the reproduced figures.
+inline void maybe_export(const Config& config, const eval::Comparison& comparison) {
+  if (const auto path = config.raw("out")) {
+    eval::save_json(*path, eval::comparison_to_json(comparison));
+    std::cout << "(wrote figure data to " << *path << ")\n\n";
+  }
+}
+
+/// Prints one figure panel: CDFs of a latency component for all four
+/// schedulers side by side.
+inline void print_panel(const std::string& title, const eval::Comparison& comparison,
+                        const metrics::Samples& (metrics::BreakdownAggregate::*component)()
+                            const,
+                        std::size_t points = 20) {
+  std::cout << "## " << title << " (ms at each quantile)\n";
+  std::vector<std::string> labels;
+  std::vector<const metrics::Samples*> series;
+  for (const auto& result : comparison.results) {
+    labels.push_back(result.scheduler_name);
+    series.push_back(&(result.latency.*component)());
+  }
+  metrics::print_cdf_comparison(std::cout, labels, series, points);
+  std::cout << "\n";
+}
+
+}  // namespace faasbatch::benchcommon

@@ -1,0 +1,72 @@
+// Figure 4: storage-client creation time vs in-container concurrency
+// (paper §II-B).
+//
+// The paper measures repeated creation of S3 clients inside one container
+// and finds a superlinear blow-up: 66 ms at concurrency 1 growing ~50x to
+// ~3165 ms at concurrency 9 (creation serialises inside the runtime).
+// This bench reports (a) the calibrated cost model used by the simulator
+// and (b) a live measurement with real threads racing a serialised
+// client factory — same mechanism, scaled-down constants.
+//
+// Expected shape: strongly superlinear growth; model hits the paper's
+// 66 ms / ~3165 ms anchors exactly.
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "metrics/report.hpp"
+#include "storage/client.hpp"
+
+using namespace faasbatch;
+using Clock = std::chrono::steady_clock;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const int max_concurrency = static_cast<int>(config.get_int("max_concurrency", 10));
+  const double live_work_ms = config.get_double("live_work_ms", 4.0);
+
+  std::cout << "# Figure 4: client creation time vs concurrency inside one "
+               "container\n"
+               "# Paper anchors: 66 ms at concurrency 1, ~3165 ms at 9.\n\n";
+
+  const storage::ClientCostModel model;
+  storage::ObjectStore store;
+  storage::ClientFactory::Options options;
+  options.creation_work_ms = live_work_ms;
+  options.client_buffer_bytes = 256 * kKiB;
+  storage::ClientFactory factory(store, options);
+
+  metrics::Table table({"concurrency", "model_ms", "model_vs_1x", "live_last_ms",
+                        "live_vs_1x"});
+  double live_base_ms = 0.0;
+  for (int n = 1; n <= max_concurrency; ++n) {
+    // Live: n threads create concurrently; report time until the last
+    // finishes (what an invocation batch observes).
+    const auto start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      threads.emplace_back(
+          [&factory, t] { (void)factory.create(static_cast<std::uint64_t>(t)); });
+    }
+    for (auto& thread : threads) thread.join();
+    const double live_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    if (n == 1) live_base_ms = live_ms;
+
+    table.add_row({std::to_string(n),
+                   metrics::Table::num(model.creation_ms(static_cast<std::size_t>(n)), 1),
+                   metrics::Table::num(model.creation_ms(static_cast<std::size_t>(n)) /
+                                           model.creation_ms(1),
+                                       1),
+                   metrics::Table::num(live_ms, 1),
+                   metrics::Table::num(live_ms / live_base_ms, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmodel(9)/model(1) = "
+            << metrics::Table::num(model.creation_ms(9) / model.creation_ms(1), 1)
+            << "x (paper: ~48x, 66 ms -> 3165 ms)\n";
+  return 0;
+}

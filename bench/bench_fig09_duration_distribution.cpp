@@ -1,0 +1,58 @@
+// Figure 9: probability distribution of function durations (paper §IV).
+//
+// The paper derives a six-bucket distribution of Azure Functions
+// execution times ([0,50) ms: 55.13%, ..., [1550,inf): 10.14%) and drives
+// its CPU workload from it. This bench samples the generator and prints
+// empirical vs paper bucket masses, plus the fib-N realisation used for
+// the CPU-intensive workload.
+//
+// Expected shape: empirical masses within ~1% of the paper's numbers.
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "metrics/report.hpp"
+#include "metrics/stats.hpp"
+#include "trace/duration_model.hpp"
+
+using namespace faasbatch;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const int samples = static_cast<int>(config.get_int("samples", 200000));
+  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 9));
+
+  std::cout << "# Figure 9: function duration distribution (" << samples
+            << " samples)\n\n";
+
+  const trace::DurationModel model;
+  const trace::FibCostModel fib;
+  Rng rng(seed);
+  metrics::BucketHistogram histogram({0.0, 50.0, 100.0, 200.0, 400.0, 1550.0});
+  metrics::Samples durations;
+  for (int i = 0; i < samples; ++i) {
+    const double d = model.sample_ms(rng);
+    histogram.add(d);
+    durations.add(d);
+  }
+
+  metrics::Table table({"duration_range_ms", "paper", "measured", "fib_n_range"});
+  const auto& buckets = trace::paper_duration_buckets();
+  for (std::size_t b = 0; b < histogram.num_buckets(); ++b) {
+    const double lo = buckets[b].lo_ms;
+    const double hi = b + 1 < buckets.size() ? buckets[b + 1].lo_ms : 5000.0;
+    table.add_row({histogram.bucket_label(b),
+                   metrics::Table::num(buckets[b].probability * 100.0, 2) + "%",
+                   metrics::Table::num(histogram.fraction(b) * 100.0, 2) + "%",
+                   "N<=" + std::to_string(fib.n_for_duration(std::max(lo, 1.0))) + ".." +
+                       std::to_string(fib.n_for_duration(hi))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nduration p50=" << metrics::Table::num(durations.percentile(0.5), 1)
+            << " ms, p90=" << metrics::Table::num(durations.percentile(0.9), 1)
+            << " ms, max=" << metrics::Table::num(durations.summary().max, 1)
+            << " ms; fib(20..26) < 45 ms as in the paper: fib(26)="
+            << metrics::Table::num(fib.duration_ms(26), 1) << " ms\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 10: invocation pattern of the generated workload (paper §IV).
+//
+// The paper replays 800 invocations made within one minute of the Azure
+// day-13 trace; Fig. 10 plots invocations-per-second with sharp bursts.
+// This bench prints the same series for the synthetic workload used in
+// the evaluation benches (plus the 400-invocation I/O variant).
+//
+// Expected shape: a few spikes of tens of invocations per second against
+// a near-idle background; total = 800 (CPU) / 400 (I/O).
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+#include <string>
+
+#include "common/config.hpp"
+#include "metrics/report.hpp"
+#include "trace/analysis.hpp"
+#include "trace/arrival.hpp"
+#include "trace/workload.hpp"
+
+using namespace faasbatch;
+
+namespace {
+
+void print_series(const trace::Workload& workload, const std::string& label) {
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(workload.events.size());
+  for (const auto& event : workload.events) arrivals.push_back(event.arrival);
+  const auto counts = trace::arrivals_per_bucket(arrivals, workload.horizon, kSecond);
+
+  std::cout << "## " << label << " (" << workload.events.size()
+            << " invocations / " << to_seconds(workload.horizon) << " s)\n";
+  metrics::Table table({"second", "invocations", "bar"});
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    table.add_row({std::to_string(s), std::to_string(counts[s]),
+                   std::string(std::min<std::size_t>(counts[s], 60), '#')});
+  }
+  table.print(std::cout);
+  const auto report = trace::analyze_burstiness(arrivals, workload.horizon, kSecond);
+  std::cout << "peak=" << report.peak_bucket
+            << "/s mean=" << metrics::Table::num(report.mean_bucket, 1)
+            << "/s peak/mean=" << metrics::Table::num(report.peak_to_mean, 1)
+            << " fano=" << metrics::Table::num(report.fano_factor, 1)
+            << " empty_s=" << metrics::Table::num(report.empty_fraction * 100.0, 0)
+            << "% (Poisson would have fano~1)\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+
+  std::cout << "# Figure 10: invocations per second of the generated minute\n\n";
+
+  trace::WorkloadSpec cpu;
+  cpu.kind = trace::FunctionKind::kCpuIntensive;
+  cpu.invocations = 800;
+  cpu.seed = seed;
+  print_series(trace::synthesize_workload(cpu), "CPU-intensive workload");
+
+  trace::WorkloadSpec io = cpu;
+  io.kind = trace::FunctionKind::kIo;
+  io.invocations = 400;  // paper §IV: first 400 invocations for I/O
+  print_series(trace::synthesize_workload(io), "I/O workload");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 11: latency CDFs for the CPU-intensive workload (paper §V-A).
+//
+// Panels, as in the paper: (a) scheduling latency, (b) cold-start
+// latency, (c) execution latency plus Kraken's Exec+Queue curve. 800
+// Azure-minute invocations, dispatch window 0.2 s, four schedulers.
+//
+// Expected shape (paper): FaaSBatch lowest scheduling CDF tail and
+// lowest cold-start overhead; Kraken close on cold start but its
+// Exec+Queue curve shifted far right by queuing; Vanilla/SFS explode
+// scheduling and cold-start latency under bursts; plain execution
+// similar for Vanilla/FaaSBatch, SFS trading long for short functions.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace faasbatch;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const auto workload =
+      benchcommon::paper_workload(trace::FunctionKind::kCpuIntensive, config);
+
+  eval::ExperimentSpec spec;
+  spec.scheduler_options.dispatch_window =
+      from_millis(config.get_double("window_ms", 200.0));
+
+  std::cout << "# Figure 11: CPU-intensive workload latency CDFs ("
+            << workload.invocation_count() << " invocations, window "
+            << to_millis(spec.scheduler_options.dispatch_window) << " ms)\n\n";
+
+  const eval::Comparison comparison = eval::run_comparison(spec, workload);
+  benchcommon::maybe_export(config, comparison);
+
+  benchcommon::print_panel("Fig 11(a): scheduling latency", comparison,
+                           &metrics::BreakdownAggregate::scheduling);
+  benchcommon::print_panel("Fig 11(b): cold-start latency", comparison,
+                           &metrics::BreakdownAggregate::cold_start);
+  benchcommon::print_panel("Fig 11(c): execution latency", comparison,
+                           &metrics::BreakdownAggregate::execution);
+  benchcommon::print_panel("Fig 11(c) overlay: execution + queuing "
+                           "(Kraken: Exec+Queue)",
+                           comparison, &metrics::BreakdownAggregate::exec_plus_queue);
+
+  std::cout << "## Summary\n";
+  eval::print_comparison_summary(std::cout, comparison);
+  return 0;
+}

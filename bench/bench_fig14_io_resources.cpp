@@ -1,0 +1,83 @@
+// Figure 14: resource cost of the I/O workload across dispatch intervals
+// (paper §V-B), including the per-client memory footprint panel (d).
+//
+// Expected shape (paper): (a) FaaSBatch lowest memory, improving as the
+// interval grows (0.95 GB -> 0.31 GB) while Vanilla/SFS grow and Kraken
+// hovers ~2.1 GB; (b) 266.25 / 273.25 / 76 / 16.5 average containers for
+// Vanilla / SFS / Kraken / FaaSBatch (~24 invocations per FaaSBatch
+// container); (c) FaaSBatch cuts CPU utilisation by 81-93%; (d) ~15 MB
+// per-invocation client footprint for baselines vs ~0.87 MB multiplexed.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace faasbatch;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+  const auto workload = benchcommon::paper_workload(trace::FunctionKind::kIo, config);
+
+  std::cout << "# Figure 14: I/O workload resource costs vs dispatch interval\n\n";
+
+  const std::vector<double> intervals_s{0.01, 0.1, 0.2, 0.5};
+  metrics::Table memory({"interval_s", "Vanilla_MiB", "Kraken_MiB", "SFS_MiB",
+                         "FaaSBatch_MiB"});
+  metrics::Table containers({"interval_s", "Vanilla", "Kraken", "SFS", "FaaSBatch"});
+  metrics::Table cpu({"interval_s", "Vanilla", "Kraken", "SFS", "FaaSBatch"});
+  metrics::Table client({"interval_s", "Vanilla_MiB", "Kraken_MiB", "SFS_MiB",
+                         "FaaSBatch_MiB"});
+
+  double avg_containers[4] = {0, 0, 0, 0};
+  for (const double interval : intervals_s) {
+    eval::ExperimentSpec spec;
+    spec.scheduler_options.dispatch_window = from_seconds(interval);
+    const eval::Comparison comparison = eval::run_comparison(spec, workload);
+    const auto row_label = metrics::Table::num(interval, 2);
+    const auto& r = comparison.results;
+    memory.add_row({row_label, metrics::Table::num(r[0].memory_avg_mib, 1),
+                    metrics::Table::num(r[1].memory_avg_mib, 1),
+                    metrics::Table::num(r[2].memory_avg_mib, 1),
+                    metrics::Table::num(r[3].memory_avg_mib, 1)});
+    containers.add_row({row_label, std::to_string(r[0].containers_provisioned),
+                        std::to_string(r[1].containers_provisioned),
+                        std::to_string(r[2].containers_provisioned),
+                        std::to_string(r[3].containers_provisioned)});
+    cpu.add_row({row_label, metrics::Table::num(r[0].cpu_utilization, 3),
+                 metrics::Table::num(r[1].cpu_utilization, 3),
+                 metrics::Table::num(r[2].cpu_utilization, 3),
+                 metrics::Table::num(r[3].cpu_utilization, 3)});
+    client.add_row({row_label,
+                    metrics::Table::num(r[0].client_mib_per_invocation, 2),
+                    metrics::Table::num(r[1].client_mib_per_invocation, 2),
+                    metrics::Table::num(r[2].client_mib_per_invocation, 2),
+                    metrics::Table::num(r[3].client_mib_per_invocation, 2)});
+    for (int i = 0; i < 4; ++i) {
+      avg_containers[i] += static_cast<double>(r[static_cast<std::size_t>(i)]
+                                                   .containers_provisioned) /
+                           static_cast<double>(intervals_s.size());
+    }
+  }
+
+  std::cout << "## Fig 14(a): average system memory (MiB)\n";
+  memory.print(std::cout);
+  std::cout << "\n## Fig 14(b): containers provisioned (paper averages: "
+               "266.25 / 76 / 273.25 / 16.5)\n";
+  containers.print(std::cout);
+  std::cout << "\n## Fig 14(c): CPU utilisation\n";
+  cpu.print(std::cout);
+  std::cout << "\n## Fig 14(d): client memory per invocation (paper: ~15 MB "
+               "baselines, ~0.87 MB FaaSBatch)\n";
+  client.print(std::cout);
+
+  std::cout << "\n## Averages across intervals\n";
+  const char* names[4] = {"Vanilla", "Kraken", "SFS", "FaaSBatch"};
+  const double invocations = static_cast<double>(workload.invocation_count());
+  for (int i = 0; i < 4; ++i) {
+    std::cout << names[i] << ": " << metrics::Table::num(avg_containers[i], 2)
+              << " containers, " << metrics::Table::num(invocations / avg_containers[i], 2)
+              << " invocations/container\n";
+  }
+  std::cout << "(paper: FaaSBatch serves 24.39 invocations per container; "
+               "Vanilla 1.50, SFS 1.46, Kraken 5.26)\n";
+  return 0;
+}

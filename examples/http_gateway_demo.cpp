@@ -1,0 +1,59 @@
+// Example: serve the FaaSBatch live platform over HTTP.
+//
+// Starts a gateway on localhost, registers two functions, then (unless
+// serve=1 keeps it in the foreground) exercises it with its own HTTP
+// client and prints what a user of the REST API sees.
+//
+// Usage:
+//   http_gateway_demo [port=8080] [serve=0]
+//
+// With serve=1:
+//   curl -XPOST 'localhost:8080/functions/fib?type=fib&n=24'
+//   curl -XPOST  localhost:8080/invoke/fib
+//   curl         localhost:8080/stats
+#include <iostream>
+
+#include "common/config.hpp"
+#include "http/client.hpp"
+#include "live/functions.hpp"
+#include "live/http_gateway.hpp"
+
+using namespace faasbatch;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+
+  live::LivePlatformOptions options;
+  options.policy = live::LivePolicy::kFaasBatch;
+  options.window = std::chrono::milliseconds(20);
+  live::LivePlatform platform(options);
+
+  live::HttpGateway gateway(
+      platform, static_cast<std::uint16_t>(config.get_int("port", 0)));
+  std::cout << "FaaSBatch gateway listening on http://127.0.0.1:" << gateway.port()
+            << "\n";
+
+  if (config.get_bool("serve", false)) {
+    std::cout << "Serving until killed (serve=1). Try:\n"
+              << "  curl -XPOST 'localhost:" << gateway.port()
+              << "/functions/fib?type=fib&n=24'\n"
+              << "  curl -XPOST localhost:" << gateway.port() << "/invoke/fib\n"
+              << "  curl localhost:" << gateway.port() << "/stats\n";
+    while (true) std::this_thread::sleep_for(std::chrono::seconds(60));
+  }
+
+  // Self-drive the API.
+  http::Client client(gateway.port());
+  std::cout << "\nPOST /functions/fib?type=fib&n=22 -> "
+            << client.post("/functions/fib?type=fib&n=22", "").body << "\n";
+  std::cout << "POST /functions/upload?type=io&account=demo -> "
+            << client.post("/functions/upload?type=io&account=demo", "").body << "\n";
+
+  for (int i = 0; i < 3; ++i) {
+    std::cout << "POST /invoke/fib -> " << client.post("/invoke/fib", "").body << "\n";
+  }
+  std::cout << "POST /invoke/upload -> " << client.post("/invoke/upload", "").body
+            << "\n";
+  std::cout << "GET /stats -> " << client.get("/stats").body << "\n";
+  return 0;
+}

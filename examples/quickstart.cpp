@@ -1,0 +1,68 @@
+// Quickstart: embed the FaaSBatch live platform in a process.
+//
+// Registers a CPU function and an I/O function, fires a small burst of
+// invocations, and prints the latency and resource effects of FaaSBatch's
+// batching + multiplexing versus the Vanilla per-invocation policy.
+#include <iostream>
+#include <vector>
+
+#include "live/functions.hpp"
+#include "live/live_platform.hpp"
+#include "metrics/stats.hpp"
+
+using namespace faasbatch;
+
+namespace {
+
+struct RunOutcome {
+  double p50_total_ms;
+  double p95_total_ms;
+  std::uint64_t containers;
+  std::uint64_t client_creations;
+};
+
+RunOutcome run(live::LivePolicy policy, int invocations) {
+  live::LivePlatformOptions options;
+  options.policy = policy;
+  options.window = std::chrono::milliseconds(20);
+  options.container.threads = 4;
+
+  live::LivePlatform platform(options);
+  platform.register_function("fib", live::make_fib_handler(22));
+  platform.register_function("upload", live::make_io_handler("demo-account"));
+
+  std::vector<std::future<live::InvocationReport>> futures;
+  futures.reserve(static_cast<std::size_t>(invocations));
+  for (int i = 0; i < invocations; ++i) {
+    futures.push_back(platform.invoke(i % 2 == 0 ? "fib" : "upload"));
+  }
+
+  metrics::Samples totals;
+  for (auto& future : futures) totals.add(future.get().total_ms);
+  return RunOutcome{totals.percentile(0.50), totals.percentile(0.95),
+                    platform.containers_created(), platform.client_creations()};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kInvocations = 60;
+  std::cout << "Invoking " << kInvocations
+            << " functions (half fib, half storage upload) under two policies\n\n";
+
+  const RunOutcome vanilla = run(live::LivePolicy::kVanilla, kInvocations);
+  const RunOutcome faasbatch = run(live::LivePolicy::kFaasBatch, kInvocations);
+
+  std::cout << "policy     p50_ms  p95_ms  containers  client_creations\n";
+  std::cout << "Vanilla    " << vanilla.p50_total_ms << "  " << vanilla.p95_total_ms
+            << "  " << vanilla.containers << "  " << vanilla.client_creations << "\n";
+  std::cout << "FaaSBatch  " << faasbatch.p50_total_ms << "  "
+            << faasbatch.p95_total_ms << "  " << faasbatch.containers << "  "
+            << faasbatch.client_creations << "\n\n";
+
+  std::cout << "FaaSBatch serves the same burst with " << faasbatch.containers
+            << " containers and " << faasbatch.client_creations
+            << " storage-client build(s); Vanilla needed " << vanilla.containers
+            << " containers and " << vanilla.client_creations << " builds.\n";
+  return 0;
+}

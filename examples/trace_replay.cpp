@@ -1,0 +1,80 @@
+// Trace replay: run a workload trace (synthetic, or a CSV you provide)
+// through one scheduling policy on the simulated 32-core worker and print
+// the latency breakdown and resource report.
+//
+// Usage:
+//   trace_replay [scheduler=faasbatch|vanilla|kraken|sfs] [trace=path.csv]
+//                [kind=cpu|io] [invocations=N] [window_ms=200] [seed=S]
+//                [save=path.csv]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "eval/experiment.hpp"
+#include "metrics/report.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workload.hpp"
+
+using namespace faasbatch;
+
+int main(int argc, char** argv) {
+  const Config config = Config::from_args(argc, argv);
+
+  trace::Workload workload;
+  if (const auto path = config.raw("trace")) {
+    workload = trace::load_trace(*path);
+    std::cout << "Loaded " << workload.invocation_count() << " invocations from "
+              << *path << "\n";
+  } else {
+    trace::WorkloadSpec spec;
+    spec.kind = config.get_string("kind", "cpu") == "io"
+                    ? trace::FunctionKind::kIo
+                    : trace::FunctionKind::kCpuIntensive;
+    spec.invocations = static_cast<std::size_t>(config.get_int(
+        "invocations", spec.kind == trace::FunctionKind::kIo ? 400 : 800));
+    spec.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+    workload = trace::synthesize_workload(spec);
+    std::cout << "Synthesized " << workload.invocation_count()
+              << " invocations (Azure-style minute)\n";
+  }
+  if (const auto save = config.raw("save")) {
+    trace::save_trace(*save, workload);
+    std::cout << "Saved trace to " << *save << "\n";
+  }
+
+  eval::ExperimentSpec spec;
+  spec.scheduler = schedulers::parse_scheduler_kind(
+      config.get_string("scheduler", "faasbatch"));
+  spec.scheduler_options.dispatch_window =
+      from_millis(config.get_double("window_ms", 200.0));
+  if (spec.scheduler == schedulers::SchedulerKind::kKraken) {
+    spec.scheduler_options.kraken_slo_ms = eval::derive_kraken_slos(spec, workload);
+  }
+
+  const eval::ExperimentResult result = eval::run_experiment(spec, workload);
+
+  std::cout << "\nScheduler: " << result.scheduler_name << "\n";
+  metrics::Table table({"component", "p50_ms", "p90_ms", "p98_ms", "max_ms"});
+  const auto row = [&](const char* name, const metrics::Samples& s) {
+    table.add_row({name, metrics::Table::num(s.percentile(0.5)),
+                   metrics::Table::num(s.percentile(0.9)),
+                   metrics::Table::num(s.percentile(0.98)),
+                   metrics::Table::num(s.summary().max)});
+  };
+  row("scheduling", result.latency.scheduling());
+  row("cold_start", result.latency.cold_start());
+  row("queuing", result.latency.queuing());
+  row("execution", result.latency.execution());
+  row("total", result.latency.total());
+  table.print(std::cout);
+
+  std::cout << "\ncontainers=" << result.containers_provisioned
+            << " cold_starts=" << result.cold_starts
+            << " warm_hits=" << result.warm_hits
+            << " makespan_s=" << metrics::Table::num(to_seconds(result.makespan), 1)
+            << "\nmem_avg_MiB=" << metrics::Table::num(result.memory_avg_mib, 1)
+            << " mem_peak_MiB=" << metrics::Table::num(result.memory_peak_mib, 1)
+            << " cpu_util=" << metrics::Table::num(result.cpu_utilization, 3)
+            << " client_MiB/inv="
+            << metrics::Table::num(result.client_mib_per_invocation, 2) << "\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Plot reproduced FaaSBatch figures from the bench JSON exports.
+
+Usage:
+    build/bench/bench_fig12_io_latency out=fig12.json
+    python3 scripts/plot_figures.py fig12.json --out fig12.png
+
+Produces the paper's CDF panels (scheduling / cold start / execution /
+exec+queue) for the four schedulers. Requires matplotlib; everything
+else in this repository is dependency-free, so this helper is optional.
+"""
+import argparse
+import json
+import sys
+
+PANELS = [
+    ("scheduling", "(a) scheduling latency"),
+    ("cold_start", "(b) cold-start latency"),
+    ("execution", "(c) execution latency"),
+    ("exec_plus_queue", "(c') execution + queuing"),
+]
+ORDER = ["Vanilla", "Kraken", "SFS", "FaaSBatch"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_file", help="output of a fig bench with out=...")
+    parser.add_argument("--out", default=None, help="PNG path (default: show)")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg" if args.out else matplotlib.get_backend())
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib", file=sys.stderr)
+        return 1
+
+    with open(args.json_file) as f:
+        data = json.load(f)
+
+    fig, axes = plt.subplots(1, len(PANELS), figsize=(5 * len(PANELS), 4))
+    for ax, (component, title) in zip(axes, PANELS):
+        for scheduler in ORDER:
+            if scheduler not in data:
+                continue
+            series = data[scheduler]["latency_cdfs_ms"][component]
+            xs = [max(point["ms"], 1e-3) for point in series]
+            ys = [point["q"] for point in series]
+            ax.plot(xs, ys, label=scheduler, marker=".", markersize=3)
+        ax.set_xscale("log")
+        ax.set_xlabel("latency (ms)")
+        ax.set_ylabel("CDF")
+        ax.set_title(title)
+        ax.grid(True, which="both", alpha=0.3)
+        ax.legend()
+    fig.tight_layout()
+    if args.out:
+        fig.savefig(args.out, dpi=150)
+        print(f"wrote {args.out}")
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

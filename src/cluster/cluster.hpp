@@ -1,0 +1,64 @@
+// Multi-worker cluster extension.
+//
+// The paper scopes FaaSBatch to a single worker VM (§IV: "This study
+// focuses on the performance of FaaSBatch running on a single machine").
+// This module extends the system the natural next step: N workers behind
+// a load balancer, each running its own scheduler instance over one
+// shared simulated clock. It exposes the interaction the paper's design
+// implies: FaaSBatch's consolidation survives only if a function's
+// invocations are routed to the same worker (function affinity) —
+// round-robin spraying splits groups and re-inflates container counts.
+//
+// Balancers:
+//   kRoundRobin        — classic spraying
+//   kLeastOutstanding  — fewest in-flight invocations
+//   kFunctionAffinity  — hash(function) -> worker, FaaSBatch-friendly
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "eval/experiment.hpp"
+
+namespace faasbatch::cluster {
+
+enum class BalancerKind { kRoundRobin, kLeastOutstanding, kFunctionAffinity };
+
+std::string_view balancer_kind_name(BalancerKind kind);
+
+struct ClusterSpec {
+  /// Worker count; each is a full Machine+ContainerPool+Scheduler.
+  std::size_t workers = 4;
+  BalancerKind balancer = BalancerKind::kFunctionAffinity;
+  /// Per-worker configuration (scheduler, runtime constants, ...).
+  eval::ExperimentSpec worker_spec;
+};
+
+/// Per-worker slice of a cluster run.
+struct WorkerResult {
+  std::size_t routed = 0;
+  std::uint64_t containers_provisioned = 0;
+  double memory_avg_mib = 0.0;
+  double cpu_utilization = 0.0;
+};
+
+struct ClusterResult {
+  std::vector<WorkerResult> workers;
+  std::size_t completed = 0;
+  metrics::BreakdownAggregate latency;
+  SimTime makespan = 0;
+
+  std::uint64_t total_containers() const;
+  /// max/mean of per-worker routed counts (1.0 = perfectly balanced).
+  double routing_imbalance() const;
+};
+
+/// Runs `workload` over the cluster. Deterministic. Throws
+/// std::runtime_error if any invocation fails to complete and
+/// std::invalid_argument for zero workers.
+ClusterResult run_cluster_experiment(const ClusterSpec& spec,
+                                     const trace::Workload& workload);
+
+}  // namespace faasbatch::cluster

@@ -1,0 +1,87 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace faasbatch {
+namespace {
+
+std::string env_key_for(const std::string& key) {
+  std::string out = "FAASBATCH_";
+  for (char c : key) {
+    out.push_back(c == '-' || c == '.' ? '_'
+                                       : static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    config.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return config;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_key_for(key).c_str()); env != nullptr) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  try {
+    return std::stoll(*value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  std::string v = *value;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+}  // namespace faasbatch

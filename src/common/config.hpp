@@ -1,0 +1,42 @@
+// Key=value configuration map used by benchmarks and examples.
+//
+// Accepts entries from `argv` ("key=value" tokens) and from the process
+// environment (upper-cased, FAASBATCH_ prefixed), so e.g. the benchmark
+// scale can be switched with FAASBATCH_FULL=1 or `full=1` on the command
+// line. Typed getters fall back to a caller-supplied default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace faasbatch {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens; non-matching tokens are ignored.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Sets or overwrites one entry.
+  void set(const std::string& key, const std::string& value);
+
+  /// Raw lookup: command line first, then FAASBATCH_<KEY> env variable.
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All explicitly set keys (not environment fallbacks), sorted.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace faasbatch

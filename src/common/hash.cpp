@@ -1,0 +1,44 @@
+#include "common/hash.hpp"
+
+namespace faasbatch {
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t value, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  // 64-bit variant of boost::hash_combine's mixing constant.
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+ArgsHasher& ArgsHasher::add(std::string_view key, std::string_view value) {
+  hash_ = fnv1a(key, hash_);
+  hash_ = fnv1a("=", hash_);
+  hash_ = fnv1a(value, hash_);
+  hash_ = fnv1a(";", hash_);
+  return *this;
+}
+
+ArgsHasher& ArgsHasher::add(std::string_view key, std::uint64_t value) {
+  hash_ = fnv1a(key, hash_);
+  hash_ = fnv1a("=", hash_);
+  hash_ = fnv1a_u64(value, hash_);
+  hash_ = fnv1a(";", hash_);
+  return *this;
+}
+
+}  // namespace faasbatch

@@ -1,0 +1,45 @@
+// Stable hashing utilities.
+//
+// The Resource Multiplexer (paper §III-D) keys cached resources by a hash
+// of the creation arguments: `resource -> Hash(args) -> instance`. These
+// hashes must be stable across runs and platforms, so std::hash (which is
+// allowed to vary) is not used; we implement FNV-1a 64.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace faasbatch {
+
+/// 64-bit FNV-1a offset basis.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+
+/// 64-bit FNV-1a prime.
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over raw bytes, continuing from `seed`.
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed = kFnvOffsetBasis);
+
+/// FNV-1a over the little-endian bytes of an integer, continuing from `seed`.
+std::uint64_t fnv1a_u64(std::uint64_t value, std::uint64_t seed = kFnvOffsetBasis);
+
+/// Combines two 64-bit hashes (boost::hash_combine-style, 64-bit constants).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// Builds a stable hash of resource-creation arguments by folding
+/// `key=value` pairs in the order given. Used by the Resource Multiplexer.
+class ArgsHasher {
+ public:
+  /// Folds one named argument into the hash.
+  ArgsHasher& add(std::string_view key, std::string_view value);
+  ArgsHasher& add(std::string_view key, std::uint64_t value);
+
+  /// The accumulated hash. An empty argument list has a fixed, non-zero value.
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffsetBasis;
+};
+
+}  // namespace faasbatch

@@ -1,0 +1,82 @@
+// Minimal JSON value type: parse + serialize, no external dependencies.
+//
+// Used by the HTTP gateway (request/response bodies) and the experiment
+// exporter (figure data for plotting). Supports the full JSON data model
+// with the usual C++ mappings; numbers are doubles (plus an integer
+// fast-path for exact round-trips of counts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace faasbatch {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  /// Null by default.
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : value_(value) {}
+  Json(double value) : value_(value) {}
+  Json(int value) : value_(static_cast<std::int64_t>(value)) {}
+  Json(std::int64_t value) : value_(value) {}
+  Json(std::uint64_t value) : value_(static_cast<std::int64_t>(value)) {}
+  Json(const char* value) : value_(std::string(value)) {}
+  Json(std::string value) : value_(std::move(value)) {}
+  Json(JsonArray value) : value_(std::move(value)) {}
+  Json(JsonObject value) : value_(std::move(value)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field access; throws if not an object / key missing.
+  const Json& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+  /// Field with fallback for missing keys (still throws on non-objects).
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+
+  /// Mutable object/array builders.
+  Json& operator[](const std::string& key);
+  void push_back(Json value);
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::monostate, bool, double, std::int64_t, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace faasbatch

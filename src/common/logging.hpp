@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded but the live runtime logs from worker
+// threads, so emission is serialised with a mutex. Log level is a process-
+// wide runtime setting; the default (Warn) keeps benchmarks quiet.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace faasbatch {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the process-wide log threshold.
+void set_log_level(LogLevel level);
+
+/// Current process-wide log threshold.
+LogLevel log_level();
+
+/// True if a message at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Builds a log line with stream syntax and emits it on destruction.
+/// Usage: LogLine(LogLevel::kInfo) << "started " << n << " containers";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (log_enabled(level_)) detail::log_emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (log_enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define FB_LOG(level) ::faasbatch::LogLine(::faasbatch::LogLevel::level)
+
+}  // namespace faasbatch

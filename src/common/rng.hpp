@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (workload synthesis, latency jitter, popularity
+// sampling) draw from an explicitly seeded Rng so that every experiment is
+// reproducible bit-for-bit. The generator is xoshiro256**, seeded through
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace faasbatch {
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state PRNG.
+///
+/// Not cryptographic; used only for workload synthesis and model jitter.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds deterministically from a single 64-bit value via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (no state caching: deterministic order).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (events per unit). rate > 0.
+  double exponential(double rate);
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires a non-empty vector with non-negative entries and positive sum.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; use to give each module its
+  /// own stream so adding draws in one module does not perturb another.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace faasbatch

@@ -1,0 +1,67 @@
+// Core scalar types shared across the FaaSBatch codebase.
+//
+// Simulated time is an integer count of microseconds since the simulation
+// epoch. Integer time keeps event ordering exact and runs identically on
+// every platform; helpers below convert to/from human units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace faasbatch {
+
+/// Absolute simulated time, in microseconds since the simulation epoch.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1'000;
+inline constexpr SimDuration kSecond = 1'000'000;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+/// Largest representable time; used as "never" for keep-alive deadlines.
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+constexpr SimDuration from_millis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Identifies a registered serverless function ("function type" in the
+/// paper). Dense ids make per-function arrays cheap.
+using FunctionId = std::uint32_t;
+
+/// Uniquely identifies one invocation request within a run.
+using InvocationId = std::uint64_t;
+
+/// Identifies a provisioned container instance within a run.
+using ContainerId = std::uint64_t;
+
+/// Sentinel for "no function".
+inline constexpr FunctionId kInvalidFunction = UINT32_MAX;
+
+/// Memory quantities are tracked in bytes; helpers for MB literals.
+using Bytes = std::int64_t;
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr double to_mib(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kMiB);
+}
+constexpr Bytes from_mib(double mib) {
+  return static_cast<Bytes>(mib * static_cast<double>(kMiB));
+}
+
+}  // namespace faasbatch

@@ -1,0 +1,56 @@
+// Per-invocation lifecycle record.
+//
+// Schedulers stamp each phase boundary as the invocation moves through
+// the platform; the breakdown() accessor derives the paper's four latency
+// components (§IV "Evaluation Metrics") from those stamps.
+#pragma once
+
+#include "common/types.hpp"
+#include "metrics/breakdown.hpp"
+
+namespace faasbatch::core {
+
+struct InvocationRecord {
+  InvocationId id = 0;
+  FunctionId function = kInvalidFunction;
+
+  /// When the platform received the request.
+  SimTime arrival = 0;
+  /// When the dispatch decision completed and the invocation was sent
+  /// towards a (possibly still booting) container.
+  SimTime dispatched = 0;
+  /// Time spent waiting for the selected container's cold start (0 warm).
+  SimDuration cold_start = 0;
+  /// When the function body started executing in the container.
+  SimTime exec_start = 0;
+  /// When the function body finished.
+  SimTime exec_end = 0;
+  /// When the result was returned to the caller. Equal to exec_end with
+  /// early return; with the paper's batch-return semantics (§III-C: the
+  /// batch HTTP reply returns when the whole group finishes) this is the
+  /// group's completion time.
+  SimTime returned = 0;
+
+  bool completed = false;
+
+  /// Caller-observed response latency (arrival -> result returned).
+  SimDuration response_latency() const {
+    return (returned > exec_end ? returned : exec_end) - arrival;
+  }
+
+  /// Decomposes the stamps into the paper's latency components. The
+  /// cold-start share is carved out of scheduling, and any gap between
+  /// container-ready and execution start is queuing (only serial batching
+  /// policies produce it).
+  metrics::LatencyBreakdown breakdown() const {
+    metrics::LatencyBreakdown b;
+    b.scheduling = dispatched - arrival;
+    b.cold_start = cold_start;
+    const SimTime ready = dispatched + cold_start;
+    b.queuing = exec_start > ready ? exec_start - ready : 0;
+    b.execution = exec_end - exec_start;
+    return b;
+  }
+};
+
+}  // namespace faasbatch::core

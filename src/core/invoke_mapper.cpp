@@ -1,0 +1,44 @@
+#include "core/invoke_mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace faasbatch::core {
+
+InvokeMapper::InvokeMapper(SimDuration window) : window_(window) {
+  if (window <= 0) throw std::invalid_argument("InvokeMapper: window must be > 0");
+}
+
+bool InvokeMapper::add(SimTime now, InvocationId id, FunctionId function) {
+  const bool opened = !window_open_;
+  if (opened) {
+    window_open_ = true;
+    window_opened_at_ = now;
+  }
+  auto it = std::find_if(buckets_.begin(), buckets_.end(),
+                         [function](const FunctionGroup& g) {
+                           return g.function == function;
+                         });
+  if (it == buckets_.end()) {
+    buckets_.push_back(FunctionGroup{function, {}});
+    it = std::prev(buckets_.end());
+  }
+  it->invocations.push_back(id);
+  ++pending_count_;
+  return opened;
+}
+
+std::vector<FunctionGroup> InvokeMapper::flush() {
+  std::vector<FunctionGroup> groups = std::move(buckets_);
+  buckets_.clear();
+  std::sort(groups.begin(), groups.end(),
+            [](const FunctionGroup& a, const FunctionGroup& b) {
+              return a.function < b.function;
+            });
+  window_open_ = false;
+  pending_count_ = 0;
+  if (!groups.empty()) ++windows_flushed_;
+  return groups;
+}
+
+}  // namespace faasbatch::core

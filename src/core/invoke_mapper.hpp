@@ -1,0 +1,70 @@
+// Invoke Mapper (paper §III-B).
+//
+// Collects the invocations that arrive within a fixed dispatch window
+// (default 0.2 s) and partitions them into *function groups* — the
+// concurrent invocations of one function — each of which FaaSBatch maps
+// to a single container. The window opens when the first request arrives
+// after the previous flush and closes `window` later, so all requests
+// inside it are treated as concurrent.
+//
+// This class is pure policy: it owns no timers. The driver (simulated or
+// live) asks `add` whether a flush needs to be scheduled and calls
+// `flush` when the window closes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace faasbatch::core {
+
+/// One group of concurrent invocations of the same function.
+struct FunctionGroup {
+  FunctionId function = kInvalidFunction;
+  std::vector<InvocationId> invocations;  // in arrival order
+
+  std::size_t size() const { return invocations.size(); }
+};
+
+class InvokeMapper {
+ public:
+  /// `window` is the dispatch interval; must be positive.
+  explicit InvokeMapper(SimDuration window);
+
+  SimDuration window() const { return window_; }
+
+  /// Enqueues an invocation that arrived at `now`. Returns true when this
+  /// request opened a new window — the caller must then arrange for
+  /// flush() to be called at `now + window()`.
+  bool add(SimTime now, InvocationId id, FunctionId function);
+
+  /// Closes the current window: returns the pending invocations grouped
+  /// by function (groups ordered by function id, invocations in arrival
+  /// order) and resets the window.
+  std::vector<FunctionGroup> flush();
+
+  /// Invocations waiting in the open window.
+  std::size_t pending() const { return pending_count_; }
+
+  /// True if a window is currently open (add() returned true and flush()
+  /// has not run yet).
+  bool window_open() const { return window_open_; }
+
+  /// Arrival time of the request that opened the current window.
+  SimTime window_opened_at() const { return window_opened_at_; }
+
+  /// Total windows flushed so far.
+  std::uint64_t windows_flushed() const { return windows_flushed_; }
+
+ private:
+  SimDuration window_;
+  bool window_open_ = false;
+  SimTime window_opened_at_ = 0;
+  std::size_t pending_count_ = 0;
+  std::uint64_t windows_flushed_ = 0;
+  // Sparse per-function buckets, kept sorted at flush time.
+  std::vector<FunctionGroup> buckets_;
+};
+
+}  // namespace faasbatch::core

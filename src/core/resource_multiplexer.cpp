@@ -1,0 +1,137 @@
+#include "core/resource_multiplexer.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/hash.hpp"
+
+namespace faasbatch::core {
+
+std::uint64_t ResourceMultiplexer::key_of(std::string_view kind,
+                                          std::uint64_t args_hash) {
+  return hash_combine(fnv1a(kind), args_hash);
+}
+
+ResourceMultiplexer::Acquire ResourceMultiplexer::acquire(std::string_view kind,
+                                                          std::uint64_t args_hash,
+                                                          ReadyCallback on_ready,
+                                                          ResourcePtr* instance) {
+  const std::uint64_t key = key_of(kind, args_hash);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (inserted) {
+    ++stats_.misses;
+    return Acquire::kMiss;
+  }
+  Entry& entry = it->second;
+  if (entry.ready) {
+    ++stats_.hits;
+    if (instance != nullptr) *instance = entry.instance;
+    return Acquire::kHit;
+  }
+  ++stats_.pending_waits;
+  entry.waiters.push_back(std::move(on_ready));
+  return Acquire::kPending;
+}
+
+void ResourceMultiplexer::complete(std::string_view kind, std::uint64_t args_hash,
+                                   ResourcePtr instance) {
+  const std::uint64_t key = key_of(kind, args_hash);
+  std::vector<ReadyCallback> waiters;
+  ResourcePtr published;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    assert(it != entries_.end() && "complete() without acquire() miss");
+    Entry& entry = it->second;
+    entry.ready = true;
+    entry.instance = std::move(instance);
+    published = entry.instance;
+    waiters.swap(entry.waiters);
+  }
+  ready_cv_.notify_all();
+  // Fire callbacks outside the lock: they may re-enter acquire().
+  for (auto& waiter : waiters) {
+    if (waiter) waiter(published);
+  }
+}
+
+void ResourceMultiplexer::fail(std::string_view kind, std::uint64_t args_hash) {
+  const std::uint64_t key = key_of(kind, args_hash);
+  std::vector<ReadyCallback> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.ready) return;
+    waiters.swap(it->second.waiters);
+    entries_.erase(it);
+  }
+  ready_cv_.notify_all();
+  for (auto& waiter : waiters) {
+    if (waiter) waiter(nullptr);
+  }
+}
+
+ResourceMultiplexer::ResourcePtr ResourceMultiplexer::get_or_create_erased(
+    std::string_view kind, std::uint64_t args_hash,
+    const std::function<ResourcePtr()>& factory) {
+  const std::uint64_t key = key_of(kind, args_hash);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      ++stats_.misses;
+      lock.unlock();
+      ResourcePtr instance;
+      try {
+        instance = factory();
+      } catch (...) {
+        fail(kind, args_hash);
+        throw;
+      }
+      lock.lock();
+      auto eit = entries_.find(key);
+      if (eit != entries_.end()) {
+        eit->second.ready = true;
+        eit->second.instance = instance;
+        auto waiters = std::move(eit->second.waiters);
+        lock.unlock();
+        ready_cv_.notify_all();
+        for (auto& waiter : waiters) {
+          if (waiter) waiter(instance);
+        }
+        return instance;
+      }
+      lock.unlock();
+      ready_cv_.notify_all();
+      return instance;
+    }
+    Entry& entry = it->second;
+    if (entry.ready) {
+      ++stats_.hits;
+      return entry.instance;
+    }
+    ++stats_.pending_waits;
+    ready_cv_.wait(lock, [this, key] {
+      const auto eit = entries_.find(key);
+      return eit == entries_.end() || eit->second.ready;
+    });
+    const auto eit = entries_.find(key);
+    if (eit != entries_.end() && eit->second.ready) return eit->second.instance;
+    // The creation failed; loop and try to become the creator ourselves.
+  }
+}
+
+ResourceMultiplexer::Stats ResourceMultiplexer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats = stats_;
+  stats.cached = entries_.size();
+  return stats;
+}
+
+void ResourceMultiplexer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace faasbatch::core

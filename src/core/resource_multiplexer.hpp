@@ -1,0 +1,101 @@
+// Resource Multiplexer (paper §III-D).
+//
+// Lives inside each container and intercepts resource-creation requests
+// (e.g. `client(args)` building a cloud-storage socket client). It keeps
+// `resource -> Hash(args) -> instance` mappings: the first request for a
+// (kind, args) pair registers a *pending* entry and builds the resource;
+// requests arriving while the build is in flight wait for it; once built,
+// every later request is served from the cache. Hash collisions are
+// ignored, as the paper argues their probability is negligible at
+// container scope (§III-D).
+//
+// The class serves two drivers:
+//  * asynchronous (discrete-event simulation): acquire()/complete(),
+//    where waiters register callbacks;
+//  * synchronous (live thread pools): get_or_create(), which blocks
+//    concurrent creators on a condition variable.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace faasbatch::core {
+
+class ResourceMultiplexer {
+ public:
+  /// Cached instances are type-erased; callers know the concrete type of
+  /// each resource kind.
+  using ResourcePtr = std::shared_ptr<void>;
+  using ReadyCallback = std::function<void(ResourcePtr)>;
+
+  /// Outcome of an asynchronous acquire.
+  enum class Acquire {
+    kHit,      ///< instance returned immediately from the cache
+    kPending,  ///< another creation is in flight; callback registered
+    kMiss,     ///< caller must build the resource and call complete()
+  };
+
+  ResourceMultiplexer() = default;
+  ResourceMultiplexer(const ResourceMultiplexer&) = delete;
+  ResourceMultiplexer& operator=(const ResourceMultiplexer&) = delete;
+
+  /// Asynchronous lookup. On kHit, *instance is set and on_ready is not
+  /// used. On kPending, on_ready fires (synchronously from complete())
+  /// once the in-flight creation finishes. On kMiss, the caller owns the
+  /// creation and must call complete() (or fail()).
+  Acquire acquire(std::string_view kind, std::uint64_t args_hash,
+                  ReadyCallback on_ready, ResourcePtr* instance);
+
+  /// Publishes a built resource; fires all pending callbacks.
+  void complete(std::string_view kind, std::uint64_t args_hash, ResourcePtr instance);
+
+  /// Abandons an in-flight creation: pending waiters are re-issued as
+  /// misses — the first waiter's callback receives nullptr and must
+  /// retry acquire() (becoming the new creator).
+  void fail(std::string_view kind, std::uint64_t args_hash);
+
+  /// Synchronous lookup for live thread pools: returns the cached
+  /// instance or invokes `factory` exactly once per (kind, args),
+  /// blocking concurrent callers until the instance is ready.
+  template <typename T>
+  std::shared_ptr<T> get_or_create(std::string_view kind, std::uint64_t args_hash,
+                                   const std::function<std::shared_ptr<T>()>& factory) {
+    return std::static_pointer_cast<T>(get_or_create_erased(
+        kind, args_hash, [&factory]() -> ResourcePtr { return factory(); }));
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;           ///< served straight from cache
+    std::uint64_t misses = 0;         ///< creations performed
+    std::uint64_t pending_waits = 0;  ///< waited behind an in-flight creation
+    std::size_t cached = 0;           ///< entries currently resident
+  };
+  Stats stats() const;
+
+  /// Drops every cached entry (e.g. container teardown).
+  void clear();
+
+ private:
+  struct Entry {
+    bool ready = false;
+    ResourcePtr instance;
+    std::vector<ReadyCallback> waiters;
+  };
+
+  static std::uint64_t key_of(std::string_view kind, std::uint64_t args_hash);
+  ResourcePtr get_or_create_erased(std::string_view kind, std::uint64_t args_hash,
+                                   const std::function<ResourcePtr()>& factory);
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace faasbatch::core

@@ -1,0 +1,52 @@
+#include "eval/comparison.hpp"
+
+#include <ostream>
+
+#include "metrics/report.hpp"
+
+namespace faasbatch::eval {
+
+Comparison run_comparison(const ExperimentSpec& base, const trace::Workload& workload) {
+  ExperimentSpec spec = base;
+  if (spec.scheduler_options.kraken_slo_ms.empty()) {
+    spec.scheduler_options.kraken_slo_ms = derive_kraken_slos(base, workload);
+  }
+  Comparison comparison;
+  for (const auto kind :
+       {schedulers::SchedulerKind::kVanilla, schedulers::SchedulerKind::kKraken,
+        schedulers::SchedulerKind::kSfs, schedulers::SchedulerKind::kFaasBatch}) {
+    spec.scheduler = kind;
+    comparison.results.push_back(run_experiment(spec, workload));
+  }
+  return comparison;
+}
+
+double reduction_pct(double ours, double baseline) {
+  if (baseline == 0.0) return 0.0;
+  return (baseline - ours) / baseline * 100.0;
+}
+
+void print_comparison_summary(std::ostream& os, const Comparison& comparison) {
+  using metrics::Table;
+  Table table({"scheduler", "p50_total_ms", "p98_total_ms", "sched_p98_ms",
+               "cold_p98_ms", "execq_p98_ms", "containers", "mem_avg_MiB",
+               "mem_peak_MiB", "cpu_util", "client_MiB/inv"});
+  for (const ExperimentResult& r : comparison.results) {
+    table.add_row({
+        r.scheduler_name,
+        Table::num(r.latency.total().percentile(0.50)),
+        Table::num(r.latency.total().percentile(0.98)),
+        Table::num(r.latency.scheduling().percentile(0.98)),
+        Table::num(r.latency.cold_start().percentile(0.98)),
+        Table::num(r.latency.exec_plus_queue().percentile(0.98)),
+        std::to_string(r.containers_provisioned),
+        Table::num(r.memory_avg_mib, 1),
+        Table::num(r.memory_peak_mib, 1),
+        Table::num(r.cpu_utilization, 3),
+        Table::num(r.client_mib_per_invocation, 2),
+    });
+  }
+  table.print(os);
+}
+
+}  // namespace faasbatch::eval

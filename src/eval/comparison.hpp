@@ -1,0 +1,40 @@
+// Four-way scheduler comparison, the shape of every evaluation figure.
+//
+// Runs Vanilla, Kraken (with SLOs auto-derived from the Vanilla run, per
+// the paper's porting rule), SFS and FaaSBatch over the same workload and
+// produces comparable results, plus table/reduction helpers used by the
+// bench binaries and EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "eval/experiment.hpp"
+
+namespace faasbatch::eval {
+
+/// Result of running all four policies over one workload, in the paper's
+/// order: Vanilla, Kraken, SFS, FaaSBatch.
+struct Comparison {
+  std::vector<ExperimentResult> results;
+
+  const ExperimentResult& vanilla() const { return results.at(0); }
+  const ExperimentResult& kraken() const { return results.at(1); }
+  const ExperimentResult& sfs() const { return results.at(2); }
+  const ExperimentResult& faasbatch() const { return results.at(3); }
+};
+
+/// Runs the four policies over `workload`. Kraken's SLOs come from a
+/// Vanilla calibration run unless `base.scheduler_options.kraken_slo_ms`
+/// is already populated.
+Comparison run_comparison(const ExperimentSpec& base, const trace::Workload& workload);
+
+/// Percentage reduction of `ours` relative to `baseline` (positive means
+/// `ours` is smaller), e.g. reduction_pct(10, 100) == 90.
+double reduction_pct(double ours, double baseline);
+
+/// Prints the summary table: per scheduler, latency percentiles per
+/// component, container counts, memory, CPU utilisation.
+void print_comparison_summary(std::ostream& os, const Comparison& comparison);
+
+}  // namespace faasbatch::eval

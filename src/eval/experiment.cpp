@@ -1,0 +1,132 @@
+#include "eval/experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/invocation.hpp"
+#include "runtime/container_pool.hpp"
+#include "runtime/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace faasbatch::eval {
+
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const trace::Workload& workload) {
+  sim::Simulator simulator;
+  runtime::Machine machine(simulator, spec.runtime);
+  runtime::ContainerPool pool(machine);
+  if (spec.keepalive == KeepAliveKind::kHistogram) {
+    pool.set_keepalive_policy(
+        std::make_unique<runtime::HistogramKeepAlive>(spec.keepalive_histogram));
+  }
+
+  std::vector<core::InvocationRecord> records(workload.events.size());
+  for (std::size_t i = 0; i < workload.events.size(); ++i) {
+    records[i].id = static_cast<InvocationId>(i);
+    records[i].function = workload.events[i].function;
+    records[i].arrival = workload.events[i].arrival;
+  }
+
+  std::size_t completed = 0;
+  SimTime makespan = 0;
+  schedulers::SchedulerContext context{
+      simulator,
+      machine,
+      pool,
+      workload,
+      spec.client_model,
+      records,
+      /*notify_complete=*/nullptr,
+  };
+  context.notify_complete = [&](InvocationId) {
+    ++completed;
+    if (completed == records.size()) {
+      makespan = simulator.now();
+      simulator.stop();
+    }
+  };
+
+  auto scheduler =
+      schedulers::make_scheduler(spec.scheduler, context, spec.scheduler_options);
+
+  for (std::size_t i = 0; i < workload.events.size(); ++i) {
+    const InvocationId id = static_cast<InvocationId>(i);
+    const FunctionId function = workload.events[i].function;
+    simulator.schedule_at(workload.events[i].arrival,
+                          [&scheduler, &pool, id, function] {
+                            pool.note_arrival(function);
+                            scheduler->on_arrival(id);
+                          });
+  }
+
+  simulator.run();
+
+  if (completed != records.size()) {
+    throw std::runtime_error("run_experiment: " +
+                             std::to_string(records.size() - completed) +
+                             " invocations never completed under " +
+                             std::string(scheduler->name()));
+  }
+
+  ExperimentResult result;
+  result.scheduler_name = std::string(scheduler->name());
+  result.invocations = records.size();
+  result.completed = completed;
+  std::size_t slo_violations = 0;
+  std::size_t slo_checked = 0;
+  for (const core::InvocationRecord& record : records) {
+    result.latency.add(record.breakdown());
+    result.response_ms.add(to_millis(record.response_latency()));
+    const auto slo_it = spec.scheduler_options.kraken_slo_ms.find(record.function);
+    if (slo_it != spec.scheduler_options.kraken_slo_ms.end()) {
+      ++slo_checked;
+      if (to_millis(record.breakdown().total()) > slo_it->second) ++slo_violations;
+    }
+  }
+  if (slo_checked > 0) {
+    result.slo_violation_rate =
+        static_cast<double>(slo_violations) / static_cast<double>(slo_checked);
+  }
+
+  const runtime::PoolStats pool_stats = pool.stats();
+  result.containers_provisioned = pool_stats.total_provisioned;
+  result.cold_starts = pool_stats.cold_starts;
+  result.warm_hits = pool_stats.warm_hits;
+  result.client_creations = pool_stats.total_client_creations;
+
+  result.makespan = makespan;
+  result.memory_avg_mib = to_mib(
+      static_cast<Bytes>(machine.memory_gauge().time_average(makespan)));
+  result.memory_peak_mib = to_mib(machine.memory_peak());
+  for (const auto& [t, bytes] : machine.memory_gauge().sample(kSecond, makespan)) {
+    result.memory_series_mib.emplace_back(t, to_mib(static_cast<Bytes>(bytes)));
+  }
+
+  result.busy_core_seconds = machine.busy_core_seconds();
+  result.cpu_utilization = machine.cpu_utilization(makespan);
+  result.client_mib_per_invocation =
+      records.empty() ? 0.0
+                      : to_mib(pool_stats.total_client_memory) /
+                            static_cast<double>(records.size());
+  result.records = std::move(records);
+  return result;
+}
+
+std::unordered_map<FunctionId, double> derive_kraken_slos(
+    const ExperimentSpec& base_spec, const trace::Workload& workload) {
+  ExperimentSpec vanilla_spec = base_spec;
+  vanilla_spec.scheduler = schedulers::SchedulerKind::kVanilla;
+  const ExperimentResult calibration = run_experiment(vanilla_spec, workload);
+
+  std::unordered_map<FunctionId, metrics::Samples> per_function;
+  for (const core::InvocationRecord& record : calibration.records) {
+    per_function[record.function].add(to_millis(record.breakdown().total()));
+  }
+  std::unordered_map<FunctionId, double> slos;
+  for (const auto& [function, samples] : per_function) {
+    slos[function] = samples.percentile(0.98);
+  }
+  return slos;
+}
+
+}  // namespace faasbatch::eval

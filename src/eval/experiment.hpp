@@ -1,0 +1,94 @@
+// Experiment harness: runs one (scheduler, workload) pair through the
+// simulated platform and collects everything the paper's figures need —
+// per-component latency distributions (Figs. 11/12), container counts
+// (Figs. 13b/14b), memory usage and series (13a/14a), CPU utilisation
+// (13c/14c), and per-invocation client memory footprint (14d).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/invocation.hpp"
+#include "metrics/breakdown.hpp"
+#include "runtime/config.hpp"
+#include "runtime/keepalive.hpp"
+#include "schedulers/scheduler.hpp"
+#include "storage/client.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::eval {
+
+enum class KeepAliveKind {
+  /// Fixed RuntimeConfig::keep_alive for every container (paper default).
+  kFixed,
+  /// Per-function IaT-histogram policy (Shahrad et al., ATC'20).
+  kHistogram,
+};
+
+struct ExperimentSpec {
+  schedulers::SchedulerKind scheduler = schedulers::SchedulerKind::kFaasBatch;
+  schedulers::SchedulerOptions scheduler_options;
+  runtime::RuntimeConfig runtime;
+  storage::ClientCostModel client_model;
+  KeepAliveKind keepalive = KeepAliveKind::kFixed;
+  runtime::HistogramKeepAlive::Options keepalive_histogram;
+};
+
+struct ExperimentResult {
+  std::string scheduler_name;
+  std::size_t invocations = 0;
+  std::size_t completed = 0;
+
+  /// Per-component latency distributions in milliseconds.
+  metrics::BreakdownAggregate latency;
+
+  /// Caller-observed response latency (arrival -> reply returned), ms.
+  /// Differs from latency.total() only under batch-return semantics.
+  metrics::Samples response_ms;
+
+  /// Provisioning statistics.
+  std::uint64_t containers_provisioned = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t client_creations = 0;
+
+  /// Host memory (platform + containers + clients).
+  double memory_avg_mib = 0.0;
+  double memory_peak_mib = 0.0;
+  /// 1 Hz host-memory samples in MiB (paper samples at 1 Hz, §V-B).
+  std::vector<std::pair<SimTime, double>> memory_series_mib;
+
+  /// Time-averaged CPU utilisation in [0, 1] over the run.
+  double cpu_utilization = 0.0;
+  double busy_core_seconds = 0.0;
+
+  /// Client memory allocated per served invocation, MiB (Fig. 14d).
+  double client_mib_per_invocation = 0.0;
+
+  /// Completion time of the last invocation.
+  SimTime makespan = 0;
+
+  /// Fraction of invocations whose end-to-end latency exceeded the
+  /// per-function SLO (only meaningful when SLOs were configured, i.e.
+  /// for Kraken runs; 0 otherwise).
+  double slo_violation_rate = 0.0;
+
+  /// Full per-invocation records (phase stamps), for CDF extraction and
+  /// SLO calibration.
+  std::vector<core::InvocationRecord> records;
+};
+
+/// Runs `workload` under `spec`. Deterministic for a given (spec,
+/// workload) pair. Throws std::runtime_error if any invocation fails to
+/// complete (which would indicate a scheduler bug).
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const trace::Workload& workload);
+
+/// Derives per-function SLOs as the P98 end-to-end latency of a Vanilla
+/// run over `workload` — the paper's Kraken porting rule (§IV).
+std::unordered_map<FunctionId, double> derive_kraken_slos(
+    const ExperimentSpec& base_spec, const trace::Workload& workload);
+
+}  // namespace faasbatch::eval

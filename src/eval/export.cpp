@@ -1,0 +1,74 @@
+#include "eval/export.hpp"
+
+#include <fstream>
+
+namespace faasbatch::eval {
+namespace {
+
+Json cdf_to_json(const metrics::Samples& samples, std::size_t points) {
+  Json array;
+  for (const auto& [value, quantile] : samples.cdf_points(points)) {
+    Json point;
+    point["q"] = quantile;
+    point["ms"] = value;
+    array.push_back(std::move(point));
+  }
+  return array;
+}
+
+}  // namespace
+
+Json experiment_to_json(const ExperimentResult& result, std::size_t cdf_points) {
+  Json doc;
+  doc["scheduler"] = result.scheduler_name;
+  doc["invocations"] = static_cast<std::int64_t>(result.invocations);
+  doc["completed"] = static_cast<std::int64_t>(result.completed);
+  doc["containers_provisioned"] = result.containers_provisioned;
+  doc["cold_starts"] = result.cold_starts;
+  doc["warm_hits"] = result.warm_hits;
+  doc["client_creations"] = result.client_creations;
+  doc["memory_avg_mib"] = result.memory_avg_mib;
+  doc["memory_peak_mib"] = result.memory_peak_mib;
+  doc["cpu_utilization"] = result.cpu_utilization;
+  doc["busy_core_seconds"] = result.busy_core_seconds;
+  doc["client_mib_per_invocation"] = result.client_mib_per_invocation;
+  doc["makespan_s"] = to_seconds(result.makespan);
+  doc["slo_violation_rate"] = result.slo_violation_rate;
+
+  Json cdfs;
+  cdfs["scheduling"] = cdf_to_json(result.latency.scheduling(), cdf_points);
+  cdfs["cold_start"] = cdf_to_json(result.latency.cold_start(), cdf_points);
+  cdfs["queuing"] = cdf_to_json(result.latency.queuing(), cdf_points);
+  cdfs["execution"] = cdf_to_json(result.latency.execution(), cdf_points);
+  cdfs["exec_plus_queue"] = cdf_to_json(result.latency.exec_plus_queue(), cdf_points);
+  cdfs["total"] = cdf_to_json(result.latency.total(), cdf_points);
+  cdfs["response"] = cdf_to_json(result.response_ms, cdf_points);
+  doc["latency_cdfs_ms"] = std::move(cdfs);
+
+  Json memory_series;
+  for (const auto& [t, mib] : result.memory_series_mib) {
+    Json point;
+    point["t_s"] = to_seconds(t);
+    point["mib"] = mib;
+    memory_series.push_back(std::move(point));
+  }
+  doc["memory_series_1hz"] = std::move(memory_series);
+  return doc;
+}
+
+Json comparison_to_json(const Comparison& comparison, std::size_t cdf_points) {
+  Json doc;
+  for (const ExperimentResult& result : comparison.results) {
+    doc[result.scheduler_name] = experiment_to_json(result, cdf_points);
+  }
+  return doc;
+}
+
+void save_json(const std::string& path, const Json& document) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_json: cannot open " + path);
+  os << document.dump() << "\n";
+  if (!os) throw std::runtime_error("save_json: write failed for " + path);
+}
+
+}  // namespace faasbatch::eval

@@ -1,0 +1,23 @@
+// JSON export of experiment results — the bridge from bench binaries to
+// external plotting (each figure's series as machine-readable data).
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "eval/comparison.hpp"
+
+namespace faasbatch::eval {
+
+/// Serialises one run: scalar metrics plus per-component latency CDFs
+/// with `cdf_points` evenly spaced quantiles.
+Json experiment_to_json(const ExperimentResult& result, std::size_t cdf_points = 50);
+
+/// Serialises a four-way comparison, keyed by scheduler name.
+Json comparison_to_json(const Comparison& comparison, std::size_t cdf_points = 50);
+
+/// Writes a JSON document to `path`; throws std::runtime_error on IO
+/// failure.
+void save_json(const std::string& path, const Json& document);
+
+}  // namespace faasbatch::eval

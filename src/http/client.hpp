@@ -1,0 +1,36 @@
+// Blocking HTTP/1.1 client for localhost gateways.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "http/message.hpp"
+
+namespace faasbatch::http {
+
+/// A connection to 127.0.0.1:`port`. One request in flight at a time
+/// (matching the gateway's use); reconnects are the caller's job — each
+/// Client instance owns one TCP connection with keep-alive.
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit Client(std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends the request and blocks for the response.
+  Response send(const Request& request);
+
+  /// Convenience helpers.
+  Response get(const std::string& target);
+  Response post(const std::string& target, std::string body,
+                std::string content_type = "application/json");
+
+ private:
+  int fd_ = -1;
+  Parser parser_;
+};
+
+}  // namespace faasbatch::http

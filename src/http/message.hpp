@@ -1,0 +1,80 @@
+// Minimal HTTP/1.1 message types and parsing.
+//
+// The paper's platform activates in-container execution by sending an
+// HTTP request to the container (§III-C step 3) and the batch reply
+// returns when the group completes. This module provides the small,
+// dependency-free HTTP subset the gateway needs: request/response
+// structs, serialisation, and an incremental parser tolerant of
+// split reads. Only Content-Length bodies are supported (no chunked
+// encoding), which is all the gateway uses.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace faasbatch::http {
+
+/// Case-insensitive header map (HTTP header names are case-insensitive).
+struct HeaderLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using Headers = std::map<std::string, std::string, HeaderLess>;
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  /// Serialises to wire format, adding Content-Length.
+  std::string serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  /// Serialises to wire format, adding Content-Length.
+  std::string serialize() const;
+
+  static Response make(int status, std::string body,
+                       std::string content_type = "text/plain");
+};
+
+/// Standard reason phrase for common status codes ("?" otherwise).
+std::string reason_phrase(int status);
+
+/// Incremental HTTP parser: feed bytes, poll for complete messages.
+/// Handles messages split across arbitrary read boundaries.
+class Parser {
+ public:
+  /// Appends raw bytes from the socket.
+  void feed(std::string_view bytes);
+
+  /// Tries to extract one complete request (for servers). Returns
+  /// nullopt if more bytes are needed. Throws std::runtime_error on
+  /// malformed input.
+  std::optional<Request> next_request();
+
+  /// Tries to extract one complete response (for clients).
+  std::optional<Response> next_response();
+
+  /// Bytes buffered but not yet consumed.
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  /// Locates the end of the header block; nullopt if incomplete.
+  std::optional<std::size_t> header_end() const;
+  /// Parses headers into `headers`; returns body length (Content-Length).
+  static std::size_t parse_headers(std::string_view block, Headers& headers);
+
+  std::string buffer_;
+};
+
+}  // namespace faasbatch::http

@@ -1,0 +1,125 @@
+#include "http/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace faasbatch::http {
+
+Server::Server(std::uint16_t port, Handler handler) : handler_(std::move(handler)) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http::Server: socket() failed");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error(std::string("http::Server: bind() failed: ") +
+                             std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("http::Server: listen() failed");
+  }
+  listen_fd_.store(fd);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() {
+  stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Server::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Closing the listener unblocks accept().
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  Parser parser;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    // Drain already-buffered requests first (pipelined/keep-alive).
+    try {
+      while (auto request = parser.next_request()) {
+        Response response;
+        try {
+          response = handler_(*request);
+        } catch (const std::exception& e) {
+          response = Response::make(500, std::string("handler error: ") + e.what());
+        }
+        const bool close_after =
+            request->headers.count("Connection") != 0 &&
+            request->headers.at("Connection") == "close";
+        const std::string wire = response.serialize();
+        std::size_t sent = 0;
+        while (sent < wire.size()) {
+          const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+          if (n <= 0) {
+            ::close(fd);
+            return;
+          }
+          sent += static_cast<std::size_t>(n);
+        }
+        ++served_;
+        if (close_after) {
+          ::close(fd);
+          return;
+        }
+      }
+    } catch (const std::exception& e) {
+      const std::string wire = Response::make(400, e.what()).serialize();
+      (void)::send(fd, wire.data(), wire.size(), 0);
+      ::close(fd);
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return;
+    }
+    parser.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+  }
+  ::close(fd);
+}
+
+}  // namespace faasbatch::http

@@ -1,0 +1,59 @@
+// Blocking HTTP/1.1 server on POSIX sockets, thread-per-connection.
+//
+// Deliberately small: the FaaSBatch gateway serves a handful of
+// endpoints on localhost. Supports keep-alive (sequential requests per
+// connection) and graceful shutdown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/message.hpp"
+
+namespace faasbatch::http {
+
+class Server {
+ public:
+  /// Called once per request; the returned response is written back.
+  /// Handlers run on connection threads and must be thread-safe.
+  using Handler = std::function<Response(const Request&)>;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks a free port.
+  /// Throws std::runtime_error on socket errors.
+  Server(std::uint16_t port, Handler handler);
+
+  /// Stops accepting, closes the listener, and joins all threads.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actual bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Requests served so far.
+  std::uint64_t requests_served() const { return served_.load(); }
+
+  /// Initiates shutdown (also called by the destructor).
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace faasbatch::http

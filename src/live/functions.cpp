@@ -1,0 +1,64 @@
+#include "live/functions.hpp"
+
+#include "common/hash.hpp"
+
+namespace faasbatch::live {
+
+std::uint64_t fib(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  return fib(n - 1) + fib(n - 2);
+}
+
+FunctionHandler make_fib_handler(int n) {
+  return [n](FunctionContext& context) {
+    volatile std::uint64_t result = fib(n);
+    (void)result;
+    (void)context;
+  };
+}
+
+namespace {
+
+std::uint64_t account_hash(const std::string& account) {
+  return ArgsHasher()
+      .add("service", "s3")
+      .add("account", account)
+      .add("region", "us-east-1")
+      .digest();
+}
+
+void run_io_body(FunctionContext& context,
+                 const std::shared_ptr<storage::StorageClient>& client,
+                 const std::string& account, std::size_t payload_bytes) {
+  const std::string key =
+      account + "/obj-" + std::to_string(context.invocation_id % 16);
+  // The caller's request payload becomes the object content when
+  // provided; otherwise a synthetic body of the configured size.
+  client->put(key, context.payload.empty() ? std::string(payload_bytes, 'x')
+                                           : context.payload);
+  (void)client->get(key);
+}
+
+}  // namespace
+
+FunctionHandler make_io_handler(std::string account, std::size_t payload_bytes) {
+  return [account = std::move(account), payload_bytes](FunctionContext& context) {
+    const std::uint64_t hash = account_hash(account);
+    // Paper §III-D: the multiplexer intercepts client(args); only the
+    // first invocation per container pays the construction cost.
+    auto client = context.mux.get_or_create<storage::StorageClient>(
+        "s3_client", hash,
+        [&context, hash]() { return context.clients.create(hash); });
+    run_io_body(context, client, account, payload_bytes);
+  };
+}
+
+FunctionHandler make_io_handler_no_mux(std::string account,
+                                       std::size_t payload_bytes) {
+  return [account = std::move(account), payload_bytes](FunctionContext& context) {
+    auto client = context.clients.create(account_hash(account));
+    run_io_body(context, client, account, payload_bytes);
+  };
+}
+
+}  // namespace faasbatch::live

@@ -1,0 +1,31 @@
+// Ready-made live function handlers: the two workload families of the
+// paper's evaluation (§IV "Benchmarks").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "live/live_platform.hpp"
+
+namespace faasbatch::live {
+
+/// Naive recursive Fibonacci — the paper's CPU-intensive workload. The
+/// handler computes fib(n) for real; n in the low 20s keeps single calls
+/// in the millisecond range on current hardware.
+FunctionHandler make_fib_handler(int n);
+
+/// Computes fib(n) directly (exposed for tests and calibration).
+std::uint64_t fib(int n);
+
+/// The paper's I/O workload (Listing 1): obtain a storage client for
+/// `account` — through the container's Resource Multiplexer, so repeated
+/// creations are served from cache — then write and read one object.
+/// `payload_bytes` sizes the object.
+FunctionHandler make_io_handler(std::string account, std::size_t payload_bytes = 1024);
+
+/// Same I/O body but bypassing the multiplexer: every invocation builds
+/// its own client (baseline behaviour, for comparison benchmarks).
+FunctionHandler make_io_handler_no_mux(std::string account,
+                                       std::size_t payload_bytes = 1024);
+
+}  // namespace faasbatch::live

@@ -1,0 +1,164 @@
+#include "live/http_gateway.hpp"
+
+#include <stdexcept>
+
+#include "common/json.hpp"
+#include "live/functions.hpp"
+
+namespace faasbatch::live {
+namespace {
+
+http::Response json_response(int status, const Json& body) {
+  return http::Response::make(status, body.dump(), "application/json");
+}
+
+http::Response error_response(int status, const std::string& message) {
+  Json body;
+  body["error"] = message;
+  return json_response(status, body);
+}
+
+}  // namespace
+
+TargetParts parse_target(const std::string& target) {
+  TargetParts parts;
+  const auto question = target.find('?');
+  const std::string path = target.substr(0, question);
+  std::size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    auto end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    parts.segments.push_back(path.substr(start, end - start));
+    start = end;
+  }
+  if (question != std::string::npos) {
+    const std::string query = target.substr(question + 1);
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+      auto amp = query.find('&', pos);
+      if (amp == std::string::npos) amp = query.size();
+      const std::string pair = query.substr(pos, amp - pos);
+      const auto eq = pair.find('=');
+      if (eq != std::string::npos) {
+        parts.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+      } else if (!pair.empty()) {
+        parts.query[pair] = "";
+      }
+      pos = amp + 1;
+    }
+  }
+  return parts;
+}
+
+HttpGateway::HttpGateway(LivePlatform& platform, std::uint16_t port)
+    : platform_(platform),
+      server_(port, [this](const http::Request& request) { return handle(request); }) {}
+
+http::Response HttpGateway::handle(const http::Request& request) {
+  const TargetParts parts = parse_target(request.target);
+  if (parts.segments.empty()) {
+    return error_response(404, "not found");
+  }
+  const std::string& head = parts.segments.front();
+  if (head == "healthz" && request.method == "GET") {
+    return http::Response::make(200, "ok");
+  }
+  if (head == "stats" && request.method == "GET") {
+    return handle_stats();
+  }
+  if (head == "functions" && request.method == "POST") {
+    return handle_register(parts, request.body);
+  }
+  if (head == "invoke" && request.method == "POST") {
+    return handle_invoke(parts, request.body);
+  }
+  if (head == "functions" || head == "invoke") {
+    return error_response(405, "method not allowed");
+  }
+  return error_response(404, "not found");
+}
+
+http::Response HttpGateway::handle_register(const TargetParts& parts,
+                                            const std::string& body) {
+  if (parts.segments.size() != 2) {
+    return error_response(400, "missing function name");
+  }
+  const std::string& name = parts.segments[1];
+  try {
+    // Registration options come from the JSON body when present, with
+    // query parameters as the curl-friendly fallback.
+    Json options;
+    if (!body.empty()) {
+      options = Json::parse(body);
+      if (!options.is_object()) throw std::runtime_error("body must be an object");
+    } else {
+      Json from_query;
+      for (const auto& [key, value] : parts.query) from_query[key] = value;
+      options = std::move(from_query);
+    }
+    std::string type = options.get_string("type", "fib");
+    if (type == "fib") {
+      int n = 24;
+      if (options.contains("n")) {
+        const Json& field = options.at("n");
+        n = field.is_string() ? std::stoi(field.as_string())
+                              : static_cast<int>(field.as_int());
+      }
+      if (n < 1 || n > 40) throw std::invalid_argument("n outside [1, 40]");
+      platform_.register_function(name, make_fib_handler(n));
+    } else if (type == "io") {
+      const std::string account = options.get_string("account", name);
+      std::size_t payload = 1024;
+      if (options.contains("payload")) {
+        const Json& field = options.at("payload");
+        payload = field.is_string()
+                      ? static_cast<std::size_t>(std::stoull(field.as_string()))
+                      : static_cast<std::size_t>(field.as_int());
+      }
+      platform_.register_function(name, make_io_handler(account, payload));
+    } else {
+      return error_response(400, "unknown type");
+    }
+  } catch (const std::exception& e) {
+    return error_response(400, e.what());
+  }
+  Json reply;
+  reply["registered"] = name;
+  return json_response(200, reply);
+}
+
+http::Response HttpGateway::handle_invoke(const TargetParts& parts,
+                                          const std::string& body) {
+  if (parts.segments.size() != 2) {
+    return error_response(400, "missing function name");
+  }
+  try {
+    // Like the paper's platform, the HTTP reply returns only after the
+    // invocation (and, for batched groups, its execution) completes.
+    // The request body travels to the handler as the payload.
+    const InvocationReport report = platform_.invoke(parts.segments[1], body).get();
+    Json reply;
+    reply["queue_ms"] = report.queue_ms;
+    reply["exec_ms"] = report.exec_ms;
+    reply["total_ms"] = report.total_ms;
+    return json_response(200, reply);
+  } catch (const std::invalid_argument& e) {
+    return error_response(404, e.what());
+  }
+}
+
+http::Response HttpGateway::handle_stats() const {
+  Json body;
+  body["containers_created"] = platform_.containers_created();
+  body["client_creations"] = platform_.client_creations();
+  body["store_objects"] = static_cast<std::int64_t>(platform_.store().object_count());
+  body["policy"] =
+      platform_.options().policy == LivePolicy::kFaasBatch ? "faasbatch" : "vanilla";
+  return json_response(200, body);
+}
+
+}  // namespace faasbatch::live

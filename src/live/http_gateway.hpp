@@ -1,0 +1,56 @@
+// HTTP gateway for the live platform.
+//
+// Exposes a LivePlatform over localhost HTTP, making the embedded
+// mini-FaaS usable from any language — the shape of the paper's platform
+// front door (invocations arrive as HTTP requests and the reply returns
+// when execution completes, §III-C).
+//
+// Endpoints:
+//   GET  /healthz                          -> 200 "ok"
+//   GET  /stats                            -> JSON platform counters
+//   POST /functions/{name}?type=fib&n=24   -> register a fib function
+//   POST /functions/{name}?type=io&account=A[&payload=1024]
+//                                          -> register an I/O function
+//   POST /invoke/{name}                    -> run one invocation (the
+//        request body is passed to the handler as its payload); the
+//        response returns after completion with the timing report JSON
+// Registration accepts a JSON body ({"type":"fib","n":24}) or the
+// equivalent query parameters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "http/server.hpp"
+#include "live/live_platform.hpp"
+
+namespace faasbatch::live {
+
+/// Splits "/a/b?x=1&y=2" into path segments and query parameters.
+struct TargetParts {
+  std::vector<std::string> segments;
+  std::map<std::string, std::string> query;
+};
+TargetParts parse_target(const std::string& target);
+
+class HttpGateway {
+ public:
+  /// Serves `platform` on 127.0.0.1:`port` (0 picks a free port). The
+  /// platform must outlive the gateway.
+  HttpGateway(LivePlatform& platform, std::uint16_t port = 0);
+
+  std::uint16_t port() const { return server_.port(); }
+  std::uint64_t requests_served() const { return server_.requests_served(); }
+
+ private:
+  http::Response handle(const http::Request& request);
+  http::Response handle_register(const TargetParts& parts, const std::string& body);
+  http::Response handle_invoke(const TargetParts& parts, const std::string& body);
+  http::Response handle_stats() const;
+
+  LivePlatform& platform_;
+  http::Server server_;
+};
+
+}  // namespace faasbatch::live

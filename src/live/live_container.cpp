@@ -1,0 +1,87 @@
+#include "live/live_container.hpp"
+
+#include <chrono>
+
+namespace faasbatch::live {
+
+std::uint64_t busy_work_ms(double ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0));
+  std::uint64_t x = 0x243F6A8885A308D3ULL;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 512; ++i) x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return x;
+}
+
+LiveContainer::LiveContainer(std::string function, const LiveContainerOptions& options)
+    : function_(std::move(function)) {
+  const auto start = std::chrono::steady_clock::now();
+  // Cold start: runtime bring-up (CPU) plus image/runtime memory.
+  (void)busy_work_ms(options.cold_start_work_ms);
+  base_buffer_.assign(static_cast<std::size_t>(options.base_memory_bytes), '\0');
+  for (std::size_t i = 0; i < base_buffer_.size(); i += 4096) {
+    base_buffer_[i] = static_cast<char>(i & 0xFF);
+  }
+  cold_start_ms_ = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  workers_.reserve(options.threads == 0 ? 1 : options.threads);
+  for (std::size_t i = 0; i < (options.threads == 0 ? 1 : options.threads); ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+LiveContainer::~LiveContainer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void LiveContainer::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+std::size_t LiveContainer::load() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
+void LiveContainer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void LiveContainer::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    ++executed_;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace faasbatch::live

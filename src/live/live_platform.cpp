@@ -1,0 +1,168 @@
+#include "live/live_platform.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace faasbatch::live {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+LivePlatform::LivePlatform(LivePlatformOptions options)
+    : options_(std::move(options)), clients_(store_, options_.client_factory) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+LivePlatform::~LivePlatform() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+  // Containers drain in their destructors.
+}
+
+void LivePlatform::register_function(const std::string& name, FunctionHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  functions_[name] = std::move(handler);
+}
+
+std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
+                                                   std::string payload) {
+  auto request = std::make_shared<Request>();
+  request->function = name;
+  request->payload = std::move(payload);
+  request->submitted = Clock::now();
+  std::future<InvocationReport> future = request->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (functions_.find(name) == functions_.end()) {
+      throw std::invalid_argument("LivePlatform::invoke: unknown function " + name);
+    }
+    request->id = next_id_++;
+    ++outstanding_;
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+void LivePlatform::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+std::uint64_t LivePlatform::containers_created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return containers_created_;
+}
+
+LiveContainer& LivePlatform::container_for(const std::string& function) {
+  // Caller holds mutex_. Reuse an idle warm container or create one.
+  auto& idle = warm_[function];
+  if (!idle.empty()) {
+    LiveContainer* container = idle.back();
+    idle.pop_back();
+    return *container;
+  }
+  all_containers_.push_back(
+      std::make_unique<LiveContainer>(function, options_.container));
+  ++containers_created_;
+  return *all_containers_.back();
+}
+
+void LivePlatform::run_request(LiveContainer& container,
+                               std::shared_ptr<Request> request) {
+  // Caller holds mutex_ (handler lookup is done before submitting).
+  FunctionHandler handler = functions_.at(request->function);
+  container.submit([this, &container, request = std::move(request),
+                    handler = std::move(handler)]() {
+    const auto exec_start = Clock::now();
+    FunctionContext context{container.multiplexer(), store_, clients_, request->id,
+                            request->payload};
+    handler(context);
+    const auto exec_end = Clock::now();
+    InvocationReport report;
+    report.queue_ms = ms_between(request->submitted, exec_start);
+    report.exec_ms = ms_between(exec_start, exec_end);
+    report.total_ms = ms_between(request->submitted, exec_end);
+    request->promise.set_value(report);
+    bool notify_drain = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (options_.policy == LivePolicy::kVanilla) {
+        warm_[request->function].push_back(&container);
+      }
+      if (--outstanding_ == 0) notify_drain = true;
+    }
+    if (notify_drain) drain_cv_.notify_all();
+  });
+}
+
+void LivePlatform::dispatcher_loop() {
+  while (true) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_ && queue_.empty()) return;
+
+    if (options_.policy == LivePolicy::kVanilla) {
+      // Dispatch everything queued, one container per invocation.
+      while (!queue_.empty()) {
+        auto request = std::move(queue_.front());
+        queue_.pop_front();
+        LiveContainer& container = container_for(request->function);
+        run_request(container, std::move(request));
+      }
+      continue;
+    }
+
+    // FaaSBatch: let the window fill, then flush groups per function —
+    // the live analogue of the Invoke Mapper + Inline-Parallel Producer.
+    const auto window_deadline = Clock::now() + options_.window;
+    queue_cv_.wait_until(lock, window_deadline,
+                         [this] { return stopping_; });
+    std::deque<std::shared_ptr<Request>> batch;
+    batch.swap(queue_);
+    std::map<std::string, std::vector<std::shared_ptr<Request>>> groups;
+    for (auto& request : batch) {
+      groups[request->function].push_back(std::move(request));
+    }
+    for (auto& [function, requests] : groups) {
+      // One container per function group, as in the simulator: reuse an
+      // *idle* keep-alive container of the function if one exists,
+      // otherwise scale out with a fresh container (a busy container is
+      // still running a previous window's group).
+      auto& pool = warm_[function];
+      LiveContainer* chosen = nullptr;
+      for (LiveContainer* candidate : pool) {
+        if (candidate->load() == 0) {
+          chosen = candidate;
+          break;
+        }
+      }
+      if (chosen == nullptr) {
+        all_containers_.push_back(
+            std::make_unique<LiveContainer>(function, options_.container));
+        ++containers_created_;
+        chosen = all_containers_.back().get();
+        pool.push_back(chosen);
+      }
+      for (auto& request : requests) {
+        run_request(*chosen, std::move(request));
+      }
+    }
+  }
+}
+
+}  // namespace faasbatch::live

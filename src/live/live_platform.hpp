@@ -1,0 +1,137 @@
+// LivePlatform: an embeddable mini serverless platform on real threads.
+//
+// This is the public "product" API of the library: register functions,
+// invoke them, and choose a scheduling policy — per-invocation containers
+// (Vanilla) or FaaSBatch's window batching with inline parallelism and
+// resource multiplexing. The same architecture the simulator evaluates,
+// runnable inside any process. Used by the examples and the live
+// motivation benchmarks.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/resource_multiplexer.hpp"
+#include "live/live_container.hpp"
+#include "storage/client.hpp"
+#include "storage/object_store.hpp"
+
+namespace faasbatch::live {
+
+/// Context handed to every function handler while it runs.
+struct FunctionContext {
+  /// The container's Resource Multiplexer; handlers create expensive
+  /// resources through it (get_or_create) to benefit from reuse.
+  core::ResourceMultiplexer& mux;
+  /// Shared object store and client factory of the platform.
+  storage::ObjectStore& store;
+  storage::ClientFactory& clients;
+  /// This invocation's id.
+  std::uint64_t invocation_id;
+  /// Opaque request payload supplied by the caller (may be empty).
+  const std::string& payload;
+};
+
+using FunctionHandler = std::function<void(FunctionContext&)>;
+
+/// Timing report for one completed invocation (wall-clock milliseconds).
+struct InvocationReport {
+  double queue_ms = 0.0;  ///< submit -> execution start (incl. window wait)
+  double exec_ms = 0.0;   ///< handler run time
+  double total_ms = 0.0;  ///< submit -> completion
+};
+
+enum class LivePolicy {
+  /// A fresh container per invocation when no idle one exists.
+  kVanilla,
+  /// FaaSBatch: window batching, one shared container per function,
+  /// inline-parallel execution, resource multiplexing.
+  kFaasBatch,
+};
+
+struct LivePlatformOptions {
+  LivePolicy policy = LivePolicy::kFaasBatch;
+  /// Dispatch window for the FaaSBatch policy.
+  std::chrono::milliseconds window{50};
+  LiveContainerOptions container;
+  storage::ClientFactory::Options client_factory;
+};
+
+class LivePlatform {
+ public:
+  explicit LivePlatform(LivePlatformOptions options);
+
+  /// Stops the dispatcher and tears down all containers.
+  ~LivePlatform();
+
+  LivePlatform(const LivePlatform&) = delete;
+  LivePlatform& operator=(const LivePlatform&) = delete;
+
+  /// Registers (or replaces) a function.
+  void register_function(const std::string& name, FunctionHandler handler);
+
+  /// Submits one invocation; the future resolves when it completes.
+  /// `payload` is handed to the handler verbatim (request body).
+  std::future<InvocationReport> invoke(const std::string& name,
+                                       std::string payload = "");
+
+  /// Blocks until every submitted invocation has completed.
+  void drain();
+
+  /// Containers created since construction.
+  std::uint64_t containers_created() const;
+
+  /// Storage clients actually constructed (misses; hits are reuse).
+  std::uint64_t client_creations() const { return clients_.creations(); }
+
+  storage::ObjectStore& store() { return store_; }
+
+  const LivePlatformOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::string function;
+    std::string payload;
+    std::uint64_t id;
+    std::chrono::steady_clock::time_point submitted;
+    std::promise<InvocationReport> promise;
+  };
+
+  void dispatcher_loop();
+  void run_request(LiveContainer& container, std::shared_ptr<Request> request);
+  LiveContainer& container_for(const std::string& function);
+
+  LivePlatformOptions options_;
+  storage::ObjectStore store_;
+  storage::ClientFactory clients_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::shared_ptr<Request>> queue_;
+  std::map<std::string, FunctionHandler> functions_;
+  /// All containers ever created; owned for the platform's lifetime
+  /// (keep-alive never expires within a process run).
+  std::vector<std::unique_ptr<LiveContainer>> all_containers_;
+  /// Warm pool: idle containers by function (pointers into
+  /// all_containers_). Vanilla returns containers here after each
+  /// invocation; FaaSBatch keeps one shared container per function.
+  std::map<std::string, std::vector<LiveContainer*>> warm_;
+  std::uint64_t containers_created_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace faasbatch::live

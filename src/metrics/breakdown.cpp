@@ -1,0 +1,14 @@
+#include "metrics/breakdown.hpp"
+
+namespace faasbatch::metrics {
+
+void BreakdownAggregate::add(const LatencyBreakdown& breakdown) {
+  scheduling_.add(to_millis(breakdown.scheduling));
+  cold_start_.add(to_millis(breakdown.cold_start));
+  queuing_.add(to_millis(breakdown.queuing));
+  execution_.add(to_millis(breakdown.execution));
+  exec_plus_queue_.add(to_millis(breakdown.execution + breakdown.queuing));
+  total_.add(to_millis(breakdown.total()));
+}
+
+}  // namespace faasbatch::metrics

@@ -1,0 +1,55 @@
+// Invocation latency decomposition, matching the paper's metric model
+// (§IV "Evaluation Metrics"): scheduling, cold-start, queuing and
+// execution latency. As in the paper, cold-start time is carved out of
+// scheduling time so policies can be compared on pure decision cost.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "metrics/stats.hpp"
+
+namespace faasbatch::metrics {
+
+/// Per-invocation latency components, all in simulated microseconds.
+struct LatencyBreakdown {
+  /// Platform receive -> dispatched to a container, minus cold start.
+  SimDuration scheduling = 0;
+  /// Time spent waiting for the selected container to boot (0 on warm start).
+  SimDuration cold_start = 0;
+  /// Waiting inside the container behind other queued invocations
+  /// (only serial-batching policies, i.e. Kraken, produce this).
+  SimDuration queuing = 0;
+  /// CPU/IO time of the function body itself.
+  SimDuration execution = 0;
+
+  /// End-to-end invocation latency.
+  SimDuration total() const { return scheduling + cold_start + queuing + execution; }
+};
+
+/// Aggregates breakdowns across invocations into per-component samples
+/// (stored in milliseconds, the unit the paper plots).
+class BreakdownAggregate {
+ public:
+  void add(const LatencyBreakdown& breakdown);
+
+  const Samples& scheduling() const { return scheduling_; }
+  const Samples& cold_start() const { return cold_start_; }
+  const Samples& queuing() const { return queuing_; }
+  const Samples& execution() const { return execution_; }
+  /// Execution + queuing, the paper's "Exec+Queue" curve for Kraken.
+  const Samples& exec_plus_queue() const { return exec_plus_queue_; }
+  const Samples& total() const { return total_; }
+
+  std::size_t count() const { return total_.count(); }
+
+ private:
+  Samples scheduling_;
+  Samples cold_start_;
+  Samples queuing_;
+  Samples execution_;
+  Samples exec_plus_queue_;
+  Samples total_;
+};
+
+}  // namespace faasbatch::metrics

@@ -1,0 +1,94 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace faasbatch::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_cdf(std::ostream& os, const std::string& label, const Samples& samples,
+               std::size_t points) {
+  os << "# CDF: " << label << " (n=" << samples.count() << ")\n";
+  os << "quantile value\n";
+  for (const auto& [value, q] : samples.cdf_points(points)) {
+    os << Table::num(q, 3) << " " << Table::num(value, 3) << "\n";
+  }
+}
+
+void print_cdf_comparison(std::ostream& os, const std::vector<std::string>& labels,
+                          const std::vector<const Samples*>& series,
+                          std::size_t points) {
+  if (labels.size() != series.size()) {
+    throw std::invalid_argument("print_cdf_comparison: label/series mismatch");
+  }
+  Table table([&] {
+    std::vector<std::string> headers{"quantile"};
+    headers.insert(headers.end(), labels.begin(), labels.end());
+    return headers;
+  }());
+  for (std::size_t k = 1; k <= points; ++k) {
+    const double q = static_cast<double>(k) / static_cast<double>(points);
+    std::vector<std::string> row{Table::num(q, 3)};
+    for (const Samples* s : series) {
+      row.push_back(s == nullptr || s->empty() ? "-" : Table::num(s->percentile(q), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+}  // namespace faasbatch::metrics

@@ -1,0 +1,51 @@
+// Plain-text reporting: aligned tables, CDF series, CSV emission.
+//
+// Benchmark binaries print the same rows/series the paper's figures show;
+// these helpers keep that output uniform across all bench targets.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.hpp"
+
+namespace faasbatch::metrics {
+
+/// An aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with single-space-padded, right-aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting; cells must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints one labelled CDF as "quantile value" rows at the given number of
+/// evenly spaced quantiles — the series behind the paper's CDF plots.
+void print_cdf(std::ostream& os, const std::string& label, const Samples& samples,
+               std::size_t points = 20);
+
+/// Prints several labelled CDFs side by side: one row per quantile, one
+/// column per series (values interpolated at common quantiles).
+void print_cdf_comparison(std::ostream& os, const std::vector<std::string>& labels,
+                          const std::vector<const Samples*>& series,
+                          std::size_t points = 20);
+
+}  // namespace faasbatch::metrics

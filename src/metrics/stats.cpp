@@ -1,0 +1,122 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace faasbatch::metrics {
+
+void Samples::add(double value) {
+  values_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Samples::add_all(const std::vector<double>& values) {
+  values_.insert(values_.end(), values.begin(), values.end());
+  sorted_valid_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Samples::percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q outside [0,1]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Samples::sum() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+double Samples::mean() const {
+  return values_.empty() ? 0.0 : sum() / static_cast<double>(values_.size());
+}
+
+Summary Samples::summary() const {
+  Summary s;
+  s.count = values_.size();
+  if (values_.empty()) return s;
+  s.mean = mean();
+  double var = 0.0;
+  for (double v : values_) var += (v - s.mean) * (v - s.mean);
+  var /= static_cast<double>(values_.size());
+  s.stddev = std::sqrt(var);
+  ensure_sorted();
+  s.min = sorted_.front();
+  s.max = sorted_.back();
+  return s;
+}
+
+double Samples::cdf_at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::cdf_points(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || points == 0) return out;
+  ensure_sorted();
+  out.reserve(points);
+  for (std::size_t k = 1; k <= points; ++k) {
+    const double q = static_cast<double>(k) / static_cast<double>(points);
+    out.emplace_back(percentile(q), q);
+  }
+  return out;
+}
+
+BucketHistogram::BucketHistogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  if (boundaries_.empty()) {
+    throw std::invalid_argument("BucketHistogram: no boundaries");
+  }
+  if (!std::is_sorted(boundaries_.begin(), boundaries_.end()) ||
+      std::adjacent_find(boundaries_.begin(), boundaries_.end()) != boundaries_.end()) {
+    throw std::invalid_argument("BucketHistogram: boundaries must strictly increase");
+  }
+  counts_.assign(boundaries_.size(), 0);
+}
+
+void BucketHistogram::add(double value) {
+  // Bucket i covers [boundaries_[i], boundaries_[i+1]); the last bucket is
+  // open-ended. Values below the first boundary land in bucket 0 as well
+  // (callers pass 0 as the first boundary in practice).
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  std::size_t idx = it == boundaries_.begin()
+                        ? 0
+                        : static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+  ++counts_[idx];
+  ++total_;
+}
+
+double BucketHistogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+std::string BucketHistogram::bucket_label(std::size_t i) const {
+  std::ostringstream os;
+  if (i + 1 < boundaries_.size()) {
+    os << "[" << boundaries_[i] << ", " << boundaries_[i + 1] << ")";
+  } else {
+    os << "[" << boundaries_[i] << ", inf)";
+  }
+  return os.str();
+}
+
+}  // namespace faasbatch::metrics

@@ -1,0 +1,89 @@
+// Sample collections, percentiles, and CDFs.
+//
+// The paper reports latency distributions as CDFs (Figs. 11, 12, 3) and
+// headline numbers as percentile reductions; Samples stores exact
+// observations (runs are bounded: hundreds to a few thousand invocations)
+// and computes both.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace faasbatch::metrics {
+
+/// Moment summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// An exact collection of double-valued observations.
+class Samples {
+ public:
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// q in [0, 1]; linear interpolation between order statistics.
+  /// Returns 0 for an empty set.
+  double percentile(double q) const;
+
+  double mean() const;
+  double sum() const;
+  Summary summary() const;
+
+  /// Fraction of observations <= x.
+  double cdf_at(double x) const;
+
+  /// `points` evenly spaced CDF points: (value, cumulative fraction).
+  /// The final point is (max, 1.0).
+  std::vector<std::pair<double, double>> cdf_points(std::size_t points) const;
+
+  /// Raw observations in insertion order.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-bucket histogram over explicit bucket boundaries, used to
+/// reproduce the paper's Fig. 9 duration-bucket table.
+class BucketHistogram {
+ public:
+  /// Buckets are [b0,b1), [b1,b2), ..., [bn-1, +inf). Boundaries must be
+  /// strictly increasing and non-empty.
+  explicit BucketHistogram(std::vector<double> boundaries);
+
+  void add(double value);
+
+  std::size_t total() const { return total_; }
+
+  /// Fraction of observations in bucket `i` (0 when empty).
+  double fraction(std::size_t i) const;
+
+  /// Count in bucket `i`.
+  std::size_t bucket_count(std::size_t i) const { return counts_.at(i); }
+
+  std::size_t num_buckets() const { return counts_.size(); }
+
+  /// Human-readable label for bucket `i`, e.g. "[50, 100)".
+  std::string bucket_label(std::size_t i) const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace faasbatch::metrics

@@ -1,0 +1,51 @@
+#include "runtime/container.hpp"
+
+#include <cassert>
+
+namespace faasbatch::runtime {
+
+Container::Container(Machine& machine, ContainerId id,
+                     const trace::FunctionProfile& profile)
+    : machine_(machine),
+      id_(id),
+      function_(profile.id),
+      cpu_cap_(profile.cpu_limit_cores > 0.0 ? profile.cpu_limit_cores
+                                             : machine.config().machine_cores) {
+  machine_.add_memory(machine_.config().container_base_memory);
+}
+
+Container::~Container() {
+  // Release whatever is still resident: base image memory, any client
+  // instances, and (defensively) per-invocation memory.
+  Bytes resident = machine_.config().container_base_memory + client_memory_;
+  resident += static_cast<Bytes>(active_invocations_) *
+              machine_.config().per_invocation_memory;
+  machine_.add_memory(-resident);
+  if (cpu_group_ != sim::CpuScheduler::kNoGroup) {
+    machine_.cpu().remove_group(cpu_group_);
+  }
+}
+
+void Container::create_cpu_group() {
+  assert(cpu_group_ == sim::CpuScheduler::kNoGroup);
+  cpu_group_ = machine_.cpu().create_group(cpu_cap_);
+}
+
+void Container::begin_invocation() {
+  ++active_invocations_;
+  machine_.add_memory(machine_.config().per_invocation_memory);
+}
+
+void Container::end_invocation() {
+  assert(active_invocations_ > 0);
+  --active_invocations_;
+  ++served_;
+  machine_.add_memory(-machine_.config().per_invocation_memory);
+}
+
+void Container::add_client_memory(Bytes bytes) {
+  client_memory_ += bytes;
+  machine_.add_memory(bytes);
+}
+
+}  // namespace faasbatch::runtime

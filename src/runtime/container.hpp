@@ -1,0 +1,90 @@
+// A simulated container instance.
+//
+// Containers are the unit of provisioning: each has a resident-memory
+// footprint, a CPU cpuset (a CpuScheduler group sized by the customer's
+// CPU limit, paper §III-C step 2), a keep-alive lifecycle, and bookkeeping
+// for the storage clients created inside it. All memory changes flow to
+// the owning Machine's gauge so host-level sampling sees them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "runtime/machine.hpp"
+#include "sim/cpu.hpp"
+#include "storage/client.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::runtime {
+
+enum class ContainerState {
+  kStarting,  ///< cold start in progress
+  kActive,    ///< reserved by a scheduler; executing or about to
+  kIdle,      ///< warm, waiting for reuse or keep-alive expiry
+};
+
+class Container {
+ public:
+  /// Created by ContainerPool only. Charges base memory immediately
+  /// (the runtime allocates at `docker run` time).
+  Container(Machine& machine, ContainerId id, const trace::FunctionProfile& profile);
+  ~Container();
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  ContainerId id() const { return id_; }
+  FunctionId function() const { return function_; }
+  ContainerState state() const { return state_; }
+
+  /// CPU group implementing this container's cpuset; valid once booted.
+  sim::CpuScheduler::GroupId cpu_group() const { return cpu_group_; }
+
+  /// Cores this container may use (customer limit or whole machine).
+  double cpu_cap() const { return cpu_cap_; }
+
+  /// Marks one invocation in flight (adds per-invocation memory).
+  void begin_invocation();
+
+  /// Marks one invocation finished (releases per-invocation memory).
+  void end_invocation();
+
+  std::size_t active_invocations() const { return active_invocations_; }
+
+  /// Total invocations this container has finished over its lifetime.
+  std::uint64_t served() const { return served_; }
+
+  /// Charges memory for a storage client created inside this container.
+  void add_client_memory(Bytes bytes);
+
+  /// Counts one storage-client creation (for Fig. 14d accounting).
+  void count_client_creation() { ++client_creations_; }
+
+  Bytes client_memory() const { return client_memory_; }
+  std::uint64_t client_creations() const { return client_creations_; }
+
+  /// In-container concurrent-creation contention state (paper Fig. 4).
+  storage::CreationThrottle& creation_throttle() { return creation_throttle_; }
+
+ private:
+  friend class ContainerPool;
+
+  void set_state(ContainerState state) { state_ = state; }
+  void create_cpu_group();
+
+  Machine& machine_;
+  ContainerId id_;
+  FunctionId function_;
+  double cpu_cap_;
+  ContainerState state_ = ContainerState::kStarting;
+  sim::CpuScheduler::GroupId cpu_group_ = sim::CpuScheduler::kNoGroup;
+  std::size_t active_invocations_ = 0;
+  std::uint64_t served_ = 0;
+  Bytes client_memory_ = 0;
+  std::uint64_t client_creations_ = 0;
+  storage::CreationThrottle creation_throttle_;
+  sim::EventId expiry_event_ = 0;
+  bool expiry_scheduled_ = false;
+};
+
+}  // namespace faasbatch::runtime

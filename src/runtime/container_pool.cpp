@@ -1,0 +1,152 @@
+#include "runtime/container_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace faasbatch::runtime {
+
+ContainerPool::ContainerPool(Machine& machine)
+    : machine_(machine),
+      failure_rng_(machine.config().failure_seed),
+      live_gauge_(0.0, /*keep_history=*/true) {
+  live_gauge_.set(machine_.simulator().now(), 0.0);
+}
+
+ContainerPool::~ContainerPool() = default;
+
+Container* ContainerPool::try_acquire_warm(FunctionId function) {
+  auto it = idle_by_function_.find(function);
+  if (it == idle_by_function_.end() || it->second.empty()) return nullptr;
+  const ContainerId id = it->second.back();
+  it->second.pop_back();
+  auto cit = containers_.find(id);
+  assert(cit != containers_.end());
+  Container& container = *cit->second;
+  assert(container.state() == ContainerState::kIdle);
+  if (container.expiry_scheduled_) {
+    machine_.simulator().cancel(container.expiry_event_);
+    container.expiry_scheduled_ = false;
+  }
+  container.set_state(ContainerState::kActive);
+  ++accumulated_.warm_hits;
+  return &container;
+}
+
+bool ContainerPool::has_idle(FunctionId function) const {
+  const auto it = idle_by_function_.find(function);
+  return it != idle_by_function_.end() && !it->second.empty();
+}
+
+void ContainerPool::provision(const trace::FunctionProfile& profile,
+                              ReadyCallback on_ready) {
+  provision_attempt(profile, machine_.simulator().now(), std::move(on_ready));
+}
+
+void ContainerPool::provision_attempt(const trace::FunctionProfile& profile,
+                                      SimTime started, ReadyCallback on_ready) {
+  const ContainerId id = next_id_++;
+  auto container = std::make_unique<Container>(machine_, id, profile);
+  Container* raw = container.get();
+  containers_.emplace(id, std::move(container));
+  ++accumulated_.total_provisioned;
+  ++accumulated_.cold_starts;
+  live_gauge_.set(machine_.simulator().now(), static_cast<double>(containers_.size()));
+
+  const RuntimeConfig& config = machine_.config();
+  // Cold start = fixed I/O part, then a CPU part that contends with
+  // everything else running on the machine.
+  machine_.simulator().schedule_after(
+      config.cold_start_base,
+      [this, raw, id, started, profile, on_ready = std::move(on_ready)]() mutable {
+        machine_.cpu().submit(
+            machine_.config().cold_start_cpu_seconds,
+            [this, raw, id, started, profile, on_ready = std::move(on_ready)]() mutable {
+              const double failure_rate = machine_.config().cold_start_failure_rate;
+              if (failure_rate > 0.0 && failure_rng_.uniform() < failure_rate) {
+                // Injected boot failure: tear the attempt down (its
+                // memory is released) and start over; the waiters keep
+                // accumulating latency from the original request.
+                ++accumulated_.failed_starts;
+                containers_.erase(id);
+                live_gauge_.set(machine_.simulator().now(),
+                                static_cast<double>(containers_.size()));
+                provision_attempt(profile, started, std::move(on_ready));
+                return;
+              }
+              raw->create_cpu_group();
+              raw->set_state(ContainerState::kActive);
+              const SimDuration latency = machine_.simulator().now() - started;
+              on_ready(*raw, latency);
+            });
+      });
+}
+
+void ContainerPool::acquire(const trace::FunctionProfile& profile,
+                            ReadyCallback on_ready) {
+  if (Container* warm = try_acquire_warm(profile.id); warm != nullptr) {
+    on_ready(*warm, 0);
+    return;
+  }
+  provision(profile, std::move(on_ready));
+}
+
+void ContainerPool::set_keepalive_policy(std::unique_ptr<KeepAlivePolicy> policy) {
+  keepalive_ = std::move(policy);
+}
+
+void ContainerPool::note_arrival(FunctionId function) {
+  if (keepalive_) keepalive_->record_arrival(function, machine_.simulator().now());
+}
+
+void ContainerPool::release(Container& container) {
+  if (container.active_invocations() != 0) {
+    throw std::logic_error("ContainerPool::release: container still has work");
+  }
+  container.set_state(ContainerState::kIdle);
+  idle_by_function_[container.function()].push_back(container.id());
+  const ContainerId id = container.id();
+  const SimDuration keep_alive =
+      keepalive_ ? keepalive_->keep_alive_for(container.function(),
+                                              machine_.simulator().now())
+                 : machine_.config().keep_alive;
+  container.expiry_event_ = machine_.simulator().schedule_after(
+      keep_alive, [this, id] { reclaim(id); });
+  container.expiry_scheduled_ = true;
+}
+
+void ContainerPool::reclaim(ContainerId id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return;
+  Container& container = *it->second;
+  if (container.state() != ContainerState::kIdle) return;  // raced with reuse
+  // Fold lifetime counters into the pool aggregate before destruction.
+  accumulated_.total_served += container.served();
+  accumulated_.total_client_creations += container.client_creations();
+  accumulated_.total_client_memory += container.client_memory();
+  auto idle_it = idle_by_function_.find(container.function());
+  if (idle_it != idle_by_function_.end()) {
+    auto& idle = idle_it->second;
+    idle.erase(std::remove(idle.begin(), idle.end(), id), idle.end());
+  }
+  containers_.erase(it);
+  live_gauge_.set(machine_.simulator().now(), static_cast<double>(containers_.size()));
+}
+
+PoolStats ContainerPool::stats() const {
+  PoolStats stats = accumulated_;
+  for (const auto& [id, container] : containers_) {
+    stats.total_served += container->served();
+    stats.total_client_creations += container->client_creations();
+    stats.total_client_memory += container->client_memory();
+  }
+  return stats;
+}
+
+void ContainerPool::for_each(const std::function<void(const Container&)>& visit) const {
+  for (const auto& [id, container] : containers_) visit(*container);
+}
+
+}  // namespace faasbatch::runtime

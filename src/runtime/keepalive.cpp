@@ -1,0 +1,47 @@
+#include "runtime/keepalive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace faasbatch::runtime {
+
+FixedKeepAlive::FixedKeepAlive(SimDuration duration) : duration_(duration) {
+  if (duration <= 0) throw std::invalid_argument("FixedKeepAlive: duration <= 0");
+}
+
+HistogramKeepAlive::HistogramKeepAlive() : HistogramKeepAlive(Options{}) {}
+
+HistogramKeepAlive::HistogramKeepAlive(Options options) : options_(options) {
+  if (options_.quantile <= 0.0 || options_.quantile > 1.0) {
+    throw std::invalid_argument("HistogramKeepAlive: quantile outside (0, 1]");
+  }
+  if (options_.floor <= 0 || options_.cap < options_.floor) {
+    throw std::invalid_argument("HistogramKeepAlive: bad floor/cap");
+  }
+}
+
+void HistogramKeepAlive::record_arrival(FunctionId function, SimTime now) {
+  FunctionState& state = functions_[function];
+  if (state.has_last) {
+    state.iat_ms.add(to_millis(now - state.last_arrival));
+  }
+  state.has_last = true;
+  state.last_arrival = now;
+}
+
+SimDuration HistogramKeepAlive::keep_alive_for(FunctionId function, SimTime) {
+  const auto it = functions_.find(function);
+  if (it == functions_.end() || it->second.iat_ms.count() < options_.min_samples) {
+    return options_.cap;  // not enough history: stay conservative
+  }
+  const auto predicted =
+      from_millis(it->second.iat_ms.percentile(options_.quantile));
+  return std::clamp(predicted, options_.floor, options_.cap);
+}
+
+std::size_t HistogramKeepAlive::samples_for(FunctionId function) const {
+  const auto it = functions_.find(function);
+  return it == functions_.end() ? 0 : it->second.iat_ms.count();
+}
+
+}  // namespace faasbatch::runtime

@@ -1,0 +1,82 @@
+// Keep-alive (container reclamation) policies.
+//
+// The paper's prototype uses a fixed keep-alive. Real platforms tune it:
+// the Azure trace the paper builds on was published alongside a "hybrid
+// histogram" policy (Shahrad et al., ATC'20) that keeps containers warm
+// for a per-function quantile of the observed inter-arrival times, so
+// hot functions stay resident while rarely-invoked ones release memory
+// quickly. Both policies are provided; an ablation bench row measures
+// the trade-off (memory vs extra cold starts).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "metrics/stats.hpp"
+
+namespace faasbatch::runtime {
+
+class KeepAlivePolicy {
+ public:
+  virtual ~KeepAlivePolicy() = default;
+
+  /// Observes one invocation arrival of `function` (for IaT learning).
+  virtual void record_arrival(FunctionId function, SimTime now) = 0;
+
+  /// Keep-alive duration for a container of `function` released at `now`.
+  virtual SimDuration keep_alive_for(FunctionId function, SimTime now) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// The paper's behaviour: a constant keep-alive for every container.
+class FixedKeepAlive final : public KeepAlivePolicy {
+ public:
+  explicit FixedKeepAlive(SimDuration duration);
+
+  void record_arrival(FunctionId, SimTime) override {}
+  SimDuration keep_alive_for(FunctionId, SimTime) override { return duration_; }
+  std::string_view name() const override { return "fixed"; }
+
+ private:
+  SimDuration duration_;
+};
+
+/// Hybrid-histogram policy: keep a container warm for the `quantile` of
+/// the function's observed inter-arrival times, clamped to
+/// [floor, cap]. Functions without enough history use `cap`
+/// (conservative: stay warm until data says otherwise).
+class HistogramKeepAlive final : public KeepAlivePolicy {
+ public:
+  struct Options {
+    double quantile = 0.99;
+    SimDuration floor = 5 * kSecond;
+    SimDuration cap = 10 * kMinute;
+    /// Minimum IaT observations before trusting the histogram.
+    std::size_t min_samples = 4;
+  };
+
+  HistogramKeepAlive();
+  explicit HistogramKeepAlive(Options options);
+
+  void record_arrival(FunctionId function, SimTime now) override;
+  SimDuration keep_alive_for(FunctionId function, SimTime now) override;
+  std::string_view name() const override { return "histogram"; }
+
+  /// Observed IaT count for a function (tests).
+  std::size_t samples_for(FunctionId function) const;
+
+ private:
+  struct FunctionState {
+    bool has_last = false;
+    SimTime last_arrival = 0;
+    metrics::Samples iat_ms;
+  };
+
+  Options options_;
+  std::unordered_map<FunctionId, FunctionState> functions_;
+};
+
+}  // namespace faasbatch::runtime

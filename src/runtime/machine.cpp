@@ -1,0 +1,34 @@
+#include "runtime/machine.hpp"
+
+#include <stdexcept>
+
+namespace faasbatch::runtime {
+
+Machine::Machine(sim::Simulator& simulator, RuntimeConfig config)
+    : sim_(simulator),
+      config_(config),
+      cpu_(std::make_unique<sim::CpuScheduler>(simulator, config.machine_cores)),
+      memory_gauge_(0.0, /*keep_history=*/true) {
+  memory_gauge_.set(sim_.now(), static_cast<double>(config_.platform_base_memory));
+}
+
+void Machine::add_memory(Bytes delta) {
+  const double next = memory_gauge_.value() + static_cast<double>(delta);
+  if (next < 0.0) throw std::logic_error("Machine::add_memory: negative residency");
+  memory_gauge_.set(sim_.now(), next);
+}
+
+Bytes Machine::memory_in_use() const {
+  return static_cast<Bytes>(memory_gauge_.value());
+}
+
+Bytes Machine::memory_peak() const { return static_cast<Bytes>(memory_gauge_.peak()); }
+
+double Machine::cpu_utilization(SimTime until) {
+  const double busy = cpu_->busy_core_seconds();
+  const double span = to_seconds(until);
+  if (span <= 0.0) return 0.0;
+  return busy / (span * config_.machine_cores);
+}
+
+}  // namespace faasbatch::runtime

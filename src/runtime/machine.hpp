@@ -1,0 +1,52 @@
+// The simulated worker machine: CPU scheduler plus resource gauges.
+//
+// All CPU demand in an experiment — function bodies, cold starts,
+// platform dispatch work — funnels through one CpuScheduler, so bursts of
+// container launches slow everything down exactly as on the paper's
+// worker VM. Memory is tracked as a time-weighted gauge sampled at 1 Hz
+// for the resource-cost figures (13/14).
+#pragma once
+
+#include <memory>
+
+#include "runtime/config.hpp"
+#include "sim/cpu.hpp"
+#include "sim/gauge.hpp"
+#include "sim/simulator.hpp"
+
+namespace faasbatch::runtime {
+
+class Machine {
+ public:
+  Machine(sim::Simulator& simulator, RuntimeConfig config);
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::CpuScheduler& cpu() { return *cpu_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Adds/releases resident memory at the current simulated time.
+  void add_memory(Bytes delta);
+
+  /// Currently resident bytes (platform + containers + clients).
+  Bytes memory_in_use() const;
+
+  /// Peak resident bytes over the run.
+  Bytes memory_peak() const;
+
+  /// Memory gauge (bytes over time) for 1 Hz sampling.
+  const sim::Gauge& memory_gauge() const { return memory_gauge_; }
+
+  /// Time-averaged CPU utilisation in [0, 1] up to `until`.
+  double cpu_utilization(SimTime until);
+
+  /// Busy core-seconds consumed so far.
+  double busy_core_seconds() { return cpu_->busy_core_seconds(); }
+
+ private:
+  sim::Simulator& sim_;
+  RuntimeConfig config_;
+  std::unique_ptr<sim::CpuScheduler> cpu_;
+  sim::Gauge memory_gauge_;
+};
+
+}  // namespace faasbatch::runtime

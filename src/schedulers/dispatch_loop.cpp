@@ -1,0 +1,33 @@
+#include "schedulers/dispatch_loop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace faasbatch::schedulers {
+
+DispatchLoop::DispatchLoop(runtime::Machine& machine, std::size_t parallelism)
+    : machine_(machine), parallelism_(parallelism) {
+  if (parallelism_ == 0) throw std::invalid_argument("DispatchLoop: parallelism 0");
+}
+
+void DispatchLoop::enqueue(std::function<double()> cost_fn, std::function<void()> done) {
+  queue_.push_back(Job{std::move(cost_fn), std::move(done)});
+  pump();
+}
+
+void DispatchLoop::pump() {
+  while (active_ < parallelism_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    const double cost = job.cost_fn ? job.cost_fn() : 0.0;
+    machine_.cpu().submit(cost, [this, done = std::move(job.done)]() {
+      ++processed_;
+      --active_;
+      if (done) done();
+      pump();
+    });
+  }
+}
+
+}  // namespace faasbatch::schedulers

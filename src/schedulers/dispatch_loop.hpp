@@ -1,0 +1,51 @@
+// Platform dispatch pipeline.
+//
+// Real serverless control planes process dispatch decisions through a
+// pool of worker threads: picking a container, talking to the container
+// runtime, issuing the HTTP trigger. This class models that pipeline as
+// a FIFO consumed by `parallelism` workers, each job consuming CPU on
+// the machine — so dispatch slows down when the machine is saturated by
+// cold starts and backlogs build when per-invocation policies flood the
+// pipeline (the effect behind the paper's Fig. 11(a)/12(a) scheduling-
+// latency blowups).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "runtime/machine.hpp"
+
+namespace faasbatch::schedulers {
+
+class DispatchLoop {
+ public:
+  /// `parallelism` is the number of concurrent dispatch workers
+  /// (RuntimeConfig::dispatch_parallelism by default).
+  DispatchLoop(runtime::Machine& machine, std::size_t parallelism);
+
+  /// Queues one dispatch job. `cost_fn` is evaluated when the job reaches
+  /// a worker (so it can inspect warm-pool state at decision time) and
+  /// returns the CPU cost in core-seconds; `done` runs when the job's CPU
+  /// work completes.
+  void enqueue(std::function<double()> cost_fn, std::function<void()> done);
+
+  std::size_t queued() const { return queue_.size() + active_; }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Job {
+    std::function<double()> cost_fn;
+    std::function<void()> done;
+  };
+
+  void pump();
+
+  runtime::Machine& machine_;
+  std::size_t parallelism_;
+  std::deque<Job> queue_;
+  std::size_t active_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace faasbatch::schedulers

@@ -1,0 +1,45 @@
+// Exponentially weighted moving average, as used by Kraken's workload
+// predictor (paper §IV: "Kraken first provisions a specific number of
+// containers based on the EWMA model"). The paper's port runs Kraken in
+// oracle mode; this class enables the non-oracle variant so the effect
+// of prediction error is measurable (see bench_ablation).
+#pragma once
+
+#include <stdexcept>
+
+namespace faasbatch::schedulers {
+
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw std::invalid_argument("Ewma: alpha outside (0, 1]");
+    }
+  }
+
+  /// Folds one observation in; the first observation seeds the average.
+  void update(double observation) {
+    if (!initialized_) {
+      value_ = observation;
+      initialized_ = true;
+      return;
+    }
+    value_ = alpha_ * observation + (1.0 - alpha_) * value_;
+  }
+
+  /// Current prediction; `fallback` until the first update.
+  double predict(double fallback = 1.0) const {
+    return initialized_ ? value_ : fallback;
+  }
+
+  bool initialized() const { return initialized_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace faasbatch::schedulers

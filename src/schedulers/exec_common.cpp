@@ -1,0 +1,111 @@
+#include "schedulers/exec_common.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace faasbatch::schedulers {
+namespace {
+
+/// Cache marker for simulated clients; the simulation only needs identity.
+std::shared_ptr<void> make_client_marker() { return std::make_shared<int>(1); }
+
+constexpr std::string_view kClientKind = "s3_client";
+
+}  // namespace
+
+double body_duration_ms(const SchedulerContext& ctx, InvocationId id) {
+  const double event_ms = ctx.workload.events.at(id).duration_ms;
+  if (event_ms > 0.0) return event_ms;
+  return ctx.workload.functions.at(ctx.records.at(id).function).duration_ms;
+}
+
+void create_storage_client(SchedulerContext& ctx, runtime::Container& container,
+                           std::function<void()> done) {
+  auto& throttle = container.creation_throttle();
+  const SimDuration total_latency = throttle.begin_creation();
+  const SimTime start = ctx.sim.now();
+  // The CPU part contends machine-wide; whatever the contention model says
+  // on top of that is in-process lock waiting, charged as pure delay.
+  ctx.machine.cpu().submit(
+      ctx.client_model.creation_cpu_seconds, 1.0, container.cpu_group(),
+      [&ctx, &container, start, total_latency, done = std::move(done)]() {
+        const SimDuration lock_wait =
+            std::max<SimDuration>(0, start + total_latency - ctx.sim.now());
+        ctx.sim.schedule_after(lock_wait, [&ctx, &container, done = std::move(done)]() {
+          container.creation_throttle().end_creation();
+          container.add_client_memory(ctx.client_model.client_memory);
+          container.count_client_creation();
+          done();
+        });
+      });
+}
+
+void execute_invocation(SchedulerContext& ctx, runtime::Container& container,
+                        InvocationId id, const ExecEnv& env,
+                        std::function<void()> on_done) {
+  core::InvocationRecord& record = ctx.records.at(id);
+  const trace::FunctionProfile& profile = ctx.workload.functions.at(record.function);
+  record.exec_start = ctx.sim.now();
+  container.begin_invocation();
+
+  // Completion stamp shared by both body kinds.
+  auto finish = [&ctx, &container, id, on_done = std::move(on_done)]() {
+    core::InvocationRecord& r = ctx.records.at(id);
+    r.exec_end = ctx.sim.now();
+    r.completed = true;
+    container.end_invocation();
+    if (on_done) on_done();
+  };
+
+  if (profile.kind == trace::FunctionKind::kCpuIntensive) {
+    const double work = body_duration_ms(ctx, id) / 1000.0;
+    if (env.run_cpu) {
+      env.run_cpu(work, std::move(finish));
+    } else {
+      ctx.machine.cpu().submit(work, 1.0, container.cpu_group(), std::move(finish));
+    }
+    return;
+  }
+
+  // I/O body: client acquisition, then the object operation (modelled as
+  // network-bound latency, not CPU).
+  const SimDuration op_latency = from_millis(body_duration_ms(ctx, id));
+  auto do_op = [&ctx, op_latency, finish = std::move(finish)]() {
+    ctx.sim.schedule_after(op_latency, finish);
+  };
+
+  if (env.mux == nullptr) {
+    create_storage_client(ctx, container, std::move(do_op));
+    return;
+  }
+
+  core::ResourceMultiplexer::ResourcePtr instance;
+  const auto outcome = env.mux->acquire(
+      kClientKind, profile.client_args_hash,
+      [do_op](core::ResourceMultiplexer::ResourcePtr ptr) {
+        assert(ptr != nullptr && "simulated creation never fails");
+        (void)ptr;  // only inspected by the assert in debug builds
+        do_op();
+      },
+      &instance);
+  switch (outcome) {
+    case core::ResourceMultiplexer::Acquire::kHit:
+      ctx.sim.schedule_after(from_millis(ctx.client_model.cached_hit_ms),
+                             std::move(do_op));
+      break;
+    case core::ResourceMultiplexer::Acquire::kPending:
+      break;  // waiter callback registered above
+    case core::ResourceMultiplexer::Acquire::kMiss: {
+      core::ResourceMultiplexer* mux = env.mux;
+      const std::uint64_t hash = profile.client_args_hash;
+      create_storage_client(ctx, container, [mux, hash, do_op = std::move(do_op)]() {
+        mux->complete(kClientKind, hash, make_client_marker());
+        do_op();
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace faasbatch::schedulers

@@ -1,0 +1,49 @@
+// Function-body execution shared by every scheduling policy.
+//
+// CPU-intensive bodies are core-seconds of work on the container's
+// cpuset. I/O bodies follow the paper's Listing 1: obtain a storage
+// client (expensive creation unless a Resource Multiplexer serves it from
+// cache) and then perform the object operation. All stamping of
+// exec_start / exec_end and per-invocation container accounting happens
+// here so the four schedulers measure identically.
+#pragma once
+
+#include <functional>
+
+#include "core/resource_multiplexer.hpp"
+#include "runtime/container.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace faasbatch::schedulers {
+
+/// Execution environment overrides for one invocation.
+struct ExecEnv {
+  /// Per-container Resource Multiplexer; nullptr disables interception
+  /// (baseline behaviour: every invocation creates its own client).
+  core::ResourceMultiplexer* mux = nullptr;
+
+  /// Override for running function-body CPU work. When empty, work is
+  /// submitted to the machine CPU inside the container's cpuset group.
+  /// SFS injects its per-core time-sliced engine here.
+  std::function<void(double work_core_seconds, std::function<void()> done)> run_cpu;
+};
+
+/// Runs invocation `id` inside `container`. Stamps exec_start now and
+/// exec_end at completion, marks the record completed, balances
+/// begin_invocation/end_invocation, then calls `on_done`. The caller is
+/// responsible for releasing the container and notifying the harness.
+void execute_invocation(SchedulerContext& ctx, runtime::Container& container,
+                        InvocationId id, const ExecEnv& env,
+                        std::function<void()> on_done);
+
+/// Body duration of invocation `id` in ms: the trace event's own duration
+/// when present (inputs vary per request), else the profile default.
+double body_duration_ms(const SchedulerContext& ctx, InvocationId id);
+
+/// Models building one storage client inside `container`: in-container
+/// creation contention (paper Fig. 4), CPU work on the machine, memory
+/// charge (Fig. 5 / 14d), creation counting. `done` fires on completion.
+void create_storage_client(SchedulerContext& ctx, runtime::Container& container,
+                           std::function<void()> done);
+
+}  // namespace faasbatch::schedulers

@@ -1,0 +1,56 @@
+// FaaSBatch: the paper's system (§III).
+//
+// Pipeline per dispatch window:
+//   1. Invoke Mapper groups the window's arrivals by function (§III-B).
+//   2. One dispatch job per group obtains a single container — warm if a
+//      keep-alive instance exists, otherwise one cold start for the whole
+//      group (§III-C steps 1–2).
+//   3. The Inline-Parallel Producer expands the group inside that
+//      container: every invocation runs concurrently as a task in the
+//      container's cpuset (§III-C step 3). The container is released when
+//      the whole group finishes (the paper returns the batch HTTP request
+//      only after all invocations complete).
+//   4. A per-container Resource Multiplexer intercepts storage-client
+//      creation; only the first invocation per (container, args) builds a
+//      client, everyone else reuses it (§III-D).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/invoke_mapper.hpp"
+#include "core/resource_multiplexer.hpp"
+#include "schedulers/dispatch_loop.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace faasbatch::schedulers {
+
+class FaasBatchScheduler : public Scheduler {
+ public:
+  FaasBatchScheduler(SchedulerContext context, SchedulerOptions options);
+
+  std::string_view name() const override { return "FaaSBatch"; }
+  void on_arrival(InvocationId id) override;
+
+  /// Multiplexer statistics aggregated across all containers (hits,
+  /// misses, waits) — used by benchmarks and tests.
+  core::ResourceMultiplexer::Stats multiplexer_stats() const;
+
+  /// Windows flushed so far (diagnostic).
+  std::uint64_t windows_flushed() const { return mapper_.windows_flushed(); }
+
+ private:
+  void on_window_close();
+  void dispatch_group(core::FunctionGroup group);
+  void expand_group(runtime::Container& container, const core::FunctionGroup& group);
+
+  /// Per-container multiplexer, created on first use. Entries for
+  /// reclaimed containers are dropped lazily.
+  core::ResourceMultiplexer& mux_for(ContainerId id);
+
+  core::InvokeMapper mapper_;
+  DispatchLoop loop_;
+  std::unordered_map<ContainerId, std::unique_ptr<core::ResourceMultiplexer>> muxes_;
+};
+
+}  // namespace faasbatch::schedulers

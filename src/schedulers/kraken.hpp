@@ -1,0 +1,64 @@
+// Kraken policy (paper §IV baseline 2).
+//
+// Kraken batches invocations under SLO slack: within each dispatch window
+// it groups arrivals per function, estimates per-invocation execution
+// time, and computes the largest per-container batch size that still
+// meets the function's SLO when the batch executes *serially* inside one
+// container (slack = SLO / exec-time). It provisions ceil(group/batch)
+// containers — reusing warm ones first — and queues each sub-batch
+// serially, which is the source of Kraken's queuing latency in the
+// paper's Figs. 11(c)/12(c).
+//
+// Per the paper's porting notes (§IV): workload prediction runs in oracle
+// mode (the EWMA model is bypassed; actual window counts are used — i.e.
+// 100% prediction accuracy), and SLOs default to the P98 end-to-end
+// latency observed under Vanilla, supplied via SchedulerOptions.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/invoke_mapper.hpp"
+#include "schedulers/dispatch_loop.hpp"
+#include "schedulers/ewma.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace faasbatch::schedulers {
+
+class KrakenScheduler : public Scheduler {
+ public:
+  KrakenScheduler(SchedulerContext context, SchedulerOptions options);
+
+  std::string_view name() const override { return "Kraken"; }
+  void on_arrival(InvocationId id) override;
+
+  /// Largest serial batch size meeting `slo_ms` when each invocation
+  /// takes `exec_ms`: floor(slo/exec), at least 1. Exposed for tests.
+  static std::size_t batch_size_for(double slo_ms, double exec_ms);
+
+ private:
+  void on_window_close();
+  void handle_group(const core::FunctionGroup& group);
+  void dispatch_batch(std::vector<InvocationId> batch);
+  void run_serial(runtime::Container& container,
+                  std::vector<InvocationId> batch, std::size_t index);
+
+  /// Estimated per-invocation execution time used for slack computation
+  /// (oracle: mean of the batch's true durations, per the paper §IV).
+  double estimate_exec_ms(const core::FunctionGroup& group) const;
+
+  double slo_ms_for(FunctionId function) const;
+
+  /// Number of containers for a group of `actual` invocations with the
+  /// given per-container batch size. Oracle mode sizes for the actual
+  /// count; EWMA mode sizes for the predicted count (then updates the
+  /// predictor with the actual one), so under-prediction deepens the
+  /// serial queues — the SLO-violation mechanism of the original Kraken.
+  std::size_t containers_for_group(FunctionId function, std::size_t actual,
+                                   std::size_t batch);
+
+  core::InvokeMapper mapper_;
+  DispatchLoop loop_;
+  std::unordered_map<FunctionId, Ewma> predictors_;
+};
+
+}  // namespace faasbatch::schedulers

@@ -1,0 +1,50 @@
+#include "schedulers/scheduler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "schedulers/faasbatch.hpp"
+#include "schedulers/kraken.hpp"
+#include "schedulers/sfs.hpp"
+#include "schedulers/vanilla.hpp"
+
+namespace faasbatch::schedulers {
+
+std::string_view scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kVanilla: return "Vanilla";
+    case SchedulerKind::kKraken: return "Kraken";
+    case SchedulerKind::kSfs: return "SFS";
+    case SchedulerKind::kFaasBatch: return "FaaSBatch";
+  }
+  return "?";
+}
+
+SchedulerKind parse_scheduler_kind(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "vanilla") return SchedulerKind::kVanilla;
+  if (lower == "kraken") return SchedulerKind::kKraken;
+  if (lower == "sfs") return SchedulerKind::kSfs;
+  if (lower == "faasbatch") return SchedulerKind::kFaasBatch;
+  throw std::invalid_argument("unknown scheduler kind: " + std::string(name));
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, SchedulerContext context,
+                                          SchedulerOptions options) {
+  switch (kind) {
+    case SchedulerKind::kVanilla:
+      return std::make_unique<VanillaScheduler>(context, options);
+    case SchedulerKind::kKraken:
+      return std::make_unique<KrakenScheduler>(context, options);
+    case SchedulerKind::kSfs:
+      return std::make_unique<SfsScheduler>(context, options);
+    case SchedulerKind::kFaasBatch:
+      return std::make_unique<FaasBatchScheduler>(context, options);
+  }
+  throw std::logic_error("make_scheduler: invalid kind");
+}
+
+}  // namespace faasbatch::schedulers

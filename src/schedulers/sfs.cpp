@@ -1,0 +1,151 @@
+#include "schedulers/sfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "schedulers/exec_common.hpp"
+
+namespace faasbatch::schedulers {
+namespace {
+
+constexpr double kSliceEpsilon = 1e-9;
+
+}  // namespace
+
+SfsEngine::SfsEngine(runtime::Machine& machine, std::size_t channels,
+                     SimDuration initial_quantum, bool adaptive)
+    : machine_(machine), initial_quantum_(initial_quantum), adaptive_(adaptive) {
+  channels_.resize(channels);
+  for (auto& channel : channels_) {
+    // Each channel is pinned to one core: a group with cap 1.
+    channel.group = machine_.cpu().create_group(1.0);
+  }
+}
+
+SimDuration SfsEngine::current_initial_quantum() const {
+  if (!adaptive_ || !iat_initialized_) return initial_quantum_;
+  // Under dense arrivals (small IaT), short slices keep short functions
+  // responsive; under sparse arrivals longer slices cut switch overhead.
+  const auto adapted = static_cast<SimDuration>(iat_ewma_us_);
+  return std::clamp<SimDuration>(adapted, kMillisecond, 200 * kMillisecond);
+}
+
+SfsEngine::~SfsEngine() {
+  // Groups can only be removed when empty; at destruction the simulation
+  // has drained, so this is safe.
+  for (auto& channel : channels_) {
+    if (channel.group != sim::CpuScheduler::kNoGroup && !channel.busy) {
+      machine_.cpu().remove_group(channel.group);
+    }
+  }
+}
+
+std::size_t SfsEngine::channel_load(std::size_t i) const {
+  const Channel& channel = channels_.at(i);
+  return channel.queue.size() + (channel.busy ? 1 : 0);
+}
+
+void SfsEngine::submit(double work, std::function<void()> on_done) {
+  // Perceive the request inter-arrival time (adaptive mode).
+  const SimTime now = machine_.simulator().now();
+  if (has_last_submission_) {
+    const double iat_us = static_cast<double>(now - last_submission_);
+    constexpr double kAlpha = 0.3;
+    iat_ewma_us_ =
+        iat_initialized_ ? kAlpha * iat_us + (1.0 - kAlpha) * iat_ewma_us_ : iat_us;
+    iat_initialized_ = true;
+  }
+  has_last_submission_ = true;
+  last_submission_ = now;
+
+  // Bind to the least-loaded channel; rotate ties for determinism without
+  // always hammering channel 0.
+  std::size_t best = rr_cursor_ % channels_.size();
+  std::size_t best_load = channel_load(best);
+  for (std::size_t k = 0; k < channels_.size(); ++k) {
+    const std::size_t i = (rr_cursor_ + k) % channels_.size();
+    const std::size_t load = channel_load(i);
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  rr_cursor_ = (best + 1) % channels_.size();
+  channels_[best].queue.push_back(
+      Task{work, current_initial_quantum(), std::move(on_done)});
+  pump(best);
+}
+
+void SfsEngine::pump(std::size_t channel_index) {
+  Channel& channel = channels_[channel_index];
+  if (channel.busy || channel.queue.empty()) return;
+  channel.busy = true;
+  Task task = std::move(channel.queue.front());
+  channel.queue.pop_front();
+  const double slice = std::min(task.remaining, to_seconds(task.quantum));
+  machine_.cpu().submit(
+      slice, 1.0, channel.group,
+      [this, channel_index, task = std::move(task), slice]() mutable {
+        Channel& ch = channels_[channel_index];
+        ch.busy = false;
+        task.remaining -= slice;
+        if (task.remaining <= kSliceEpsilon) {
+          auto done = std::move(task.on_done);
+          pump(channel_index);
+          if (done) done();
+        } else {
+          // Survived its slice: double the quantum, go to the back.
+          task.quantum *= 2;
+          ch.queue.push_back(std::move(task));
+          pump(channel_index);
+        }
+      });
+}
+
+SfsScheduler::SfsScheduler(SchedulerContext context, SchedulerOptions options)
+    : Scheduler(context, options),
+      loop_(ctx().machine, ctx().machine.config().dispatch_parallelism),
+      engine_(ctx().machine,
+              static_cast<std::size_t>(ctx().machine.config().machine_cores),
+              options.sfs_initial_quantum, options.sfs_adaptive_quantum) {}
+
+void SfsScheduler::on_arrival(InvocationId id) {
+  loop_.enqueue(
+      [this, id]() {
+        const auto& config = ctx().machine.config();
+        // SFS pays Vanilla's dispatch cost plus its user-space scheduler's
+        // per-invocation bookkeeping.
+        const double base = ctx().pool.has_idle(ctx().records.at(id).function)
+                                ? config.dispatch_cpu_seconds
+                                : config.provision_cpu_seconds;
+        return base + options().sfs_overhead_cpu_seconds;
+      },
+      [this, id]() {
+        core::InvocationRecord& record = ctx().records.at(id);
+        record.dispatched = ctx().sim.now();
+        if (runtime::Container* warm = ctx().pool.try_acquire_warm(record.function)) {
+          start_execution(*warm, id, 0);
+          return;
+        }
+        ctx().pool.provision(profile_of(id),
+                             [this, id](runtime::Container& container,
+                                        SimDuration cold_start) {
+                               start_execution(container, id, cold_start);
+                             });
+      });
+}
+
+void SfsScheduler::start_execution(runtime::Container& container, InvocationId id,
+                                   SimDuration cold_start) {
+  ctx().records.at(id).cold_start = cold_start;
+  ExecEnv env;
+  env.run_cpu = [this](double work, std::function<void()> done) {
+    engine_.submit(work, std::move(done));
+  };
+  execute_invocation(ctx(), container, id, env, [this, &container, id]() {
+    ctx().pool.release(container);
+    ctx().notify_complete(id);
+  });
+}
+
+}  // namespace faasbatch::schedulers

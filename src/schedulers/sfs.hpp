@@ -1,0 +1,93 @@
+// SFS policy (paper §IV baseline 3; SFS is "Smart Function Scheduler",
+// an OS-level user-space CPU scheduler for serverless workers).
+//
+// Containers are provisioned per invocation exactly as in Vanilla, but
+// execution CPU time is managed by SFS's per-core *channels*: every
+// function body is bound to one channel (core) and runs in time slices
+// whose length starts small and doubles each round the task survives —
+// short functions finish within their first slices, long functions yield
+// repeatedly. This reproduces SFS's signature behaviour the paper relies
+// on: improved short-function latency at the cost of long functions.
+//
+// Port simplifications (documented in DESIGN.md): the adaptive slice is
+// an MLFQ-style doubling quantum rather than SFS's IaT-driven estimator,
+// and the user-space scheduler's own CPU cost is charged per invocation
+// as `sfs_overhead_cpu_seconds`.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "schedulers/dispatch_loop.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace faasbatch::schedulers {
+
+/// Per-core channels with doubling time slices.
+class SfsEngine {
+ public:
+  /// `adaptive` switches the initial quantum from the fixed value to an
+  /// EWMA of observed submission inter-arrival times.
+  SfsEngine(runtime::Machine& machine, std::size_t channels,
+            SimDuration initial_quantum, bool adaptive = false);
+  ~SfsEngine();
+
+  SfsEngine(const SfsEngine&) = delete;
+  SfsEngine& operator=(const SfsEngine&) = delete;
+
+  /// Binds `work` core-seconds to the least-loaded channel and runs it in
+  /// growing slices; `on_done` fires when the work drains.
+  void submit(double work, std::function<void()> on_done);
+
+  std::size_t channel_count() const { return channels_.size(); }
+
+  /// Queue length (including the running task) of channel `i`.
+  std::size_t channel_load(std::size_t i) const;
+
+  /// The initial quantum the next submission would receive.
+  SimDuration current_initial_quantum() const;
+
+ private:
+  struct Task {
+    double remaining;
+    SimDuration quantum;
+    std::function<void()> on_done;
+  };
+  struct Channel {
+    std::deque<Task> queue;
+    bool busy = false;
+    sim::CpuScheduler::GroupId group = sim::CpuScheduler::kNoGroup;
+  };
+
+  void pump(std::size_t channel_index);
+
+  runtime::Machine& machine_;
+  SimDuration initial_quantum_;
+  bool adaptive_;
+  /// EWMA of submission inter-arrival times, microseconds.
+  double iat_ewma_us_ = 0.0;
+  bool iat_initialized_ = false;
+  SimTime last_submission_ = 0;
+  bool has_last_submission_ = false;
+  std::vector<Channel> channels_;
+  std::size_t rr_cursor_ = 0;  // tie-break rotation for equal loads
+};
+
+class SfsScheduler : public Scheduler {
+ public:
+  SfsScheduler(SchedulerContext context, SchedulerOptions options);
+
+  std::string_view name() const override { return "SFS"; }
+  void on_arrival(InvocationId id) override;
+
+ private:
+  void start_execution(runtime::Container& container, InvocationId id,
+                       SimDuration cold_start);
+
+  DispatchLoop loop_;
+  SfsEngine engine_;
+};
+
+}  // namespace faasbatch::schedulers

@@ -1,0 +1,42 @@
+#include "schedulers/vanilla.hpp"
+
+#include "schedulers/exec_common.hpp"
+
+namespace faasbatch::schedulers {
+
+VanillaScheduler::VanillaScheduler(SchedulerContext context, SchedulerOptions options)
+    : Scheduler(context, options), loop_(ctx().machine, ctx().machine.config().dispatch_parallelism) {}
+
+void VanillaScheduler::on_arrival(InvocationId id) {
+  loop_.enqueue(
+      [this, id]() {
+        const auto& config = ctx().machine.config();
+        return ctx().pool.has_idle(ctx().records.at(id).function)
+                   ? config.dispatch_cpu_seconds
+                   : config.provision_cpu_seconds;
+      },
+      [this, id]() {
+        core::InvocationRecord& record = ctx().records.at(id);
+        record.dispatched = ctx().sim.now();
+        if (runtime::Container* warm = ctx().pool.try_acquire_warm(record.function)) {
+          start_execution(*warm, id, 0);
+          return;
+        }
+        ctx().pool.provision(profile_of(id),
+                             [this, id](runtime::Container& container,
+                                        SimDuration cold_start) {
+                               start_execution(container, id, cold_start);
+                             });
+      });
+}
+
+void VanillaScheduler::start_execution(runtime::Container& container, InvocationId id,
+                                       SimDuration cold_start) {
+  ctx().records.at(id).cold_start = cold_start;
+  execute_invocation(ctx(), container, id, ExecEnv{}, [this, &container, id]() {
+    ctx().pool.release(container);
+    ctx().notify_complete(id);
+  });
+}
+
+}  // namespace faasbatch::schedulers

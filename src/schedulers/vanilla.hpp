@@ -1,0 +1,29 @@
+// Vanilla policy: one container per invocation (paper §IV baseline 1).
+//
+// Every arrival passes through the serial dispatch pipeline; at the head
+// of the queue the platform either reuses an idle warm container of the
+// same function or provisions a fresh one (paying the larger provisioning
+// dispatch cost plus a cold start). The invocation executes alone in its
+// container, which is then released to the warm pool.
+#pragma once
+
+#include "schedulers/dispatch_loop.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace faasbatch::schedulers {
+
+class VanillaScheduler : public Scheduler {
+ public:
+  VanillaScheduler(SchedulerContext context, SchedulerOptions options);
+
+  std::string_view name() const override { return "Vanilla"; }
+  void on_arrival(InvocationId id) override;
+
+ private:
+  void start_execution(runtime::Container& container, InvocationId id,
+                       SimDuration cold_start);
+
+  DispatchLoop loop_;
+};
+
+}  // namespace faasbatch::schedulers

@@ -1,0 +1,241 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace faasbatch::sim {
+namespace {
+
+/// Work below this many core-seconds counts as drained.
+constexpr double kWorkEpsilon = 1e-9;
+
+}  // namespace
+
+CpuScheduler::CpuScheduler(Simulator& sim, double cores) : sim_(sim), cores_(cores) {
+  if (cores <= 0.0) throw std::invalid_argument("CpuScheduler: cores must be > 0");
+  last_update_ = sim_.now();
+}
+
+CpuScheduler::GroupId CpuScheduler::create_group(double core_cap) {
+  if (core_cap <= 0.0) throw std::invalid_argument("create_group: cap must be > 0");
+  const GroupId id = next_group_id_++;
+  groups_.emplace(id, Group{core_cap, 0});
+  return id;
+}
+
+void CpuScheduler::remove_group(GroupId group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) throw std::invalid_argument("remove_group: unknown group");
+  if (it->second.task_count != 0) {
+    throw std::logic_error("remove_group: group still has tasks");
+  }
+  groups_.erase(it);
+}
+
+void CpuScheduler::set_group_cap(GroupId group, double core_cap) {
+  if (core_cap <= 0.0) throw std::invalid_argument("set_group_cap: cap must be > 0");
+  auto it = groups_.find(group);
+  if (it == groups_.end()) throw std::invalid_argument("set_group_cap: unknown group");
+  advance();
+  it->second.cap = core_cap;
+  recompute_rates();
+  schedule_completion();
+}
+
+CpuScheduler::TaskId CpuScheduler::submit(double work, double task_cap, GroupId group,
+                                          std::function<void()> on_complete) {
+  if (work < 0.0) throw std::invalid_argument("submit: negative work");
+  if (task_cap <= 0.0) throw std::invalid_argument("submit: task cap must be > 0");
+  if (work <= kWorkEpsilon) {
+    // Zero-cost task: completes "now" but still asynchronously so callers
+    // never observe reentrant completion.
+    sim_.schedule_after(0, std::move(on_complete));
+    return 0;
+  }
+  Group* group_state = nullptr;
+  if (group != kNoGroup) {
+    auto it = groups_.find(group);
+    if (it == groups_.end()) throw std::invalid_argument("submit: unknown group");
+    group_state = &it->second;
+  }
+  advance();
+  const TaskId id = next_task_id_++;
+  tasks_.emplace(id, Task{work, task_cap, group, 0.0, std::move(on_complete)});
+  if (group_state != nullptr) ++group_state->task_count;
+  recompute_rates();
+  schedule_completion();
+  return id;
+}
+
+bool CpuScheduler::cancel(TaskId task) {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) return false;
+  advance();
+  if (it->second.group != kNoGroup) {
+    auto git = groups_.find(it->second.group);
+    assert(git != groups_.end());
+    --git->second.task_count;
+  }
+  tasks_.erase(it);
+  recompute_rates();
+  schedule_completion();
+  return true;
+}
+
+double CpuScheduler::busy_core_seconds() {
+  advance();
+  return busy_core_seconds_;
+}
+
+double CpuScheduler::task_rate(TaskId task) const {
+  const auto it = tasks_.find(task);
+  return it == tasks_.end() ? 0.0 : it->second.rate;
+}
+
+double CpuScheduler::task_remaining(TaskId task) const {
+  const auto it = tasks_.find(task);
+  return it == tasks_.end() ? 0.0 : it->second.remaining;
+}
+
+void CpuScheduler::set_rate_observer(std::function<void(SimTime, double)> observer) {
+  rate_observer_ = std::move(observer);
+}
+
+void CpuScheduler::advance() {
+  const SimTime now = sim_.now();
+  if (now == last_update_) return;
+  const double dt = to_seconds(now - last_update_);
+  for (auto& [id, task] : tasks_) {
+    task.remaining = std::max(0.0, task.remaining - task.rate * dt);
+  }
+  busy_core_seconds_ += total_rate_ * dt;
+  last_update_ = now;
+}
+
+std::vector<double> CpuScheduler::water_fill(std::vector<double> caps, double capacity) {
+  const std::size_t n = caps.size();
+  std::vector<double> alloc(n, 0.0);
+  if (n == 0 || capacity <= 0.0) return alloc;
+  // Process items in ascending cap order; each takes min(cap, fair share of
+  // what remains). This yields the max-min fair allocation.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&caps](std::size_t a, std::size_t b) { return caps[a] < caps[b]; });
+  double remaining = capacity;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = order[k];
+    const double share = remaining / static_cast<double>(n - k);
+    const double a = std::min(caps[i], share);
+    alloc[i] = a;
+    remaining -= a;
+  }
+  return alloc;
+}
+
+void CpuScheduler::recompute_rates() {
+  // Deterministic order: ascending task id.
+  std::vector<TaskId> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [id, task] : tasks_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  // A "unit" competes for machine capacity: each populated group is one
+  // unit; each ungrouped task is its own unit.
+  struct Unit {
+    GroupId group;                 // kNoGroup for a single ungrouped task
+    std::vector<TaskId> members;   // ascending
+    double cap = 0.0;              // min(group cpuset, sum of member caps)
+  };
+  std::vector<Unit> units;
+  std::unordered_map<GroupId, std::size_t> group_unit;
+  for (TaskId id : ids) {
+    const Task& task = tasks_.at(id);
+    if (task.group == kNoGroup) {
+      units.push_back(Unit{kNoGroup, {id}, task.cap});
+      continue;
+    }
+    auto [it, inserted] = group_unit.try_emplace(task.group, units.size());
+    if (inserted) units.push_back(Unit{task.group, {}, 0.0});
+    units[it->second].members.push_back(id);
+  }
+  for (auto& unit : units) {
+    if (unit.group == kNoGroup) continue;
+    double demand = 0.0;
+    for (TaskId id : unit.members) demand += tasks_.at(id).cap;
+    unit.cap = std::min(groups_.at(unit.group).cap, demand);
+  }
+
+  std::vector<double> unit_caps;
+  unit_caps.reserve(units.size());
+  for (const auto& unit : units) unit_caps.push_back(unit.cap);
+  const std::vector<double> unit_alloc = water_fill(std::move(unit_caps), cores_);
+
+  double total = 0.0;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const Unit& unit = units[u];
+    std::vector<double> member_caps;
+    member_caps.reserve(unit.members.size());
+    for (TaskId id : unit.members) member_caps.push_back(tasks_.at(id).cap);
+    const std::vector<double> member_alloc =
+        water_fill(std::move(member_caps), unit_alloc[u]);
+    for (std::size_t m = 0; m < unit.members.size(); ++m) {
+      tasks_.at(unit.members[m]).rate = member_alloc[m];
+      total += member_alloc[m];
+    }
+  }
+  total_rate_ = total;
+  if (rate_observer_) rate_observer_(sim_.now(), total_rate_);
+}
+
+void CpuScheduler::schedule_completion() {
+  if (completion_scheduled_) {
+    sim_.cancel(completion_event_);
+    completion_scheduled_ = false;
+  }
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, task] : tasks_) {
+    if (task.rate <= 0.0) continue;
+    earliest = std::min(earliest, task.remaining / task.rate);
+  }
+  if (!std::isfinite(earliest)) return;
+  // Round up so the event never fires before the work is actually done.
+  const SimDuration delay =
+      std::max<SimDuration>(1, static_cast<SimDuration>(std::ceil(earliest * 1e6)));
+  completion_event_ = sim_.schedule_after(delay, [this] { on_completion_event(); });
+  completion_scheduled_ = true;
+}
+
+void CpuScheduler::on_completion_event() {
+  completion_scheduled_ = false;
+  advance();
+  std::vector<TaskId> done;
+  for (const auto& [id, task] : tasks_) {
+    if (task.remaining <= kWorkEpsilon) done.push_back(id);
+  }
+  std::sort(done.begin(), done.end());
+  std::vector<std::function<void()>> callbacks;
+  callbacks.reserve(done.size());
+  for (TaskId id : done) {
+    auto it = tasks_.find(id);
+    callbacks.push_back(std::move(it->second.on_complete));
+    if (it->second.group != kNoGroup) {
+      auto git = groups_.find(it->second.group);
+      assert(git != groups_.end());
+      --git->second.task_count;
+    }
+    tasks_.erase(it);
+  }
+  recompute_rates();
+  schedule_completion();
+  // Callbacks run after internal state is consistent; they may submit new
+  // tasks, which re-enters submit() safely.
+  for (auto& callback : callbacks) {
+    if (callback) callback();
+  }
+}
+
+}  // namespace faasbatch::sim

@@ -1,0 +1,134 @@
+// Fluid processor-sharing CPU model.
+//
+// Models a worker machine with `cores` CPUs running a fair scheduler (the
+// standard fluid approximation of Linux CFS). Each task carries an amount
+// of work in core-seconds, a per-task rate cap (a single thread can use at
+// most one core), and optionally belongs to a *group* with its own core cap
+// — groups model container cpusets (`cpuset_cpus` in the paper §III-C).
+//
+// Rates are max-min fair: capacity is water-filled across groups (capped by
+// each group's cpuset and aggregate thread demand), then each group's
+// allocation is water-filled across its tasks. Rates are recomputed on
+// every arrival/departure and the next completion event is rescheduled.
+//
+// Cold starts and scheduler bookkeeping are also submitted as tasks, which
+// reproduces the paper's observation that bursts of container launches
+// saturate the CPUs and inflate scheduling and cold-start latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace faasbatch::sim {
+
+class CpuScheduler {
+ public:
+  using TaskId = std::uint64_t;
+  using GroupId = std::uint64_t;
+
+  /// Group id meaning "not in any group" (task capped only by itself).
+  static constexpr GroupId kNoGroup = 0;
+
+  /// A machine with `cores` CPUs, attached to `sim` for event scheduling.
+  CpuScheduler(Simulator& sim, double cores);
+
+  CpuScheduler(const CpuScheduler&) = delete;
+  CpuScheduler& operator=(const CpuScheduler&) = delete;
+
+  /// Creates a scheduling group (container cpuset) able to use at most
+  /// `core_cap` cores in aggregate. core_cap > 0.
+  GroupId create_group(double core_cap);
+
+  /// Removes an empty group. Throws if tasks are still attached.
+  void remove_group(GroupId group);
+
+  /// Adjusts a group's core cap (e.g. container resize).
+  void set_group_cap(GroupId group, double core_cap);
+
+  /// Submits `work` core-seconds of computation. `task_cap` bounds the
+  /// task's instantaneous rate (1.0 = single-threaded). `on_complete`
+  /// fires, via the simulator, when the work drains. Zero work completes
+  /// at the current time (still asynchronously, preserving event order).
+  TaskId submit(double work, double task_cap, GroupId group,
+                std::function<void()> on_complete);
+
+  /// Convenience: ungrouped single-threaded task.
+  TaskId submit(double work, std::function<void()> on_complete) {
+    return submit(work, 1.0, kNoGroup, std::move(on_complete));
+  }
+
+  /// Cancels a running task; its callback never fires. Returns false if
+  /// the task already completed.
+  bool cancel(TaskId task);
+
+  /// Machine size in cores.
+  double cores() const { return cores_; }
+
+  /// Number of tasks currently holding CPU demand.
+  std::size_t active_tasks() const { return tasks_.size(); }
+
+  /// Sum of all current task rates (instantaneous busy cores).
+  double total_rate() const { return total_rate_; }
+
+  /// Integrated busy core-seconds since construction (advanced lazily; the
+  /// value is exact as of the last task arrival/departure/completion).
+  double busy_core_seconds();
+
+  /// Current rate of one task (0 if unknown). Exposed for tests.
+  double task_rate(TaskId task) const;
+
+  /// Remaining work of one task in core-seconds (as of last update).
+  double task_remaining(TaskId task) const;
+
+  /// Registered observer invoked whenever the instantaneous total rate
+  /// changes; receives (time, busy_cores). Used by resource samplers.
+  void set_rate_observer(std::function<void(SimTime, double)> observer);
+
+ private:
+  struct Task {
+    double remaining = 0.0;  // core-seconds
+    double cap = 1.0;        // max cores this task can use
+    GroupId group = kNoGroup;
+    double rate = 0.0;       // current allocation, cores
+    std::function<void()> on_complete;
+  };
+  struct Group {
+    double cap = 1.0;
+    std::size_t task_count = 0;
+  };
+
+  /// Accrues work done since the last update into every task.
+  void advance();
+
+  /// Recomputes max-min fair rates for all tasks.
+  void recompute_rates();
+
+  /// (Re)schedules the event at which the earliest task completes.
+  void schedule_completion();
+
+  /// Fires when at least one task may have drained its work.
+  void on_completion_event();
+
+  /// Max-min fair division of `capacity` across `caps`; returns allocations.
+  static std::vector<double> water_fill(std::vector<double> caps, double capacity);
+
+  Simulator& sim_;
+  double cores_;
+  std::unordered_map<TaskId, Task> tasks_;
+  std::unordered_map<GroupId, Group> groups_;
+  TaskId next_task_id_ = 1;
+  GroupId next_group_id_ = 1;
+  SimTime last_update_ = 0;
+  double total_rate_ = 0.0;
+  double busy_core_seconds_ = 0.0;
+  EventId completion_event_ = 0;
+  bool completion_scheduled_ = false;
+  std::function<void(SimTime, double)> rate_observer_;
+};
+
+}  // namespace faasbatch::sim

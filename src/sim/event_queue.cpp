@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace faasbatch::sim {
+
+EventId EventQueue::push(SimTime time, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{time, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  --live_count_;
+  // The heap entry stays and is skipped lazily when it reaches the top.
+  return true;
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  skip_cancelled();
+  assert(!heap_.empty() && "next_time on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Entry EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop on empty queue");
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.id);
+  Entry entry{top.time, top.id, std::move(it->second)};
+  actions_.erase(it);
+  --live_count_;
+  return entry;
+}
+
+}  // namespace faasbatch::sim

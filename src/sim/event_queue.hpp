@@ -1,0 +1,70 @@
+// Priority queue of timestamped events with O(log n) insert/pop and
+// O(1) amortised cancellation.
+//
+// Events with equal timestamps fire in insertion order (FIFO), which makes
+// simulations deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace faasbatch::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Inserts an event firing at `time`. Returns a handle for cancellation.
+  EventId push(SimTime time, std::function<void()> action);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  bool empty() const { return live_count_ == 0; }
+
+  /// Number of live pending events.
+  std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the earliest live event. Requires !empty().
+  SimTime next_time();
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Entry {
+    SimTime time;
+    EventId id;
+    std::function<void()> action;
+  };
+  Entry pop();
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;  // insertion order; breaks timestamp ties FIFO
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.
+  void skip_cancelled();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace faasbatch::sim

@@ -1,0 +1,62 @@
+#include "sim/gauge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace faasbatch::sim {
+
+Gauge::Gauge(double initial, bool keep_history)
+    : value_(initial), peak_(initial), keep_history_(keep_history) {}
+
+void Gauge::set(SimTime t, double value) {
+  if (!has_first_) {
+    first_time_ = t;
+    last_time_ = t;
+    has_first_ = true;
+    if (keep_history_) history_.emplace_back(t, value_);
+  }
+  if (t < last_time_) throw std::invalid_argument("Gauge::set: time went backwards");
+  integral_ += value_ * to_seconds(t - last_time_);
+  last_time_ = t;
+  value_ = value;
+  peak_ = std::max(peak_, value);
+  if (keep_history_) {
+    if (!history_.empty() && history_.back().first == t) {
+      history_.back().second = value;
+    } else {
+      history_.emplace_back(t, value);
+    }
+  }
+}
+
+double Gauge::integral(SimTime until) const {
+  if (!has_first_ || until <= last_time_) return integral_;
+  return integral_ + value_ * to_seconds(until - last_time_);
+}
+
+double Gauge::time_average(SimTime until) const {
+  if (!has_first_) return value_;
+  const SimTime end = std::max(until, last_time_);
+  const double span = to_seconds(end - first_time_);
+  if (span <= 0.0) return value_;
+  return integral(end) / span;
+}
+
+std::vector<std::pair<SimTime, double>> Gauge::sample(SimDuration period,
+                                                      SimTime until) const {
+  if (!keep_history_) throw std::logic_error("Gauge::sample: history disabled");
+  if (period <= 0) throw std::invalid_argument("Gauge::sample: period must be > 0");
+  std::vector<std::pair<SimTime, double>> out;
+  std::size_t idx = 0;
+  double current = history_.empty() ? value_ : history_.front().second;
+  for (SimTime t = 0; t <= until; t += period) {
+    while (idx < history_.size() && history_[idx].first <= t) {
+      current = history_[idx].second;
+      ++idx;
+    }
+    out.emplace_back(t, current);
+  }
+  return out;
+}
+
+}  // namespace faasbatch::sim

@@ -1,0 +1,60 @@
+// Time-weighted step gauge.
+//
+// Tracks a piecewise-constant quantity over simulated time (host memory in
+// use, busy cores, live containers) and answers integral/average/peak
+// queries. Optionally records the full step history so reports can sample
+// the series at a fixed frequency — the paper samples resource usage at
+// 1 Hz (§V-B).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace faasbatch::sim {
+
+class Gauge {
+ public:
+  /// `keep_history` records every step for later sampling; runs in this
+  /// codebase last simulated minutes, so history stays small.
+  explicit Gauge(double initial = 0.0, bool keep_history = true);
+
+  /// Sets the value at time `t` (monotonically non-decreasing times).
+  void set(SimTime t, double value);
+
+  /// Adds `delta` to the current value at time `t`.
+  void add(SimTime t, double delta) { set(t, value_ + delta); }
+
+  /// Current value.
+  double value() const { return value_; }
+
+  /// Maximum value ever set (including the initial value).
+  double peak() const { return peak_; }
+
+  /// Integral of the gauge from its first timestamp up to `until`.
+  double integral(SimTime until) const;
+
+  /// Time average over [first timestamp, until]; 0 for an empty interval.
+  double time_average(SimTime until) const;
+
+  /// Samples the series every `period` from time 0 through `until`
+  /// (inclusive); each sample is the gauge value at that instant.
+  /// Requires keep_history.
+  std::vector<std::pair<SimTime, double>> sample(SimDuration period, SimTime until) const;
+
+  /// Raw step history: (time, new value) pairs. Requires keep_history.
+  const std::vector<std::pair<SimTime, double>>& history() const { return history_; }
+
+ private:
+  double value_;
+  double peak_;
+  SimTime last_time_ = 0;
+  SimTime first_time_ = 0;
+  bool has_first_ = false;
+  double integral_ = 0.0;  // up to last_time_
+  bool keep_history_;
+  std::vector<std::pair<SimTime, double>> history_;
+};
+
+}  // namespace faasbatch::sim

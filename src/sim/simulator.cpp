@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace faasbatch::sim {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> action) {
+  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+  return queue_.push(t, std::move(action));
+}
+
+EventId Simulator::schedule_after(SimDuration delay, std::function<void()> action) {
+  if (delay < 0) throw std::invalid_argument("schedule_after: negative delay");
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    auto entry = queue_.pop();
+    now_ = entry.time;
+    ++processed_;
+    entry.action();
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= t) {
+    auto entry = queue_.pop();
+    now_ = entry.time;
+    ++processed_;
+    entry.action();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace faasbatch::sim

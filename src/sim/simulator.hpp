@@ -1,0 +1,57 @@
+// Single-threaded discrete-event simulator.
+//
+// Components schedule closures at absolute or relative simulated times;
+// run() drains the event queue in timestamp order, advancing the clock to
+// each event's time. Equal-time events fire in scheduling order, so a
+// seeded run is fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace faasbatch::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `t`; `t` must be >= now().
+  EventId schedule_at(SimTime t, std::function<void()> action);
+
+  /// Schedules `action` after `delay` (>= 0) from now().
+  EventId schedule_after(SimDuration delay, std::function<void()> action);
+
+  /// Cancels a pending event; false if it already fired or was cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs all events with timestamp <= `t`, then sets the clock to `t`.
+  void run_until(SimTime t);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far.
+  std::uint64_t processed_events() const { return processed_; }
+
+  /// Number of events still pending.
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace faasbatch::sim

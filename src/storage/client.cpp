@@ -1,0 +1,62 @@
+#include "storage/client.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace faasbatch::storage {
+
+double ClientCostModel::creation_ms(std::size_t concurrent) const {
+  const double n = static_cast<double>(concurrent < 1 ? 1 : concurrent);
+  return base_creation_ms * std::pow(n, contention_exponent);
+}
+
+SimDuration CreationThrottle::begin_creation() {
+  ++in_flight_;
+  return from_millis(model_.creation_ms(in_flight_));
+}
+
+void CreationThrottle::end_creation() {
+  if (in_flight_ > 0) --in_flight_;
+}
+
+StorageClient::StorageClient(ObjectStore& store, std::uint64_t args_hash,
+                             Bytes buffer_bytes)
+    : store_(store), args_hash_(args_hash) {
+  buffer_.assign(static_cast<std::size_t>(buffer_bytes), '\0');
+  // Touch every page so the allocation is actually resident.
+  for (std::size_t i = 0; i < buffer_.size(); i += 4096) {
+    buffer_[i] = static_cast<char>(i & 0xFF);
+  }
+}
+
+void StorageClient::put(const std::string& key, std::string data) {
+  store_.put(key, std::move(data));
+}
+
+std::optional<std::string> StorageClient::get(const std::string& key) {
+  return store_.get(key);
+}
+
+ClientFactory::ClientFactory(ObjectStore& store) : ClientFactory(store, Options{}) {}
+
+ClientFactory::ClientFactory(ObjectStore& store, Options options)
+    : store_(store), options_(options) {}
+
+std::shared_ptr<StorageClient> ClientFactory::create(std::uint64_t args_hash) {
+  // The creation lock models the runtime-level serialisation the paper
+  // observed: concurrent creations in one process queue behind each other.
+  std::lock_guard<std::mutex> lock(creation_lock_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(static_cast<std::int64_t>(
+                            options_.creation_work_ms * 1000.0));
+  // Calibrated busy work standing in for TLS setup and SDK imports.
+  volatile std::uint64_t sink = args_hash;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 256; ++i) sink = sink * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  ++creations_;
+  return std::shared_ptr<StorageClient>(
+      new StorageClient(store_, args_hash, options_.client_buffer_bytes));
+}
+
+}  // namespace faasbatch::storage

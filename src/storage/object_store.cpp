@@ -1,0 +1,63 @@
+#include "storage/object_store.hpp"
+
+namespace faasbatch::storage {
+
+void ObjectStore::put(const std::string& key, std::string data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    total_bytes_ -= static_cast<Bytes>(it->second.size());
+    it->second = std::move(data);
+    total_bytes_ += static_cast<Bytes>(it->second.size());
+  } else {
+    total_bytes_ += static_cast<Bytes>(data.size());
+    objects_.emplace(key, std::move(data));
+  }
+  ++stats_.puts;
+}
+
+std::optional<std::string> ObjectStore::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.gets;
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool ObjectStore::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.deletes;
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  total_bytes_ -= static_cast<Bytes>(it->second.size());
+  objects_.erase(it);
+  return true;
+}
+
+bool ObjectStore::exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.find(key) != objects_.end();
+}
+
+std::size_t ObjectStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+Bytes ObjectStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+StoreStats ObjectStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace faasbatch::storage

@@ -1,0 +1,73 @@
+// In-memory cloud object store.
+//
+// Stands in for AWS S3 / Azure Blob storage (paper §II-B): serverless
+// functions are stateless and persist intermediate data through an object
+// store reached via socket clients. The store itself is a thread-safe
+// key-value map plus a latency model used by the simulator to charge
+// object-operation time.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace faasbatch::storage {
+
+/// Latency model for object operations (simulated time).
+struct OpLatencyModel {
+  /// Fixed round-trip cost per operation.
+  SimDuration base = 2 * kMillisecond;
+  /// Additional cost per MiB transferred.
+  SimDuration per_mib = 4 * kMillisecond;
+
+  SimDuration op_latency(Bytes size) const {
+    return base + static_cast<SimDuration>(to_mib(size) * static_cast<double>(per_mib));
+  }
+};
+
+/// Counters for store activity.
+struct StoreStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t misses = 0;
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(OpLatencyModel latency = {}) : latency_(latency) {}
+
+  /// Stores `data` under `key`, replacing any previous object.
+  void put(const std::string& key, std::string data);
+
+  /// Returns a copy of the object, or nullopt if absent.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Removes the object; returns true if it existed.
+  bool remove(const std::string& key);
+
+  bool exists(const std::string& key) const;
+
+  std::size_t object_count() const;
+
+  /// Total bytes held across all objects.
+  Bytes total_bytes() const;
+
+  StoreStats stats() const;
+
+  const OpLatencyModel& latency_model() const { return latency_; }
+
+ private:
+  OpLatencyModel latency_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::string> objects_;
+  StoreStats stats_;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace faasbatch::storage

@@ -1,0 +1,55 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/arrival.hpp"
+
+namespace faasbatch::trace {
+
+BurstinessReport analyze_burstiness(const std::vector<SimTime>& arrivals,
+                                    SimDuration horizon, SimDuration bucket) {
+  if (horizon <= 0) throw std::invalid_argument("analyze_burstiness: bad horizon");
+  const auto counts = arrivals_per_bucket(arrivals, horizon, bucket);
+
+  BurstinessReport report;
+  report.arrivals = arrivals.size();
+  if (counts.empty()) return report;
+
+  std::size_t total = 0;
+  std::size_t empty = 0;
+  for (const std::size_t c : counts) {
+    report.peak_bucket = std::max(report.peak_bucket, c);
+    total += c;
+    if (c == 0) ++empty;
+  }
+  report.mean_bucket = static_cast<double>(total) / static_cast<double>(counts.size());
+  report.empty_fraction =
+      static_cast<double>(empty) / static_cast<double>(counts.size());
+  if (report.mean_bucket > 0.0) {
+    report.peak_to_mean = static_cast<double>(report.peak_bucket) / report.mean_bucket;
+    double variance = 0.0;
+    for (const std::size_t c : counts) {
+      const double d = static_cast<double>(c) - report.mean_bucket;
+      variance += d * d;
+    }
+    variance /= static_cast<double>(counts.size());
+    report.fano_factor = variance / report.mean_bucket;
+  }
+
+  if (arrivals.size() >= 2) {
+    std::vector<SimTime> sorted = arrivals;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> iats;
+    iats.reserve(sorted.size() - 1);
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      iats.push_back(to_millis(sorted[i] - sorted[i - 1]));
+    }
+    const std::size_t mid = iats.size() / 2;
+    std::nth_element(iats.begin(), iats.begin() + static_cast<long>(mid), iats.end());
+    report.median_iat_ms = iats[mid];
+  }
+  return report;
+}
+
+}  // namespace faasbatch::trace

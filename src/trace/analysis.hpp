@@ -1,0 +1,37 @@
+// Arrival-sequence analytics: the burstiness statistics used throughout
+// the paper's motivation (Figs. 2/3/10 all argue serverless load is
+// bursty and time-local). Shared by benches and available to users
+// characterising their own traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace faasbatch::trace {
+
+struct BurstinessReport {
+  std::size_t arrivals = 0;
+  /// Busiest bucket count.
+  std::size_t peak_bucket = 0;
+  /// Mean arrivals per bucket.
+  double mean_bucket = 0.0;
+  /// peak / mean; 1.0 for perfectly uniform traffic.
+  double peak_to_mean = 0.0;
+  /// Fano factor (variance/mean of per-bucket counts); 1.0 for Poisson,
+  /// >> 1 for bursty processes.
+  double fano_factor = 0.0;
+  /// Fraction of buckets with zero arrivals (temporal locality).
+  double empty_fraction = 0.0;
+  /// Median inter-arrival time in milliseconds (0 if fewer than 2 arrivals).
+  double median_iat_ms = 0.0;
+};
+
+/// Computes burstiness statistics of a sorted arrival sequence over
+/// [0, horizon) using `bucket`-wide bins. Throws std::invalid_argument
+/// for a non-positive bucket or horizon.
+BurstinessReport analyze_burstiness(const std::vector<SimTime>& arrivals,
+                                    SimDuration horizon, SimDuration bucket);
+
+}  // namespace faasbatch::trace

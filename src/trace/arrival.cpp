@@ -1,0 +1,89 @@
+#include "trace/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace faasbatch::trace {
+
+std::vector<SimTime> poisson_arrivals(std::size_t count, SimDuration horizon, Rng& rng) {
+  if (horizon <= 0) throw std::invalid_argument("poisson_arrivals: empty horizon");
+  // Conditional on the count, Poisson arrival times are iid uniform.
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    arrivals.push_back(static_cast<SimTime>(rng.uniform() * static_cast<double>(horizon)));
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+std::vector<SimTime> bursty_arrivals(std::size_t count, SimDuration horizon,
+                                     const BurstyPattern& pattern, Rng& rng) {
+  if (horizon <= 0) throw std::invalid_argument("bursty_arrivals: empty horizon");
+  if (pattern.burst_fraction < 0.0 || pattern.burst_fraction > 1.0) {
+    throw std::invalid_argument("bursty_arrivals: burst_fraction outside [0,1]");
+  }
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(count);
+
+  const auto burst_count = static_cast<std::size_t>(
+      std::max(1.0, std::round(pattern.mean_bursts * (0.5 + rng.uniform()))));
+  const auto in_bursts =
+      static_cast<std::size_t>(std::round(pattern.burst_fraction * static_cast<double>(count)));
+
+  // Burst centres anywhere such that the burst fits the horizon.
+  std::vector<SimTime> centres;
+  centres.reserve(burst_count);
+  const SimDuration usable = std::max<SimDuration>(1, horizon - pattern.burst_span);
+  for (std::size_t b = 0; b < burst_count; ++b) {
+    centres.push_back(static_cast<SimTime>(rng.uniform() * static_cast<double>(usable)));
+  }
+
+  // Split the burst mass across bursts with random (normalised) weights so
+  // burst sizes vary as in the trace.
+  std::vector<double> weights(burst_count);
+  double weight_sum = 0.0;
+  for (auto& w : weights) {
+    w = -std::log(std::max(1e-12, rng.uniform()));  // Exp(1) -> Dirichlet-ish
+    weight_sum += w;
+  }
+  std::size_t assigned = 0;
+  for (std::size_t b = 0; b < burst_count && assigned < in_bursts; ++b) {
+    std::size_t size = b + 1 == burst_count
+                           ? in_bursts - assigned
+                           : std::min(in_bursts - assigned,
+                                      static_cast<std::size_t>(std::round(
+                                          weights[b] / weight_sum *
+                                          static_cast<double>(in_bursts))));
+    for (std::size_t i = 0; i < size; ++i) {
+      const auto offset = static_cast<SimDuration>(
+          rng.uniform() * static_cast<double>(pattern.burst_span));
+      arrivals.push_back(std::min<SimTime>(centres[b] + offset, horizon - 1));
+    }
+    assigned += size;
+  }
+
+  // Background arrivals fill the remainder uniformly.
+  while (arrivals.size() < count) {
+    arrivals.push_back(static_cast<SimTime>(rng.uniform() * static_cast<double>(horizon)));
+  }
+
+  std::sort(arrivals.begin(), arrivals.end());
+  arrivals.resize(count);  // weight rounding can only overshoot pre-background
+  return arrivals;
+}
+
+std::vector<std::size_t> arrivals_per_bucket(const std::vector<SimTime>& arrivals,
+                                             SimDuration horizon, SimDuration bucket) {
+  if (bucket <= 0) throw std::invalid_argument("arrivals_per_bucket: bucket must be > 0");
+  const auto buckets = static_cast<std::size_t>((horizon + bucket - 1) / bucket);
+  std::vector<std::size_t> counts(buckets, 0);
+  for (SimTime t : arrivals) {
+    if (t < 0 || t >= horizon) continue;
+    ++counts[static_cast<std::size_t>(t / bucket)];
+  }
+  return counts;
+}
+
+}  // namespace faasbatch::trace

@@ -1,0 +1,44 @@
+// Invocation arrival-pattern generators.
+//
+// The paper's evaluation replays one minute of the Azure Functions trace
+// (800 invocations, 22:10–22:11 of day 13) whose shape is bursty with
+// tight temporal locality (Figs. 2 and 10). Real traces are not shipped
+// here, so this module synthesises arrival sequences with those published
+// properties: a low-rate Poisson background plus clustered bursts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace faasbatch::trace {
+
+/// Parameters of the bursty arrival synthesiser.
+struct BurstyPattern {
+  /// Fraction of invocations that arrive inside bursts (the rest form a
+  /// uniform Poisson background).
+  double burst_fraction = 0.85;
+  /// Mean number of bursts over the horizon.
+  double mean_bursts = 5.0;
+  /// Width of one burst: arrivals within a burst spread over this span.
+  SimDuration burst_span = 1500 * kMillisecond;
+};
+
+/// `count` Poisson (uniform-order-statistics) arrivals over [0, horizon).
+std::vector<SimTime> poisson_arrivals(std::size_t count, SimDuration horizon, Rng& rng);
+
+/// Exactly `count` arrivals over [0, horizon) following `pattern`:
+/// burst centres are placed uniformly at random, burst sizes are
+/// geometric-like, and within-burst arrivals are uniform over the span.
+/// The result is sorted ascending.
+std::vector<SimTime> bursty_arrivals(std::size_t count, SimDuration horizon,
+                                     const BurstyPattern& pattern, Rng& rng);
+
+/// Buckets arrival times into `bucket` wide bins over [0, horizon), i.e.
+/// the invocations-per-second series of Fig. 10 when bucket = 1 s.
+std::vector<std::size_t> arrivals_per_bucket(const std::vector<SimTime>& arrivals,
+                                             SimDuration horizon, SimDuration bucket);
+
+}  // namespace faasbatch::trace

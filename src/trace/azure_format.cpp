@@ -1,0 +1,312 @@
+#include "trace/azure_format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+#include "trace/duration_model.hpp"
+
+namespace faasbatch::trace {
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+
+double parse_double(const std::string& field, const char* what) {
+  try {
+    return std::stod(field);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("azure trace: bad ") + what + " '" + field +
+                             "'");
+  }
+}
+
+/// Samples a duration from a per-function percentile profile by
+/// log-linear interpolation; clamped to [minimum, maximum].
+double sample_from_percentiles(const AzureDurationRow& row, Rng& rng) {
+  struct Point {
+    double q;
+    double value;
+  };
+  const Point points[] = {{0.0, std::max(row.minimum_ms, 0.1)},
+                          {0.25, std::max(row.p25_ms, 0.1)},
+                          {0.50, std::max(row.p50_ms, 0.1)},
+                          {0.75, std::max(row.p75_ms, 0.1)},
+                          {0.99, std::max(row.p99_ms, 0.1)},
+                          {1.0, std::max(row.maximum_ms, 0.1)}};
+  const double u = rng.uniform();
+  for (std::size_t i = 1; i < std::size(points); ++i) {
+    if (u <= points[i].q) {
+      const auto& lo = points[i - 1];
+      const auto& hi = points[i];
+      const double t = (u - lo.q) / (hi.q - lo.q);
+      // Log-space interpolation keeps the heavy tail heavy.
+      return lo.value * std::pow(hi.value / lo.value, t);
+    }
+  }
+  return points[std::size(points) - 1].value;
+}
+
+}  // namespace
+
+std::uint64_t AzureFunctionRow::total() const {
+  return std::accumulate(per_minute.begin(), per_minute.end(), std::uint64_t{0});
+}
+
+std::vector<AzureFunctionRow> read_azure_invocations(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("azure trace: empty file");
+  const auto header = split(line, ',');
+  if (header.size() < 5 || header[0] != "HashOwner" || header[1] != "HashApp" ||
+      header[2] != "HashFunction" || header[3] != "Trigger") {
+    throw std::runtime_error("azure trace: bad invocations header");
+  }
+  const std::size_t minutes = header.size() - 4;
+  std::vector<AzureFunctionRow> rows;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split(line, ',');
+    if (fields.size() != header.size()) {
+      throw std::runtime_error("azure trace: invocations line " +
+                               std::to_string(line_no) + ": field count mismatch");
+    }
+    AzureFunctionRow row;
+    row.owner = fields[0];
+    row.app = fields[1];
+    row.function = fields[2];
+    row.trigger = fields[3];
+    row.per_minute.reserve(minutes);
+    for (std::size_t m = 0; m < minutes; ++m) {
+      try {
+        row.per_minute.push_back(
+            static_cast<std::uint32_t>(std::stoul(fields[4 + m])));
+      } catch (const std::exception&) {
+        throw std::runtime_error("azure trace: invocations line " +
+                                 std::to_string(line_no) + ": bad count");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<AzureDurationRow> read_azure_durations(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("azure trace: empty file");
+  const auto header = split(line, ',');
+  const std::vector<std::string> expected = {"HashOwner",
+                                             "HashApp",
+                                             "HashFunction",
+                                             "Average",
+                                             "Count",
+                                             "Minimum",
+                                             "Maximum",
+                                             "percentile_Average_25",
+                                             "percentile_Average_50",
+                                             "percentile_Average_75",
+                                             "percentile_Average_99",
+                                             "percentile_Average_100"};
+  if (header.size() < expected.size()) {
+    throw std::runtime_error("azure trace: bad durations header");
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (header[i] != expected[i]) {
+      throw std::runtime_error("azure trace: bad durations header at column " +
+                               std::to_string(i));
+    }
+  }
+  std::vector<AzureDurationRow> rows;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split(line, ',');
+    if (fields.size() < expected.size()) {
+      throw std::runtime_error("azure trace: durations line " +
+                               std::to_string(line_no) + ": field count mismatch");
+    }
+    AzureDurationRow row;
+    row.owner = fields[0];
+    row.app = fields[1];
+    row.function = fields[2];
+    row.average_ms = parse_double(fields[3], "Average");
+    row.minimum_ms = parse_double(fields[5], "Minimum");
+    row.maximum_ms = parse_double(fields[6], "Maximum");
+    row.p25_ms = parse_double(fields[7], "p25");
+    row.p50_ms = parse_double(fields[8], "p50");
+    row.p75_ms = parse_double(fields[9], "p75");
+    row.p99_ms = parse_double(fields[10], "p99");
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Workload convert_azure_trace(const std::vector<AzureFunctionRow>& invocations,
+                             const std::vector<AzureDurationRow>& durations,
+                             const AzureConversionOptions& options) {
+  if (options.minutes == 0) {
+    throw std::invalid_argument("convert_azure_trace: zero-minute window");
+  }
+  Rng rng(options.seed);
+  const DurationModel fallback_durations;
+  const FibCostModel fib;
+
+  // Index duration rows by (owner, app, function).
+  std::map<std::string, const AzureDurationRow*> duration_by_key;
+  for (const auto& row : durations) {
+    duration_by_key[row.owner + "/" + row.app + "/" + row.function] = &row;
+  }
+
+  Workload workload;
+  workload.kind = options.kind;
+  workload.horizon = static_cast<SimDuration>(options.minutes) * kMinute;
+
+  struct PendingEvent {
+    SimTime arrival;
+    FunctionId function;
+  };
+  std::vector<PendingEvent> pending;
+  // Per-function percentile profile (nullptr: use the Fig. 9 model).
+  std::vector<const AzureDurationRow*> profile_durations;
+
+  for (const auto& row : invocations) {
+    // Count invocations inside the window first; skip silent functions.
+    std::uint64_t in_window = 0;
+    for (std::size_t m = 0; m < options.minutes; ++m) {
+      const std::size_t minute = options.start_minute + m;
+      if (minute < row.per_minute.size()) in_window += row.per_minute[minute];
+    }
+    if (in_window == 0) continue;
+
+    FunctionProfile profile;
+    profile.id = static_cast<FunctionId>(workload.functions.size());
+    profile.name = row.function.substr(0, 12) + "_" + std::to_string(profile.id);
+    profile.kind = options.kind;
+    const auto duration_it =
+        duration_by_key.find(row.owner + "/" + row.app + "/" + row.function);
+    const AzureDurationRow* duration_row =
+        duration_it == duration_by_key.end() ? nullptr : duration_it->second;
+    profile.duration_ms =
+        duration_row != nullptr ? std::max(duration_row->p50_ms, 0.1) : 100.0;
+    profile.fib_n = fib.n_for_duration(profile.duration_ms);
+    profile_durations.push_back(duration_row);
+    if (options.kind == FunctionKind::kIo) {
+      profile.client_args_hash = ArgsHasher()
+                                     .add("service", "s3")
+                                     .add("owner", row.owner)
+                                     .add("app", row.app)
+                                     .digest();
+    }
+    workload.functions.push_back(profile);
+
+    for (std::size_t m = 0; m < options.minutes; ++m) {
+      const std::size_t minute = options.start_minute + m;
+      if (minute >= row.per_minute.size()) continue;
+      const std::uint32_t count = row.per_minute[minute];
+      if (count == 0) continue;
+      const SimTime minute_base = static_cast<SimTime>(m) * kMinute;
+      // Within a minute the trace has no sub-minute timestamps; place
+      // arrivals as one burst cluster (the paper's Fig. 2/10 pattern) or
+      // uniformly.
+      SimTime cluster_start = 0;
+      SimDuration cluster_span = kMinute;
+      if (options.bursty_within_minute) {
+        cluster_span = 5 * kSecond +
+                       static_cast<SimDuration>(rng.uniform() * 10.0 * kSecond);
+        cluster_start = static_cast<SimTime>(
+            rng.uniform() * static_cast<double>(kMinute - cluster_span));
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto offset = static_cast<SimDuration>(
+            rng.uniform() * static_cast<double>(cluster_span));
+        pending.push_back(
+            PendingEvent{minute_base + cluster_start + offset, profile.id});
+      }
+    }
+  }
+
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              return a.arrival < b.arrival;
+            });
+  if (options.max_invocations != 0 && pending.size() > options.max_invocations) {
+    pending.resize(options.max_invocations);
+  }
+
+  workload.events.reserve(pending.size());
+  Rng duration_rng = rng.fork();
+  for (const PendingEvent& event : pending) {
+    TraceEvent trace_event;
+    trace_event.arrival = event.arrival;
+    trace_event.function = event.function;
+    if (options.kind == FunctionKind::kCpuIntensive) {
+      // Per-invocation duration from the function's percentile profile,
+      // or the Fig. 9 global model when the durations file lacks it;
+      // snapped to the fib cost curve either way.
+      const AzureDurationRow* duration_row = profile_durations.at(event.function);
+      const double sampled = duration_row != nullptr
+                                 ? sample_from_percentiles(*duration_row, duration_rng)
+                                 : fallback_durations.sample_ms(duration_rng);
+      trace_event.fib_n = fib.n_for_duration(sampled);
+      trace_event.duration_ms = fib.duration_ms(trace_event.fib_n);
+    } else {
+      trace_event.duration_ms = duration_rng.uniform(5.0, 20.0);
+    }
+    workload.events.push_back(trace_event);
+  }
+  return workload;
+}
+
+void write_synthetic_azure_files(std::ostream& invocations_os,
+                                 std::ostream& durations_os, std::size_t functions,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  invocations_os << "HashOwner,HashApp,HashFunction,Trigger";
+  for (int m = 1; m <= 1440; ++m) invocations_os << "," << m;
+  invocations_os << "\n";
+  durations_os << "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,"
+                  "percentile_Average_25,percentile_Average_50,percentile_Average_75,"
+                  "percentile_Average_99,percentile_Average_100\n";
+
+  const DurationModel durations_model;
+  for (std::size_t f = 0; f < functions; ++f) {
+    const std::string owner = "owner" + std::to_string(f % 3);
+    const std::string app = "app" + std::to_string(f % 5);
+    const std::string function = "func" + std::to_string(f);
+    invocations_os << owner << "," << app << "," << function << ",http";
+    // A few active windows of bursty minutes; most minutes zero.
+    const int active_windows = static_cast<int>(1 + rng.uniform_int(0, 3));
+    std::vector<std::uint32_t> minutes(1440, 0);
+    for (int w = 0; w < active_windows; ++w) {
+      const auto start = static_cast<std::size_t>(rng.uniform_int(0, 1400));
+      const auto span = static_cast<std::size_t>(rng.uniform_int(1, 30));
+      for (std::size_t m = start; m < std::min<std::size_t>(start + span, 1440); ++m) {
+        minutes[m] = static_cast<std::uint32_t>(rng.uniform_int(1, 60));
+      }
+    }
+    for (std::uint32_t count : minutes) invocations_os << "," << count;
+    invocations_os << "\n";
+
+    Rng f_rng = rng.fork();
+    const double p50 = durations_model.sample_ms(f_rng);
+    durations_os << owner << "," << app << "," << function << "," << p50 * 1.2 << ","
+                 << 1000 << "," << p50 * 0.3 << "," << p50 * 8.0 << "," << p50 * 0.6
+                 << "," << p50 << "," << p50 * 1.8 << "," << p50 * 5.0 << ","
+                 << p50 * 8.0 << "\n";
+  }
+}
+
+}  // namespace faasbatch::trace

@@ -1,0 +1,96 @@
+// Reader for the public Azure Functions trace schema.
+//
+// The paper drives its evaluation from the Azure Functions 2019 dataset
+// (Shahrad et al., ATC'20), which ships as CSVs: an *invocations* file
+// with per-function per-minute counts and a *durations* file with
+// per-function execution-time statistics. The raw traces are not
+// redistributable here, but this module reads that exact schema, so a
+// user who downloads the dataset can replay real minutes through every
+// scheduler. A synthesiser for schema-compatible files supports tests
+// and demos.
+//
+// Invocations CSV header (as published):
+//   HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+// Durations CSV header (subset used):
+//   HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,
+//   percentile_Average_25,percentile_Average_50,percentile_Average_75,
+//   percentile_Average_99,percentile_Average_100
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::trace {
+
+/// One function row of the invocations file.
+struct AzureFunctionRow {
+  std::string owner;
+  std::string app;
+  std::string function;
+  std::string trigger;
+  /// Invocations in each minute of the day (size 1440, or shorter for
+  /// truncated test files).
+  std::vector<std::uint32_t> per_minute;
+
+  std::uint64_t total() const;
+};
+
+/// Duration statistics for one function (milliseconds).
+struct AzureDurationRow {
+  std::string owner;
+  std::string app;
+  std::string function;
+  double average_ms = 0.0;
+  double minimum_ms = 0.0;
+  double maximum_ms = 0.0;
+  double p25_ms = 0.0;
+  double p50_ms = 0.0;
+  double p75_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Parses the invocations file. Throws std::runtime_error on schema
+/// violations (bad header, non-numeric counts).
+std::vector<AzureFunctionRow> read_azure_invocations(std::istream& is);
+
+/// Parses the durations file.
+std::vector<AzureDurationRow> read_azure_durations(std::istream& is);
+
+/// Options for converting trace rows into a replayable workload.
+struct AzureConversionOptions {
+  /// First minute of the extracted window (0-based; paper: 22:10 of day
+  /// 13 -> minute 1330).
+  std::size_t start_minute = 0;
+  /// Number of minutes to extract (paper: 1).
+  std::size_t minutes = 1;
+  /// Cap on total invocations (paper uses the first 400 for I/O); 0 = no cap.
+  std::size_t max_invocations = 0;
+  /// Treat the workload as CPU-intensive or I/O.
+  FunctionKind kind = FunctionKind::kCpuIntensive;
+  /// Within-minute arrival placement: true spreads each minute's count
+  /// as a burst cluster, false uniformly.
+  bool bursty_within_minute = true;
+  std::uint64_t seed = 42;
+};
+
+/// Builds a Workload from parsed Azure rows. Functions with no
+/// invocations inside the window are dropped; per-invocation durations
+/// are sampled from each function's percentile profile (log-linear
+/// interpolation between p25/p50/p75/p99). Functions missing from the
+/// durations file get the Fig. 9 global distribution.
+Workload convert_azure_trace(const std::vector<AzureFunctionRow>& invocations,
+                             const std::vector<AzureDurationRow>& durations,
+                             const AzureConversionOptions& options);
+
+/// Writes a schema-compatible synthetic pair of files for tests/demos:
+/// `functions` functions over 1440 minutes with bursty minute counts.
+void write_synthetic_azure_files(std::ostream& invocations_os,
+                                 std::ostream& durations_os, std::size_t functions,
+                                 std::uint64_t seed);
+
+}  // namespace faasbatch::trace

@@ -1,0 +1,52 @@
+#include "trace/blob_iat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace faasbatch::trace {
+namespace {
+
+/// Log-uniform draw in [lo, hi) milliseconds.
+double log_uniform(double lo, double hi, Rng& rng) {
+  return lo * std::pow(hi / lo, rng.uniform());
+}
+
+}  // namespace
+
+BlobIatModel::BlobIatModel(BlobIatMixture mixture, double tail_cap_ms)
+    : mixture_(mixture), tail_cap_ms_(tail_cap_ms) {
+  if (mixture_.within_100ms < 0 || mixture_.within_1s < 0 ||
+      mixture_.within_100ms + mixture_.within_1s > 1.0) {
+    throw std::invalid_argument("BlobIatModel: invalid mixture masses");
+  }
+  if (tail_cap_ms_ <= 1000.0) {
+    throw std::invalid_argument("BlobIatModel: tail cap must exceed 1000 ms");
+  }
+}
+
+double BlobIatModel::sample_ms(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u < mixture_.within_100ms) return log_uniform(0.1, 100.0, rng);
+  if (u < mixture_.within_100ms + mixture_.within_1s) {
+    return log_uniform(100.0, 1000.0, rng);
+  }
+  return log_uniform(1000.0, tail_cap_ms_, rng);
+}
+
+metrics::Samples BlobIatModel::sample_many(std::size_t n, Rng& rng) const {
+  metrics::Samples samples;
+  for (std::size_t i = 0; i < n; ++i) samples.add(sample_ms(rng));
+  return samples;
+}
+
+BlobIatModel BlobIatModel::day_variant(std::size_t day, double jitter) const {
+  Rng rng(0xB10B0000 + day);  // per-day deterministic perturbation
+  BlobIatMixture m = mixture_;
+  m.within_100ms = std::clamp(m.within_100ms + rng.uniform(-jitter, jitter), 0.0, 0.95);
+  m.within_1s = std::clamp(m.within_1s + rng.uniform(-jitter, jitter), 0.0,
+                           1.0 - m.within_100ms);
+  return BlobIatModel(m, tail_cap_ms_);
+}
+
+}  // namespace faasbatch::trace

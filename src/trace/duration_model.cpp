@@ -1,0 +1,74 @@
+#include "trace/duration_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace faasbatch::trace {
+namespace {
+
+/// phi, the base of naive-recursive-Fibonacci cost growth.
+constexpr double kPhi = 1.6180339887498949;
+
+}  // namespace
+
+const std::array<DurationBucket, 6>& paper_duration_buckets() {
+  static const std::array<DurationBucket, 6> kBuckets = {{
+      {0.0, 50.0, 0.5513},
+      {50.0, 100.0, 0.0696},
+      {100.0, 200.0, 0.0561},
+      {200.0, 400.0, 0.1108},
+      {400.0, 1550.0, 0.1109},
+      {1550.0, -1.0 /* tail: capped by the model */, 0.1014},
+  }};
+  return kBuckets;
+}
+
+DurationModel::DurationModel(double tail_cap_ms) : tail_cap_ms_(tail_cap_ms) {
+  if (tail_cap_ms_ <= 1550.0) {
+    throw std::invalid_argument("DurationModel: tail cap must exceed 1550 ms");
+  }
+  for (const auto& bucket : paper_duration_buckets()) {
+    weights_.push_back(bucket.probability);
+  }
+}
+
+double DurationModel::sample_ms(Rng& rng) const {
+  const std::size_t idx = rng.weighted_index(weights_);
+  const DurationBucket& bucket = paper_duration_buckets()[idx];
+  const double hi = idx == kNumBuckets - 1 ? tail_cap_ms_ : bucket.hi_ms;
+  // Log-uniform inside the bucket (durations are heavily right-skewed);
+  // floor the low edge at 1 ms so the log transform is defined.
+  const double lo = std::max(bucket.lo_ms, 1.0);
+  const double u = rng.uniform();
+  return lo * std::pow(hi / lo, u);
+}
+
+double DurationModel::bucket_probability(std::size_t i) const {
+  return paper_duration_buckets().at(i).probability;
+}
+
+std::size_t DurationModel::bucket_of(double duration_ms) const {
+  const auto& buckets = paper_duration_buckets();
+  for (std::size_t i = 0; i + 1 < buckets.size(); ++i) {
+    if (duration_ms < buckets[i + 1].lo_ms) return i;
+  }
+  return buckets.size() - 1;
+}
+
+FibCostModel::FibCostModel(int base_n, double base_ms)
+    : base_n_(base_n), base_ms_(base_ms) {
+  if (base_ms <= 0.0) throw std::invalid_argument("FibCostModel: base_ms must be > 0");
+}
+
+double FibCostModel::duration_ms(int n) const {
+  return base_ms_ * std::pow(kPhi, n - base_n_);
+}
+
+int FibCostModel::n_for_duration(double duration_ms) const {
+  if (duration_ms <= 0.0) return 1;
+  const double n = base_n_ + std::log(duration_ms / base_ms_) / std::log(kPhi);
+  return std::clamp(static_cast<int>(std::ceil(n)), 1, 45);
+}
+
+}  // namespace faasbatch::trace

@@ -1,0 +1,73 @@
+// Function-duration model fitted to the paper's Fig. 9.
+//
+// The paper buckets Azure Functions execution times as:
+//   [0,50) ms: 55.13%   [50,100): 6.96%   [100,200): 5.61%
+//   [200,400): 11.08%   [400,1550): 11.09%   [1550,inf): 10.14%
+// and realises durations as Fibonacci workloads fib(N) whose cost maps to
+// those buckets (fib with N in 20..26 completes in under 45 ms, per §IV).
+//
+// We sample a bucket by those probabilities and a duration log-uniformly
+// within the bucket, then map durations to fib N through a calibrated
+// golden-ratio cost curve: cost(N) = cost(N0) * phi^(N - N0), which is the
+// asymptotic work of naive recursive Fibonacci.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace faasbatch::trace {
+
+/// One Fig. 9 bucket: [lo_ms, hi_ms) with its probability mass.
+struct DurationBucket {
+  double lo_ms;
+  double hi_ms;  // upper edge; the last bucket uses the model's tail cap
+  double probability;
+};
+
+/// The six paper buckets (probabilities sum to 1 within rounding).
+const std::array<DurationBucket, 6>& paper_duration_buckets();
+
+class DurationModel {
+ public:
+  /// `tail_cap_ms` bounds the open-ended [1550, inf) bucket.
+  explicit DurationModel(double tail_cap_ms = 5000.0);
+
+  /// Samples an execution duration in milliseconds per Fig. 9.
+  double sample_ms(Rng& rng) const;
+
+  /// Probability mass of bucket `i` (paper order).
+  double bucket_probability(std::size_t i) const;
+
+  /// Index of the bucket containing `duration_ms`.
+  std::size_t bucket_of(double duration_ms) const;
+
+  static constexpr std::size_t kNumBuckets = 6;
+
+ private:
+  double tail_cap_ms_;
+  std::vector<double> weights_;
+};
+
+/// Calibrated cost curve for naive recursive fib(N).
+class FibCostModel {
+ public:
+  /// `base_n` completes in `base_ms`; cost grows by phi per increment.
+  /// Defaults put fib(20)=2.5 ms so fib(26)~44 ms (paper: "fib with N
+  /// between 20 and 26 completes in less than 45 ms").
+  explicit FibCostModel(int base_n = 20, double base_ms = 2.5);
+
+  /// Estimated duration of fib(n) in milliseconds.
+  double duration_ms(int n) const;
+
+  /// Smallest N whose duration is >= duration_ms (clamped to [1, 45]).
+  int n_for_duration(double duration_ms) const;
+
+ private:
+  int base_n_;
+  double base_ms_;
+};
+
+}  // namespace faasbatch::trace

@@ -1,0 +1,121 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace faasbatch::trace {
+namespace {
+
+constexpr const char* kHeader =
+    "arrival_us,function,kind,duration_ms,fib_n,profile_duration_ms,profile_fib_n,"
+    "client_key";
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  // A trailing comma yields an implicit empty final field.
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+const char* kind_name(FunctionKind kind) {
+  return kind == FunctionKind::kCpuIntensive ? "cpu" : "io";
+}
+
+FunctionKind parse_kind(const std::string& name) {
+  if (name == "cpu") return FunctionKind::kCpuIntensive;
+  if (name == "io") return FunctionKind::kIo;
+  throw std::runtime_error("trace csv: unknown function kind '" + name + "'");
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const Workload& workload) {
+  // Full double precision so a round trip reproduces durations exactly.
+  os << std::setprecision(17);
+  os << kHeader << "\n";
+  for (const TraceEvent& event : workload.events) {
+    const FunctionProfile& profile = workload.functions.at(event.function);
+    os << event.arrival << "," << profile.name << "," << kind_name(profile.kind) << ","
+       << event.duration_ms << "," << event.fib_n << "," << profile.duration_ms << ","
+       << profile.fib_n << "," << profile.client_args_hash << "\n";
+  }
+}
+
+Workload read_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("trace csv: bad or missing header");
+  }
+  Workload workload;
+  std::map<std::string, FunctionId> by_name;
+  SimTime last_arrival = 0;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    if (fields.size() != 8) {
+      throw std::runtime_error("trace csv: line " + std::to_string(line_no) +
+                               ": expected 8 fields");
+    }
+    try {
+      const SimTime arrival = std::stoll(fields[0]);
+      if (arrival < last_arrival) {
+        throw std::runtime_error("trace csv: line " + std::to_string(line_no) +
+                                 ": non-monotonic arrival time");
+      }
+      last_arrival = arrival;
+      const std::string& name = fields[1];
+      auto [it, inserted] =
+          by_name.try_emplace(name, static_cast<FunctionId>(workload.functions.size()));
+      if (inserted) {
+        FunctionProfile profile;
+        profile.id = it->second;
+        profile.name = name;
+        profile.kind = parse_kind(fields[2]);
+        profile.duration_ms = std::stod(fields[5]);
+        profile.fib_n = std::stoi(fields[6]);
+        profile.client_args_hash = std::stoull(fields[7]);
+        workload.functions.push_back(std::move(profile));
+      }
+      TraceEvent event;
+      event.arrival = arrival;
+      event.function = it->second;
+      event.duration_ms = std::stod(fields[3]);
+      event.fib_n = std::stoi(fields[4]);
+      workload.events.push_back(event);
+    } catch (const std::runtime_error&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw std::runtime_error("trace csv: line " + std::to_string(line_no) + ": " +
+                               e.what());
+    }
+  }
+  if (!workload.functions.empty()) workload.kind = workload.functions.front().kind;
+  if (!workload.events.empty()) {
+    workload.horizon = workload.events.back().arrival + kSecond;
+  }
+  return workload;
+}
+
+void save_trace(const std::string& path, const Workload& workload) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_trace: cannot open " + path);
+  write_trace_csv(os, workload);
+  if (!os) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+Workload load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_trace: cannot open " + path);
+  return read_trace_csv(is);
+}
+
+}  // namespace faasbatch::trace

@@ -1,0 +1,30 @@
+// CSV persistence for workload traces.
+//
+// Lets users export synthesised workloads, edit or inspect them, and
+// replay real traces (e.g. converted Azure Functions logs) through the
+// same schedulers. Format, one row per invocation after a header:
+//   arrival_us,function,kind,duration_ms,fib_n,client_key
+// Function rows repeat the profile fields; the reader reconstructs the
+// function table from the distinct names in order of first appearance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/workload.hpp"
+
+namespace faasbatch::trace {
+
+/// Writes `workload` as CSV.
+void write_trace_csv(std::ostream& os, const Workload& workload);
+
+/// Parses a workload from CSV. Throws std::runtime_error on malformed
+/// input (wrong header, bad field count, unparsable numbers, or
+/// non-monotonic arrival times).
+Workload read_trace_csv(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error on IO failure.
+void save_trace(const std::string& path, const Workload& workload);
+Workload load_trace(const std::string& path);
+
+}  // namespace faasbatch::trace

@@ -1,0 +1,109 @@
+#include "trace/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace faasbatch::trace {
+
+Workload synthesize_workload(const WorkloadSpec& spec) {
+  if (spec.num_functions == 0) {
+    throw std::invalid_argument("synthesize_workload: need at least one function");
+  }
+  Rng rng(spec.seed);
+  Rng duration_rng = rng.fork();
+  Rng arrival_rng = rng.fork();
+  Rng popularity_rng = rng.fork();
+
+  const DurationModel durations(spec.tail_cap_ms);
+  const FibCostModel fib;
+
+  Workload workload;
+  workload.kind = spec.kind;
+  workload.horizon = spec.horizon;
+  workload.functions.reserve(spec.num_functions);
+  for (std::size_t i = 0; i < spec.num_functions; ++i) {
+    FunctionProfile profile;
+    profile.id = static_cast<FunctionId>(i);
+    profile.kind = spec.kind;
+    if (spec.kind == FunctionKind::kCpuIntensive) {
+      profile.name = "fib_" + std::to_string(i);
+      profile.duration_ms = durations.sample_ms(duration_rng);
+      profile.fib_n = fib.n_for_duration(profile.duration_ms);
+      // Snap the duration to the fib cost curve so replaying fib(N) and
+      // replaying the trace agree.
+      profile.duration_ms = fib.duration_ms(profile.fib_n);
+    } else {
+      profile.name = "io_" + std::to_string(i);
+      // The object operation itself is short; the dominant cost (client
+      // creation) is modelled by the storage substrate.
+      profile.duration_ms = duration_rng.uniform(5.0, 20.0);
+      profile.fib_n = 0;
+      profile.client_args_hash = ArgsHasher()
+                                     .add("service", "s3")
+                                     .add("account", profile.name)
+                                     .add("region", "us-east-1")
+                                     .digest();
+    }
+    workload.functions.push_back(std::move(profile));
+  }
+
+  // Popularity: `hot_fraction` of the functions receive `hot_mass` of the
+  // invocations, uniformly within each class.
+  const std::size_t hot_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(spec.hot_fraction * static_cast<double>(spec.num_functions)));
+  const std::vector<SimTime> arrivals =
+      bursty_arrivals(spec.invocations, spec.horizon, spec.bursts, arrival_rng);
+
+  workload.events.reserve(arrivals.size());
+  for (SimTime t : arrivals) {
+    FunctionId function;
+    if (hot_count >= spec.num_functions || popularity_rng.uniform() < spec.hot_mass) {
+      function = static_cast<FunctionId>(
+          popularity_rng.uniform_int(0, static_cast<std::int64_t>(hot_count) - 1));
+    } else {
+      function = static_cast<FunctionId>(popularity_rng.uniform_int(
+          static_cast<std::int64_t>(hot_count),
+          static_cast<std::int64_t>(spec.num_functions) - 1));
+    }
+    TraceEvent event{t, function, 0.0, 0};
+    // Per-invocation durations: inputs vary per request, so each CPU
+    // invocation draws its own fib N from the Fig. 9 distribution
+    // (snapped to the fib cost curve); I/O operations vary mildly.
+    if (spec.kind == FunctionKind::kCpuIntensive) {
+      event.fib_n = fib.n_for_duration(durations.sample_ms(duration_rng));
+      event.duration_ms = fib.duration_ms(event.fib_n);
+    } else {
+      event.duration_ms = duration_rng.uniform(5.0, 20.0);
+    }
+    workload.events.push_back(event);
+  }
+  // bursty_arrivals returns sorted times, so events are already ordered.
+  return workload;
+}
+
+std::vector<std::vector<SimTime>> synthesize_day_patterns(std::size_t function_count,
+                                                          std::size_t min_invocations,
+                                                          std::uint64_t seed) {
+  std::vector<std::vector<SimTime>> patterns;
+  patterns.reserve(function_count);
+  Rng rng(seed);
+  for (std::size_t f = 0; f < function_count; ++f) {
+    Rng function_rng = rng.fork();
+    // Hot functions differ in how concentrated their day is: vary the
+    // burst count and width per function.
+    BurstyPattern pattern;
+    pattern.burst_fraction = function_rng.uniform(0.7, 0.95);
+    pattern.mean_bursts = function_rng.uniform(5.0, 40.0);
+    pattern.burst_span =
+        static_cast<SimDuration>(function_rng.uniform(2.0, 30.0) * kMinute);
+    const auto count = static_cast<std::size_t>(
+        function_rng.uniform_int(static_cast<std::int64_t>(min_invocations),
+                                 static_cast<std::int64_t>(min_invocations * 3)));
+    patterns.push_back(bursty_arrivals(count, kHour * 24, pattern, function_rng));
+  }
+  return patterns;
+}
+
+}  // namespace faasbatch::trace

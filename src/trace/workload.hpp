@@ -1,0 +1,97 @@
+// Workload synthesis: function mixes and invocation traces.
+//
+// Combines the Fig. 9 duration model, the hot-function popularity skew
+// ("20% of popular functions occupy more than 99% of all invocations",
+// paper §II-A) and the bursty arrival synthesiser into complete workloads:
+// a function table plus a timestamped invocation sequence. This is the
+// input every scheduler consumes, mirroring the paper's replay of one
+// Azure-trace minute (800 CPU invocations / 400 I/O invocations, §IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/arrival.hpp"
+#include "trace/duration_model.hpp"
+
+namespace faasbatch::trace {
+
+enum class FunctionKind {
+  /// Pure compute (naive Fibonacci), the paper's CPU-intensive workload.
+  kCpuIntensive,
+  /// Creates a cloud-storage client and performs a small object operation,
+  /// the paper's I/O workload (Listing 1).
+  kIo,
+};
+
+/// Static description of one registered serverless function.
+struct FunctionProfile {
+  FunctionId id = kInvalidFunction;
+  std::string name;
+  FunctionKind kind = FunctionKind::kCpuIntensive;
+  /// Characteristic compute duration of one invocation, milliseconds
+  /// (for I/O functions: the object operation, excluding client creation).
+  double duration_ms = 10.0;
+  /// Fibonacci input realising that duration (CPU functions).
+  int fib_n = 25;
+  /// Customer-specified container CPU limit in cores; 0 = unrestricted
+  /// (container may use the whole machine).
+  double cpu_limit_cores = 0.0;
+  /// Hash of the storage-client creation arguments (I/O functions). All
+  /// invocations of one function share credentials, hence one hash.
+  std::uint64_t client_args_hash = 0;
+};
+
+/// One invocation request in a trace.
+struct TraceEvent {
+  SimTime arrival = 0;
+  FunctionId function = kInvalidFunction;
+  /// Per-invocation body duration in milliseconds (functions take inputs
+  /// of varying cost, e.g. different fib N); 0 means "use the function
+  /// profile's characteristic duration".
+  double duration_ms = 0.0;
+  /// Fibonacci input realising this invocation's duration (CPU kind).
+  int fib_n = 0;
+};
+
+/// A complete replayable workload.
+struct Workload {
+  FunctionKind kind = FunctionKind::kCpuIntensive;
+  std::vector<FunctionProfile> functions;  // indexed by FunctionId
+  std::vector<TraceEvent> events;          // sorted by arrival time
+  SimDuration horizon = kMinute;
+
+  std::size_t invocation_count() const { return events.size(); }
+};
+
+/// Parameters of workload synthesis.
+struct WorkloadSpec {
+  FunctionKind kind = FunctionKind::kCpuIntensive;
+  /// Total invocations over the horizon (paper: 800 CPU / 400 I/O).
+  std::size_t invocations = 800;
+  SimDuration horizon = kMinute;
+  std::size_t num_functions = 10;
+  /// Fraction of functions that are "hot".
+  double hot_fraction = 0.2;
+  /// Fraction of invocations landing on hot functions.
+  double hot_mass = 0.99;
+  BurstyPattern bursts;
+  /// Cap for the open-ended Fig. 9 tail bucket.
+  double tail_cap_ms = 5000.0;
+  std::uint64_t seed = 42;
+};
+
+/// Synthesises a workload per `spec`. Deterministic in the seed.
+Workload synthesize_workload(const WorkloadSpec& spec);
+
+/// Per-function arrival sequences over a full day for `function_count`
+/// hot functions, each invoked at least `min_invocations` times —
+/// regenerates the Fig. 2 daily-pattern study.
+std::vector<std::vector<SimTime>> synthesize_day_patterns(std::size_t function_count,
+                                                          std::size_t min_invocations,
+                                                          std::uint64_t seed);
+
+}  // namespace faasbatch::trace

@@ -1,0 +1,58 @@
+// Tests for trace analytics (burstiness statistics).
+#include <gtest/gtest.h>
+
+#include "trace/analysis.hpp"
+#include "trace/arrival.hpp"
+
+namespace faasbatch::trace {
+namespace {
+
+TEST(BurstinessTest, EmptySequence) {
+  const auto report = analyze_burstiness({}, kMinute, kSecond);
+  EXPECT_EQ(report.arrivals, 0u);
+  EXPECT_EQ(report.peak_bucket, 0u);
+  EXPECT_DOUBLE_EQ(report.peak_to_mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.median_iat_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report.empty_fraction, 1.0);
+}
+
+TEST(BurstinessTest, UniformTraffic) {
+  std::vector<SimTime> arrivals;
+  for (int s = 0; s < 60; ++s) arrivals.push_back(s * kSecond + kSecond / 2);
+  const auto report = analyze_burstiness(arrivals, kMinute, kSecond);
+  EXPECT_EQ(report.arrivals, 60u);
+  EXPECT_EQ(report.peak_bucket, 1u);
+  EXPECT_DOUBLE_EQ(report.peak_to_mean, 1.0);
+  EXPECT_DOUBLE_EQ(report.fano_factor, 0.0);  // deterministic: sub-Poisson
+  EXPECT_DOUBLE_EQ(report.empty_fraction, 0.0);
+  EXPECT_NEAR(report.median_iat_ms, 1000.0, 1e-9);
+}
+
+TEST(BurstinessTest, SingleBurst) {
+  std::vector<SimTime> arrivals(100, 30 * kSecond);  // all in one second
+  const auto report = analyze_burstiness(arrivals, kMinute, kSecond);
+  EXPECT_EQ(report.peak_bucket, 100u);
+  EXPECT_NEAR(report.peak_to_mean, 60.0, 1e-9);
+  EXPECT_GT(report.fano_factor, 50.0);
+  EXPECT_NEAR(report.empty_fraction, 59.0 / 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.median_iat_ms, 0.0);
+}
+
+TEST(BurstinessTest, SyntheticBurstyBeatsPoissonOnFano) {
+  Rng rng1(4), rng2(4);
+  const auto bursty = bursty_arrivals(800, kMinute, BurstyPattern{}, rng1);
+  const auto poisson = poisson_arrivals(800, kMinute, rng2);
+  const auto bursty_report = analyze_burstiness(bursty, kMinute, kSecond);
+  const auto poisson_report = analyze_burstiness(poisson, kMinute, kSecond);
+  EXPECT_GT(bursty_report.fano_factor, 3.0 * poisson_report.fano_factor);
+  // Poisson traffic has Fano factor ~1.
+  EXPECT_NEAR(poisson_report.fano_factor, 1.0, 0.5);
+}
+
+TEST(BurstinessTest, Validation) {
+  EXPECT_THROW(analyze_burstiness({}, 0, kSecond), std::invalid_argument);
+  EXPECT_THROW(analyze_burstiness({}, kMinute, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faasbatch::trace

@@ -1,0 +1,106 @@
+// Tests for arrival-pattern generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "trace/arrival.hpp"
+
+namespace faasbatch::trace {
+namespace {
+
+TEST(PoissonArrivalsTest, CountHorizonAndOrder) {
+  Rng rng(1);
+  const auto arrivals = poisson_arrivals(500, kMinute, rng);
+  EXPECT_EQ(arrivals.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, kMinute);
+  }
+}
+
+TEST(BurstyArrivalsTest, ExactCountSortedWithinHorizon) {
+  Rng rng(2);
+  const auto arrivals = bursty_arrivals(800, kMinute, BurstyPattern{}, rng);
+  EXPECT_EQ(arrivals.size(), 800u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, kMinute);
+  }
+}
+
+TEST(BurstyArrivalsTest, BurstierThanPoisson) {
+  Rng rng1(3), rng2(3);
+  const auto bursty = bursty_arrivals(800, kMinute, BurstyPattern{}, rng1);
+  const auto poisson = poisson_arrivals(800, kMinute, rng2);
+  const auto bursty_buckets = arrivals_per_bucket(bursty, kMinute, kSecond);
+  const auto poisson_buckets = arrivals_per_bucket(poisson, kMinute, kSecond);
+  const auto peak = [](const std::vector<std::size_t>& b) {
+    return *std::max_element(b.begin(), b.end());
+  };
+  // The bursty series must have a markedly higher peak second.
+  EXPECT_GT(peak(bursty_buckets), 2 * peak(poisson_buckets));
+}
+
+TEST(BurstyArrivalsTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  EXPECT_EQ(bursty_arrivals(100, kMinute, BurstyPattern{}, a),
+            bursty_arrivals(100, kMinute, BurstyPattern{}, b));
+}
+
+TEST(BurstyArrivalsTest, ZeroBurstFractionIsBackgroundOnly) {
+  Rng rng(5);
+  BurstyPattern pattern;
+  pattern.burst_fraction = 0.0;
+  const auto arrivals = bursty_arrivals(200, kMinute, pattern, rng);
+  EXPECT_EQ(arrivals.size(), 200u);
+}
+
+TEST(BurstyArrivalsTest, Validation) {
+  Rng rng(6);
+  EXPECT_THROW(bursty_arrivals(10, 0, BurstyPattern{}, rng), std::invalid_argument);
+  BurstyPattern bad;
+  bad.burst_fraction = 1.5;
+  EXPECT_THROW(bursty_arrivals(10, kMinute, bad, rng), std::invalid_argument);
+  EXPECT_THROW(poisson_arrivals(10, 0, rng), std::invalid_argument);
+}
+
+TEST(ArrivalsPerBucketTest, CountsAndBoundaries) {
+  const std::vector<SimTime> arrivals{0, kSecond - 1, kSecond, 5 * kSecond,
+                                      kMinute + kSecond /* outside */};
+  const auto buckets = arrivals_per_bucket(arrivals, kMinute, kSecond);
+  ASSERT_EQ(buckets.size(), 60u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[5], 1u);
+  EXPECT_EQ(std::accumulate(buckets.begin(), buckets.end(), 0u), 4u);
+}
+
+TEST(ArrivalsPerBucketTest, Validation) {
+  EXPECT_THROW(arrivals_per_bucket({}, kMinute, 0), std::invalid_argument);
+}
+
+// Property sweep: counts are exact across sizes and horizons.
+class BurstyCountTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, SimDuration>> {};
+
+TEST_P(BurstyCountTest, ExactCount) {
+  const auto [count, horizon] = GetParam();
+  Rng rng(count * 31 + 1);
+  const auto arrivals = bursty_arrivals(count, horizon, BurstyPattern{}, rng);
+  EXPECT_EQ(arrivals.size(), count);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  if (!arrivals.empty()) {
+    EXPECT_LT(arrivals.back(), horizon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BurstyCountTest,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 10, 400, 800),
+                       ::testing::Values<SimDuration>(kSecond, kMinute, kHour)));
+
+}  // namespace
+}  // namespace faasbatch::trace

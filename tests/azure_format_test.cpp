@@ -1,0 +1,179 @@
+// Tests for the Azure Functions trace-format reader and converter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "trace/azure_format.hpp"
+
+namespace faasbatch::trace {
+namespace {
+
+std::string small_invocations_csv() {
+  // A 6-minute file (truncated day) with two functions.
+  std::ostringstream os;
+  os << "HashOwner,HashApp,HashFunction,Trigger,1,2,3,4,5,6\n"
+     << "o1,a1,f1,http,0,10,5,0,0,0\n"
+     << "o1,a1,f2,timer,1,0,0,0,2,0\n"
+     << "o2,a2,f3,queue,0,0,0,0,0,0\n";
+  return os.str();
+}
+
+std::string small_durations_csv() {
+  std::ostringstream os;
+  os << "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,"
+        "percentile_Average_25,percentile_Average_50,percentile_Average_75,"
+        "percentile_Average_99,percentile_Average_100\n"
+     << "o1,a1,f1,120,100,10,900,60,100,200,700,900\n"
+     << "o1,a1,f2,40,10,5,80,20,35,50,75,80\n";
+  return os.str();
+}
+
+TEST(AzureFormatTest, ReadsInvocationRows) {
+  std::istringstream is(small_invocations_csv());
+  const auto rows = read_azure_invocations(is);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].owner, "o1");
+  EXPECT_EQ(rows[0].function, "f1");
+  EXPECT_EQ(rows[0].trigger, "http");
+  ASSERT_EQ(rows[0].per_minute.size(), 6u);
+  EXPECT_EQ(rows[0].per_minute[1], 10u);
+  EXPECT_EQ(rows[0].total(), 15u);
+  EXPECT_EQ(rows[2].total(), 0u);
+}
+
+TEST(AzureFormatTest, ReadsDurationRows) {
+  std::istringstream is(small_durations_csv());
+  const auto rows = read_azure_durations(is);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].p50_ms, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].p99_ms, 700.0);
+  EXPECT_DOUBLE_EQ(rows[1].minimum_ms, 5.0);
+}
+
+TEST(AzureFormatTest, RejectsBadHeaders) {
+  std::istringstream bad1("NotTheHeader,x,y\n");
+  EXPECT_THROW(read_azure_invocations(bad1), std::runtime_error);
+  std::istringstream bad2("HashOwner,HashApp,HashFunction,Average\n");
+  EXPECT_THROW(read_azure_durations(bad2), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW(read_azure_invocations(empty), std::runtime_error);
+}
+
+TEST(AzureFormatTest, RejectsMalformedRows) {
+  std::istringstream short_row(
+      "HashOwner,HashApp,HashFunction,Trigger,1,2\no1,a1,f1,http,5\n");
+  EXPECT_THROW(read_azure_invocations(short_row), std::runtime_error);
+  std::istringstream bad_count(
+      "HashOwner,HashApp,HashFunction,Trigger,1\no1,a1,f1,http,NaNcy\n");
+  EXPECT_THROW(read_azure_invocations(bad_count), std::runtime_error);
+}
+
+TEST(AzureConvertTest, WindowExtractionAndCounts) {
+  std::istringstream inv_is(small_invocations_csv());
+  std::istringstream dur_is(small_durations_csv());
+  const auto invocations = read_azure_invocations(inv_is);
+  const auto durations = read_azure_durations(dur_is);
+
+  AzureConversionOptions options;
+  options.start_minute = 1;  // minute "2" of the file
+  options.minutes = 2;
+  const Workload workload = convert_azure_trace(invocations, durations, options);
+  // f1 contributes 10+5; f2 contributes 0 in minutes 2..3; f3 silent.
+  EXPECT_EQ(workload.events.size(), 15u);
+  EXPECT_EQ(workload.functions.size(), 1u);
+  EXPECT_EQ(workload.horizon, 2 * kMinute);
+  for (const auto& event : workload.events) {
+    EXPECT_GE(event.arrival, 0);
+    EXPECT_LT(event.arrival, 2 * kMinute);
+    EXPECT_GT(event.duration_ms, 0.0);
+  }
+  EXPECT_TRUE(std::is_sorted(workload.events.begin(), workload.events.end(),
+                             [](const TraceEvent& a, const TraceEvent& b) {
+                               return a.arrival < b.arrival;
+                             }));
+}
+
+TEST(AzureConvertTest, MaxInvocationsCapApplies) {
+  std::istringstream inv_is(small_invocations_csv());
+  std::istringstream dur_is(small_durations_csv());
+  const auto invocations = read_azure_invocations(inv_is);
+  const auto durations = read_azure_durations(dur_is);
+  AzureConversionOptions options;
+  options.start_minute = 0;
+  options.minutes = 6;
+  options.max_invocations = 4;  // paper: "first 400 invocations"
+  const Workload workload = convert_azure_trace(invocations, durations, options);
+  EXPECT_EQ(workload.events.size(), 4u);
+}
+
+TEST(AzureConvertTest, IoKindGetsClientHashes) {
+  std::istringstream inv_is(small_invocations_csv());
+  std::istringstream dur_is(small_durations_csv());
+  const auto invocations = read_azure_invocations(inv_is);
+  const auto durations = read_azure_durations(dur_is);
+  AzureConversionOptions options;
+  options.minutes = 6;
+  options.kind = FunctionKind::kIo;
+  const Workload workload = convert_azure_trace(invocations, durations, options);
+  for (const auto& profile : workload.functions) {
+    EXPECT_EQ(profile.kind, FunctionKind::kIo);
+    EXPECT_NE(profile.client_args_hash, 0u);
+  }
+}
+
+TEST(AzureConvertTest, MissingDurationsFallBack) {
+  std::istringstream inv_is(small_invocations_csv());
+  const auto invocations = read_azure_invocations(inv_is);
+  AzureConversionOptions options;
+  options.minutes = 6;
+  const Workload workload = convert_azure_trace(invocations, {}, options);
+  EXPECT_FALSE(workload.events.empty());
+  for (const auto& event : workload.events) EXPECT_GT(event.duration_ms, 0.0);
+}
+
+TEST(AzureConvertTest, Validation) {
+  AzureConversionOptions options;
+  options.minutes = 0;
+  EXPECT_THROW(convert_azure_trace({}, {}, options), std::invalid_argument);
+}
+
+TEST(AzureSynthesizeTest, RoundTripsThroughReaders) {
+  std::ostringstream inv_os, dur_os;
+  write_synthetic_azure_files(inv_os, dur_os, 5, 11);
+  std::istringstream inv_is(inv_os.str()), dur_is(dur_os.str());
+  const auto invocations = read_azure_invocations(inv_is);
+  const auto durations = read_azure_durations(dur_is);
+  ASSERT_EQ(invocations.size(), 5u);
+  ASSERT_EQ(durations.size(), 5u);
+  for (const auto& row : invocations) EXPECT_EQ(row.per_minute.size(), 1440u);
+
+  // Find a busy minute and convert it.
+  std::size_t busiest = 0;
+  std::uint64_t best = 0;
+  for (std::size_t m = 0; m < 1440; ++m) {
+    std::uint64_t total = 0;
+    for (const auto& row : invocations) total += row.per_minute[m];
+    if (total > best) {
+      best = total;
+      busiest = m;
+    }
+  }
+  ASSERT_GT(best, 0u);
+  AzureConversionOptions options;
+  options.start_minute = busiest;
+  options.minutes = 1;
+  const Workload workload = convert_azure_trace(invocations, durations, options);
+  EXPECT_EQ(workload.events.size(), best);
+}
+
+TEST(AzureSynthesizeTest, DeterministicForSeed) {
+  std::ostringstream a_inv, a_dur, b_inv, b_dur;
+  write_synthetic_azure_files(a_inv, a_dur, 3, 7);
+  write_synthetic_azure_files(b_inv, b_dur, 3, 7);
+  EXPECT_EQ(a_inv.str(), b_inv.str());
+  EXPECT_EQ(a_dur.str(), b_dur.str());
+}
+
+}  // namespace
+}  // namespace faasbatch::trace

@@ -1,0 +1,78 @@
+// Tests for the blob inter-arrival-time model (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include "trace/blob_iat.hpp"
+
+namespace faasbatch::trace {
+namespace {
+
+TEST(BlobIatTest, MixtureMassesMatchPaper) {
+  BlobIatModel model;
+  Rng rng(1);
+  const auto samples = model.sample_many(40000, rng);
+  // ~80% of re-accesses within 100 ms, ~90% within 1 s (paper Fig. 3).
+  EXPECT_NEAR(samples.cdf_at(100.0), 0.80, 0.01);
+  EXPECT_NEAR(samples.cdf_at(1000.0), 0.90, 0.01);
+  EXPECT_DOUBLE_EQ(samples.cdf_at(1e9), 1.0);
+}
+
+TEST(BlobIatTest, SamplesArePositive) {
+  BlobIatModel model;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(model.sample_ms(rng), 0.0);
+}
+
+TEST(BlobIatTest, TailBoundedByCap) {
+  BlobIatModel model({}, 2000.0);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) EXPECT_LE(model.sample_ms(rng), 2000.0);
+}
+
+TEST(BlobIatTest, Validation) {
+  BlobIatMixture bad;
+  bad.within_100ms = 0.8;
+  bad.within_1s = 0.3;  // sums over 1
+  EXPECT_THROW((void)BlobIatModel{bad}, std::invalid_argument);
+  bad.within_100ms = -0.1;
+  bad.within_1s = 0.1;
+  EXPECT_THROW((void)BlobIatModel{bad}, std::invalid_argument);
+  EXPECT_THROW((void)BlobIatModel({}, 500.0), std::invalid_argument);
+}
+
+TEST(BlobIatTest, DayVariantsDifferButStayValid) {
+  BlobIatModel base;
+  bool any_different = false;
+  for (std::size_t day = 1; day <= 14; ++day) {
+    const BlobIatModel variant = base.day_variant(day);
+    const auto& m = variant.mixture();
+    EXPECT_GE(m.within_100ms, 0.0);
+    EXPECT_LE(m.within_100ms + m.within_1s, 1.0);
+    if (std::abs(m.within_100ms - base.mixture().within_100ms) > 1e-6) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(BlobIatTest, DayVariantDeterministic) {
+  BlobIatModel base;
+  EXPECT_DOUBLE_EQ(base.day_variant(3).mixture().within_100ms,
+                   base.day_variant(3).mixture().within_100ms);
+}
+
+// Property: the per-day curves stay within a few points of the combined
+// curve, as in the paper's fourteen grey lines hugging the blue one.
+class BlobDayTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlobDayTest, DayCurveNearCombined) {
+  BlobIatModel base;
+  const BlobIatModel variant = base.day_variant(GetParam());
+  Rng rng(100 + GetParam());
+  const auto samples = variant.sample_many(20000, rng);
+  EXPECT_NEAR(samples.cdf_at(100.0), 0.80, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Days, BlobDayTest, ::testing::Range<std::size_t>(1, 15));
+
+}  // namespace
+}  // namespace faasbatch::trace

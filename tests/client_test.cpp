@@ -1,0 +1,129 @@
+// Tests for the storage-client cost model, creation throttle, and the
+// live client factory.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "storage/client.hpp"
+
+namespace faasbatch::storage {
+namespace {
+
+TEST(ClientCostModelTest, UncontendedCreationMatchesPaper) {
+  ClientCostModel model;
+  // Paper Fig. 4: a single creation takes ~66 ms.
+  EXPECT_DOUBLE_EQ(model.creation_ms(1), 66.0);
+}
+
+TEST(ClientCostModelTest, ContentionCurveFitsFig4) {
+  ClientCostModel model;
+  // Paper Fig. 4: concurrency 9 costs ~3165 ms — almost 50x.
+  EXPECT_NEAR(model.creation_ms(9), 3165.0, 100.0);
+  const double ratio = model.creation_ms(9) / model.creation_ms(1);
+  EXPECT_NEAR(ratio, 48.0, 2.0);
+}
+
+TEST(ClientCostModelTest, MonotoneInConcurrency) {
+  ClientCostModel model;
+  for (std::size_t n = 1; n < 16; ++n) {
+    EXPECT_LT(model.creation_ms(n), model.creation_ms(n + 1));
+  }
+}
+
+TEST(ClientCostModelTest, ZeroConcurrencyClampedToOne) {
+  ClientCostModel model;
+  EXPECT_DOUBLE_EQ(model.creation_ms(0), model.creation_ms(1));
+}
+
+TEST(CreationThrottleTest, TracksInFlight) {
+  CreationThrottle throttle;
+  EXPECT_EQ(throttle.in_flight(), 0u);
+  const SimDuration first = throttle.begin_creation();
+  EXPECT_EQ(throttle.in_flight(), 1u);
+  const SimDuration second = throttle.begin_creation();
+  EXPECT_EQ(throttle.in_flight(), 2u);
+  EXPECT_GT(second, first);  // contention raises the price
+  throttle.end_creation();
+  throttle.end_creation();
+  EXPECT_EQ(throttle.in_flight(), 0u);
+  throttle.end_creation();  // extra end is harmless
+  EXPECT_EQ(throttle.in_flight(), 0u);
+}
+
+TEST(CreationThrottleTest, PriceDropsAfterDrain) {
+  CreationThrottle throttle;
+  const SimDuration solo = throttle.begin_creation();
+  throttle.end_creation();
+  (void)throttle.begin_creation();
+  const SimDuration contended = throttle.begin_creation();
+  throttle.end_creation();
+  throttle.end_creation();
+  const SimDuration solo_again = throttle.begin_creation();
+  EXPECT_EQ(solo, solo_again);
+  EXPECT_GT(contended, solo);
+}
+
+TEST(ClientFactoryTest, CreatesUsableClients) {
+  ObjectStore store;
+  ClientFactory::Options options;
+  options.creation_work_ms = 0.5;
+  options.client_buffer_bytes = 64 * kKiB;
+  ClientFactory factory(store, options);
+  auto client = factory.create(0xABC);
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->args_hash(), 0xABCu);
+  EXPECT_EQ(client->resident_bytes(), 64 * kKiB);
+  client->put("key", "value");
+  EXPECT_EQ(*client->get("key"), "value");
+  EXPECT_FALSE(client->get("absent").has_value());
+  EXPECT_EQ(factory.creations(), 1u);
+}
+
+TEST(ClientFactoryTest, CreationsSerialiseOnTheFactoryLock) {
+  ObjectStore store;
+  ClientFactory::Options options;
+  options.creation_work_ms = 5.0;
+  options.client_buffer_bytes = 4 * kKiB;
+  ClientFactory factory(store, options);
+
+  // Measure wall time of 4 concurrent creations: if creation serialises,
+  // it must take at least ~4x the single-creation work.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&factory, i] { (void)factory.create(static_cast<std::uint64_t>(i)); });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_GE(elapsed_ms, 4 * 5.0 * 0.8);  // allow 20% timer slack
+  EXPECT_EQ(factory.creations(), 4u);
+}
+
+TEST(ClientFactoryTest, DefaultOptionsWork) {
+  ObjectStore store;
+  ClientFactory factory(store);
+  auto client = factory.create(1);
+  EXPECT_NE(client, nullptr);
+}
+
+// Property sweep over the contention model exponent behaviour.
+class CreationCurveTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CreationCurveTest, PowerLawShape) {
+  const std::size_t n = GetParam();
+  ClientCostModel model;
+  const double expected =
+      model.base_creation_ms * std::pow(static_cast<double>(n), model.contention_exponent);
+  EXPECT_NEAR(model.creation_ms(n), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Concurrency, CreationCurveTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 9, 10, 64));
+
+}  // namespace
+}  // namespace faasbatch::storage

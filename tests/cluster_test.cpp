@@ -1,0 +1,149 @@
+// Tests for the multi-worker cluster extension.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::cluster {
+namespace {
+
+trace::Workload workload_of(std::size_t invocations, std::size_t functions,
+                            std::uint64_t seed = 17) {
+  trace::WorkloadSpec spec;
+  spec.kind = trace::FunctionKind::kCpuIntensive;
+  spec.invocations = invocations;
+  spec.num_functions = functions;
+  spec.hot_fraction = 0.5;  // spread load over several functions
+  spec.hot_mass = 0.9;
+  spec.seed = seed;
+  return trace::synthesize_workload(spec);
+}
+
+TEST(ClusterTest, AllInvocationsCompleteOnEveryBalancer) {
+  const auto workload = workload_of(200, 8);
+  for (const auto balancer :
+       {BalancerKind::kRoundRobin, BalancerKind::kLeastOutstanding,
+        BalancerKind::kFunctionAffinity}) {
+    ClusterSpec spec;
+    spec.workers = 3;
+    spec.balancer = balancer;
+    const ClusterResult result = run_cluster_experiment(spec, workload);
+    EXPECT_EQ(result.completed, 200u) << balancer_kind_name(balancer);
+    std::size_t routed = 0;
+    for (const auto& worker : result.workers) routed += worker.routed;
+    EXPECT_EQ(routed, 200u) << balancer_kind_name(balancer);
+  }
+}
+
+TEST(ClusterTest, SingleWorkerMatchesStandaloneExperiment) {
+  const auto workload = workload_of(150, 6);
+  ClusterSpec spec;
+  spec.workers = 1;
+  spec.balancer = BalancerKind::kRoundRobin;
+  const ClusterResult cluster = run_cluster_experiment(spec, workload);
+
+  const eval::ExperimentResult standalone =
+      eval::run_experiment(spec.worker_spec, workload);
+  EXPECT_EQ(cluster.completed, standalone.completed);
+  EXPECT_EQ(cluster.total_containers(), standalone.containers_provisioned);
+  EXPECT_EQ(cluster.makespan, standalone.makespan);
+}
+
+TEST(ClusterTest, RoundRobinBalancesRoutingExactly) {
+  const auto workload = workload_of(300, 8);
+  ClusterSpec spec;
+  spec.workers = 3;
+  spec.balancer = BalancerKind::kRoundRobin;
+  const ClusterResult result = run_cluster_experiment(spec, workload);
+  for (const auto& worker : result.workers) EXPECT_EQ(worker.routed, 100u);
+  EXPECT_DOUBLE_EQ(result.routing_imbalance(), 1.0);
+}
+
+TEST(ClusterTest, AffinityKeepsFunctionsTogether) {
+  const auto workload = workload_of(300, 8);
+  ClusterSpec spec;
+  spec.workers = 4;
+  spec.balancer = BalancerKind::kFunctionAffinity;
+  const ClusterResult result = run_cluster_experiment(spec, workload);
+  EXPECT_EQ(result.completed, 300u);
+  // Affinity is deterministic: rerunning routes identically.
+  const ClusterResult again = run_cluster_experiment(spec, workload);
+  for (std::size_t w = 0; w < spec.workers; ++w) {
+    EXPECT_EQ(result.workers[w].routed, again.workers[w].routed);
+  }
+}
+
+TEST(ClusterTest, AffinityPreservesFaasBatchConsolidation) {
+  // The headline cluster finding: spraying a function's burst across
+  // workers splits FaaSBatch's groups and inflates container counts;
+  // function affinity preserves the single-container-per-group design.
+  const auto workload = workload_of(400, 8, 23);
+  ClusterSpec affinity;
+  affinity.workers = 4;
+  affinity.balancer = BalancerKind::kFunctionAffinity;
+  affinity.worker_spec.scheduler = schedulers::SchedulerKind::kFaasBatch;
+  const ClusterResult affinity_result = run_cluster_experiment(affinity, workload);
+
+  ClusterSpec spray = affinity;
+  spray.balancer = BalancerKind::kRoundRobin;
+  const ClusterResult spray_result = run_cluster_experiment(spray, workload);
+
+  EXPECT_LT(affinity_result.total_containers(), spray_result.total_containers());
+}
+
+TEST(ClusterTest, LeastOutstandingAvoidsHotWorker) {
+  const auto workload = workload_of(200, 8);
+  ClusterSpec spec;
+  spec.workers = 4;
+  spec.balancer = BalancerKind::kLeastOutstanding;
+  const ClusterResult result = run_cluster_experiment(spec, workload);
+  // No worker should be left idle while others overflow.
+  for (const auto& worker : result.workers) EXPECT_GT(worker.routed, 0u);
+  EXPECT_LT(result.routing_imbalance(), 2.0);
+}
+
+TEST(ClusterTest, Validation) {
+  const auto workload = workload_of(10, 2);
+  ClusterSpec spec;
+  spec.workers = 0;
+  EXPECT_THROW(run_cluster_experiment(spec, workload), std::invalid_argument);
+}
+
+TEST(ClusterTest, BalancerNames) {
+  EXPECT_EQ(balancer_kind_name(BalancerKind::kRoundRobin), "round-robin");
+  EXPECT_EQ(balancer_kind_name(BalancerKind::kLeastOutstanding), "least-outstanding");
+  EXPECT_EQ(balancer_kind_name(BalancerKind::kFunctionAffinity), "function-affinity");
+}
+
+// Property sweep: every (balancer, scheduler) pair completes everything.
+class ClusterSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<BalancerKind, schedulers::SchedulerKind>> {};
+
+TEST_P(ClusterSweepTest, Completes) {
+  const auto [balancer, scheduler] = GetParam();
+  const auto workload = workload_of(120, 6);
+  ClusterSpec spec;
+  spec.workers = 2;
+  spec.balancer = balancer;
+  spec.worker_spec.scheduler = scheduler;
+  if (scheduler == schedulers::SchedulerKind::kKraken) {
+    spec.worker_spec.scheduler_options.kraken_default_slo_ms = 3000.0;
+  }
+  const ClusterResult result = run_cluster_experiment(spec, workload);
+  EXPECT_EQ(result.completed, 120u);
+  EXPECT_GT(result.makespan, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ClusterSweepTest,
+    ::testing::Combine(::testing::Values(BalancerKind::kRoundRobin,
+                                         BalancerKind::kLeastOutstanding,
+                                         BalancerKind::kFunctionAffinity),
+                       ::testing::Values(schedulers::SchedulerKind::kVanilla,
+                                         schedulers::SchedulerKind::kFaasBatch)));
+
+}  // namespace
+}  // namespace faasbatch::cluster

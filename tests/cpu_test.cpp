@@ -1,0 +1,294 @@
+// Tests for the processor-sharing CPU model: timing, fairness,
+// per-task and per-group (cpuset) caps, and conservation properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace faasbatch::sim {
+namespace {
+
+constexpr double kTimeTolerance = 0.002;  // seconds, covers integer rounding
+
+double seconds(SimTime t) { return to_seconds(t); }
+
+TEST(CpuTest, SingleTaskRunsAtItsCap) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 8.0);
+  SimTime done_at = -1;
+  cpu.submit(2.0, 1.0, CpuScheduler::kNoGroup, [&] { done_at = sim.now(); });
+  sim.run();
+  // 2 core-seconds at 1 core: 2 s wall.
+  EXPECT_NEAR(seconds(done_at), 2.0, kTimeTolerance);
+}
+
+TEST(CpuTest, TwoTasksOnOneCoreShare) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  std::vector<double> finish;
+  cpu.submit(1.0, 1.0, CpuScheduler::kNoGroup, [&] { finish.push_back(seconds(sim.now())); });
+  cpu.submit(1.0, 1.0, CpuScheduler::kNoGroup, [&] { finish.push_back(seconds(sim.now())); });
+  sim.run();
+  ASSERT_EQ(finish.size(), 2u);
+  // Equal work sharing one core: both finish together at 2 s.
+  EXPECT_NEAR(finish[0], 2.0, kTimeTolerance);
+  EXPECT_NEAR(finish[1], 2.0, kTimeTolerance);
+}
+
+TEST(CpuTest, ShortTaskFreesCapacityForLongTask) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  double short_done = 0, long_done = 0;
+  cpu.submit(0.5, 1.0, CpuScheduler::kNoGroup, [&] { short_done = seconds(sim.now()); });
+  cpu.submit(1.5, 1.0, CpuScheduler::kNoGroup, [&] { long_done = seconds(sim.now()); });
+  sim.run();
+  // Shared until the short task drains (0.5 each at t=1), then the long
+  // task runs alone: 1 + 1 = 2 s.
+  EXPECT_NEAR(short_done, 1.0, kTimeTolerance);
+  EXPECT_NEAR(long_done, 2.0, kTimeTolerance);
+}
+
+TEST(CpuTest, IndependentTasksOnBigMachineDoNotInterfere) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 32.0);
+  std::vector<double> finish(3, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(1.0, 1.0, CpuScheduler::kNoGroup,
+               [&finish, i, &sim] { finish[static_cast<std::size_t>(i)] = seconds(sim.now()); });
+  }
+  sim.run();
+  for (double f : finish) EXPECT_NEAR(f, 1.0, kTimeTolerance);
+}
+
+TEST(CpuTest, GroupCapLimitsAggregateRate) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 32.0);
+  const auto group = cpu.create_group(2.0);  // cpuset of 2 cores
+  std::vector<double> finish;
+  for (int i = 0; i < 4; ++i) {
+    cpu.submit(1.0, 1.0, group, [&] { finish.push_back(seconds(sim.now())); });
+  }
+  sim.run();
+  // 4 core-seconds through a 2-core cpuset: 2 s.
+  ASSERT_EQ(finish.size(), 4u);
+  for (double f : finish) EXPECT_NEAR(f, 2.0, kTimeTolerance);
+}
+
+TEST(CpuTest, TaskCapBelowOneCore) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 8.0);
+  double done = 0;
+  cpu.submit(1.0, 0.5, CpuScheduler::kNoGroup, [&] { done = seconds(sim.now()); });
+  sim.run();
+  EXPECT_NEAR(done, 2.0, kTimeTolerance);
+}
+
+TEST(CpuTest, GroupGetsLeftoverCapacity) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 32.0);
+  const auto group = cpu.create_group(32.0);
+  double group_done = 0, single_done = 0;
+  // 100 threads in one container + 1 ungrouped task.
+  int remaining = 100;
+  for (int i = 0; i < 100; ++i) {
+    cpu.submit(0.31, 1.0, group, [&] {
+      if (--remaining == 0) group_done = seconds(sim.now());
+    });
+  }
+  cpu.submit(1.0, 1.0, CpuScheduler::kNoGroup, [&] { single_done = seconds(sim.now()); });
+  sim.run();
+  // Max-min fair: the single task gets its full core; the group gets the
+  // remaining 31 cores -> 31 core-seconds of work in ~1 s.
+  EXPECT_NEAR(single_done, 1.0, kTimeTolerance);
+  EXPECT_NEAR(group_done, 1.0, 0.05);
+}
+
+TEST(CpuTest, ZeroWorkCompletesImmediatelyButAsync) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  bool done = false;
+  cpu.submit(0.0, 1.0, CpuScheduler::kNoGroup, [&] { done = true; });
+  EXPECT_FALSE(done);  // not reentrant
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(CpuTest, CancelPreventsCallback) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  bool done = false;
+  const auto task = cpu.submit(5.0, 1.0, CpuScheduler::kNoGroup, [&] { done = true; });
+  EXPECT_TRUE(cpu.cancel(task));
+  EXPECT_FALSE(cpu.cancel(task));
+  sim.run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(cpu.active_tasks(), 0u);
+}
+
+TEST(CpuTest, CancelReallocatesRates) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  double done = 0;
+  const auto victim = cpu.submit(10.0, 1.0, CpuScheduler::kNoGroup, [] {});
+  cpu.submit(1.0, 1.0, CpuScheduler::kNoGroup, [&] { done = seconds(sim.now()); });
+  sim.schedule_at(kSecond, [&] { cpu.cancel(victim); });
+  sim.run();
+  // Shared (0.5 each) for 1 s, then full speed for remaining 0.5 work.
+  EXPECT_NEAR(done, 1.5, kTimeTolerance);
+}
+
+TEST(CpuTest, BusyCoreSecondsIntegratesWork) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 4.0);
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(2.0, 1.0, CpuScheduler::kNoGroup, [] {});
+  }
+  sim.run();
+  EXPECT_NEAR(cpu.busy_core_seconds(), 6.0, 0.01);
+}
+
+TEST(CpuTest, TotalRateNeverExceedsMachine) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 4.0);
+  double max_rate = 0.0;
+  cpu.set_rate_observer([&max_rate](SimTime, double rate) {
+    max_rate = std::max(max_rate, rate);
+  });
+  for (int i = 0; i < 50; ++i) {
+    cpu.submit(0.1 + 0.01 * i, 1.0, CpuScheduler::kNoGroup, [] {});
+  }
+  sim.run();
+  EXPECT_LE(max_rate, 4.0 + 1e-9);
+  EXPECT_NEAR(max_rate, 4.0, 1e-6);  // saturated while 4+ tasks live
+}
+
+TEST(CpuTest, GroupLifecycleErrors) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 4.0);
+  EXPECT_THROW(cpu.create_group(0.0), std::invalid_argument);
+  const auto group = cpu.create_group(1.0);
+  cpu.submit(1.0, 1.0, group, [] {});
+  EXPECT_THROW(cpu.remove_group(group), std::logic_error);
+  sim.run();
+  EXPECT_NO_THROW(cpu.remove_group(group));
+  EXPECT_THROW(cpu.remove_group(group), std::invalid_argument);
+  EXPECT_THROW(cpu.submit(1.0, 1.0, group, [] {}), std::invalid_argument);
+}
+
+TEST(CpuTest, SubmitValidation) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 4.0);
+  EXPECT_THROW(cpu.submit(-1.0, 1.0, CpuScheduler::kNoGroup, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(cpu.submit(1.0, 0.0, CpuScheduler::kNoGroup, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(CpuScheduler(sim, 0.0), std::invalid_argument);
+}
+
+TEST(CpuTest, SetGroupCapTakesEffectMidRun) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 8.0);
+  const auto group = cpu.create_group(1.0);
+  double done = 0;
+  cpu.submit(2.0, 2.0, group, [&] { done = seconds(sim.now()); });
+  sim.schedule_at(kSecond, [&] { cpu.set_group_cap(group, 2.0); });
+  sim.run();
+  // 1 s at 1 core (1.0 done), then 1.0 remaining at 2 cores: +0.5 s.
+  EXPECT_NEAR(done, 1.5, kTimeTolerance);
+}
+
+TEST(CpuTest, CompletionCallbackCanResubmit) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  int completions = 0;
+  std::function<void()> resubmit = [&] {
+    if (++completions < 3) cpu.submit(1.0, 1.0, CpuScheduler::kNoGroup, resubmit);
+  };
+  cpu.submit(1.0, 1.0, CpuScheduler::kNoGroup, resubmit);
+  sim.run();
+  EXPECT_EQ(completions, 3);
+  EXPECT_NEAR(seconds(sim.now()), 3.0, 0.01);
+}
+
+// ---- Property sweeps -------------------------------------------------
+
+struct FairnessCase {
+  double cores;
+  int tasks;
+  double work;
+};
+
+class CpuFairnessTest : public ::testing::TestWithParam<FairnessCase> {};
+
+TEST_P(CpuFairnessTest, WorkConservationAndSimultaneousFinish) {
+  const auto param = GetParam();
+  Simulator sim;
+  CpuScheduler cpu(sim, param.cores);
+  std::vector<double> finish;
+  for (int i = 0; i < param.tasks; ++i) {
+    cpu.submit(param.work, 1.0, CpuScheduler::kNoGroup,
+               [&] { finish.push_back(seconds(sim.now())); });
+  }
+  sim.run();
+  ASSERT_EQ(finish.size(), static_cast<std::size_t>(param.tasks));
+  // Identical tasks under max-min fairness finish together, at
+  // total_work / min(cores, tasks).
+  const double expected =
+      param.work * param.tasks / std::min(param.cores, static_cast<double>(param.tasks));
+  for (double f : finish) EXPECT_NEAR(f, expected, 0.01 + 0.01 * expected);
+  EXPECT_NEAR(cpu.busy_core_seconds(), param.work * param.tasks, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CpuFairnessTest,
+    ::testing::Values(FairnessCase{1.0, 1, 0.5}, FairnessCase{1.0, 8, 0.25},
+                      FairnessCase{4.0, 2, 1.0}, FairnessCase{4.0, 16, 0.125},
+                      FairnessCase{32.0, 100, 0.05}, FairnessCase{32.0, 10, 1.0}));
+
+struct GroupCase {
+  double cores;
+  double group_cap;
+  int group_tasks;
+  int free_tasks;
+};
+
+class CpuGroupCapTest : public ::testing::TestWithParam<GroupCase> {};
+
+TEST_P(CpuGroupCapTest, GroupNeverExceedsItsCap) {
+  const auto param = GetParam();
+  Simulator sim;
+  CpuScheduler cpu(sim, param.cores);
+  const auto group = cpu.create_group(param.group_cap);
+  std::vector<CpuScheduler::TaskId> group_tasks;
+  for (int i = 0; i < param.group_tasks; ++i) {
+    group_tasks.push_back(cpu.submit(10.0, 1.0, group, [] {}));
+  }
+  for (int i = 0; i < param.free_tasks; ++i) {
+    cpu.submit(10.0, 1.0, CpuScheduler::kNoGroup, [] {});
+  }
+  // Inspect instantaneous rates before anything completes.
+  double group_rate = 0.0;
+  for (const auto task : group_tasks) group_rate += cpu.task_rate(task);
+  EXPECT_LE(group_rate, param.group_cap + 1e-9);
+  EXPECT_LE(cpu.total_rate(), param.cores + 1e-9);
+  // Work conservation: if demand exceeds capacity, the machine is full.
+  const double demand = std::min(param.group_cap, static_cast<double>(param.group_tasks)) +
+                        param.free_tasks;
+  EXPECT_NEAR(cpu.total_rate(), std::min(param.cores, demand), 1e-6);
+  // Drain to exercise completion paths.
+  sim.run();
+  EXPECT_EQ(cpu.active_tasks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CpuGroupCapTest,
+    ::testing::Values(GroupCase{32.0, 2.0, 8, 0}, GroupCase{32.0, 32.0, 64, 4},
+                      GroupCase{4.0, 1.0, 3, 2}, GroupCase{8.0, 6.0, 6, 6},
+                      GroupCase{2.0, 2.0, 1, 0}, GroupCase{16.0, 4.0, 2, 20}));
+
+}  // namespace
+}  // namespace faasbatch::sim

@@ -1,0 +1,123 @@
+// Tests for the platform dispatch pipeline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "schedulers/dispatch_loop.hpp"
+#include "sim/simulator.hpp"
+
+namespace faasbatch::schedulers {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  runtime::RuntimeConfig config;
+  runtime::Machine machine{sim, config};
+};
+
+TEST(DispatchLoopTest, RunsJobsInFifoOrder) {
+  Fixture f;
+  DispatchLoop loop(f.machine, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.enqueue([] { return 0.01; }, [&order, i] { order.push_back(i); });
+  }
+  f.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(loop.processed(), 5u);
+}
+
+TEST(DispatchLoopTest, SerialWorkerSerialisesCost) {
+  Fixture f;
+  DispatchLoop loop(f.machine, 1);
+  SimTime last_done = 0;
+  for (int i = 0; i < 4; ++i) {
+    loop.enqueue([] { return 0.1; }, [&] { last_done = f.sim.now(); });
+  }
+  f.sim.run();
+  // 4 x 100 ms serial on an idle machine.
+  EXPECT_NEAR(to_millis(last_done), 400.0, 2.0);
+}
+
+TEST(DispatchLoopTest, ParallelWorkersOverlap) {
+  Fixture f;
+  DispatchLoop loop(f.machine, 4);
+  SimTime last_done = 0;
+  for (int i = 0; i < 4; ++i) {
+    loop.enqueue([] { return 0.1; }, [&] { last_done = f.sim.now(); });
+  }
+  f.sim.run();
+  // All four run concurrently on the 32-core machine.
+  EXPECT_NEAR(to_millis(last_done), 100.0, 2.0);
+}
+
+TEST(DispatchLoopTest, CostEvaluatedAtJobStart) {
+  Fixture f;
+  DispatchLoop loop(f.machine, 1);
+  bool flag = false;
+  double second_cost = -1.0;
+  loop.enqueue([] { return 0.05; }, [&] { flag = true; });
+  loop.enqueue(
+      [&] {
+        // Runs after the first job completed, so it can see its effects.
+        second_cost = flag ? 0.01 : 0.99;
+        return second_cost;
+      },
+      [] {});
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(second_cost, 0.01);
+}
+
+TEST(DispatchLoopTest, QueuedCountsActiveAndWaiting) {
+  Fixture f;
+  DispatchLoop loop(f.machine, 1);
+  loop.enqueue([] { return 0.1; }, [] {});
+  loop.enqueue([] { return 0.1; }, [] {});
+  EXPECT_EQ(loop.queued(), 2u);
+  f.sim.run();
+  EXPECT_EQ(loop.queued(), 0u);
+}
+
+TEST(DispatchLoopTest, ZeroCostJobsStillAsync) {
+  Fixture f;
+  DispatchLoop loop(f.machine, 2);
+  bool done = false;
+  loop.enqueue(nullptr, [&] { done = true; });
+  EXPECT_FALSE(done);
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(DispatchLoopTest, CallbackMayEnqueueMore) {
+  Fixture f;
+  DispatchLoop loop(f.machine, 1);
+  int chain = 0;
+  std::function<void()> enqueue_next = [&] {
+    if (++chain < 3) loop.enqueue([] { return 0.01; }, enqueue_next);
+  };
+  loop.enqueue([] { return 0.01; }, enqueue_next);
+  f.sim.run();
+  EXPECT_EQ(chain, 3);
+}
+
+TEST(DispatchLoopTest, ParallelismValidation) {
+  Fixture f;
+  EXPECT_THROW(DispatchLoop(f.machine, 0), std::invalid_argument);
+}
+
+TEST(DispatchLoopTest, DispatchSlowsUnderMachineSaturation) {
+  Fixture f;
+  // Saturate all 32 cores with background work.
+  for (int i = 0; i < 64; ++i) {
+    f.machine.cpu().submit(10.0, 1.0, sim::CpuScheduler::kNoGroup, [] {});
+  }
+  DispatchLoop loop(f.machine, 1);
+  SimTime done = 0;
+  loop.enqueue([] { return 0.1; }, [&] { done = f.sim.now(); });
+  f.sim.run_until(kMinute);
+  // With 65 tasks on 32 cores the dispatch job gets ~0.49 cores.
+  EXPECT_GT(to_millis(done), 180.0);
+}
+
+}  // namespace
+}  // namespace faasbatch::schedulers

@@ -1,0 +1,96 @@
+// Tests for the Fig. 9 duration model and the fib cost curve.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "metrics/stats.hpp"
+#include "trace/duration_model.hpp"
+
+namespace faasbatch::trace {
+namespace {
+
+TEST(DurationModelTest, BucketProbabilitiesMatchPaper) {
+  const auto& buckets = paper_duration_buckets();
+  EXPECT_DOUBLE_EQ(buckets[0].probability, 0.5513);
+  EXPECT_DOUBLE_EQ(buckets[5].probability, 0.1014);
+  double total = 0.0;
+  for (const auto& bucket : buckets) total += bucket.probability;
+  EXPECT_NEAR(total, 1.0, 0.005);
+}
+
+TEST(DurationModelTest, SamplesRespectTailCap) {
+  DurationModel model(2000.0);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double d = model.sample_ms(rng);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 2000.0);
+  }
+}
+
+TEST(DurationModelTest, TailCapValidation) {
+  EXPECT_THROW(DurationModel(1000.0), std::invalid_argument);
+  EXPECT_NO_THROW(DurationModel(1551.0));
+}
+
+TEST(DurationModelTest, BucketOfClassifiesEdges) {
+  DurationModel model;
+  EXPECT_EQ(model.bucket_of(0.0), 0u);
+  EXPECT_EQ(model.bucket_of(49.9), 0u);
+  EXPECT_EQ(model.bucket_of(50.0), 1u);
+  EXPECT_EQ(model.bucket_of(399.9), 3u);
+  EXPECT_EQ(model.bucket_of(1550.0), 5u);
+  EXPECT_EQ(model.bucket_of(99999.0), 5u);
+}
+
+// Property sweep: each bucket's empirical mass matches Fig. 9.
+class DurationBucketTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DurationBucketTest, EmpiricalMassMatchesPaper) {
+  const std::size_t bucket = GetParam();
+  DurationModel model;
+  Rng rng(97);
+  constexpr int kN = 60000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (model.bucket_of(model.sample_ms(rng)) == bucket) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, model.bucket_probability(bucket), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuckets, DurationBucketTest,
+                         ::testing::Range<std::size_t>(0, 6));
+
+TEST(FibCostModelTest, DefaultCalibrationMatchesPaperStatement) {
+  // Paper: fib with N between 20 and 26 completes in less than 45 ms.
+  FibCostModel model;
+  EXPECT_LT(model.duration_ms(26), 45.0);
+  EXPECT_GT(model.duration_ms(27), 45.0);
+}
+
+TEST(FibCostModelTest, GoldenRatioGrowth) {
+  FibCostModel model;
+  const double ratio = model.duration_ms(30) / model.duration_ms(29);
+  EXPECT_NEAR(ratio, 1.618, 0.001);
+}
+
+TEST(FibCostModelTest, InversionRoundTrips) {
+  FibCostModel model;
+  for (int n = 15; n <= 35; ++n) {
+    EXPECT_EQ(model.n_for_duration(model.duration_ms(n)), n);
+  }
+}
+
+TEST(FibCostModelTest, InversionClamps) {
+  FibCostModel model;
+  EXPECT_EQ(model.n_for_duration(0.0), 1);
+  EXPECT_EQ(model.n_for_duration(-5.0), 1);
+  EXPECT_EQ(model.n_for_duration(1e18), 45);
+}
+
+TEST(FibCostModelTest, Validation) {
+  EXPECT_THROW(FibCostModel(20, 0.0), std::invalid_argument);
+  EXPECT_THROW(FibCostModel(20, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faasbatch::trace

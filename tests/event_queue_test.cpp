@@ -1,0 +1,105 @@
+// Unit tests for the event queue: ordering, FIFO tie-breaks, cancellation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace faasbatch::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(30, [&] { order.push_back(3); });
+  queue.push(10, [&] { order.push_back(1); });
+  queue.push(20, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.push(10, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue queue;
+  const EventId id = queue.push(10, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(9999));
+}
+
+TEST(EventQueueTest, CancelledEntrySkippedAtTop) {
+  EventQueue queue;
+  std::vector<int> order;
+  const EventId first = queue.push(1, [&] { order.push_back(1); });
+  queue.push(2, [&] { order.push_back(2); });
+  queue.cancel(first);
+  EXPECT_EQ(queue.next_time(), 2);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue queue;
+  const EventId a = queue.push(1, [] {});
+  queue.push(2, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, PopReturnsTimeAndId) {
+  EventQueue queue;
+  const EventId id = queue.push(77, [] {});
+  const auto entry = queue.pop();
+  EXPECT_EQ(entry.time, 77);
+  EXPECT_EQ(entry.id, id);
+}
+
+TEST(EventQueueTest, InterleavedPushPopKeepsOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(10, [&] { order.push_back(10); });
+  queue.push(5, [&] { order.push_back(5); });
+  queue.pop().action();  // fires t=5
+  queue.push(7, [&] { order.push_back(7); });
+  queue.push(1, [&] { order.push_back(1); });  // earlier than remaining
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{5, 1, 7, 10}));
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue queue;
+  std::vector<SimTime> fired;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = (i * 7919) % 997;  // scrambled but deterministic
+    queue.push(t, [&fired, t] { fired.push_back(t); });
+  }
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace faasbatch::sim

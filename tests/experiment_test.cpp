@@ -1,0 +1,171 @@
+// Tests for the experiment harness: completion, determinism, metric
+// consistency, SLO derivation, and the four-way comparison.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "eval/comparison.hpp"
+#include "eval/experiment.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::eval {
+namespace {
+
+trace::Workload small_workload(trace::FunctionKind kind, std::size_t count,
+                               std::uint64_t seed = 7) {
+  trace::WorkloadSpec spec;
+  spec.kind = kind;
+  spec.invocations = count;
+  spec.num_functions = 4;
+  spec.seed = seed;
+  return trace::synthesize_workload(spec);
+}
+
+TEST(ExperimentTest, AllInvocationsComplete) {
+  const auto workload = small_workload(trace::FunctionKind::kCpuIntensive, 100);
+  ExperimentSpec spec;
+  const auto result = run_experiment(spec, workload);
+  EXPECT_EQ(result.completed, 100u);
+  EXPECT_EQ(result.invocations, 100u);
+  EXPECT_EQ(result.records.size(), 100u);
+  for (const auto& record : result.records) EXPECT_TRUE(record.completed);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  const auto workload = small_workload(trace::FunctionKind::kIo, 60);
+  ExperimentSpec spec;
+  const auto a = run_experiment(spec, workload);
+  const auto b = run_experiment(spec, workload);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.containers_provisioned, b.containers_provisioned);
+  EXPECT_DOUBLE_EQ(a.memory_avg_mib, b.memory_avg_mib);
+  EXPECT_DOUBLE_EQ(a.cpu_utilization, b.cpu_utilization);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].exec_end, b.records[i].exec_end);
+  }
+}
+
+TEST(ExperimentTest, MetricsAreConsistent) {
+  const auto workload = small_workload(trace::FunctionKind::kCpuIntensive, 80);
+  ExperimentSpec spec;
+  const auto result = run_experiment(spec, workload);
+  EXPECT_GT(result.makespan, 0);
+  EXPECT_GT(result.memory_peak_mib, result.memory_avg_mib * 0.5);
+  EXPECT_GE(result.memory_peak_mib, result.memory_avg_mib);
+  EXPECT_GT(result.cpu_utilization, 0.0);
+  EXPECT_LE(result.cpu_utilization, 1.0);
+  EXPECT_EQ(result.cold_starts, result.containers_provisioned);
+  // 1 Hz memory series covers the makespan.
+  EXPECT_EQ(result.memory_series_mib.size(),
+            static_cast<std::size_t>(result.makespan / kSecond) + 1);
+  // The platform's base memory is always resident.
+  for (const auto& [t, mib] : result.memory_series_mib) EXPECT_GE(mib, 512.0);
+}
+
+TEST(ExperimentTest, CpuWorkloadHasNoClients) {
+  const auto workload = small_workload(trace::FunctionKind::kCpuIntensive, 50);
+  ExperimentSpec spec;
+  const auto result = run_experiment(spec, workload);
+  EXPECT_EQ(result.client_creations, 0u);
+  EXPECT_DOUBLE_EQ(result.client_mib_per_invocation, 0.0);
+}
+
+TEST(ExperimentTest, DeriveKrakenSlosCoversInvokedFunctions) {
+  const auto workload = small_workload(trace::FunctionKind::kCpuIntensive, 100);
+  ExperimentSpec spec;
+  const auto slos = derive_kraken_slos(spec, workload);
+  std::set<FunctionId> invoked;
+  for (const auto& event : workload.events) invoked.insert(event.function);
+  EXPECT_EQ(slos.size(), invoked.size());
+  for (const auto& [function, slo] : slos) EXPECT_GT(slo, 0.0);
+}
+
+TEST(ComparisonTest, RunsAllFourInPaperOrder) {
+  const auto workload = small_workload(trace::FunctionKind::kIo, 40);
+  ExperimentSpec spec;
+  const Comparison comparison = run_comparison(spec, workload);
+  ASSERT_EQ(comparison.results.size(), 4u);
+  EXPECT_EQ(comparison.vanilla().scheduler_name, "Vanilla");
+  EXPECT_EQ(comparison.kraken().scheduler_name, "Kraken");
+  EXPECT_EQ(comparison.sfs().scheduler_name, "SFS");
+  EXPECT_EQ(comparison.faasbatch().scheduler_name, "FaaSBatch");
+  for (const auto& result : comparison.results) {
+    EXPECT_EQ(result.completed, 40u);
+  }
+}
+
+TEST(ComparisonTest, FaasBatchWinsOnHeadlineMetrics) {
+  // The paper's core claims, at reduced scale: fewer containers, less
+  // memory, fewer client creations than every baseline.
+  const auto workload = small_workload(trace::FunctionKind::kIo, 120, 11);
+  ExperimentSpec spec;
+  const Comparison comparison = run_comparison(spec, workload);
+  const auto& fb = comparison.faasbatch();
+  for (const auto& other : {comparison.vanilla(), comparison.sfs()}) {
+    EXPECT_LT(fb.containers_provisioned, other.containers_provisioned);
+    EXPECT_LT(fb.memory_avg_mib, other.memory_avg_mib);
+    EXPECT_LT(fb.client_creations, other.client_creations);
+    EXPECT_LT(fb.client_mib_per_invocation, other.client_mib_per_invocation);
+  }
+  // Kraken also batches, so container counts can tie at small scale
+  // (the paper reports it within ~12% of FaaSBatch on CPU workloads);
+  // FaaSBatch still strictly wins on resource multiplexing.
+  EXPECT_LE(fb.containers_provisioned, comparison.kraken().containers_provisioned);
+  EXPECT_LT(fb.client_creations, comparison.kraken().client_creations);
+  EXPECT_LT(fb.client_mib_per_invocation,
+            comparison.kraken().client_mib_per_invocation);
+}
+
+TEST(ReductionTest, Percentages) {
+  EXPECT_DOUBLE_EQ(reduction_pct(10.0, 100.0), 90.0);
+  EXPECT_DOUBLE_EQ(reduction_pct(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(reduction_pct(150.0, 100.0), -50.0);
+  EXPECT_DOUBLE_EQ(reduction_pct(1.0, 0.0), 0.0);
+}
+
+TEST(ComparisonSummaryTest, PrintsWithoutCrashing) {
+  const auto workload = small_workload(trace::FunctionKind::kCpuIntensive, 30);
+  ExperimentSpec spec;
+  const Comparison comparison = run_comparison(spec, workload);
+  std::ostringstream os;
+  print_comparison_summary(os, comparison);
+  EXPECT_NE(os.str().find("FaaSBatch"), std::string::npos);
+  EXPECT_NE(os.str().find("Vanilla"), std::string::npos);
+}
+
+// Property sweep: every (scheduler, kind) pair completes every invocation
+// and produces internally consistent latency stamps.
+class ExperimentSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<schedulers::SchedulerKind, trace::FunctionKind>> {};
+
+TEST_P(ExperimentSweepTest, CompletesWithConsistentStamps) {
+  const auto [kind, workload_kind] = GetParam();
+  const auto workload = small_workload(workload_kind, 60);
+  ExperimentSpec spec;
+  spec.scheduler = kind;
+  if (kind == schedulers::SchedulerKind::kKraken) {
+    spec.scheduler_options.kraken_default_slo_ms = 2000.0;
+  }
+  const auto result = run_experiment(spec, workload);
+  EXPECT_EQ(result.completed, 60u);
+  for (const auto& record : result.records) {
+    EXPECT_GE(record.dispatched, record.arrival);
+    EXPECT_GE(record.exec_start, record.dispatched);
+    EXPECT_GT(record.exec_end, record.exec_start);
+    EXPECT_GE(record.cold_start, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ExperimentSweepTest,
+    ::testing::Combine(::testing::Values(schedulers::SchedulerKind::kVanilla,
+                                         schedulers::SchedulerKind::kKraken,
+                                         schedulers::SchedulerKind::kSfs,
+                                         schedulers::SchedulerKind::kFaasBatch),
+                       ::testing::Values(trace::FunctionKind::kCpuIntensive,
+                                         trace::FunctionKind::kIo)));
+
+}  // namespace
+}  // namespace faasbatch::eval

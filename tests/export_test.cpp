@@ -1,0 +1,95 @@
+// Tests for JSON export of experiment results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/export.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::eval {
+namespace {
+
+ExperimentResult sample_result() {
+  trace::WorkloadSpec spec;
+  spec.invocations = 60;
+  spec.seed = 13;
+  const trace::Workload workload = trace::synthesize_workload(spec);
+  return run_experiment(ExperimentSpec{}, workload);
+}
+
+TEST(ExportTest, ExperimentJsonHasAllMetrics) {
+  const auto result = sample_result();
+  const Json doc = experiment_to_json(result, 10);
+  EXPECT_EQ(doc.at("scheduler").as_string(), "FaaSBatch");
+  EXPECT_EQ(doc.at("invocations").as_int(), 60);
+  EXPECT_EQ(doc.at("completed").as_int(), 60);
+  EXPECT_EQ(doc.at("containers_provisioned").as_int(),
+            static_cast<std::int64_t>(result.containers_provisioned));
+  EXPECT_DOUBLE_EQ(doc.at("memory_avg_mib").as_double(), result.memory_avg_mib);
+  EXPECT_GT(doc.at("makespan_s").as_double(), 0.0);
+}
+
+TEST(ExportTest, CdfSeriesAreMonotone) {
+  const Json doc = experiment_to_json(sample_result(), 10);
+  const auto& cdfs = doc.at("latency_cdfs_ms").as_object();
+  for (const char* component :
+       {"scheduling", "cold_start", "queuing", "execution", "total", "response"}) {
+    const auto& series = cdfs.at(component).as_array();
+    ASSERT_EQ(series.size(), 10u) << component;
+    double last_q = 0.0, last_ms = -1.0;
+    for (const Json& point : series) {
+      EXPECT_GT(point.at("q").as_double(), last_q) << component;
+      EXPECT_GE(point.at("ms").as_double(), last_ms) << component;
+      last_q = point.at("q").as_double();
+      last_ms = point.at("ms").as_double();
+    }
+    EXPECT_DOUBLE_EQ(last_q, 1.0);
+  }
+}
+
+TEST(ExportTest, MemorySeriesCoversMakespan) {
+  const auto result = sample_result();
+  const Json doc = experiment_to_json(result, 5);
+  const auto& series = doc.at("memory_series_1hz").as_array();
+  EXPECT_EQ(series.size(), result.memory_series_mib.size());
+  EXPECT_DOUBLE_EQ(series.front().at("t_s").as_double(), 0.0);
+  for (const Json& point : series) EXPECT_GE(point.at("mib").as_double(), 512.0);
+}
+
+TEST(ExportTest, DumpedJsonParsesBack) {
+  const Json doc = experiment_to_json(sample_result(), 8);
+  const Json reparsed = Json::parse(doc.dump());
+  EXPECT_EQ(reparsed.at("scheduler").as_string(), "FaaSBatch");
+  EXPECT_EQ(reparsed.at("latency_cdfs_ms").at("total").as_array().size(), 8u);
+}
+
+TEST(ExportTest, ComparisonKeyedBySchedulerName) {
+  trace::WorkloadSpec spec;
+  spec.invocations = 40;
+  spec.seed = 14;
+  const trace::Workload workload = trace::synthesize_workload(spec);
+  const Comparison comparison = run_comparison(ExperimentSpec{}, workload);
+  const Json doc = comparison_to_json(comparison, 5);
+  for (const char* name : {"Vanilla", "Kraken", "SFS", "FaaSBatch"}) {
+    ASSERT_TRUE(doc.contains(name)) << name;
+    EXPECT_EQ(doc.at(name).at("completed").as_int(), 40);
+  }
+}
+
+TEST(ExportTest, SaveJsonWritesFile) {
+  const std::string path = ::testing::TempDir() + "/fb_export_test.json";
+  Json doc;
+  doc["x"] = 1;
+  save_json(path, doc);
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  EXPECT_EQ(Json::parse(buffer.str()).at("x").as_int(), 1);
+  std::remove(path.c_str());
+  EXPECT_THROW(save_json("/nonexistent/dir/x.json", doc), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace faasbatch::eval

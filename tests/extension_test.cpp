@@ -1,0 +1,148 @@
+// Tests for the post-paper extensions: EWMA prediction for Kraken,
+// FaaSBatch batch-return semantics, and the response-latency metric.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "schedulers/ewma.hpp"
+
+namespace faasbatch::schedulers {
+namespace {
+
+TEST(EwmaTest, SeedsWithFirstObservation) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.predict(7.0), 7.0);  // fallback before data
+  ewma.update(10.0);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.predict(), 10.0);
+}
+
+TEST(EwmaTest, ExponentialSmoothing) {
+  Ewma ewma(0.5);
+  ewma.update(10.0);
+  ewma.update(20.0);
+  EXPECT_DOUBLE_EQ(ewma.predict(), 15.0);
+  ewma.update(15.0);
+  EXPECT_DOUBLE_EQ(ewma.predict(), 15.0);
+}
+
+TEST(EwmaTest, AlphaOneTracksLatest) {
+  Ewma ewma(1.0);
+  ewma.update(5.0);
+  ewma.update(50.0);
+  EXPECT_DOUBLE_EQ(ewma.predict(), 50.0);
+}
+
+TEST(EwmaTest, Validation) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+  EXPECT_THROW(Ewma(-0.1), std::invalid_argument);
+}
+
+trace::Workload alternating_bursts(std::size_t bursts, std::size_t small_size,
+                                   std::size_t big_size) {
+  trace::Workload workload;
+  workload.kind = trace::FunctionKind::kCpuIntensive;
+  trace::FunctionProfile profile;
+  profile.id = 0;
+  profile.name = "f";
+  profile.kind = trace::FunctionKind::kCpuIntensive;
+  profile.duration_ms = 100.0;
+  workload.functions.push_back(profile);
+  InvocationId id = 0;
+  for (std::size_t b = 0; b < bursts; ++b) {
+    const std::size_t size = b % 2 == 0 ? small_size : big_size;
+    const SimTime base = static_cast<SimTime>(b) * 5 * kSecond;
+    for (std::size_t i = 0; i < size; ++i) {
+      workload.events.push_back(trace::TraceEvent{base, 0, 100.0, 25});
+      ++id;
+    }
+  }
+  workload.horizon = static_cast<SimDuration>(bursts) * 5 * kSecond;
+  return workload;
+}
+
+TEST(KrakenEwmaTest, UnderpredictionDeepensQueues) {
+  // Bursts alternate 2 / 20 invocations; EWMA trained on a small burst
+  // under-provisions the big one -> queuing beyond the oracle's.
+  const auto workload = alternating_bursts(6, 2, 20);
+
+  eval::ExperimentSpec oracle;
+  oracle.scheduler = SchedulerKind::kKraken;
+  oracle.scheduler_options.kraken_default_slo_ms = 300.0;  // batch = 3
+  const auto oracle_result = eval::run_experiment(oracle, workload);
+
+  eval::ExperimentSpec ewma = oracle;
+  ewma.scheduler_options.kraken_ewma_alpha = 0.3;
+  const auto ewma_result = eval::run_experiment(ewma, workload);
+
+  EXPECT_EQ(oracle_result.completed, ewma_result.completed);
+  EXPECT_GT(ewma_result.latency.queuing().percentile(0.95),
+            oracle_result.latency.queuing().percentile(0.95));
+  // The oracle port respects the batch bound, so its queuing stays under
+  // (batch-1) * exec.
+  EXPECT_LE(oracle_result.latency.queuing().percentile(1.0), 2 * 100.0 + 50.0);
+}
+
+TEST(KrakenEwmaTest, OracleIsDefault) {
+  SchedulerOptions options;
+  EXPECT_DOUBLE_EQ(options.kraken_ewma_alpha, 0.0);
+}
+
+trace::Workload one_group(std::size_t size) {
+  trace::Workload workload;
+  workload.kind = trace::FunctionKind::kCpuIntensive;
+  trace::FunctionProfile profile;
+  profile.id = 0;
+  profile.name = "f";
+  profile.kind = trace::FunctionKind::kCpuIntensive;
+  profile.duration_ms = 100.0;
+  workload.functions.push_back(profile);
+  for (std::size_t i = 0; i < size; ++i) {
+    // Mixed durations so group members finish at different times.
+    const double duration = 50.0 + 100.0 * static_cast<double>(i % 3);
+    workload.events.push_back(trace::TraceEvent{0, 0, duration, 25});
+  }
+  workload.horizon = kMinute;
+  return workload;
+}
+
+TEST(BatchReturnTest, RepliesWaitForTheWholeGroup) {
+  const auto workload = one_group(12);
+
+  eval::ExperimentSpec early;
+  early.scheduler = SchedulerKind::kFaasBatch;
+  const auto early_result = eval::run_experiment(early, workload);
+
+  eval::ExperimentSpec batch = early;
+  batch.scheduler_options.faasbatch_batch_return = true;
+  const auto batch_result = eval::run_experiment(batch, workload);
+
+  // Execution behaviour identical; only the reply time changes.
+  EXPECT_DOUBLE_EQ(batch_result.latency.execution().percentile(0.5),
+                   early_result.latency.execution().percentile(0.5));
+  // With batch return every member reports the same response time (the
+  // slowest member's), so P50 response rises to the group tail.
+  EXPECT_GT(batch_result.response_ms.percentile(0.5),
+            early_result.response_ms.percentile(0.5));
+  EXPECT_DOUBLE_EQ(batch_result.response_ms.percentile(0.1),
+                   batch_result.response_ms.percentile(0.9));
+  // Early return: response == total latency for every invocation.
+  EXPECT_DOUBLE_EQ(early_result.response_ms.percentile(0.5),
+                   early_result.latency.total().percentile(0.5));
+}
+
+TEST(BatchReturnTest, AllInvocationsStillComplete) {
+  const auto workload = one_group(30);
+  eval::ExperimentSpec spec;
+  spec.scheduler = SchedulerKind::kFaasBatch;
+  spec.scheduler_options.faasbatch_batch_return = true;
+  const auto result = eval::run_experiment(spec, workload);
+  EXPECT_EQ(result.completed, 30u);
+  for (const auto& record : result.records) {
+    EXPECT_GE(record.returned, record.exec_end);
+  }
+}
+
+}  // namespace
+}  // namespace faasbatch::schedulers

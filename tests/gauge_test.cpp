@@ -1,0 +1,87 @@
+// Tests for the time-weighted gauge.
+#include <gtest/gtest.h>
+
+#include "sim/gauge.hpp"
+
+namespace faasbatch::sim {
+namespace {
+
+TEST(GaugeTest, InitialValueAndPeak) {
+  Gauge gauge(5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  EXPECT_DOUBLE_EQ(gauge.peak(), 5.0);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge(0.0);
+  gauge.set(0, 10.0);
+  gauge.add(kSecond, 5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 15.0);
+  gauge.add(2 * kSecond, -12.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  EXPECT_DOUBLE_EQ(gauge.peak(), 15.0);
+}
+
+TEST(GaugeTest, IntegralOfStepFunction) {
+  Gauge gauge(0.0);
+  gauge.set(0, 2.0);                   // 2.0 over [0, 1s)
+  gauge.set(kSecond, 4.0);             // 4.0 over [1s, 3s)
+  gauge.set(3 * kSecond, 0.0);
+  EXPECT_NEAR(gauge.integral(3 * kSecond), 2.0 + 8.0, 1e-9);
+  // Extends with the current (0) value.
+  EXPECT_NEAR(gauge.integral(10 * kSecond), 10.0, 1e-9);
+}
+
+TEST(GaugeTest, TimeAverage) {
+  Gauge gauge(0.0);
+  gauge.set(0, 10.0);
+  gauge.set(2 * kSecond, 0.0);
+  EXPECT_NEAR(gauge.time_average(4 * kSecond), 5.0, 1e-9);
+}
+
+TEST(GaugeTest, RejectsBackwardsTime) {
+  Gauge gauge(0.0);
+  gauge.set(kSecond, 1.0);
+  EXPECT_THROW(gauge.set(0, 2.0), std::invalid_argument);
+}
+
+TEST(GaugeTest, SamplesAtFixedPeriod) {
+  Gauge gauge(0.0);
+  gauge.set(0, 1.0);
+  gauge.set(kSecond + kSecond / 2, 3.0);  // changes at 1.5 s
+  const auto samples = gauge.sample(kSecond, 3 * kSecond);
+  ASSERT_EQ(samples.size(), 4u);  // t = 0, 1, 2, 3
+  EXPECT_DOUBLE_EQ(samples[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(samples[1].second, 1.0);
+  EXPECT_DOUBLE_EQ(samples[2].second, 3.0);
+  EXPECT_DOUBLE_EQ(samples[3].second, 3.0);
+}
+
+TEST(GaugeTest, SampleValidation) {
+  Gauge no_history(0.0, /*keep_history=*/false);
+  no_history.set(0, 1.0);
+  EXPECT_THROW(no_history.sample(kSecond, kSecond), std::logic_error);
+  Gauge gauge(0.0);
+  EXPECT_THROW(gauge.sample(0, kSecond), std::invalid_argument);
+}
+
+TEST(GaugeTest, HistoryCoalescesSameTimestamp) {
+  Gauge gauge(0.0);
+  gauge.set(0, 0.0);  // anchor the series at t=0
+  gauge.set(kSecond, 1.0);
+  gauge.set(kSecond, 2.0);
+  gauge.set(kSecond, 3.0);
+  // One history entry per distinct timestamp.
+  EXPECT_EQ(gauge.history().size(), 2u);
+  EXPECT_DOUBLE_EQ(gauge.history().back().second, 3.0);
+}
+
+TEST(GaugeTest, IntegralIgnoresSameTimestampTransients) {
+  Gauge gauge(0.0);
+  gauge.set(0, 100.0);
+  gauge.set(0, 1.0);  // instantaneous overwrite contributes nothing
+  EXPECT_NEAR(gauge.integral(kSecond), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace faasbatch::sim

@@ -1,0 +1,157 @@
+// Tests for the live platform's HTTP gateway.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "http/client.hpp"
+#include "live/http_gateway.hpp"
+
+namespace faasbatch::live {
+namespace {
+
+LivePlatformOptions fast_options() {
+  LivePlatformOptions options;
+  options.policy = LivePolicy::kFaasBatch;
+  options.window = std::chrono::milliseconds(10);
+  options.container.threads = 2;
+  options.container.cold_start_work_ms = 0.5;
+  options.container.base_memory_bytes = 16 * kKiB;
+  options.client_factory.creation_work_ms = 0.5;
+  options.client_factory.client_buffer_bytes = 16 * kKiB;
+  return options;
+}
+
+TEST(ParseTargetTest, SegmentsAndQuery) {
+  const TargetParts parts = parse_target("/invoke/fib?x=1&y=two&flag");
+  ASSERT_EQ(parts.segments.size(), 2u);
+  EXPECT_EQ(parts.segments[0], "invoke");
+  EXPECT_EQ(parts.segments[1], "fib");
+  EXPECT_EQ(parts.query.at("x"), "1");
+  EXPECT_EQ(parts.query.at("y"), "two");
+  EXPECT_EQ(parts.query.at("flag"), "");
+}
+
+TEST(ParseTargetTest, RootAndTrailingSlash) {
+  EXPECT_TRUE(parse_target("/").segments.empty());
+  const TargetParts parts = parse_target("/a/b/");
+  ASSERT_EQ(parts.segments.size(), 2u);
+  EXPECT_EQ(parts.segments[1], "b");
+}
+
+class GatewayFixture : public ::testing::Test {
+ protected:
+  GatewayFixture() : platform_(fast_options()), gateway_(platform_, 0) {}
+
+  LivePlatform platform_;
+  HttpGateway gateway_;
+};
+
+TEST_F(GatewayFixture, HealthCheck) {
+  http::Client client(gateway_.port());
+  const auto response = client.get("/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok");
+}
+
+TEST_F(GatewayFixture, RegisterAndInvokeFib) {
+  http::Client client(gateway_.port());
+  EXPECT_EQ(client.post("/functions/fib?type=fib&n=15", "").status, 200);
+  const auto response = client.post("/invoke/fib", "");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"total_ms\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"exec_ms\":"), std::string::npos);
+}
+
+TEST_F(GatewayFixture, RegisterAndInvokeIo) {
+  http::Client client(gateway_.port());
+  EXPECT_EQ(client.post("/functions/up?type=io&account=acct&payload=64", "").status,
+            200);
+  EXPECT_EQ(client.post("/invoke/up", "").status, 200);
+  EXPECT_GT(platform_.store().object_count(), 0u);
+}
+
+TEST_F(GatewayFixture, InvokeUnknownFunctionIs404) {
+  http::Client client(gateway_.port());
+  EXPECT_EQ(client.post("/invoke/ghost", "").status, 404);
+}
+
+TEST_F(GatewayFixture, BadRegistrationIs400) {
+  http::Client client(gateway_.port());
+  EXPECT_EQ(client.post("/functions/x?type=nope", "").status, 400);
+  EXPECT_EQ(client.post("/functions/x?type=fib&n=99", "").status, 400);
+  EXPECT_EQ(client.post("/functions", "").status, 400);
+}
+
+TEST_F(GatewayFixture, MethodAndPathErrors) {
+  http::Client client(gateway_.port());
+  EXPECT_EQ(client.get("/invoke/x").status, 405);
+  EXPECT_EQ(client.get("/nope").status, 404);
+  EXPECT_EQ(client.get("/").status, 404);
+}
+
+TEST_F(GatewayFixture, StatsReflectActivity) {
+  http::Client client(gateway_.port());
+  client.post("/functions/fib?type=fib&n=10", "");
+  client.post("/invoke/fib", "");
+  const auto stats = client.get("/stats");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"containers_created\":1"), std::string::npos);
+  EXPECT_NE(stats.body.find("\"policy\":\"faasbatch\""), std::string::npos);
+}
+
+TEST_F(GatewayFixture, RegisterViaJsonBody) {
+  http::Client client(gateway_.port());
+  EXPECT_EQ(client.post("/functions/fib", R"({"type":"fib","n":12})").status, 200);
+  EXPECT_EQ(client.post("/invoke/fib", "").status, 200);
+  // Malformed JSON body is a 400, not a crash.
+  EXPECT_EQ(client.post("/functions/x", "{not json").status, 400);
+  EXPECT_EQ(client.post("/functions/x", "[1,2]").status, 400);
+}
+
+TEST_F(GatewayFixture, InvokePayloadReachesHandler) {
+  http::Client client(gateway_.port());
+  client.post("/functions/up", R"({"type":"io","account":"acct"})");
+  EXPECT_EQ(client.post("/invoke/up", "custom-object-content").status, 200);
+  // The payload became the stored object's content.
+  bool found = false;
+  for (int i = 0; i < 16 && !found; ++i) {
+    const auto value = platform_.store().get("acct/obj-" + std::to_string(i));
+    if (value && *value == "custom-object-content") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(GatewayFixture, InvokeReplyIsValidJson) {
+  http::Client client(gateway_.port());
+  client.post("/functions/fib?type=fib&n=10", "");
+  const auto response = client.post("/invoke/fib", "");
+  const Json reply = Json::parse(response.body);
+  EXPECT_GE(reply.at("total_ms").as_double(), reply.at("exec_ms").as_double());
+  EXPECT_GE(reply.at("queue_ms").as_double(), 0.0);
+}
+
+TEST_F(GatewayFixture, ConcurrentInvocationsThroughGateway) {
+  {
+    http::Client client(gateway_.port());
+    client.post("/functions/fib?type=fib&n=12", "");
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([this, &ok] {
+      http::Client client(gateway_.port());
+      for (int i = 0; i < 10; ++i) {
+        if (client.post("/invoke/fib", "").status == 200) ++ok;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok.load(), 40);
+  // Batched through FaaSBatch: far fewer containers than invocations.
+  EXPECT_LE(platform_.containers_created(), 3u);
+}
+
+}  // namespace
+}  // namespace faasbatch::live

@@ -1,0 +1,202 @@
+// Tests for the HTTP substrate: message parsing/serialisation across
+// split reads, the socket server/client pair, and error paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "http/client.hpp"
+#include "http/message.hpp"
+#include "http/server.hpp"
+
+namespace faasbatch::http {
+namespace {
+
+TEST(HttpMessageTest, RequestSerializeParseRoundTrip) {
+  Request request;
+  request.method = "POST";
+  request.target = "/invoke/fib?x=1";
+  request.headers["Content-Type"] = "application/json";
+  request.body = "{\"n\":24}";
+
+  Parser parser;
+  parser.feed(request.serialize());
+  const auto parsed = parser.next_request();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->target, "/invoke/fib?x=1");
+  EXPECT_EQ(parsed->body, "{\"n\":24}");
+  EXPECT_EQ(parsed->headers.at("content-type"), "application/json");
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(HttpMessageTest, ResponseSerializeParseRoundTrip) {
+  Response response = Response::make(404, "missing", "text/plain");
+  Parser parser;
+  parser.feed(response.serialize());
+  const auto parsed = parser.next_response();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->reason, "Not Found");
+  EXPECT_EQ(parsed->body, "missing");
+}
+
+TEST(HttpMessageTest, ParserHandlesSplitReads) {
+  Request request;
+  request.method = "POST";
+  request.target = "/x";
+  request.body = "0123456789";
+  const std::string wire = request.serialize();
+  // Feed one byte at a time; the request must appear exactly once the
+  // final byte lands.
+  Parser parser;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.feed(std::string_view(&wire[i], 1));
+    EXPECT_FALSE(parser.next_request().has_value()) << "at byte " << i;
+  }
+  parser.feed(std::string_view(&wire[wire.size() - 1], 1));
+  const auto parsed = parser.next_request();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->body, "0123456789");
+}
+
+TEST(HttpMessageTest, ParserHandlesPipelinedRequests) {
+  Request a, b;
+  a.target = "/a";
+  b.target = "/b";
+  Parser parser;
+  parser.feed(a.serialize() + b.serialize());
+  EXPECT_EQ(parser.next_request()->target, "/a");
+  EXPECT_EQ(parser.next_request()->target, "/b");
+  EXPECT_FALSE(parser.next_request().has_value());
+}
+
+TEST(HttpMessageTest, HeaderNamesCaseInsensitive) {
+  Parser parser;
+  parser.feed("GET / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi");
+  const auto parsed = parser.next_request();
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->body, "hi");
+  EXPECT_EQ(parsed->headers.at("Content-Length"), "2");
+}
+
+TEST(HttpMessageTest, MalformedInputsThrow) {
+  {
+    Parser parser;
+    parser.feed("NOT-A-REQUEST\r\n\r\n");
+    EXPECT_THROW(parser.next_request(), std::runtime_error);
+  }
+  {
+    Parser parser;
+    parser.feed("GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n");
+    EXPECT_THROW(parser.next_request(), std::runtime_error);
+  }
+  {
+    Parser parser;
+    parser.feed("GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+    EXPECT_THROW(parser.next_request(), std::runtime_error);
+  }
+  {
+    Parser parser;
+    parser.feed("HTTP/1.1 xyz OK\r\n\r\n");
+    EXPECT_THROW(parser.next_response(), std::runtime_error);
+  }
+}
+
+TEST(HttpMessageTest, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(503), "Service Unavailable");
+  EXPECT_EQ(reason_phrase(418), "?");
+}
+
+TEST(HttpServerTest, ServesEchoRequests) {
+  Server server(0, [](const Request& request) {
+    return Response::make(200, "echo:" + request.body);
+  });
+  ASSERT_GT(server.port(), 0);
+  Client client(server.port());
+  const Response response = client.post("/echo", "hello");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "echo:hello");
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpServerTest, KeepAliveServesSequentialRequests) {
+  Server server(0, [](const Request& request) {
+    return Response::make(200, request.target);
+  });
+  Client client(server.port());
+  for (int i = 0; i < 10; ++i) {
+    const std::string target = "/r" + std::to_string(i);
+    EXPECT_EQ(client.get(target).body, target);
+  }
+  EXPECT_EQ(server.requests_served(), 10u);
+}
+
+TEST(HttpServerTest, ConcurrentClients) {
+  std::atomic<int> handled{0};
+  Server server(0, [&handled](const Request&) {
+    ++handled;
+    return Response::make(200, "ok");
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([port = server.port()] {
+      Client client(port);
+      for (int i = 0; i < 25; ++i) {
+        ASSERT_EQ(client.get("/x").status, 200);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(handled.load(), 100);
+}
+
+TEST(HttpServerTest, HandlerExceptionBecomes500) {
+  Server server(0, [](const Request&) -> Response {
+    throw std::runtime_error("kaboom");
+  });
+  Client client(server.port());
+  const Response response = client.get("/boom");
+  EXPECT_EQ(response.status, 500);
+  EXPECT_NE(response.body.find("kaboom"), std::string::npos);
+}
+
+TEST(HttpServerTest, ConnectionCloseHonoured) {
+  Server server(0, [](const Request&) { return Response::make(200, "bye"); });
+  Client client(server.port());
+  Request request;
+  request.target = "/";
+  request.headers["Connection"] = "close";
+  EXPECT_EQ(client.send(request).body, "bye");
+  // The server closed the connection; the next send must fail.
+  EXPECT_THROW(client.get("/again"), std::runtime_error);
+}
+
+TEST(HttpServerTest, LargeBodyCrossesChunkBoundaries) {
+  // A body far beyond the 4 KiB socket read chunk exercises incremental
+  // parsing on the server and the client.
+  Server server(0, [](const Request& request) {
+    return Response::make(200, std::string(request.body.rbegin(),
+                                           request.body.rend()));
+  });
+  Client client(server.port());
+  std::string big;
+  big.reserve(256 * 1024);
+  for (int i = 0; big.size() < 256 * 1024; ++i) {
+    big += "payload-" + std::to_string(i) + ";";
+  }
+  const Response response = client.post("/big", big);
+  EXPECT_EQ(response.status, 200);
+  ASSERT_EQ(response.body.size(), big.size());
+  EXPECT_EQ(response.body, std::string(big.rbegin(), big.rend()));
+}
+
+TEST(HttpClientTest, ConnectFailureThrows) {
+  // Port 1 on loopback is almost certainly closed.
+  EXPECT_THROW(Client(1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace faasbatch::http

@@ -1,0 +1,123 @@
+// Tests for the Invoke Mapper's window batching and function grouping.
+#include <gtest/gtest.h>
+
+#include "core/invoke_mapper.hpp"
+
+namespace faasbatch::core {
+namespace {
+
+TEST(InvokeMapperTest, FirstAddOpensWindow) {
+  InvokeMapper mapper(200 * kMillisecond);
+  EXPECT_FALSE(mapper.window_open());
+  EXPECT_TRUE(mapper.add(10, 0, 5));
+  EXPECT_TRUE(mapper.window_open());
+  EXPECT_EQ(mapper.window_opened_at(), 10);
+  EXPECT_FALSE(mapper.add(20, 1, 5));  // window already open
+  EXPECT_EQ(mapper.pending(), 2u);
+}
+
+TEST(InvokeMapperTest, FlushGroupsByFunction) {
+  InvokeMapper mapper(kSecond);
+  mapper.add(0, 0, 7);
+  mapper.add(1, 1, 3);
+  mapper.add(2, 2, 7);
+  mapper.add(3, 3, 3);
+  mapper.add(4, 4, 9);
+  const auto groups = mapper.flush();
+  ASSERT_EQ(groups.size(), 3u);
+  // Groups ordered by function id; invocations in arrival order.
+  EXPECT_EQ(groups[0].function, 3u);
+  EXPECT_EQ(groups[0].invocations, (std::vector<InvocationId>{1, 3}));
+  EXPECT_EQ(groups[1].function, 7u);
+  EXPECT_EQ(groups[1].invocations, (std::vector<InvocationId>{0, 2}));
+  EXPECT_EQ(groups[2].function, 9u);
+  EXPECT_EQ(groups[2].invocations, (std::vector<InvocationId>{4}));
+}
+
+TEST(InvokeMapperTest, FlushResetsWindow) {
+  InvokeMapper mapper(kSecond);
+  mapper.add(0, 0, 1);
+  mapper.flush();
+  EXPECT_FALSE(mapper.window_open());
+  EXPECT_EQ(mapper.pending(), 0u);
+  EXPECT_TRUE(mapper.add(5, 1, 1));  // next add opens a fresh window
+}
+
+TEST(InvokeMapperTest, EmptyFlushIsHarmless) {
+  InvokeMapper mapper(kSecond);
+  EXPECT_TRUE(mapper.flush().empty());
+  EXPECT_EQ(mapper.windows_flushed(), 0u);
+}
+
+TEST(InvokeMapperTest, WindowsFlushedCountsNonEmptyOnly) {
+  InvokeMapper mapper(kSecond);
+  mapper.add(0, 0, 1);
+  mapper.flush();
+  mapper.flush();  // empty
+  mapper.add(10, 1, 1);
+  mapper.flush();
+  EXPECT_EQ(mapper.windows_flushed(), 2u);
+}
+
+TEST(InvokeMapperTest, WindowValidation) {
+  EXPECT_THROW(InvokeMapper(0), std::invalid_argument);
+  EXPECT_THROW(InvokeMapper(-5), std::invalid_argument);
+}
+
+TEST(InvokeMapperTest, SingleFunctionSingleGroup) {
+  InvokeMapper mapper(kSecond);
+  for (InvocationId i = 0; i < 100; ++i) mapper.add(static_cast<SimTime>(i), i, 4);
+  const auto groups = mapper.flush();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 100u);
+}
+
+// Property: no invocation is lost or duplicated across arbitrary
+// add/flush interleavings.
+class MapperConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperConservationTest, AllInvocationsAccountedForOnce) {
+  const std::uint64_t seed = GetParam();
+  InvokeMapper mapper(100 * kMillisecond);
+  std::uint64_t state = seed;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::vector<bool> seen(500, false);
+  InvocationId id = 0;
+  SimTime now = 0;
+  std::size_t flushed = 0;
+  while (id < 500) {
+    // Randomly add 1..6 invocations, then sometimes flush.
+    const std::size_t burst = 1 + next() % 6;
+    for (std::size_t i = 0; i < burst && id < 500; ++i) {
+      now += static_cast<SimTime>(next() % 1000);
+      mapper.add(now, id, static_cast<FunctionId>(next() % 7));
+      ++id;
+    }
+    if (next() % 3 == 0) {
+      for (const auto& group : mapper.flush()) {
+        for (InvocationId invocation : group.invocations) {
+          ASSERT_FALSE(seen[invocation]) << "duplicate " << invocation;
+          seen[invocation] = true;
+          ++flushed;
+        }
+      }
+    }
+  }
+  for (const auto& group : mapper.flush()) {
+    for (InvocationId invocation : group.invocations) {
+      ASSERT_FALSE(seen[invocation]);
+      seen[invocation] = true;
+      ++flushed;
+    }
+  }
+  EXPECT_EQ(flushed, 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperConservationTest,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 42, 1234));
+
+}  // namespace
+}  // namespace faasbatch::core

@@ -1,0 +1,133 @@
+// Tests for the JSON value type: construction, serialization, parsing,
+// round-trips, and error reporting.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/json.hpp"
+
+namespace faasbatch {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  Json value;
+  EXPECT_TRUE(value.is_null());
+  EXPECT_EQ(value.dump(), "null");
+}
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::int64_t{1} << 40).dump(), "1099511627776");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak\ttab\\slash").dump(), "\"line\\nbreak\\ttab\\\\slash\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, BuilderSyntax) {
+  Json object;
+  object["name"] = "faasbatch";
+  object["count"] = 3;
+  object["nested"]["flag"] = true;
+  Json array;
+  array.push_back(1);
+  array.push_back("two");
+  object["list"] = std::move(array);
+  // std::map orders keys alphabetically.
+  EXPECT_EQ(object.dump(),
+            "{\"count\":3,\"list\":[1,\"two\"],\"name\":\"faasbatch\","
+            "\"nested\":{\"flag\":true}}");
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("123").as_int(), 123);
+  EXPECT_DOUBLE_EQ(Json::parse("-4.75").as_double(), -4.75);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"text\"").as_string(), "text");
+}
+
+TEST(JsonTest, ParseStructures) {
+  const Json value = Json::parse(R"({"a": [1, 2.5, "x"], "b": {"c": null}})");
+  ASSERT_TRUE(value.is_object());
+  const auto& array = value.at("a").as_array();
+  ASSERT_EQ(array.size(), 3u);
+  EXPECT_EQ(array[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(array[1].as_double(), 2.5);
+  EXPECT_EQ(array[2].as_string(), "x");
+  EXPECT_TRUE(value.at("b").at("c").is_null());
+}
+
+TEST(JsonTest, ParseEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd")").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xC3\xA9");  // é in UTF-8
+}
+
+TEST(JsonTest, RoundTrips) {
+  const char* documents[] = {
+      "null", "true", "[1,2,3]", "{\"a\":1}", "{\"k\":[{\"x\":null},false,-2.5]}",
+  };
+  for (const char* doc : documents) {
+    EXPECT_EQ(Json::parse(Json::parse(doc).dump()).dump(), Json::parse(doc).dump())
+        << doc;
+  }
+}
+
+TEST(JsonTest, WhitespaceTolerated) {
+  const Json value = Json::parse("  {\n\t\"a\" :  [ 1 , 2 ]\r\n} ");
+  EXPECT_EQ(value.at("a").as_array().size(), 2u);
+}
+
+class JsonBadInputTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonBadInputTest, Throws) {
+  EXPECT_THROW(Json::parse(GetParam()), std::runtime_error) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(BadDocs, JsonBadInputTest,
+                         ::testing::Values("", "{", "[1,]", "{\"a\":}", "tru",
+                                           "\"unterminated", "{\"a\" 1}", "01a",
+                                           "[1] trailing", "{\"a\":1,}",
+                                           "\"bad\\escape\"", "nan", "-"));
+
+TEST(JsonTest, TypeErrors) {
+  const Json number = Json::parse("5");
+  EXPECT_THROW(number.as_string(), std::runtime_error);
+  EXPECT_THROW(number.as_array(), std::runtime_error);
+  EXPECT_THROW(number.at("x"), std::runtime_error);
+  const Json object = Json::parse("{}");
+  EXPECT_THROW(object.at("missing"), std::runtime_error);
+  EXPECT_THROW(object.as_bool(), std::runtime_error);
+}
+
+TEST(JsonTest, FallbackGetters) {
+  const Json value = Json::parse(R"({"n": 3, "s": "x", "d": 1.5})");
+  EXPECT_EQ(value.get_int("n", 0), 3);
+  EXPECT_EQ(value.get_int("missing", 9), 9);
+  EXPECT_EQ(value.get_string("s", ""), "x");
+  EXPECT_EQ(value.get_string("missing", "fb"), "fb");
+  EXPECT_DOUBLE_EQ(value.get_double("d", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(value.get_double("missing", 7.5), 7.5);
+}
+
+TEST(JsonTest, NumberCrossAccess) {
+  EXPECT_DOUBLE_EQ(Json(5).as_double(), 5.0);
+  EXPECT_EQ(Json(2.9).as_int(), 2);  // truncation, as documented
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+}  // namespace
+}  // namespace faasbatch

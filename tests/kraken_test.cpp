@@ -1,0 +1,91 @@
+// Tests for the Kraken baseline: slack batch sizing and serial queuing.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "schedulers/kraken.hpp"
+
+namespace faasbatch::schedulers {
+namespace {
+
+TEST(KrakenBatchSizeTest, FloorOfSlackRatio) {
+  EXPECT_EQ(KrakenScheduler::batch_size_for(1000.0, 100.0), 10u);
+  EXPECT_EQ(KrakenScheduler::batch_size_for(1000.0, 300.0), 3u);
+  EXPECT_EQ(KrakenScheduler::batch_size_for(999.0, 1000.0), 1u);  // at least 1
+  EXPECT_EQ(KrakenScheduler::batch_size_for(1000.0, 0.0), 1u);
+  EXPECT_EQ(KrakenScheduler::batch_size_for(0.0, 100.0), 1u);
+}
+
+trace::Workload burst_workload(double duration_ms, std::size_t count) {
+  trace::Workload workload;
+  workload.kind = trace::FunctionKind::kCpuIntensive;
+  trace::FunctionProfile profile;
+  profile.id = 0;
+  profile.name = "f";
+  profile.kind = trace::FunctionKind::kCpuIntensive;
+  profile.duration_ms = duration_ms;
+  workload.functions.push_back(profile);
+  for (std::size_t i = 0; i < count; ++i) {
+    workload.events.push_back(
+        trace::TraceEvent{static_cast<SimTime>(i), 0, duration_ms, 25});
+  }
+  workload.horizon = kMinute;
+  return workload;
+}
+
+TEST(KrakenIntegrationTest, SerialBatchesProduceQueuing) {
+  // 12 concurrent invocations of a 100 ms function with a 300 ms SLO:
+  // batch size 3 -> 4 containers, with within-container queuing.
+  const trace::Workload workload = burst_workload(100.0, 12);
+  eval::ExperimentSpec spec;
+  spec.scheduler = SchedulerKind::kKraken;
+  spec.scheduler_options.kraken_slo_ms[0] = 300.0;
+  const auto result = eval::run_experiment(spec, workload);
+  EXPECT_EQ(result.completed, 12u);
+  EXPECT_EQ(result.containers_provisioned, 4u);
+  // Two of each batch's three invocations queue behind the first.
+  EXPECT_GT(result.latency.queuing().percentile(0.9), 0.0);
+  EXPECT_GT(result.latency.exec_plus_queue().percentile(0.9),
+            result.latency.execution().percentile(0.9));
+}
+
+TEST(KrakenIntegrationTest, TightSloMeansContainerPerInvocation) {
+  const trace::Workload workload = burst_workload(100.0, 8);
+  eval::ExperimentSpec spec;
+  spec.scheduler = SchedulerKind::kKraken;
+  spec.scheduler_options.kraken_slo_ms[0] = 100.0;  // no slack at all
+  const auto result = eval::run_experiment(spec, workload);
+  EXPECT_EQ(result.containers_provisioned, 8u);
+  EXPECT_DOUBLE_EQ(result.latency.queuing().percentile(1.0), 0.0);
+}
+
+TEST(KrakenIntegrationTest, LooseSloMeansOneContainer) {
+  const trace::Workload workload = burst_workload(10.0, 8);
+  eval::ExperimentSpec spec;
+  spec.scheduler = SchedulerKind::kKraken;
+  spec.scheduler_options.kraken_slo_ms[0] = 10000.0;
+  const auto result = eval::run_experiment(spec, workload);
+  EXPECT_EQ(result.containers_provisioned, 1u);
+}
+
+TEST(KrakenIntegrationTest, DefaultSloUsedWhenUnmapped) {
+  const trace::Workload workload = burst_workload(100.0, 4);
+  eval::ExperimentSpec spec;
+  spec.scheduler = SchedulerKind::kKraken;
+  spec.scheduler_options.kraken_default_slo_ms = 400.0;  // batch = 4
+  const auto result = eval::run_experiment(spec, workload);
+  EXPECT_EQ(result.containers_provisioned, 1u);
+}
+
+TEST(KrakenIntegrationTest, QueuingGrowsWithBatchDepth) {
+  const trace::Workload workload = burst_workload(100.0, 10);
+  eval::ExperimentSpec spec;
+  spec.scheduler = SchedulerKind::kKraken;
+  spec.scheduler_options.kraken_slo_ms[0] = 1000.0;  // batch = 10, 1 container
+  const auto result = eval::run_experiment(spec, workload);
+  EXPECT_EQ(result.containers_provisioned, 1u);
+  // The last invocation queues behind nine 100 ms executions.
+  EXPECT_NEAR(result.latency.queuing().percentile(1.0), 900.0, 30.0);
+}
+
+}  // namespace
+}  // namespace faasbatch::schedulers

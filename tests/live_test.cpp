@@ -1,0 +1,218 @@
+// Tests for the live (real-thread) runtime: containers, platform
+// policies, handlers, and multiplexer behaviour under real concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "live/functions.hpp"
+#include "live/live_container.hpp"
+#include "live/live_platform.hpp"
+
+namespace faasbatch::live {
+namespace {
+
+LiveContainerOptions fast_container() {
+  LiveContainerOptions options;
+  options.threads = 2;
+  options.cold_start_work_ms = 1.0;
+  options.base_memory_bytes = 64 * kKiB;
+  return options;
+}
+
+TEST(FibTest, KnownValues) {
+  EXPECT_EQ(fib(0), 0u);
+  EXPECT_EQ(fib(1), 1u);
+  EXPECT_EQ(fib(10), 55u);
+  EXPECT_EQ(fib(20), 6765u);
+}
+
+TEST(BusyWorkTest, TakesRoughlyRequestedTime) {
+  const auto start = std::chrono::steady_clock::now();
+  (void)busy_work_ms(10.0);
+  const double elapsed = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  EXPECT_GE(elapsed, 9.0);
+}
+
+TEST(LiveContainerTest, ColdStartIsMeasuredAndMemoryResident) {
+  LiveContainer container("f", fast_container());
+  EXPECT_GE(container.cold_start_ms(), 1.0);
+  EXPECT_EQ(container.base_memory(), 64 * kKiB);
+  EXPECT_EQ(container.function(), "f");
+}
+
+TEST(LiveContainerTest, ExecutesSubmittedTasks) {
+  LiveContainer container("f", fast_container());
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    container.submit([&count] { ++count; });
+  }
+  container.drain();
+  EXPECT_EQ(count.load(), 20);
+  EXPECT_EQ(container.executed(), 20u);
+}
+
+TEST(LiveContainerTest, TasksRunConcurrently) {
+  LiveContainerOptions options = fast_container();
+  options.threads = 4;
+  LiveContainer container("f", options);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 4; ++i) {
+    container.submit([&] {
+      const int now = ++concurrent;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --concurrent;
+    });
+  }
+  container.drain();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(LiveContainerTest, DrainWaitsForInFlightWork) {
+  LiveContainer container("f", fast_container());
+  std::atomic<bool> finished{false};
+  container.submit([&finished] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    finished = true;
+  });
+  container.drain();
+  EXPECT_TRUE(finished.load());
+}
+
+LivePlatformOptions fast_platform(LivePolicy policy) {
+  LivePlatformOptions options;
+  options.policy = policy;
+  options.window = std::chrono::milliseconds(15);
+  options.container = fast_container();
+  options.client_factory.creation_work_ms = 1.0;
+  options.client_factory.client_buffer_bytes = 16 * kKiB;
+  return options;
+}
+
+TEST(LivePlatformTest, InvokeUnknownFunctionThrows) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  EXPECT_THROW(platform.invoke("nope"), std::invalid_argument);
+}
+
+TEST(LivePlatformTest, ReportsHaveSaneTimings) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  platform.register_function("fib", make_fib_handler(18));
+  auto report = platform.invoke("fib").get();
+  EXPECT_GE(report.total_ms, report.exec_ms);
+  EXPECT_GE(report.queue_ms, 0.0);
+  EXPECT_GT(report.total_ms, 0.0);
+}
+
+TEST(LivePlatformTest, FaasBatchGroupsIntoFewContainers) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  platform.register_function("fib", make_fib_handler(15));
+  std::vector<std::future<InvocationReport>> futures;
+  for (int i = 0; i < 40; ++i) futures.push_back(platform.invoke("fib"));
+  for (auto& future : futures) future.get();
+  // One function -> one (occasionally two, across windows) container.
+  EXPECT_LE(platform.containers_created(), 2u);
+}
+
+TEST(LivePlatformTest, VanillaCreatesManyContainers) {
+  LivePlatform platform(fast_platform(LivePolicy::kVanilla));
+  platform.register_function("slow", [](FunctionContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  std::vector<std::future<InvocationReport>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(platform.invoke("slow"));
+  for (auto& future : futures) future.get();
+  // All six overlap, so no warm container is ever available.
+  EXPECT_EQ(platform.containers_created(), 6u);
+}
+
+TEST(LivePlatformTest, VanillaReusesIdleContainers) {
+  LivePlatform platform(fast_platform(LivePolicy::kVanilla));
+  platform.register_function("quick", make_fib_handler(5));
+  for (int i = 0; i < 5; ++i) {
+    platform.invoke("quick").get();  // strictly sequential
+  }
+  EXPECT_EQ(platform.containers_created(), 1u);
+}
+
+TEST(LivePlatformTest, MultiplexerSharesClientsWithinContainer) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  platform.register_function("io", make_io_handler("acct"));
+  std::vector<std::future<InvocationReport>> futures;
+  for (int i = 0; i < 25; ++i) futures.push_back(platform.invoke("io"));
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(platform.client_creations(), 1u);
+  // The objects really were written to the store through the client.
+  EXPECT_GT(platform.store().stats().puts, 0u);
+}
+
+TEST(LivePlatformTest, NoMuxHandlerCreatesPerInvocation) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  platform.register_function("io", make_io_handler_no_mux("acct"));
+  std::vector<std::future<InvocationReport>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(platform.invoke("io"));
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(platform.client_creations(), 10u);
+}
+
+TEST(LivePlatformTest, IoHandlerRoundTripsData) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  platform.register_function("io", make_io_handler("acct", 256));
+  platform.invoke("io").get();
+  // The handler wrote a 256-byte object under the account prefix.
+  bool found = false;
+  for (int i = 0; i < 16 && !found; ++i) {
+    found = platform.store().exists("acct/obj-" + std::to_string(i));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LivePlatformTest, DrainBlocksUntilQuiescent) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  platform.register_function("fib", make_fib_handler(18));
+  std::vector<std::future<InvocationReport>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(platform.invoke("fib"));
+  platform.drain();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+}
+
+TEST(LivePlatformTest, FaasBatchScalesOutWhenContainerBusy) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  platform.register_function("slow", [](FunctionContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  });
+  // First window's group occupies container 1 for ~150 ms...
+  auto first = platform.invoke("slow");
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // ...so the second window's group must scale out to a new container.
+  auto second = platform.invoke("slow");
+  first.get();
+  second.get();
+  EXPECT_EQ(platform.containers_created(), 2u);
+  // Once both are idle, a third burst reuses them instead of growing.
+  auto third = platform.invoke("slow");
+  third.get();
+  EXPECT_EQ(platform.containers_created(), 2u);
+}
+
+TEST(LivePlatformTest, SeparateFunctionsSeparateContainers) {
+  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
+  platform.register_function("a", make_fib_handler(10));
+  platform.register_function("b", make_fib_handler(10));
+  std::vector<std::future<InvocationReport>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(platform.invoke(i % 2 == 0 ? "a" : "b"));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_GE(platform.containers_created(), 2u);
+}
+
+}  // namespace
+}  // namespace faasbatch::live

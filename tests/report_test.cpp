@@ -1,0 +1,96 @@
+// Tests for latency breakdowns and the text reporting helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/breakdown.hpp"
+#include "metrics/report.hpp"
+
+namespace faasbatch::metrics {
+namespace {
+
+TEST(BreakdownTest, TotalSumsComponents) {
+  LatencyBreakdown b;
+  b.scheduling = 10 * kMillisecond;
+  b.cold_start = 20 * kMillisecond;
+  b.queuing = 30 * kMillisecond;
+  b.execution = 40 * kMillisecond;
+  EXPECT_EQ(b.total(), 100 * kMillisecond);
+}
+
+TEST(BreakdownAggregateTest, CollectsPerComponentInMillis) {
+  BreakdownAggregate agg;
+  LatencyBreakdown b;
+  b.scheduling = 5 * kMillisecond;
+  b.execution = 15 * kMillisecond;
+  b.queuing = 10 * kMillisecond;
+  agg.add(b);
+  EXPECT_EQ(agg.count(), 1u);
+  EXPECT_DOUBLE_EQ(agg.scheduling().percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(agg.execution().percentile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(agg.exec_plus_queue().percentile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(agg.total().percentile(0.5), 30.0);
+}
+
+TEST(TableTest, AlignsColumnsAndPrintsRule) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TableTest, RowWidthValidation) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(-2.5, 1), "-2.5");
+}
+
+TEST(ReportTest, PrintCdfEmitsQuantileRows) {
+  Samples samples;
+  for (int i = 1; i <= 10; ++i) samples.add(static_cast<double>(i));
+  std::ostringstream os;
+  print_cdf(os, "test", samples, 5);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# CDF: test (n=10)"), std::string::npos);
+  // 5 quantile rows + 2 header lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
+}
+
+TEST(ReportTest, CdfComparisonHandlesEmptySeries) {
+  Samples a;
+  a.add(1.0);
+  Samples empty;
+  std::ostringstream os;
+  print_cdf_comparison(os, {"a", "none"}, {&a, &empty}, 4);
+  EXPECT_NE(os.str().find("-"), std::string::npos);
+}
+
+TEST(ReportTest, CdfComparisonValidatesArity) {
+  Samples a;
+  std::ostringstream os;
+  EXPECT_THROW(print_cdf_comparison(os, {"a", "b"}, {&a}, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faasbatch::metrics

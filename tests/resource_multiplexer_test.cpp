@@ -1,0 +1,195 @@
+// Tests for the Resource Multiplexer: async hit/miss/pending protocol,
+// failure recovery, synchronous get_or_create under real concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/resource_multiplexer.hpp"
+
+namespace faasbatch::core {
+namespace {
+
+using ResourcePtr = ResourceMultiplexer::ResourcePtr;
+
+TEST(ResourceMultiplexerTest, FirstAcquireIsMiss) {
+  ResourceMultiplexer mux;
+  ResourcePtr instance;
+  EXPECT_EQ(mux.acquire("client", 1, nullptr, &instance),
+            ResourceMultiplexer::Acquire::kMiss);
+  EXPECT_EQ(mux.stats().misses, 1u);
+}
+
+TEST(ResourceMultiplexerTest, CompleteEnablesHits) {
+  ResourceMultiplexer mux;
+  ResourcePtr instance;
+  mux.acquire("client", 1, nullptr, &instance);
+  auto resource = std::make_shared<int>(42);
+  mux.complete("client", 1, resource);
+  EXPECT_EQ(mux.acquire("client", 1, nullptr, &instance),
+            ResourceMultiplexer::Acquire::kHit);
+  EXPECT_EQ(instance.get(), resource.get());
+  EXPECT_EQ(mux.stats().hits, 1u);
+  EXPECT_EQ(mux.stats().cached, 1u);
+}
+
+TEST(ResourceMultiplexerTest, PendingWaitersFireOnComplete) {
+  ResourceMultiplexer mux;
+  ResourcePtr instance;
+  mux.acquire("client", 1, nullptr, &instance);  // miss: creation owned
+  int fired = 0;
+  ResourcePtr delivered;
+  for (int i = 0; i < 3; ++i) {
+    const auto outcome = mux.acquire(
+        "client", 1,
+        [&](ResourcePtr ptr) {
+          ++fired;
+          delivered = std::move(ptr);
+        },
+        &instance);
+    EXPECT_EQ(outcome, ResourceMultiplexer::Acquire::kPending);
+  }
+  EXPECT_EQ(fired, 0);
+  auto resource = std::make_shared<int>(7);
+  mux.complete("client", 1, resource);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(delivered.get(), resource.get());
+  EXPECT_EQ(mux.stats().pending_waits, 3u);
+}
+
+TEST(ResourceMultiplexerTest, DistinctKindsAndArgsAreIndependent) {
+  ResourceMultiplexer mux;
+  ResourcePtr instance;
+  EXPECT_EQ(mux.acquire("client", 1, nullptr, &instance),
+            ResourceMultiplexer::Acquire::kMiss);
+  EXPECT_EQ(mux.acquire("client", 2, nullptr, &instance),
+            ResourceMultiplexer::Acquire::kMiss);
+  EXPECT_EQ(mux.acquire("connection", 1, nullptr, &instance),
+            ResourceMultiplexer::Acquire::kMiss);
+  EXPECT_EQ(mux.stats().misses, 3u);
+}
+
+TEST(ResourceMultiplexerTest, FailReleasesWaitersWithNull) {
+  ResourceMultiplexer mux;
+  ResourcePtr instance;
+  mux.acquire("client", 1, nullptr, &instance);
+  bool fired = false;
+  ResourcePtr delivered = std::make_shared<int>(0);
+  mux.acquire(
+      "client", 1,
+      [&](ResourcePtr ptr) {
+        fired = true;
+        delivered = std::move(ptr);
+      },
+      &instance);
+  mux.fail("client", 1);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(delivered, nullptr);
+  // The key is free again: next acquire is a miss.
+  EXPECT_EQ(mux.acquire("client", 1, nullptr, &instance),
+            ResourceMultiplexer::Acquire::kMiss);
+}
+
+TEST(ResourceMultiplexerTest, FailOnReadyEntryIsNoop) {
+  ResourceMultiplexer mux;
+  ResourcePtr instance;
+  mux.acquire("client", 1, nullptr, &instance);
+  mux.complete("client", 1, std::make_shared<int>(1));
+  mux.fail("client", 1);  // already ready: ignored
+  EXPECT_EQ(mux.acquire("client", 1, nullptr, &instance),
+            ResourceMultiplexer::Acquire::kHit);
+}
+
+TEST(ResourceMultiplexerTest, ClearDropsCache) {
+  ResourceMultiplexer mux;
+  ResourcePtr instance;
+  mux.acquire("client", 1, nullptr, &instance);
+  mux.complete("client", 1, std::make_shared<int>(1));
+  mux.clear();
+  EXPECT_EQ(mux.stats().cached, 0u);
+  EXPECT_EQ(mux.acquire("client", 1, nullptr, &instance),
+            ResourceMultiplexer::Acquire::kMiss);
+}
+
+TEST(ResourceMultiplexerTest, GetOrCreateCallsFactoryOnce) {
+  ResourceMultiplexer mux;
+  int factory_calls = 0;
+  const std::function<std::shared_ptr<int>()> factory = [&] {
+    ++factory_calls;
+    return std::make_shared<int>(99);
+  };
+  const auto a = mux.get_or_create<int>("client", 5, factory);
+  const auto b = mux.get_or_create<int>("client", 5, factory);
+  EXPECT_EQ(factory_calls, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(*a, 99);
+}
+
+TEST(ResourceMultiplexerTest, GetOrCreateConcurrentSingleCreation) {
+  ResourceMultiplexer mux;
+  std::atomic<int> factory_calls{0};
+  const std::function<std::shared_ptr<int>()> factory = [&] {
+    ++factory_calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return std::make_shared<int>(1);
+  };
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<int>> results(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&mux, &factory, &results, i] {
+      results[static_cast<std::size_t>(i)] =
+          mux.get_or_create<int>("client", 7, factory);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(factory_calls.load(), 1);
+  for (const auto& r : results) EXPECT_EQ(r.get(), results[0].get());
+  EXPECT_EQ(mux.stats().misses, 1u);
+  EXPECT_EQ(mux.stats().hits + mux.stats().pending_waits, 7u);
+}
+
+TEST(ResourceMultiplexerTest, GetOrCreateRecoversFromThrowingFactory) {
+  ResourceMultiplexer mux;
+  int calls = 0;
+  const std::function<std::shared_ptr<int>()> throwing = [&]() -> std::shared_ptr<int> {
+    ++calls;
+    throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(mux.get_or_create<int>("client", 9, throwing), std::runtime_error);
+  const std::function<std::shared_ptr<int>()> working = [&] {
+    ++calls;
+    return std::make_shared<int>(3);
+  };
+  const auto result = mux.get_or_create<int>("client", 9, working);
+  EXPECT_EQ(*result, 3);
+  EXPECT_EQ(calls, 2);
+}
+
+// Property sweep: many distinct keys stay isolated.
+class MuxKeySweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MuxKeySweepTest, KeysAreIsolated) {
+  const int keys = GetParam();
+  ResourceMultiplexer mux;
+  for (int k = 0; k < keys; ++k) {
+    const auto value = mux.get_or_create<int>(
+        "client", static_cast<std::uint64_t>(k),
+        [k] { return std::make_shared<int>(k); });
+    EXPECT_EQ(*value, k);
+  }
+  EXPECT_EQ(mux.stats().cached, static_cast<std::size_t>(keys));
+  EXPECT_EQ(mux.stats().misses, static_cast<std::uint64_t>(keys));
+  for (int k = 0; k < keys; ++k) {
+    const auto value = mux.get_or_create<int>(
+        "client", static_cast<std::uint64_t>(k),
+        [] { return std::make_shared<int>(-1); });
+    EXPECT_EQ(*value, k);  // cache hit, not the new factory
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, MuxKeySweepTest, ::testing::Values(1, 2, 16, 128));
+
+}  // namespace
+}  // namespace faasbatch::core

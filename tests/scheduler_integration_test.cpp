@@ -1,0 +1,221 @@
+// Integration tests for all four schedulers on hand-built workloads:
+// container counts, latency-component semantics, multiplexer behaviour.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+
+namespace faasbatch::schedulers {
+namespace {
+
+trace::Workload single_function_burst(trace::FunctionKind kind, std::size_t count,
+                                      double duration_ms, SimDuration spacing = 0) {
+  trace::Workload workload;
+  workload.kind = kind;
+  trace::FunctionProfile profile;
+  profile.id = 0;
+  profile.name = kind == trace::FunctionKind::kIo ? "io_0" : "fib_0";
+  profile.kind = kind;
+  profile.duration_ms = duration_ms;
+  profile.client_args_hash = 0xDEADBEEF;
+  workload.functions.push_back(profile);
+  for (std::size_t i = 0; i < count; ++i) {
+    workload.events.push_back(trace::TraceEvent{
+        static_cast<SimTime>(i) * spacing, 0, duration_ms, 25});
+  }
+  workload.horizon = kMinute;
+  return workload;
+}
+
+eval::ExperimentResult run(SchedulerKind kind, const trace::Workload& workload,
+                           SchedulerOptions options = {}) {
+  eval::ExperimentSpec spec;
+  spec.scheduler = kind;
+  spec.scheduler_options = options;
+  return eval::run_experiment(spec, workload);
+}
+
+TEST(VanillaIntegrationTest, ContainerPerConcurrentInvocation) {
+  const auto workload =
+      single_function_burst(trace::FunctionKind::kCpuIntensive, 10, 4000.0);
+  const auto result = run(SchedulerKind::kVanilla, workload);
+  // Long-running functions arriving together: no reuse possible.
+  EXPECT_EQ(result.containers_provisioned, 10u);
+  EXPECT_EQ(result.completed, 10u);
+  EXPECT_EQ(result.warm_hits, 0u);
+}
+
+TEST(VanillaIntegrationTest, SpacedArrivalsReuseWarmContainers) {
+  const auto workload = single_function_burst(trace::FunctionKind::kCpuIntensive, 5,
+                                              10.0, 10 * kSecond);
+  const auto result = run(SchedulerKind::kVanilla, workload);
+  EXPECT_EQ(result.containers_provisioned, 1u);
+  EXPECT_EQ(result.warm_hits, 4u);
+  // Warm invocations have zero cold-start latency.
+  EXPECT_DOUBLE_EQ(result.latency.cold_start().percentile(0.5), 0.0);
+}
+
+TEST(VanillaIntegrationTest, NoQueuingEver) {
+  const auto workload =
+      single_function_burst(trace::FunctionKind::kCpuIntensive, 20, 500.0);
+  const auto result = run(SchedulerKind::kVanilla, workload);
+  EXPECT_DOUBLE_EQ(result.latency.queuing().percentile(1.0), 0.0);
+}
+
+TEST(FaasBatchIntegrationTest, OneContainerPerGroup) {
+  const auto workload =
+      single_function_burst(trace::FunctionKind::kCpuIntensive, 50, 100.0);
+  const auto result = run(SchedulerKind::kFaasBatch, workload);
+  // All 50 land in one window -> one group -> one container.
+  EXPECT_EQ(result.containers_provisioned, 1u);
+  EXPECT_EQ(result.completed, 50u);
+  EXPECT_DOUBLE_EQ(result.latency.queuing().percentile(1.0), 0.0);
+}
+
+TEST(FaasBatchIntegrationTest, WindowWaitCountsAsScheduling) {
+  const auto workload =
+      single_function_burst(trace::FunctionKind::kCpuIntensive, 10, 10.0);
+  SchedulerOptions options;
+  options.dispatch_window = 200 * kMillisecond;
+  const auto result = run(SchedulerKind::kFaasBatch, workload, options);
+  // Every invocation waits out the window: scheduling >= ~200 ms.
+  EXPECT_GE(result.latency.scheduling().percentile(0.0), 199.0);
+  EXPECT_LE(result.latency.scheduling().percentile(1.0), 320.0);
+}
+
+TEST(FaasBatchIntegrationTest, InlineParallelSharesCores) {
+  // 32 invocations of a 1 s function inside one container on 32 cores:
+  // all finish in ~1 s (the paper's Fig. 1 equivalence).
+  const auto workload =
+      single_function_burst(trace::FunctionKind::kCpuIntensive, 32, 1000.0);
+  const auto result = run(SchedulerKind::kFaasBatch, workload);
+  EXPECT_EQ(result.containers_provisioned, 1u);
+  EXPECT_NEAR(result.latency.execution().percentile(1.0), 1000.0, 20.0);
+}
+
+TEST(FaasBatchIntegrationTest, MultiplexerEliminatesRepeatedCreations) {
+  const auto workload = single_function_burst(trace::FunctionKind::kIo, 30, 10.0);
+  const auto result = run(SchedulerKind::kFaasBatch, workload);
+  EXPECT_EQ(result.client_creations, 1u);
+  // Per-invocation client memory ~ 15 MiB / 30.
+  EXPECT_NEAR(result.client_mib_per_invocation, 0.5, 0.01);
+}
+
+TEST(FaasBatchIntegrationTest, MultiplexerAblationRecreatesClients) {
+  const auto workload = single_function_burst(trace::FunctionKind::kIo, 30, 10.0);
+  SchedulerOptions options;
+  options.enable_multiplexer = false;
+  const auto result = run(SchedulerKind::kFaasBatch, workload, options);
+  EXPECT_EQ(result.client_creations, 30u);
+  EXPECT_NEAR(result.client_mib_per_invocation, 15.0, 0.01);
+  // Thirty concurrent creations in one container: the Fig. 4 contention
+  // blows up execution latency versus the multiplexed run.
+  const auto with_mux = run(SchedulerKind::kFaasBatch, workload);
+  EXPECT_GT(result.latency.execution().percentile(0.9),
+            5.0 * with_mux.latency.execution().percentile(0.9));
+}
+
+TEST(FaasBatchIntegrationTest, SeparateFunctionsGetSeparateContainers) {
+  trace::Workload workload;
+  workload.kind = trace::FunctionKind::kCpuIntensive;
+  for (FunctionId f = 0; f < 3; ++f) {
+    trace::FunctionProfile profile;
+    profile.id = f;
+    profile.name = "fib_" + std::to_string(f);
+    profile.kind = trace::FunctionKind::kCpuIntensive;
+    profile.duration_ms = 50.0;
+    workload.functions.push_back(profile);
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    workload.events.push_back(trace::TraceEvent{
+        static_cast<SimTime>(i), static_cast<FunctionId>(i % 3), 50.0, 25});
+  }
+  workload.horizon = kMinute;
+  const auto result = run(SchedulerKind::kFaasBatch, workload);
+  EXPECT_EQ(result.containers_provisioned, 3u);
+}
+
+TEST(SfsIntegrationTest, ShortFunctionsBeatLongOnesUnderLoad) {
+  // Mixed burst: short (20 ms) and long (2 s) functions on few cores.
+  trace::Workload workload;
+  workload.kind = trace::FunctionKind::kCpuIntensive;
+  for (FunctionId f = 0; f < 2; ++f) {
+    trace::FunctionProfile profile;
+    profile.id = f;
+    profile.name = "fib_" + std::to_string(f);
+    profile.kind = trace::FunctionKind::kCpuIntensive;
+    profile.duration_ms = f == 0 ? 20.0 : 2000.0;
+    workload.functions.push_back(profile);
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    const bool is_short = i % 2 == 0;
+    workload.events.push_back(trace::TraceEvent{
+        static_cast<SimTime>(i), is_short ? 0u : 1u, is_short ? 20.0 : 2000.0, 20});
+  }
+  workload.horizon = kMinute;
+
+  eval::ExperimentSpec sfs_spec;
+  sfs_spec.scheduler = SchedulerKind::kSfs;
+  sfs_spec.runtime.machine_cores = 8.0;  // pressure so scheduling matters
+  // Silence provisioning noise so the test isolates execution dynamics.
+  sfs_spec.runtime.cold_start_cpu_seconds = 0.0;
+  sfs_spec.runtime.cold_start_base = 0;
+  sfs_spec.runtime.dispatch_cpu_seconds = 0.0;
+  sfs_spec.runtime.provision_cpu_seconds = 0.0;
+  sfs_spec.scheduler_options.sfs_overhead_cpu_seconds = 0.0;
+  const auto sfs = eval::run_experiment(sfs_spec, workload);
+
+  eval::ExperimentSpec vanilla_spec = sfs_spec;
+  vanilla_spec.scheduler = SchedulerKind::kVanilla;
+  const auto vanilla = eval::run_experiment(vanilla_spec, workload);
+
+  // Collect per-kind execution latency from the records.
+  const auto exec_p50_of = [](const eval::ExperimentResult& r, FunctionId f) {
+    metrics::Samples samples;
+    for (const auto& record : r.records) {
+      if (record.function == f) {
+        samples.add(to_millis(record.breakdown().execution));
+      }
+    }
+    return samples.percentile(0.5);
+  };
+  // SFS's signature effect: short functions overtake queued long work,
+  // beating fair processor sharing, while long functions pay delays well
+  // beyond their solo execution time (the paper notes SFS "improves the
+  // performance of short functions at the expense of long functions").
+  EXPECT_LT(exec_p50_of(sfs, 0), exec_p50_of(vanilla, 0));
+  EXPECT_GT(exec_p50_of(sfs, 1), 2000.0);
+}
+
+TEST(AllSchedulersTest, ColdStartCarvedOutOfScheduling) {
+  const auto workload =
+      single_function_burst(trace::FunctionKind::kCpuIntensive, 4, 50.0);
+  for (const auto kind : {SchedulerKind::kVanilla, SchedulerKind::kKraken,
+                          SchedulerKind::kSfs, SchedulerKind::kFaasBatch}) {
+    const auto result = run(kind, workload);
+    // The first invocation always needs a cold container.
+    EXPECT_GT(result.latency.cold_start().percentile(1.0), 0.0)
+        << scheduler_kind_name(kind);
+    // All components non-negative, total consistent.
+    for (const auto& record : result.records) {
+      const auto b = record.breakdown();
+      EXPECT_GE(b.scheduling, 0) << scheduler_kind_name(kind);
+      EXPECT_GE(b.cold_start, 0) << scheduler_kind_name(kind);
+      EXPECT_GE(b.queuing, 0) << scheduler_kind_name(kind);
+      EXPECT_GT(b.execution, 0) << scheduler_kind_name(kind);
+      EXPECT_EQ(record.exec_end - record.arrival, b.total())
+          << scheduler_kind_name(kind);
+    }
+  }
+}
+
+TEST(SchedulerFactoryTest, NamesRoundTrip) {
+  for (const auto kind : {SchedulerKind::kVanilla, SchedulerKind::kKraken,
+                          SchedulerKind::kSfs, SchedulerKind::kFaasBatch}) {
+    EXPECT_EQ(parse_scheduler_kind(scheduler_kind_name(kind)), kind);
+  }
+  EXPECT_EQ(parse_scheduler_kind("FAASBATCH"), SchedulerKind::kFaasBatch);
+  EXPECT_THROW(parse_scheduler_kind("unknown"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faasbatch::schedulers

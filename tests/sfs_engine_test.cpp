@@ -1,0 +1,139 @@
+// Tests for the SFS per-core channel engine with doubling time slices.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "schedulers/sfs.hpp"
+#include "sim/simulator.hpp"
+
+namespace faasbatch::schedulers {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  runtime::RuntimeConfig config;
+  runtime::Machine machine{sim, config};
+};
+
+TEST(SfsEngineTest, SingleTaskRunsToCompletion) {
+  Fixture f;
+  SfsEngine engine(f.machine, 4, 20 * kMillisecond);
+  SimTime done = -1;
+  engine.submit(0.1, [&] { done = f.sim.now(); });
+  f.sim.run();
+  EXPECT_NEAR(to_millis(done), 100.0, 2.0);
+}
+
+TEST(SfsEngineTest, TasksSpreadAcrossChannels) {
+  Fixture f;
+  SfsEngine engine(f.machine, 4, 20 * kMillisecond);
+  for (int i = 0; i < 4; ++i) engine.submit(1.0, [] {});
+  for (std::size_t c = 0; c < engine.channel_count(); ++c) {
+    EXPECT_EQ(engine.channel_load(c), 1u);
+  }
+}
+
+TEST(SfsEngineTest, ShortTaskPreemptsLongTaskOnSameChannel) {
+  Fixture f;
+  SfsEngine engine(f.machine, 1, 20 * kMillisecond);  // one core-channel
+  SimTime long_done = 0, short_done = 0;
+  engine.submit(1.0, [&] { long_done = f.sim.now(); });   // 1 s of work
+  engine.submit(0.02, [&] { short_done = f.sim.now(); }); // one slice
+  f.sim.run();
+  // SFS's slicing lets the short function overtake the long one: the long
+  // task yields after each (doubling) quantum.
+  EXPECT_LT(short_done, long_done);
+  // The short function finishes after at most two slices of the long one.
+  EXPECT_LT(to_millis(short_done), 100.0);
+  // The long task still completes, delayed beyond its solo time.
+  EXPECT_GT(to_millis(long_done), 1000.0);
+}
+
+TEST(SfsEngineTest, QuantumDoublingBoundsSliceCount) {
+  Fixture f;
+  SfsEngine engine(f.machine, 1, 20 * kMillisecond);
+  int completions = 0;
+  // 10 s of work: slices 20, 40, 80, ... double, so the task needs only
+  // ~log2(10s/20ms) ~ 9 slices rather than 500 fixed ones.
+  engine.submit(10.0, [&] { ++completions; });
+  f.sim.run();
+  EXPECT_EQ(completions, 1);
+  // Each slice is at least one simulator event; generously bound the
+  // total event count to confirm geometric (not linear) slicing.
+  EXPECT_LT(f.sim.processed_events(), 60u);
+}
+
+TEST(SfsEngineTest, ManyShortTasksAllComplete) {
+  Fixture f;
+  SfsEngine engine(f.machine, 8, 20 * kMillisecond);
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    engine.submit(0.005, [&] { ++done; });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 100);
+}
+
+TEST(SfsEngineTest, LeastLoadedChannelSelection) {
+  Fixture f;
+  SfsEngine engine(f.machine, 2, 20 * kMillisecond);
+  engine.submit(1.0, [] {});
+  engine.submit(1.0, [] {});
+  engine.submit(1.0, [] {});  // must land on the (equally) least loaded
+  const std::size_t load0 = engine.channel_load(0);
+  const std::size_t load1 = engine.channel_load(1);
+  EXPECT_EQ(load0 + load1, 3u);
+  EXPECT_LE(load0 > load1 ? load0 - load1 : load1 - load0, 1u);
+}
+
+TEST(SfsEngineTest, AdaptiveQuantumTracksArrivalRate) {
+  Fixture f;
+  SfsEngine engine(f.machine, 2, 20 * kMillisecond, /*adaptive=*/true);
+  // Before any IaT is observed, the fixed quantum is used.
+  EXPECT_EQ(engine.current_initial_quantum(), 20 * kMillisecond);
+  // Dense arrivals every 5 ms: quantum converges toward ~5 ms.
+  for (int i = 0; i < 20; ++i) {
+    f.sim.run_until(f.sim.now() + 5 * kMillisecond);
+    engine.submit(0.001, [] {});
+  }
+  EXPECT_LT(engine.current_initial_quantum(), 10 * kMillisecond);
+  EXPECT_GE(engine.current_initial_quantum(), kMillisecond);
+  f.sim.run();
+}
+
+TEST(SfsEngineTest, AdaptiveQuantumClampedToBounds) {
+  Fixture f;
+  SfsEngine engine(f.machine, 1, 20 * kMillisecond, /*adaptive=*/true);
+  // Extremely sparse arrivals (10 s apart): clamp at 200 ms.
+  engine.submit(0.001, [] {});
+  f.sim.run_until(10 * kSecond);
+  engine.submit(0.001, [] {});
+  EXPECT_EQ(engine.current_initial_quantum(), 200 * kMillisecond);
+  f.sim.run();
+}
+
+TEST(SfsEngineTest, NonAdaptiveIgnoresArrivals) {
+  Fixture f;
+  SfsEngine engine(f.machine, 1, 30 * kMillisecond, /*adaptive=*/false);
+  engine.submit(0.001, [] {});
+  f.sim.run_until(kSecond);
+  engine.submit(0.001, [] {});
+  EXPECT_EQ(engine.current_initial_quantum(), 30 * kMillisecond);
+  f.sim.run();
+}
+
+TEST(SfsEngineTest, ChannelsContendWithMachineLoad) {
+  Fixture f;
+  SfsEngine engine(f.machine, 1, 50 * kMillisecond);
+  // Saturate the machine so the channel's core share shrinks.
+  for (int i = 0; i < 64; ++i) {
+    f.machine.cpu().submit(5.0, 1.0, sim::CpuScheduler::kNoGroup, [] {});
+  }
+  SimTime done = 0;
+  engine.submit(0.1, [&] { done = f.sim.now(); });
+  f.sim.run_until(kMinute);
+  EXPECT_GT(to_millis(done), 150.0);  // stretched well past 100 ms
+}
+
+}  // namespace
+}  // namespace faasbatch::schedulers

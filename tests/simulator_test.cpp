@@ -1,0 +1,119 @@
+// Unit tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace faasbatch::sim {
+namespace {
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_at(100, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(50, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(SimulatorTest, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_at(10, [&] {
+    EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.schedule_after(-1, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 4);
+}
+
+TEST(SimulatorTest, StopHaltsExecution) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  sim.schedule_at(2, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(3, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();  // resumes after stop
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilProcessesOnlyDueEvents) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    sim.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  sim.run_until(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);
+  sim.run_until(100);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30, 40}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(SimulatorTest, CancelledEventsDoNotFire) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, ProcessedEventCounting) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.processed_events(), 7u);
+}
+
+TEST(SimulatorTest, SameTimeCascadeRunsInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] {
+    order.push_back(1);
+    // Scheduled at the *same* time from within an event: must still run,
+    // after already-queued same-time events.
+    sim.schedule_after(0, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace faasbatch::sim

@@ -1,0 +1,127 @@
+// Tests for sample statistics, percentiles, CDFs, and bucket histograms.
+#include <gtest/gtest.h>
+
+#include "metrics/stats.hpp"
+
+namespace faasbatch::metrics {
+namespace {
+
+TEST(SamplesTest, EmptyBehaviour) {
+  Samples samples;
+  EXPECT_TRUE(samples.empty());
+  EXPECT_DOUBLE_EQ(samples.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(samples.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(samples.cdf_at(1.0), 0.0);
+  EXPECT_TRUE(samples.cdf_points(10).empty());
+}
+
+TEST(SamplesTest, PercentileExactOrderStatistics) {
+  Samples samples;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) samples.add(v);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.25), 2.0);
+}
+
+TEST(SamplesTest, PercentileInterpolates) {
+  Samples samples;
+  samples.add(0.0);
+  samples.add(10.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.9), 9.0);
+}
+
+TEST(SamplesTest, PercentileValidation) {
+  Samples samples;
+  samples.add(1.0);
+  EXPECT_THROW(samples.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(samples.percentile(1.1), std::invalid_argument);
+}
+
+TEST(SamplesTest, SummaryMoments) {
+  Samples samples;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) samples.add(v);
+  const Summary s = samples.summary();
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(SamplesTest, CdfAtCountsInclusive) {
+  Samples samples;
+  for (double v : {1.0, 2.0, 2.0, 3.0}) samples.add(v);
+  EXPECT_DOUBLE_EQ(samples.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(samples.cdf_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(samples.cdf_at(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.cdf_at(100.0), 1.0);
+}
+
+TEST(SamplesTest, CdfPointsEndAtMax) {
+  Samples samples;
+  for (int i = 1; i <= 100; ++i) samples.add(static_cast<double>(i));
+  const auto points = samples.cdf_points(4);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points.back().first, 100.0);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(points[1].second, 0.5);
+}
+
+TEST(SamplesTest, AddAllAppends) {
+  Samples samples;
+  samples.add_all({1.0, 2.0});
+  samples.add_all({3.0});
+  EXPECT_EQ(samples.count(), 3u);
+  EXPECT_DOUBLE_EQ(samples.sum(), 6.0);
+}
+
+TEST(SamplesTest, InterleavedAddAndQuery) {
+  Samples samples;
+  samples.add(5.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(0.5), 5.0);
+  samples.add(1.0);  // invalidates cached sort
+  EXPECT_DOUBLE_EQ(samples.percentile(0.0), 1.0);
+}
+
+TEST(BucketHistogramTest, FractionsAndLabels) {
+  BucketHistogram hist({0.0, 50.0, 100.0});
+  hist.add(10.0);
+  hist.add(49.999);
+  hist.add(50.0);
+  hist.add(200.0);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_DOUBLE_EQ(hist.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(hist.fraction(1), 0.25);
+  EXPECT_DOUBLE_EQ(hist.fraction(2), 0.25);
+  EXPECT_EQ(hist.bucket_label(0), "[0, 50)");
+  EXPECT_EQ(hist.bucket_label(2), "[100, inf)");
+}
+
+TEST(BucketHistogramTest, BoundaryMembership) {
+  BucketHistogram hist({0.0, 10.0});
+  hist.add(10.0);  // exactly on the edge -> upper bucket
+  EXPECT_EQ(hist.bucket_count(0), 0u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+}
+
+TEST(BucketHistogramTest, ValuesBelowFirstBoundaryLandInBucketZero) {
+  BucketHistogram hist({10.0, 20.0});
+  hist.add(5.0);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+}
+
+TEST(BucketHistogramTest, Validation) {
+  EXPECT_THROW(BucketHistogram({}), std::invalid_argument);
+  EXPECT_THROW(BucketHistogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(BucketHistogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(BucketHistogramTest, EmptyFractionIsZero) {
+  BucketHistogram hist({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(hist.fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace faasbatch::metrics

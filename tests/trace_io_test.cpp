@@ -1,0 +1,129 @@
+// Tests for workload CSV persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_io.hpp"
+
+namespace faasbatch::trace {
+namespace {
+
+Workload sample_workload(FunctionKind kind, std::size_t invocations,
+                         std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.kind = kind;
+  spec.invocations = invocations;
+  spec.seed = seed;
+  return synthesize_workload(spec);
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  const Workload original = sample_workload(FunctionKind::kCpuIntensive, 200, 1);
+  std::stringstream buffer;
+  write_trace_csv(buffer, original);
+  const Workload loaded = read_trace_csv(buffer);
+
+  ASSERT_EQ(loaded.events.size(), original.events.size());
+  // Only functions that were actually invoked appear in the CSV.
+  ASSERT_LE(loaded.functions.size(), original.functions.size());
+  for (std::size_t i = 0; i < original.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].arrival, original.events[i].arrival);
+    EXPECT_DOUBLE_EQ(loaded.events[i].duration_ms, original.events[i].duration_ms);
+    EXPECT_EQ(loaded.events[i].fib_n, original.events[i].fib_n);
+    EXPECT_EQ(loaded.functions.at(loaded.events[i].function).name,
+              original.functions.at(original.events[i].function).name);
+  }
+  for (std::size_t f = 0; f < original.functions.size(); ++f) {
+    // The loader numbers functions by first appearance; match by name.
+    const auto& name = original.functions[f].name;
+    const auto it = std::find_if(
+        loaded.functions.begin(), loaded.functions.end(),
+        [&name](const FunctionProfile& p) { return p.name == name; });
+    if (it == loaded.functions.end()) continue;  // function never invoked
+    EXPECT_EQ(it->kind, original.functions[f].kind);
+    EXPECT_EQ(it->client_args_hash, original.functions[f].client_args_hash);
+  }
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::stringstream buffer("wrong,header\n");
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW(read_trace_csv(empty), std::runtime_error);
+}
+
+class TraceIoBadLineTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceIoBadLineTest, RejectsMalformedRow) {
+  std::stringstream buffer;
+  buffer << "arrival_us,function,kind,duration_ms,fib_n,profile_duration_ms,"
+            "profile_fib_n,client_key\n"
+         << GetParam() << "\n";
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadRows, TraceIoBadLineTest,
+    ::testing::Values("too,few,fields",
+                      "notanumber,f,cpu,1.0,20,1.0,20,0",
+                      "0,f,weirdkind,1.0,20,1.0,20,0",
+                      "0,f,cpu,abc,20,1.0,20,0",
+                      "0,f,cpu,1.0,20,1.0,20,nothash",
+                      "0,f,cpu,1.0,20,1.0,20,0,extra_field"));
+
+TEST(TraceIoTest, RejectsNonMonotonicArrivals) {
+  std::stringstream buffer;
+  buffer << "arrival_us,function,kind,duration_ms,fib_n,profile_duration_ms,"
+            "profile_fib_n,client_key\n"
+         << "100,f,cpu,1.0,20,1.0,20,0\n"
+         << "50,f,cpu,1.0,20,1.0,20,0\n";
+  EXPECT_THROW(read_trace_csv(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, SkipsBlankLines) {
+  std::stringstream buffer;
+  buffer << "arrival_us,function,kind,duration_ms,fib_n,profile_duration_ms,"
+            "profile_fib_n,client_key\n"
+         << "\n"
+         << "10,f,cpu,1.0,20,1.0,20,0\n"
+         << "\n";
+  const Workload w = read_trace_csv(buffer);
+  EXPECT_EQ(w.events.size(), 1u);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const Workload original = sample_workload(FunctionKind::kIo, 50, 2);
+  const std::string path = ::testing::TempDir() + "/fb_trace_io_test.csv";
+  save_trace(path, original);
+  const Workload loaded = load_trace(path);
+  EXPECT_EQ(loaded.events.size(), original.events.size());
+  EXPECT_EQ(loaded.kind, FunctionKind::kIo);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, FileErrors) {
+  EXPECT_THROW(load_trace("/nonexistent/dir/file.csv"), std::runtime_error);
+  Workload w;
+  EXPECT_THROW(save_trace("/nonexistent/dir/file.csv", w), std::runtime_error);
+}
+
+class TraceIoSweepTest
+    : public ::testing::TestWithParam<std::tuple<FunctionKind, std::uint64_t>> {};
+
+TEST_P(TraceIoSweepTest, RoundTripEventCount) {
+  const auto [kind, seed] = GetParam();
+  const Workload original = sample_workload(kind, 120, seed);
+  std::stringstream buffer;
+  write_trace_csv(buffer, original);
+  const Workload loaded = read_trace_csv(buffer);
+  EXPECT_EQ(loaded.events.size(), original.events.size());
+  EXPECT_EQ(loaded.kind, kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceIoSweepTest,
+    ::testing::Combine(::testing::Values(FunctionKind::kCpuIntensive, FunctionKind::kIo),
+                       ::testing::Values<std::uint64_t>(1, 7, 99)));
+
+}  // namespace
+}  // namespace faasbatch::trace

@@ -1,0 +1,174 @@
+// Tests for workload synthesis: function tables, popularity skew,
+// per-invocation durations, determinism, and the Fig. 2 day patterns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "trace/duration_model.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::trace {
+namespace {
+
+WorkloadSpec cpu_spec() {
+  WorkloadSpec spec;
+  spec.kind = FunctionKind::kCpuIntensive;
+  spec.invocations = 800;
+  spec.num_functions = 10;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(WorkloadTest, FunctionTableShape) {
+  const Workload w = synthesize_workload(cpu_spec());
+  ASSERT_EQ(w.functions.size(), 10u);
+  for (std::size_t i = 0; i < w.functions.size(); ++i) {
+    EXPECT_EQ(w.functions[i].id, static_cast<FunctionId>(i));
+    EXPECT_EQ(w.functions[i].kind, FunctionKind::kCpuIntensive);
+    EXPECT_GT(w.functions[i].duration_ms, 0.0);
+    EXPECT_GE(w.functions[i].fib_n, 1);
+  }
+}
+
+TEST(WorkloadTest, EventsSortedAndInRange) {
+  const Workload w = synthesize_workload(cpu_spec());
+  EXPECT_EQ(w.events.size(), 800u);
+  SimTime last = 0;
+  for (const TraceEvent& e : w.events) {
+    EXPECT_GE(e.arrival, last);
+    last = e.arrival;
+    EXPECT_LT(e.arrival, w.horizon);
+    EXPECT_LT(e.function, w.functions.size());
+  }
+}
+
+TEST(WorkloadTest, HotFunctionsDominate) {
+  WorkloadSpec spec = cpu_spec();
+  spec.invocations = 5000;
+  const Workload w = synthesize_workload(spec);
+  const std::size_t hot_count = 2;  // 20% of 10
+  std::size_t hot_invocations = 0;
+  for (const TraceEvent& e : w.events) {
+    if (e.function < hot_count) ++hot_invocations;
+  }
+  // Paper: >99% of invocations land on the popular 20% of functions.
+  EXPECT_NEAR(static_cast<double>(hot_invocations) / w.events.size(), 0.99, 0.01);
+}
+
+TEST(WorkloadTest, CpuEventDurationsFollowFig9) {
+  WorkloadSpec spec = cpu_spec();
+  spec.invocations = 20000;
+  const Workload w = synthesize_workload(spec);
+  const DurationModel model;
+  std::size_t in_first_bucket = 0;
+  for (const TraceEvent& e : w.events) {
+    EXPECT_GT(e.duration_ms, 0.0);
+    EXPECT_GE(e.fib_n, 1);
+    if (model.bucket_of(e.duration_ms) == 0) ++in_first_bucket;
+  }
+  // Snapping to the fib curve distorts the distribution a little, so
+  // allow a generous band around the paper's 55.13%.
+  EXPECT_NEAR(static_cast<double>(in_first_bucket) / w.events.size(), 0.5513, 0.08);
+}
+
+TEST(WorkloadTest, CpuEventDurationsSnapToFibCurve) {
+  const Workload w = synthesize_workload(cpu_spec());
+  const FibCostModel fib;
+  for (const TraceEvent& e : w.events) {
+    EXPECT_DOUBLE_EQ(e.duration_ms, fib.duration_ms(e.fib_n));
+  }
+}
+
+TEST(WorkloadTest, IoWorkloadHasClientHashes) {
+  WorkloadSpec spec = cpu_spec();
+  spec.kind = FunctionKind::kIo;
+  spec.invocations = 400;
+  const Workload w = synthesize_workload(spec);
+  std::map<std::uint64_t, int> hashes;
+  for (const FunctionProfile& f : w.functions) {
+    EXPECT_EQ(f.kind, FunctionKind::kIo);
+    EXPECT_NE(f.client_args_hash, 0u);
+    ++hashes[f.client_args_hash];
+  }
+  // Every function has distinct credentials.
+  EXPECT_EQ(hashes.size(), w.functions.size());
+  for (const TraceEvent& e : w.events) {
+    EXPECT_GE(e.duration_ms, 5.0);
+    EXPECT_LE(e.duration_ms, 20.0);
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const Workload a = synthesize_workload(cpu_spec());
+  const Workload b = synthesize_workload(cpu_spec());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].arrival, b.events[i].arrival);
+    EXPECT_EQ(a.events[i].function, b.events[i].function);
+    EXPECT_DOUBLE_EQ(a.events[i].duration_ms, b.events[i].duration_ms);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadSpec other = cpu_spec();
+  other.seed = 43;
+  const Workload a = synthesize_workload(cpu_spec());
+  const Workload b = synthesize_workload(other);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.events.size() && !any_different; ++i) {
+    any_different = a.events[i].arrival != b.events[i].arrival;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(WorkloadTest, Validation) {
+  WorkloadSpec spec = cpu_spec();
+  spec.num_functions = 0;
+  EXPECT_THROW(synthesize_workload(spec), std::invalid_argument);
+}
+
+TEST(DayPatternTest, MeetsMinimumInvocations) {
+  const auto patterns = synthesize_day_patterns(3, 1000, 7);
+  ASSERT_EQ(patterns.size(), 3u);
+  for (const auto& arrivals : patterns) {
+    EXPECT_GE(arrivals.size(), 1000u);
+    EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+    EXPECT_LT(arrivals.back(), kHour * 24);
+  }
+}
+
+TEST(DayPatternTest, PatternsDifferAcrossFunctions) {
+  const auto patterns = synthesize_day_patterns(2, 1000, 9);
+  EXPECT_NE(patterns[0], patterns[1]);
+}
+
+// Property sweep over workload kinds and sizes.
+class WorkloadSweepTest
+    : public ::testing::TestWithParam<std::tuple<FunctionKind, std::size_t>> {};
+
+TEST_P(WorkloadSweepTest, InvariantsHold) {
+  const auto [kind, count] = GetParam();
+  WorkloadSpec spec;
+  spec.kind = kind;
+  spec.invocations = count;
+  spec.seed = count * 17 + 5;
+  const Workload w = synthesize_workload(spec);
+  EXPECT_EQ(w.kind, kind);
+  EXPECT_EQ(w.events.size(), count);
+  EXPECT_TRUE(std::is_sorted(
+      w.events.begin(), w.events.end(),
+      [](const TraceEvent& a, const TraceEvent& b) { return a.arrival < b.arrival; }));
+  for (const TraceEvent& e : w.events) {
+    EXPECT_LT(e.function, w.functions.size());
+    EXPECT_GT(e.duration_ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadSweepTest,
+    ::testing::Combine(::testing::Values(FunctionKind::kCpuIntensive, FunctionKind::kIo),
+                       ::testing::Values<std::size_t>(1, 40, 400, 800)));
+
+}  // namespace
+}  // namespace faasbatch::trace
