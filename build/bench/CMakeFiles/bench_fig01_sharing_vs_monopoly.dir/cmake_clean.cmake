@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_sharing_vs_monopoly.dir/bench_fig01_sharing_vs_monopoly.cpp.o"
+  "CMakeFiles/bench_fig01_sharing_vs_monopoly.dir/bench_fig01_sharing_vs_monopoly.cpp.o.d"
+  "bench_fig01_sharing_vs_monopoly"
+  "bench_fig01_sharing_vs_monopoly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_sharing_vs_monopoly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

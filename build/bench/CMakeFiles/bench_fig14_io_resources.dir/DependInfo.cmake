@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_io_resources.cpp" "bench/CMakeFiles/bench_fig14_io_resources.dir/bench_fig14_io_resources.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_io_resources.dir/bench_fig14_io_resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/fb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/fb_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

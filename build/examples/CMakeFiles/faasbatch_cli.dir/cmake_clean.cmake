@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faasbatch_cli.dir/faasbatch_cli.cpp.o"
+  "CMakeFiles/faasbatch_cli.dir/faasbatch_cli.cpp.o.d"
+  "faasbatch_cli"
+  "faasbatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faasbatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

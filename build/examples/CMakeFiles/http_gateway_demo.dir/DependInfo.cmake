@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/http_gateway_demo.cpp" "examples/CMakeFiles/http_gateway_demo.dir/http_gateway_demo.cpp.o" "gcc" "examples/CMakeFiles/http_gateway_demo.dir/http_gateway_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/live/CMakeFiles/fb_live.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/fb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_gateway_demo.dir/http_gateway_demo.cpp.o"
+  "CMakeFiles/http_gateway_demo.dir/http_gateway_demo.cpp.o.d"
+  "http_gateway_demo"
+  "http_gateway_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_gateway_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

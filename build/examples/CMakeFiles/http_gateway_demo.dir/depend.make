@@ -1,0 +1,2 @@
+# Empty dependencies file for http_gateway_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_multiplexing.dir/io_multiplexing.cpp.o"
+  "CMakeFiles/io_multiplexing.dir/io_multiplexing.cpp.o.d"
+  "io_multiplexing"
+  "io_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/fb_cluster.dir/cluster.cpp.o.d"
+  "libfb_cluster.a"
+  "libfb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_common.dir/config.cpp.o"
+  "CMakeFiles/fb_common.dir/config.cpp.o.d"
+  "CMakeFiles/fb_common.dir/hash.cpp.o"
+  "CMakeFiles/fb_common.dir/hash.cpp.o.d"
+  "CMakeFiles/fb_common.dir/json.cpp.o"
+  "CMakeFiles/fb_common.dir/json.cpp.o.d"
+  "CMakeFiles/fb_common.dir/logging.cpp.o"
+  "CMakeFiles/fb_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fb_common.dir/rng.cpp.o"
+  "CMakeFiles/fb_common.dir/rng.cpp.o.d"
+  "libfb_common.a"
+  "libfb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

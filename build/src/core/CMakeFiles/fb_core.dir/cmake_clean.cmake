@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_core.dir/invoke_mapper.cpp.o"
+  "CMakeFiles/fb_core.dir/invoke_mapper.cpp.o.d"
+  "CMakeFiles/fb_core.dir/resource_multiplexer.cpp.o"
+  "CMakeFiles/fb_core.dir/resource_multiplexer.cpp.o.d"
+  "libfb_core.a"
+  "libfb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

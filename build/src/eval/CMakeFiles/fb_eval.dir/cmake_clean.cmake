@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_eval.dir/comparison.cpp.o"
+  "CMakeFiles/fb_eval.dir/comparison.cpp.o.d"
+  "CMakeFiles/fb_eval.dir/experiment.cpp.o"
+  "CMakeFiles/fb_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/fb_eval.dir/export.cpp.o"
+  "CMakeFiles/fb_eval.dir/export.cpp.o.d"
+  "libfb_eval.a"
+  "libfb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_http.dir/client.cpp.o"
+  "CMakeFiles/fb_http.dir/client.cpp.o.d"
+  "CMakeFiles/fb_http.dir/message.cpp.o"
+  "CMakeFiles/fb_http.dir/message.cpp.o.d"
+  "CMakeFiles/fb_http.dir/server.cpp.o"
+  "CMakeFiles/fb_http.dir/server.cpp.o.d"
+  "libfb_http.a"
+  "libfb_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

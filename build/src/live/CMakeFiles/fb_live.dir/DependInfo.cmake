@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/live/functions.cpp" "src/live/CMakeFiles/fb_live.dir/functions.cpp.o" "gcc" "src/live/CMakeFiles/fb_live.dir/functions.cpp.o.d"
+  "/root/repo/src/live/http_gateway.cpp" "src/live/CMakeFiles/fb_live.dir/http_gateway.cpp.o" "gcc" "src/live/CMakeFiles/fb_live.dir/http_gateway.cpp.o.d"
+  "/root/repo/src/live/live_container.cpp" "src/live/CMakeFiles/fb_live.dir/live_container.cpp.o" "gcc" "src/live/CMakeFiles/fb_live.dir/live_container.cpp.o.d"
+  "/root/repo/src/live/live_platform.cpp" "src/live/CMakeFiles/fb_live.dir/live_platform.cpp.o" "gcc" "src/live/CMakeFiles/fb_live.dir/live_platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/fb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

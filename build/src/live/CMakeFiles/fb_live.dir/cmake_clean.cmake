@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_live.dir/functions.cpp.o"
+  "CMakeFiles/fb_live.dir/functions.cpp.o.d"
+  "CMakeFiles/fb_live.dir/http_gateway.cpp.o"
+  "CMakeFiles/fb_live.dir/http_gateway.cpp.o.d"
+  "CMakeFiles/fb_live.dir/live_container.cpp.o"
+  "CMakeFiles/fb_live.dir/live_container.cpp.o.d"
+  "CMakeFiles/fb_live.dir/live_platform.cpp.o"
+  "CMakeFiles/fb_live.dir/live_platform.cpp.o.d"
+  "libfb_live.a"
+  "libfb_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_metrics.dir/breakdown.cpp.o"
+  "CMakeFiles/fb_metrics.dir/breakdown.cpp.o.d"
+  "CMakeFiles/fb_metrics.dir/report.cpp.o"
+  "CMakeFiles/fb_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/fb_metrics.dir/stats.cpp.o"
+  "CMakeFiles/fb_metrics.dir/stats.cpp.o.d"
+  "libfb_metrics.a"
+  "libfb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/container.cpp" "src/runtime/CMakeFiles/fb_runtime.dir/container.cpp.o" "gcc" "src/runtime/CMakeFiles/fb_runtime.dir/container.cpp.o.d"
+  "/root/repo/src/runtime/container_pool.cpp" "src/runtime/CMakeFiles/fb_runtime.dir/container_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/fb_runtime.dir/container_pool.cpp.o.d"
+  "/root/repo/src/runtime/keepalive.cpp" "src/runtime/CMakeFiles/fb_runtime.dir/keepalive.cpp.o" "gcc" "src/runtime/CMakeFiles/fb_runtime.dir/keepalive.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/runtime/CMakeFiles/fb_runtime.dir/machine.cpp.o" "gcc" "src/runtime/CMakeFiles/fb_runtime.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fb_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_runtime.dir/container.cpp.o"
+  "CMakeFiles/fb_runtime.dir/container.cpp.o.d"
+  "CMakeFiles/fb_runtime.dir/container_pool.cpp.o"
+  "CMakeFiles/fb_runtime.dir/container_pool.cpp.o.d"
+  "CMakeFiles/fb_runtime.dir/keepalive.cpp.o"
+  "CMakeFiles/fb_runtime.dir/keepalive.cpp.o.d"
+  "CMakeFiles/fb_runtime.dir/machine.cpp.o"
+  "CMakeFiles/fb_runtime.dir/machine.cpp.o.d"
+  "libfb_runtime.a"
+  "libfb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedulers/dispatch_loop.cpp" "src/schedulers/CMakeFiles/fb_schedulers.dir/dispatch_loop.cpp.o" "gcc" "src/schedulers/CMakeFiles/fb_schedulers.dir/dispatch_loop.cpp.o.d"
+  "/root/repo/src/schedulers/exec_common.cpp" "src/schedulers/CMakeFiles/fb_schedulers.dir/exec_common.cpp.o" "gcc" "src/schedulers/CMakeFiles/fb_schedulers.dir/exec_common.cpp.o.d"
+  "/root/repo/src/schedulers/faasbatch.cpp" "src/schedulers/CMakeFiles/fb_schedulers.dir/faasbatch.cpp.o" "gcc" "src/schedulers/CMakeFiles/fb_schedulers.dir/faasbatch.cpp.o.d"
+  "/root/repo/src/schedulers/kraken.cpp" "src/schedulers/CMakeFiles/fb_schedulers.dir/kraken.cpp.o" "gcc" "src/schedulers/CMakeFiles/fb_schedulers.dir/kraken.cpp.o.d"
+  "/root/repo/src/schedulers/scheduler.cpp" "src/schedulers/CMakeFiles/fb_schedulers.dir/scheduler.cpp.o" "gcc" "src/schedulers/CMakeFiles/fb_schedulers.dir/scheduler.cpp.o.d"
+  "/root/repo/src/schedulers/sfs.cpp" "src/schedulers/CMakeFiles/fb_schedulers.dir/sfs.cpp.o" "gcc" "src/schedulers/CMakeFiles/fb_schedulers.dir/sfs.cpp.o.d"
+  "/root/repo/src/schedulers/vanilla.cpp" "src/schedulers/CMakeFiles/fb_schedulers.dir/vanilla.cpp.o" "gcc" "src/schedulers/CMakeFiles/fb_schedulers.dir/vanilla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_schedulers.dir/dispatch_loop.cpp.o"
+  "CMakeFiles/fb_schedulers.dir/dispatch_loop.cpp.o.d"
+  "CMakeFiles/fb_schedulers.dir/exec_common.cpp.o"
+  "CMakeFiles/fb_schedulers.dir/exec_common.cpp.o.d"
+  "CMakeFiles/fb_schedulers.dir/faasbatch.cpp.o"
+  "CMakeFiles/fb_schedulers.dir/faasbatch.cpp.o.d"
+  "CMakeFiles/fb_schedulers.dir/kraken.cpp.o"
+  "CMakeFiles/fb_schedulers.dir/kraken.cpp.o.d"
+  "CMakeFiles/fb_schedulers.dir/scheduler.cpp.o"
+  "CMakeFiles/fb_schedulers.dir/scheduler.cpp.o.d"
+  "CMakeFiles/fb_schedulers.dir/sfs.cpp.o"
+  "CMakeFiles/fb_schedulers.dir/sfs.cpp.o.d"
+  "CMakeFiles/fb_schedulers.dir/vanilla.cpp.o"
+  "CMakeFiles/fb_schedulers.dir/vanilla.cpp.o.d"
+  "libfb_schedulers.a"
+  "libfb_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

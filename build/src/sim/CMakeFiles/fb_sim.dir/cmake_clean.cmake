@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_sim.dir/cpu.cpp.o"
+  "CMakeFiles/fb_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/fb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/fb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/fb_sim.dir/gauge.cpp.o"
+  "CMakeFiles/fb_sim.dir/gauge.cpp.o.d"
+  "CMakeFiles/fb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fb_sim.dir/simulator.cpp.o.d"
+  "libfb_sim.a"
+  "libfb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

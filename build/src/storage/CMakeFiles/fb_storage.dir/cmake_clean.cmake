@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_storage.dir/client.cpp.o"
+  "CMakeFiles/fb_storage.dir/client.cpp.o.d"
+  "CMakeFiles/fb_storage.dir/object_store.cpp.o"
+  "CMakeFiles/fb_storage.dir/object_store.cpp.o.d"
+  "libfb_storage.a"
+  "libfb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

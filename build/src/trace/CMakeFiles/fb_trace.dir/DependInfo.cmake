@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/fb_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/fb_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/arrival.cpp" "src/trace/CMakeFiles/fb_trace.dir/arrival.cpp.o" "gcc" "src/trace/CMakeFiles/fb_trace.dir/arrival.cpp.o.d"
+  "/root/repo/src/trace/azure_format.cpp" "src/trace/CMakeFiles/fb_trace.dir/azure_format.cpp.o" "gcc" "src/trace/CMakeFiles/fb_trace.dir/azure_format.cpp.o.d"
+  "/root/repo/src/trace/blob_iat.cpp" "src/trace/CMakeFiles/fb_trace.dir/blob_iat.cpp.o" "gcc" "src/trace/CMakeFiles/fb_trace.dir/blob_iat.cpp.o.d"
+  "/root/repo/src/trace/duration_model.cpp" "src/trace/CMakeFiles/fb_trace.dir/duration_model.cpp.o" "gcc" "src/trace/CMakeFiles/fb_trace.dir/duration_model.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/fb_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/fb_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/trace/CMakeFiles/fb_trace.dir/workload.cpp.o" "gcc" "src/trace/CMakeFiles/fb_trace.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

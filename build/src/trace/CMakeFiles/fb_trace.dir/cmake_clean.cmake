@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_trace.dir/analysis.cpp.o"
+  "CMakeFiles/fb_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/fb_trace.dir/arrival.cpp.o"
+  "CMakeFiles/fb_trace.dir/arrival.cpp.o.d"
+  "CMakeFiles/fb_trace.dir/azure_format.cpp.o"
+  "CMakeFiles/fb_trace.dir/azure_format.cpp.o.d"
+  "CMakeFiles/fb_trace.dir/blob_iat.cpp.o"
+  "CMakeFiles/fb_trace.dir/blob_iat.cpp.o.d"
+  "CMakeFiles/fb_trace.dir/duration_model.cpp.o"
+  "CMakeFiles/fb_trace.dir/duration_model.cpp.o.d"
+  "CMakeFiles/fb_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/fb_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/fb_trace.dir/workload.cpp.o"
+  "CMakeFiles/fb_trace.dir/workload.cpp.o.d"
+  "libfb_trace.a"
+  "libfb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

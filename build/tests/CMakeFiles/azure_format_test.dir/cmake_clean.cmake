@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azure_format_test.dir/azure_format_test.cpp.o"
+  "CMakeFiles/azure_format_test.dir/azure_format_test.cpp.o.d"
+  "azure_format_test"
+  "azure_format_test.pdb"
+  "azure_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azure_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_loop_test.dir/dispatch_loop_test.cpp.o"
+  "CMakeFiles/dispatch_loop_test.dir/dispatch_loop_test.cpp.o.d"
+  "dispatch_loop_test"
+  "dispatch_loop_test.pdb"
+  "dispatch_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

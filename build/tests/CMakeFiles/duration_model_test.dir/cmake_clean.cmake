@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duration_model_test.dir/duration_model_test.cpp.o"
+  "CMakeFiles/duration_model_test.dir/duration_model_test.cpp.o.d"
+  "duration_model_test"
+  "duration_model_test.pdb"
+  "duration_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duration_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

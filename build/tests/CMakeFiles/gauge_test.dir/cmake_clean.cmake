@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauge_test.dir/gauge_test.cpp.o"
+  "CMakeFiles/gauge_test.dir/gauge_test.cpp.o.d"
+  "gauge_test"
+  "gauge_test.pdb"
+  "gauge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

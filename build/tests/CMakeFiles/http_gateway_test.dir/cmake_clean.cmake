@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_gateway_test.dir/http_gateway_test.cpp.o"
+  "CMakeFiles/http_gateway_test.dir/http_gateway_test.cpp.o.d"
+  "http_gateway_test"
+  "http_gateway_test.pdb"
+  "http_gateway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invoke_mapper_test.dir/invoke_mapper_test.cpp.o"
+  "CMakeFiles/invoke_mapper_test.dir/invoke_mapper_test.cpp.o.d"
+  "invoke_mapper_test"
+  "invoke_mapper_test.pdb"
+  "invoke_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invoke_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kraken_test.dir/kraken_test.cpp.o"
+  "CMakeFiles/kraken_test.dir/kraken_test.cpp.o.d"
+  "kraken_test"
+  "kraken_test.pdb"
+  "kraken_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kraken_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

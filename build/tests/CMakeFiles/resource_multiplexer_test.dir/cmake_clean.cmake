@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_multiplexer_test.dir/resource_multiplexer_test.cpp.o"
+  "CMakeFiles/resource_multiplexer_test.dir/resource_multiplexer_test.cpp.o.d"
+  "resource_multiplexer_test"
+  "resource_multiplexer_test.pdb"
+  "resource_multiplexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_multiplexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_integration_test.dir/scheduler_integration_test.cpp.o"
+  "CMakeFiles/scheduler_integration_test.dir/scheduler_integration_test.cpp.o.d"
+  "scheduler_integration_test"
+  "scheduler_integration_test.pdb"
+  "scheduler_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfs_engine_test.dir/sfs_engine_test.cpp.o"
+  "CMakeFiles/sfs_engine_test.dir/sfs_engine_test.cpp.o.d"
+  "sfs_engine_test"
+  "sfs_engine_test.pdb"
+  "sfs_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfs_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
