@@ -25,7 +25,7 @@
 #include "trace/duration_model.hpp"
 
 using namespace faasbatch;
-using Clock = std::chrono::steady_clock;
+using SteadyClock = std::chrono::steady_clock;
 
 namespace {
 
@@ -35,12 +35,12 @@ double run_sharing(int concurrency, int fib_n, std::size_t threads) {
   options.cold_start_work_ms = 0.0;  // warm container, per the paper
   options.base_memory_bytes = 4096;
   live::LiveContainer container("fib", options);
-  const auto start = Clock::now();
+  const auto start = SteadyClock::now();
   for (int i = 0; i < concurrency; ++i) {
     container.submit([fib_n] { (void)live::fib(fib_n); });
   }
   container.drain();
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start).count();
 }
 
 double run_monopoly(int concurrency, int fib_n) {
@@ -54,12 +54,12 @@ double run_monopoly(int concurrency, int fib_n) {
   for (int i = 0; i < concurrency; ++i) {
     containers.push_back(std::make_unique<live::LiveContainer>("fib", options));
   }
-  const auto start = Clock::now();
+  const auto start = SteadyClock::now();
   for (auto& container : containers) {
     container->submit([fib_n] { (void)live::fib(fib_n); });
   }
   for (auto& container : containers) container->drain();
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start).count();
 }
 
 }  // namespace

@@ -20,7 +20,7 @@
 #include "storage/client.hpp"
 
 using namespace faasbatch;
-using Clock = std::chrono::steady_clock;
+using SteadyClock = std::chrono::steady_clock;
 
 int main(int argc, char** argv) {
   const Config config = Config::from_args(argc, argv);
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   for (int n = 1; n <= max_concurrency; ++n) {
     // Live: n threads create concurrently; report time until the last
     // finishes (what an invocation batch observes).
-    const auto start = Clock::now();
+    const auto start = SteadyClock::now();
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n));
     for (int t = 0; t < n; ++t) {
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     }
     for (auto& thread : threads) thread.join();
     const double live_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+        std::chrono::duration<double, std::milli>(SteadyClock::now() - start).count();
     if (n == 1) live_base_ms = live_ms;
 
     table.add_row({std::to_string(n),

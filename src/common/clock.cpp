@@ -1,0 +1,64 @@
+#include "common/clock.hpp"
+
+#include <algorithm>
+
+namespace faasbatch {
+
+Clock& Clock::system() {
+  static SystemClock instance;
+  return instance;
+}
+
+ClockTime SystemClock::now() const {
+  return std::chrono::duration_cast<ClockTime>(
+      std::chrono::steady_clock::now().time_since_epoch());
+}
+
+bool SystemClock::wait_until(std::unique_lock<std::mutex>& lock,
+                             std::condition_variable& cv, ClockTime deadline,
+                             std::function<bool()> pred) {
+  const auto when = std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(deadline));
+  return cv.wait_until(lock, when, std::move(pred));
+}
+
+bool VirtualClock::wait_until(std::unique_lock<std::mutex>& lock,
+                              std::condition_variable& cv, ClockTime deadline,
+                              std::function<bool()> pred) {
+  {
+    std::lock_guard<std::mutex> guard(waiters_mutex_);
+    waiters_.push_back(Waiter{lock.mutex(), &cv});
+  }
+  cv.wait(lock, [&] { return pred() || now() >= deadline; });
+  {
+    std::lock_guard<std::mutex> guard(waiters_mutex_);
+    const auto it = std::find_if(waiters_.begin(), waiters_.end(), [&](const Waiter& w) {
+      return w.mutex == lock.mutex() && w.cv == &cv;
+    });
+    if (it != waiters_.end()) waiters_.erase(it);
+  }
+  return pred();
+}
+
+void VirtualClock::advance(ClockTime delta) {
+  if (delta.count() <= 0) return;
+  now_ns_.fetch_add(delta.count());
+  std::vector<Waiter> snapshot;
+  {
+    std::lock_guard<std::mutex> guard(waiters_mutex_);
+    snapshot = waiters_;
+  }
+  for (const Waiter& waiter : snapshot) {
+    // Lock/unlock the waiter's mutex so the notify cannot slip between a
+    // waiter's predicate check and its block (classic lost wakeup).
+    { std::lock_guard<std::mutex> fence(*waiter.mutex); }
+    waiter.cv->notify_all();
+  }
+}
+
+void VirtualClock::advance_to(ClockTime t) {
+  const std::int64_t current = now_ns_.load();
+  if (t.count() > current) advance(ClockTime{t.count() - current});
+}
+
+}  // namespace faasbatch

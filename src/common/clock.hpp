@@ -1,0 +1,92 @@
+// Injectable time source for the live (real-thread) runtime.
+//
+// The simulator owns its own clock; the live platform historically read
+// std::chrono::steady_clock directly, which made every timing-sensitive
+// live test a race against the wall clock. Clock abstracts "what time is
+// it" and "wait on this condition variable until a deadline" behind a
+// virtual interface with two implementations:
+//
+//  * SystemClock  — the production default; delegates to steady_clock.
+//  * VirtualClock — a manually advanced clock for tests: advance() moves
+//    time forward and wakes every thread blocked in wait_until(), so
+//    window waits and timestamps become deterministic instead of sleeps.
+//
+// wait_until() takes the caller's own lock/cv pair (the platform mutex),
+// mirroring std::condition_variable::wait_until, so predicate evaluation
+// stays under the caller's mutex with either implementation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace faasbatch {
+
+/// Time since the clock's epoch. SystemClock uses the steady_clock epoch;
+/// VirtualClock starts at zero.
+using ClockTime = std::chrono::nanoseconds;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual ClockTime now() const = 0;
+
+  /// Waits on `cv` (guarded by `lock`, which must be held) until `pred`
+  /// returns true or the clock reaches `deadline`. Returns pred() at
+  /// exit, exactly like std::condition_variable::wait_until. Spurious
+  /// wakeups are absorbed.
+  virtual bool wait_until(std::unique_lock<std::mutex>& lock,
+                          std::condition_variable& cv, ClockTime deadline,
+                          std::function<bool()> pred) = 0;
+
+  /// Process-wide monotonic wall clock (the production default).
+  static Clock& system();
+};
+
+/// Production clock: steady_clock time, real blocking waits.
+class SystemClock final : public Clock {
+ public:
+  ClockTime now() const override;
+  bool wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                  ClockTime deadline, std::function<bool()> pred) override;
+};
+
+/// Test clock: time only moves when advance()/advance_to() is called.
+/// Every advance wakes all threads blocked in wait_until() so they can
+/// re-check their deadline against the new time.
+///
+/// The objects whose mutex/cv are passed to wait_until() must outlive any
+/// concurrent advance() call (in practice: do not advance while tearing
+/// down the platform under test).
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(ClockTime start = ClockTime{0}) : now_ns_(start.count()) {}
+
+  ClockTime now() const override { return ClockTime{now_ns_.load()}; }
+
+  bool wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                  ClockTime deadline, std::function<bool()> pred) override;
+
+  /// Moves time forward by `delta` and wakes all waiters.
+  void advance(ClockTime delta);
+
+  /// Moves time forward to `t` (no-op if `t` is in the past).
+  void advance_to(ClockTime t);
+
+ private:
+  struct Waiter {
+    std::mutex* mutex;
+    std::condition_variable* cv;
+  };
+
+  std::atomic<std::int64_t> now_ns_;
+  std::mutex waiters_mutex_;
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace faasbatch

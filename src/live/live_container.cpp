@@ -16,17 +16,17 @@ std::uint64_t busy_work_ms(double ms) {
 }
 
 LiveContainer::LiveContainer(std::string function, const LiveContainerOptions& options)
-    : function_(std::move(function)) {
-  const auto start = std::chrono::steady_clock::now();
+    : function_(std::move(function)),
+      clock_(options.clock != nullptr ? options.clock : &Clock::system()) {
+  const ClockTime start = clock_->now();
   // Cold start: runtime bring-up (CPU) plus image/runtime memory.
   (void)busy_work_ms(options.cold_start_work_ms);
   base_buffer_.assign(static_cast<std::size_t>(options.base_memory_bytes), '\0');
   for (std::size_t i = 0; i < base_buffer_.size(); i += 4096) {
     base_buffer_[i] = static_cast<char>(i & 0xFF);
   }
-  cold_start_ms_ = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  cold_start_ms_ =
+      std::chrono::duration<double, std::milli>(clock_->now() - start).count();
   workers_.reserve(options.threads == 0 ? 1 : options.threads);
   for (std::size_t i = 0; i < (options.threads == 0 ? 1 : options.threads); ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/types.hpp"
 #include "core/resource_multiplexer.hpp"
 
@@ -33,6 +34,9 @@ struct LiveContainerOptions {
   double cold_start_work_ms = 5.0;
   /// Resident base allocation emulating the container image/runtime.
   Bytes base_memory_bytes = from_mib(1.0);
+  /// Time source for cold-start measurement; nullptr = Clock::system().
+  /// Tests inject a VirtualClock for deterministic timestamps.
+  Clock* clock = nullptr;
 };
 
 class LiveContainer {
@@ -74,6 +78,7 @@ class LiveContainer {
   void worker_loop();
 
   std::string function_;
+  Clock* clock_;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   mutable std::mutex mutex_;

@@ -7,18 +7,21 @@
 
 namespace faasbatch::live {
 
-using Clock = std::chrono::steady_clock;
-
 namespace {
 
-double ms_between(Clock::time_point from, Clock::time_point to) {
+double ms_between(ClockTime from, ClockTime to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
 }  // namespace
 
 LivePlatform::LivePlatform(LivePlatformOptions options)
-    : options_(std::move(options)), clients_(store_, options_.client_factory) {
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : &Clock::system()),
+      clients_(store_, options_.client_factory) {
+  // Containers created by this platform share its time source unless the
+  // caller pinned one explicitly.
+  if (options_.container.clock == nullptr) options_.container.clock = clock_;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -43,7 +46,7 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
   auto request = std::make_shared<Request>();
   request->function = name;
   request->payload = std::move(payload);
-  request->submitted = Clock::now();
+  request->submitted = clock_->now();
   std::future<InvocationReport> future = request->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -88,22 +91,32 @@ void LivePlatform::run_request(LiveContainer& container,
   FunctionHandler handler = functions_.at(request->function);
   container.submit([this, &container, request = std::move(request),
                     handler = std::move(handler)]() {
-    const auto exec_start = Clock::now();
+    const ClockTime exec_start = clock_->now();
     FunctionContext context{container.multiplexer(), store_, clients_, request->id,
                             request->payload};
     handler(context);
-    const auto exec_end = Clock::now();
+    const ClockTime exec_end = clock_->now();
     InvocationReport report;
     report.queue_ms = ms_between(request->submitted, exec_start);
     report.exec_ms = ms_between(exec_start, exec_end);
     report.total_ms = ms_between(request->submitted, exec_end);
-    request->promise.set_value(report);
-    bool notify_drain = false;
+    // Return the container to the warm pool BEFORE resolving the promise:
+    // a caller sequencing invoke().get() calls must observe this idle
+    // container on its next submission, or Vanilla reuse races the
+    // worker thread (the old wall-clock flake in VanillaReusesIdle-
+    // Containers).
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (options_.policy == LivePolicy::kVanilla) {
         warm_[request->function].push_back(&container);
       }
+    }
+    request->promise.set_value(report);
+    // Only now count the invocation as settled: drain() returning must
+    // imply every future is ready.
+    bool notify_drain = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
       if (--outstanding_ == 0) notify_drain = true;
     }
     if (notify_drain) drain_cv_.notify_all();
@@ -129,9 +142,11 @@ void LivePlatform::dispatcher_loop() {
 
     // FaaSBatch: let the window fill, then flush groups per function —
     // the live analogue of the Invoke Mapper + Inline-Parallel Producer.
-    const auto window_deadline = Clock::now() + options_.window;
-    queue_cv_.wait_until(lock, window_deadline,
-                         [this] { return stopping_; });
+    // The wait goes through the injected clock, so tests advance a
+    // VirtualClock to close the window instead of sleeping through it.
+    const ClockTime window_deadline =
+        clock_->now() + std::chrono::duration_cast<ClockTime>(options_.window);
+    clock_->wait_until(lock, queue_cv_, window_deadline, [this] { return stopping_; });
     std::deque<std::shared_ptr<Request>> batch;
     batch.swap(queue_);
     std::map<std::string, std::vector<std::shared_ptr<Request>>> groups;

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "core/resource_multiplexer.hpp"
 #include "live/live_container.hpp"
 #include "storage/client.hpp"
@@ -65,6 +66,10 @@ struct LivePlatformOptions {
   std::chrono::milliseconds window{50};
   LiveContainerOptions container;
   storage::ClientFactory::Options client_factory;
+  /// Time source for window waits and invocation timestamps; nullptr =
+  /// Clock::system(). Tests inject a VirtualClock and advance() it to
+  /// flush dispatch windows deterministically instead of sleeping.
+  Clock* clock = nullptr;
 };
 
 class LivePlatform {
@@ -103,7 +108,7 @@ class LivePlatform {
     std::string function;
     std::string payload;
     std::uint64_t id;
-    std::chrono::steady_clock::time_point submitted;
+    ClockTime submitted;
     std::promise<InvocationReport> promise;
   };
 
@@ -112,6 +117,7 @@ class LivePlatform {
   LiveContainer& container_for(const std::string& function);
 
   LivePlatformOptions options_;
+  Clock* clock_;
   storage::ObjectStore store_;
   storage::ClientFactory clients_;
 

@@ -121,7 +121,12 @@ void ContainerPool::reclaim(ContainerId id) {
   auto it = containers_.find(id);
   if (it == containers_.end()) return;
   Container& container = *it->second;
-  if (container.state() != ContainerState::kIdle) return;  // raced with reuse
+  if (container.state() != ContainerState::kIdle) {
+    // Would have reaped an active container — reuse failed to cancel the
+    // expiry timer. Count it so invariant checks can flag the bug.
+    ++accumulated_.expired_while_active;
+    return;
+  }
   // Fold lifetime counters into the pool aggregate before destruction.
   accumulated_.total_served += container.served();
   accumulated_.total_client_creations += container.client_creations();

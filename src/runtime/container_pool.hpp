@@ -32,6 +32,10 @@ struct PoolStats {
   /// Container starts that failed after their cold start (failure
   /// injection, RuntimeConfig::cold_start_failure_rate) and were retried.
   std::uint64_t failed_starts = 0;
+  /// Keep-alive expiry events that fired while the container was not
+  /// idle. Reuse must cancel the pending expiry, so this is 0 in a
+  /// correct run; the differential invariant harness asserts it.
+  std::uint64_t expired_while_active = 0;
   std::uint64_t total_served = 0;
   std::uint64_t total_client_creations = 0;
   Bytes total_client_memory = 0;

@@ -1,0 +1,265 @@
+#include "testing/differential.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "core/invocation.hpp"
+#include "runtime/container_pool.hpp"
+#include "runtime/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace faasbatch::testing {
+
+namespace {
+
+/// Everything one instrumented scheduler run produces.
+struct InstrumentedRun {
+  SchedulerRunSummary summary;
+  std::vector<std::uint32_t> completions;  // per-invocation completion count
+  std::vector<core::InvocationRecord> records;
+  runtime::PoolStats pool_stats;
+  std::size_t live_containers_at_end = 0;
+  double min_memory_bytes = 0.0;
+  double final_memory_bytes = 0.0;
+  double platform_base_bytes = 0.0;
+  double min_live_containers = 0.0;
+  double final_live_containers = 0.0;
+  double machine_cores = 0.0;
+};
+
+InstrumentedRun run_one(schedulers::SchedulerKind kind, eval::ExperimentSpec spec,
+                        const trace::Workload& workload) {
+  spec.scheduler = kind;
+
+  sim::Simulator simulator;
+  runtime::Machine machine(simulator, spec.runtime);
+  runtime::ContainerPool pool(machine);
+  if (spec.keepalive == eval::KeepAliveKind::kHistogram) {
+    pool.set_keepalive_policy(
+        std::make_unique<runtime::HistogramKeepAlive>(spec.keepalive_histogram));
+  }
+
+  InstrumentedRun run;
+  run.machine_cores = spec.runtime.machine_cores;
+  run.platform_base_bytes = static_cast<double>(spec.runtime.platform_base_memory);
+
+  run.records.resize(workload.events.size());
+  run.completions.assign(workload.events.size(), 0);
+  for (std::size_t i = 0; i < workload.events.size(); ++i) {
+    run.records[i].id = static_cast<InvocationId>(i);
+    run.records[i].function = workload.events[i].function;
+    run.records[i].arrival = workload.events[i].arrival;
+  }
+
+  // Watch busy cores on every rate change: the fluid CPU must never
+  // allocate negative rates or exceed the machine.
+  double min_rate = 0.0;
+  double peak_rate = 0.0;
+  machine.cpu().set_rate_observer([&](SimTime, double busy_cores) {
+    if (busy_cores < min_rate) min_rate = busy_cores;
+    if (busy_cores > peak_rate) peak_rate = busy_cores;
+  });
+
+  schedulers::SchedulerContext context{
+      simulator,
+      machine,
+      pool,
+      workload,
+      spec.client_model,
+      run.records,
+      /*notify_complete=*/nullptr,
+  };
+  context.notify_complete = [&](InvocationId id) {
+    ++run.completions.at(id);
+    run.summary.last_completion = simulator.now();
+  };
+
+  auto scheduler = schedulers::make_scheduler(kind, context, spec.scheduler_options);
+  run.summary.name = std::string(scheduler->name());
+  run.summary.invocations = workload.events.size();
+
+  for (std::size_t i = 0; i < workload.events.size(); ++i) {
+    const InvocationId id = static_cast<InvocationId>(i);
+    const FunctionId function = workload.events[i].function;
+    simulator.schedule_at(workload.events[i].arrival,
+                          [&scheduler, &pool, id, function] {
+                            pool.note_arrival(function);
+                            scheduler->on_arrival(id);
+                          });
+  }
+
+  // Unlike run_experiment, run to full quiescence: keep-alive expiries
+  // fire and every container is reclaimed, so drain invariants apply.
+  simulator.run();
+
+  for (const std::uint32_t count : run.completions) {
+    if (count > 0) ++run.summary.completed;
+  }
+  run.pool_stats = pool.stats();
+  run.summary.containers_provisioned = run.pool_stats.total_provisioned;
+  run.summary.warm_hits = run.pool_stats.warm_hits;
+  run.live_containers_at_end = pool.live_containers();
+
+  const auto& memory_history = machine.memory_gauge().history();
+  run.min_memory_bytes = machine.memory_gauge().value();
+  for (const auto& [t, bytes] : memory_history) {
+    if (bytes < run.min_memory_bytes) run.min_memory_bytes = bytes;
+  }
+  run.final_memory_bytes = machine.memory_gauge().value();
+  run.summary.memory_peak_mib = to_mib(machine.memory_peak());
+
+  run.min_live_containers = pool.live_gauge().value();
+  for (const auto& [t, count] : pool.live_gauge().history()) {
+    if (count < run.min_live_containers) run.min_live_containers = count;
+  }
+  run.final_live_containers = pool.live_gauge().value();
+
+  run.summary.peak_busy_cores = peak_rate;
+  run.summary.min_busy_cores = min_rate;
+  return run;
+}
+
+}  // namespace
+
+std::string InvariantViolation::to_string() const {
+  std::ostringstream out;
+  out << "[seed " << seed << "] ";
+  if (!scheduler.empty()) out << scheduler << ": ";
+  out << invariant << ": " << detail << " (replay: fuzz_workload(" << seed << "))";
+  return out.str();
+}
+
+std::string DifferentialReport::summary() const {
+  std::ostringstream out;
+  out << "differential seed " << seed << ": " << runs.size() << " scheduler runs, "
+      << violations.size() << " violations\n";
+  for (const SchedulerRunSummary& run : runs) {
+    out << "  " << run.name << ": " << run.completed << "/" << run.invocations
+        << " completed, " << run.containers_provisioned << " containers, peak "
+        << run.peak_busy_cores << " busy cores\n";
+  }
+  for (const InvariantViolation& violation : violations) {
+    out << "  VIOLATION " << violation.to_string() << "\n";
+  }
+  return out.str();
+}
+
+DifferentialReport check_workload(std::uint64_t seed, const trace::Workload& workload,
+                                  const DifferentialOptions& options) {
+  DifferentialReport report;
+  report.seed = seed;
+
+  const auto violate = [&](const std::string& scheduler, const std::string& invariant,
+                           const std::string& detail) {
+    report.violations.push_back(InvariantViolation{seed, scheduler, invariant, detail});
+  };
+
+  std::uint64_t vanilla_containers = 0;
+  bool have_vanilla = false;
+  std::uint64_t faasbatch_containers = 0;
+  bool have_faasbatch = false;
+
+  for (const schedulers::SchedulerKind kind : options.schedulers) {
+    const InstrumentedRun run = run_one(kind, options.spec, workload);
+    const std::string& name = run.summary.name;
+
+    // 1. Conservation: every invocation completes exactly once.
+    for (std::size_t i = 0; i < run.completions.size(); ++i) {
+      if (run.completions[i] != 1) {
+        violate(name, "exactly-once completion",
+                "invocation " + std::to_string(i) + " completed " +
+                    std::to_string(run.completions[i]) + " times");
+      }
+    }
+
+    // 2. Phase stamps are ordered for every completed invocation.
+    for (const core::InvocationRecord& record : run.records) {
+      if (!record.completed) continue;  // already reported above
+      const bool ordered = record.arrival <= record.dispatched &&
+                           record.dispatched <= record.exec_start &&
+                           record.exec_start < record.exec_end &&
+                           (record.returned == 0 || record.returned >= record.exec_end) &&
+                           record.cold_start >= 0;
+      if (!ordered) {
+        violate(name, "phase-stamp ordering",
+                "invocation " + std::to_string(record.id) + " has stamps arrival=" +
+                    std::to_string(record.arrival) + " dispatched=" +
+                    std::to_string(record.dispatched) + " exec_start=" +
+                    std::to_string(record.exec_start) + " exec_end=" +
+                    std::to_string(record.exec_end));
+      }
+    }
+
+    // 3. CPU gauge: busy cores within [0, machine size] at all times.
+    constexpr double kRateEpsilon = 1e-6;
+    if (run.summary.min_busy_cores < -kRateEpsilon) {
+      violate(name, "cpu gauge non-negative",
+              "busy cores dipped to " + std::to_string(run.summary.min_busy_cores));
+    }
+    if (run.summary.peak_busy_cores > run.machine_cores + kRateEpsilon) {
+      violate(name, "cpu gauge within capacity",
+              "busy cores peaked at " + std::to_string(run.summary.peak_busy_cores) +
+                  " on a " + std::to_string(run.machine_cores) + "-core machine");
+    }
+
+    // 4. Memory gauge: never negative; back to the platform base at drain.
+    if (run.min_memory_bytes < 0.0) {
+      violate(name, "memory gauge non-negative",
+              "resident memory dipped to " + std::to_string(run.min_memory_bytes) +
+                  " bytes");
+    }
+    if (run.final_memory_bytes != run.platform_base_bytes) {
+      violate(name, "memory returns to base at drain",
+              "final resident " + std::to_string(run.final_memory_bytes) +
+                  " bytes vs platform base " +
+                  std::to_string(run.platform_base_bytes));
+    }
+
+    // 5. Container gauge: never negative; every container reclaimed.
+    if (run.min_live_containers < 0.0) {
+      violate(name, "container gauge non-negative",
+              "live containers dipped to " +
+                  std::to_string(run.min_live_containers));
+    }
+    if (run.live_containers_at_end != 0 || run.final_live_containers != 0.0) {
+      violate(name, "containers drain to zero",
+              std::to_string(run.live_containers_at_end) +
+                  " containers still live after full drain");
+    }
+
+    // 6. Keep-alive expiry must never target a non-idle container.
+    if (run.pool_stats.expired_while_active != 0) {
+      violate(name, "keep-alive never reaps active containers",
+              std::to_string(run.pool_stats.expired_while_active) +
+                  " expiry events fired on non-idle containers");
+    }
+
+    if (kind == schedulers::SchedulerKind::kVanilla) {
+      vanilla_containers = run.summary.containers_provisioned;
+      have_vanilla = true;
+    }
+    if (kind == schedulers::SchedulerKind::kFaasBatch) {
+      faasbatch_containers = run.summary.containers_provisioned;
+      have_faasbatch = true;
+    }
+    report.runs.push_back(run.summary);
+  }
+
+  // Cross-scheduler: window batching can only consolidate, so FaaSBatch
+  // must never start more containers than Vanilla on the same trace.
+  if (have_vanilla && have_faasbatch && faasbatch_containers > vanilla_containers) {
+    violate("", "FaaSBatch consolidates vs Vanilla",
+            "FaaSBatch provisioned " + std::to_string(faasbatch_containers) +
+                " containers, Vanilla " + std::to_string(vanilla_containers));
+  }
+
+  return report;
+}
+
+DifferentialReport run_differential(std::uint64_t seed, const FuzzerOptions& fuzz,
+                                    const DifferentialOptions& options) {
+  const trace::Workload workload = fuzz_workload(seed, fuzz);
+  return check_workload(seed, workload, options);
+}
+
+}  // namespace faasbatch::testing

@@ -1,0 +1,101 @@
+// Differential cross-scheduler invariant harness.
+//
+// The paper's claim is comparative: FaaSBatch beats Vanilla, Kraken and
+// SFS on the *same* arrival stream. This harness makes that comparison a
+// correctness tool: it replays one (typically fuzzed) workload through
+// every scheduler in the simulator, instruments the machine while each
+// run executes, and checks two classes of invariants:
+//
+//  per-scheduler (conservation)
+//   * every invocation completes exactly once;
+//   * phase stamps are ordered (arrival <= dispatched <= exec_start <
+//     exec_end <= returned);
+//   * busy cores stay within [0, machine cores] at every rate change;
+//   * resident memory never goes negative and returns exactly to the
+//     platform base once the run drains and keep-alives expire;
+//   * the live-container gauge never goes negative and drains to zero;
+//   * keep-alive expiry never fires against a non-idle container.
+//
+//  cross-scheduler (differential)
+//   * FaaSBatch never provisions more containers than Vanilla for the
+//     same trace (window batching can only consolidate).
+//
+// Every violation carries the generating seed, so a red run replays
+// exactly with fuzz_workload(seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "schedulers/scheduler.hpp"
+#include "testing/workload_fuzzer.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::testing {
+
+struct DifferentialOptions {
+  /// Runtime/scheduler knobs shared by every scheduler run. The
+  /// scheduler kind in here is ignored; each run overrides it.
+  eval::ExperimentSpec spec;
+  /// Schedulers to run; defaults to all four paper policies.
+  std::vector<schedulers::SchedulerKind> schedulers = {
+      schedulers::SchedulerKind::kVanilla, schedulers::SchedulerKind::kKraken,
+      schedulers::SchedulerKind::kSfs, schedulers::SchedulerKind::kFaasBatch};
+
+  DifferentialOptions() {
+    // Drain keep-alives quickly: the harness runs the simulator to full
+    // quiescence (not just last completion) to check the drain
+    // invariants, so a short keep-alive keeps runs fast.
+    spec.runtime.keep_alive = 5 * kSecond;
+  }
+};
+
+struct InvariantViolation {
+  std::uint64_t seed = 0;
+  /// Scheduler the violation occurred under; empty for cross-scheduler
+  /// invariants.
+  std::string scheduler;
+  std::string invariant;
+  std::string detail;
+
+  /// One line including the replaying seed.
+  std::string to_string() const;
+};
+
+/// Summary of one scheduler's instrumented run.
+struct SchedulerRunSummary {
+  std::string name;
+  std::size_t invocations = 0;
+  std::size_t completed = 0;
+  std::uint64_t containers_provisioned = 0;
+  std::uint64_t warm_hits = 0;
+  SimTime last_completion = 0;
+  double peak_busy_cores = 0.0;
+  double min_busy_cores = 0.0;
+  double memory_peak_mib = 0.0;
+};
+
+struct DifferentialReport {
+  std::uint64_t seed = 0;
+  std::vector<SchedulerRunSummary> runs;
+  std::vector<InvariantViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// Multi-line report; every violation line names the seed.
+  std::string summary() const;
+};
+
+/// Replays `workload` through every scheduler in `options` and checks all
+/// invariants. `seed` is only used for violation messages (pass the seed
+/// that generated the workload).
+DifferentialReport check_workload(std::uint64_t seed, const trace::Workload& workload,
+                                  const DifferentialOptions& options = {});
+
+/// fuzz_workload(seed) + check_workload: the one-call fuzz target.
+DifferentialReport run_differential(std::uint64_t seed,
+                                    const FuzzerOptions& fuzz = {},
+                                    const DifferentialOptions& options = {});
+
+}  // namespace faasbatch::testing

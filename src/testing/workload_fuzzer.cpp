@@ -1,0 +1,205 @@
+#include "testing/workload_fuzzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "trace/arrival.hpp"
+#include "trace/duration_model.hpp"
+
+namespace faasbatch::testing {
+
+namespace {
+
+/// Heavy-tail body duration in ms: mostly-short lognormal with an
+/// occasional excursion toward the cap, clamped to (0, cap].
+double heavy_tail_ms(Rng& rng, double cap_ms) {
+  double ms;
+  if (rng.uniform() < 0.15) {
+    // Tail: log-uniform across the upper decades.
+    ms = std::exp(rng.uniform(std::log(cap_ms / 20.0), std::log(cap_ms)));
+  } else {
+    ms = rng.lognormal(std::log(15.0), 1.1);
+  }
+  return std::min(std::max(ms, 0.5), cap_ms);
+}
+
+/// Largest fib N whose modelled cost stays within `cap_ms`.
+int fib_n_capped(const trace::FibCostModel& fib, double target_ms, double cap_ms) {
+  int n = fib.n_for_duration(target_ms);
+  while (n > 1 && fib.duration_ms(n) > cap_ms) --n;
+  return n;
+}
+
+}  // namespace
+
+trace::Workload fuzz_workload(std::uint64_t seed, const FuzzerOptions& options) {
+  if (options.min_functions == 0 || options.min_functions > options.max_functions ||
+      options.min_invocations > options.max_invocations || options.horizon <= 0 ||
+      options.dispatch_window <= 0 || options.max_duration_ms <= 0.0) {
+    throw std::invalid_argument("fuzz_workload: inconsistent FuzzerOptions");
+  }
+  Rng rng(seed);
+  Rng function_rng = rng.fork();
+  Rng arrival_rng = rng.fork();
+  Rng duration_rng = rng.fork();
+  Rng assign_rng = rng.fork();
+
+  const trace::FibCostModel fib;
+
+  trace::Workload workload;
+  workload.horizon = options.horizon;
+
+  const auto n_functions = static_cast<std::size_t>(function_rng.uniform_int(
+      static_cast<std::int64_t>(options.min_functions),
+      static_cast<std::int64_t>(options.max_functions)));
+  bool any_io = false;
+  workload.functions.reserve(n_functions);
+  for (std::size_t i = 0; i < n_functions; ++i) {
+    trace::FunctionProfile profile;
+    profile.id = static_cast<FunctionId>(i);
+    const bool io = function_rng.uniform() < options.io_function_fraction;
+    if (io) {
+      any_io = true;
+      profile.kind = trace::FunctionKind::kIo;
+      profile.name = "fuzz_io_" + std::to_string(i);
+      profile.duration_ms =
+          std::min(function_rng.uniform(5.0, 20.0), options.max_duration_ms);
+      profile.fib_n = 0;
+      profile.client_args_hash = ArgsHasher()
+                                     .add("service", "s3")
+                                     .add("account", profile.name)
+                                     .add("seed", seed)
+                                     .digest();
+    } else {
+      profile.kind = trace::FunctionKind::kCpuIntensive;
+      profile.name = "fuzz_fib_" + std::to_string(i);
+      const double target = heavy_tail_ms(function_rng, options.max_duration_ms);
+      profile.fib_n = fib_n_capped(fib, target, options.max_duration_ms);
+      profile.duration_ms = fib.duration_ms(profile.fib_n);
+    }
+    if (function_rng.uniform() < options.cpu_limit_fraction) {
+      profile.cpu_limit_cores =
+          static_cast<double>(function_rng.uniform_int(1, 4));
+    }
+    workload.functions.push_back(std::move(profile));
+  }
+  workload.kind =
+      any_io ? trace::FunctionKind::kIo : trace::FunctionKind::kCpuIntensive;
+
+  const auto n_events = static_cast<std::size_t>(arrival_rng.uniform_int(
+      static_cast<std::int64_t>(options.min_invocations),
+      static_cast<std::int64_t>(options.max_invocations)));
+
+  // Arrival mix: a Poisson background, clustered bursts (some arrivals
+  // sharing an exact timestamp), and arrivals aimed at dispatch-window
+  // boundaries ±1 ms — the adversarial cases for window batching.
+  const double burst_fraction = arrival_rng.uniform(0.30, 0.60);
+  const double boundary_fraction = arrival_rng.uniform(0.10, 0.30);
+  const auto n_burst = static_cast<std::size_t>(
+      burst_fraction * static_cast<double>(n_events));
+  const auto n_boundary = static_cast<std::size_t>(
+      boundary_fraction * static_cast<double>(n_events));
+  const std::size_t n_background = n_events - n_burst - n_boundary;
+
+  std::vector<SimTime> arrivals =
+      trace::poisson_arrivals(n_background, options.horizon, arrival_rng);
+  arrivals.reserve(n_events);
+
+  const auto clamp_time = [&](SimTime t) {
+    return std::clamp<SimTime>(t, 0, options.horizon - 1);
+  };
+
+  const auto n_bursts = static_cast<std::size_t>(arrival_rng.uniform_int(1, 6));
+  for (std::size_t i = 0; i < n_burst; ++i) {
+    if (i < n_bursts || arrivals.empty()) {
+      // Seed a new burst centre.
+      arrivals.push_back(clamp_time(static_cast<SimTime>(
+          arrival_rng.uniform(0.0, static_cast<double>(options.horizon)))));
+      continue;
+    }
+    // Cluster around one of the burst centres: reuse a recent arrival and
+    // add sub-millisecond jitter; ~30% of burst arrivals share the exact
+    // same microsecond (simultaneous requests).
+    const SimTime centre = arrivals[arrivals.size() - 1 -
+                                    static_cast<std::size_t>(arrival_rng.uniform_int(
+                                        0, static_cast<std::int64_t>(
+                                               std::min<std::size_t>(4, arrivals.size() - 1))))];
+    SimTime t = centre;
+    if (arrival_rng.uniform() >= 0.3) {
+      t += static_cast<SimTime>(arrival_rng.exponential(1.0 / 800.0));  // ~0.8 ms
+    }
+    arrivals.push_back(clamp_time(t));
+  }
+
+  const std::int64_t max_window_index = options.horizon / options.dispatch_window;
+  for (std::size_t i = 0; i < n_boundary; ++i) {
+    const std::int64_t w = arrival_rng.uniform_int(1, std::max<std::int64_t>(1, max_window_index));
+    // Land just before, exactly on, or just after the boundary.
+    const SimDuration offset = arrival_rng.uniform_int(-1000, 1000);  // ±1 ms
+    arrivals.push_back(clamp_time(w * options.dispatch_window + offset));
+  }
+
+  std::sort(arrivals.begin(), arrivals.end());
+
+  // Function popularity: zipf-like skew with a fuzzed exponent.
+  const double alpha = assign_rng.uniform(0.5, 1.5);
+  std::vector<double> weights(n_functions);
+  for (std::size_t i = 0; i < n_functions; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+
+  workload.events.reserve(arrivals.size());
+  for (SimTime t : arrivals) {
+    trace::TraceEvent event;
+    event.arrival = t;
+    event.function = static_cast<FunctionId>(assign_rng.weighted_index(weights));
+    const trace::FunctionProfile& profile = workload.functions[event.function];
+    if (profile.kind == trace::FunctionKind::kCpuIntensive) {
+      const double target = heavy_tail_ms(duration_rng, options.max_duration_ms);
+      event.fib_n = fib_n_capped(fib, target, options.max_duration_ms);
+      event.duration_ms = fib.duration_ms(event.fib_n);
+    } else {
+      event.fib_n = 0;
+      event.duration_ms =
+          std::min(duration_rng.uniform(1.0, 25.0), options.max_duration_ms);
+    }
+    workload.events.push_back(event);
+  }
+  return workload;
+}
+
+std::uint64_t workload_fingerprint(const trace::Workload& workload) {
+  std::uint64_t h = fnv1a_u64(static_cast<std::uint64_t>(workload.kind));
+  h = fnv1a_u64(static_cast<std::uint64_t>(workload.horizon), h);
+  h = fnv1a_u64(workload.functions.size(), h);
+  const auto fold_double = [](double value, std::uint64_t seed) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a_u64(bits, seed);
+  };
+  for (const trace::FunctionProfile& profile : workload.functions) {
+    h = fnv1a_u64(profile.id, h);
+    h = fnv1a(profile.name, h);
+    h = fnv1a_u64(static_cast<std::uint64_t>(profile.kind), h);
+    h = fold_double(profile.duration_ms, h);
+    h = fnv1a_u64(static_cast<std::uint64_t>(profile.fib_n), h);
+    h = fold_double(profile.cpu_limit_cores, h);
+    h = fnv1a_u64(profile.client_args_hash, h);
+  }
+  h = fnv1a_u64(workload.events.size(), h);
+  for (const trace::TraceEvent& event : workload.events) {
+    h = fnv1a_u64(static_cast<std::uint64_t>(event.arrival), h);
+    h = fnv1a_u64(event.function, h);
+    h = fold_double(event.duration_ms, h);
+    h = fnv1a_u64(static_cast<std::uint64_t>(event.fib_n), h);
+  }
+  return h;
+}
+
+}  // namespace faasbatch::testing

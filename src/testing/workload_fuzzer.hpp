@@ -1,0 +1,51 @@
+// Seeded adversarial-workload fuzzer.
+//
+// Hand-written unit traces exercise the schedulers' happy paths; scheduler
+// bugs live in the corners — bursts that land on dispatch-window
+// boundaries, heavy-tail durations that keep containers busy across many
+// windows, mixed CPU/I-O function populations, simultaneous arrivals.
+// fuzz_workload() deterministically synthesises such a trace from a single
+// 64-bit seed: the same seed always yields a byte-identical workload, so
+// any invariant violation found downstream replays exactly by seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch::testing {
+
+struct FuzzerOptions {
+  /// Invocation count is drawn uniformly from [min, max].
+  std::size_t min_invocations = 60;
+  std::size_t max_invocations = 220;
+  /// Function-table size is drawn uniformly from [min, max].
+  std::size_t min_functions = 2;
+  std::size_t max_functions = 8;
+  /// Arrivals land in [0, horizon).
+  SimDuration horizon = 20 * kSecond;
+  /// The dispatch window the generated trace attacks: a slice of arrivals
+  /// is aimed at multiples of this window, offset by at most ±1 ms, to
+  /// probe batching edge behaviour at window boundaries.
+  SimDuration dispatch_window = 200 * kMillisecond;
+  /// Probability that a generated function is I/O (client-creating)
+  /// rather than CPU-bound, giving mixed populations.
+  double io_function_fraction = 0.4;
+  /// Probability that a function carries a cpuset limit (1–4 cores).
+  double cpu_limit_fraction = 0.25;
+  /// Upper bound on any single invocation's body duration.
+  double max_duration_ms = 2500.0;
+};
+
+/// Deterministically generates one adversarial workload from `seed`.
+/// Events are sorted by arrival; every event duration is in
+/// (0, max_duration_ms] and every arrival in [0, horizon).
+trace::Workload fuzz_workload(std::uint64_t seed, const FuzzerOptions& options = {});
+
+/// Stable FNV-1a fingerprint over every field of the workload (function
+/// table and event list). Two workloads are byte-identical iff their
+/// fingerprints and shapes match; used to assert seed determinism.
+std::uint64_t workload_fingerprint(const trace::Workload& workload);
+
+}  // namespace faasbatch::testing

@@ -1,11 +1,16 @@
-// Unit tests for common utilities: RNG, hashing, config, types.
+// Unit tests for common utilities: RNG, hashing, config, types, clocks.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/config.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
@@ -200,6 +205,80 @@ TEST(ConfigTest, EnvironmentFallback) {
   config.set("unit_test_key", "42");
   EXPECT_EQ(config.get_int("unit_test_key", 0), 42);  // explicit wins
   ::unsetenv("FAASBATCH_UNIT_TEST_KEY");
+}
+
+TEST(ClockTest, SystemClockAdvancesMonotonically) {
+  Clock& clock = Clock::system();
+  const ClockTime a = clock.now();
+  const ClockTime b = clock.now();
+  EXPECT_GE(b.count(), a.count());
+}
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvancesExactly) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now().count(), 0);
+  clock.advance(std::chrono::milliseconds(15));
+  EXPECT_EQ(clock.now(), ClockTime(std::chrono::milliseconds(15)));
+  clock.advance_to(ClockTime(std::chrono::seconds(2)));
+  EXPECT_EQ(clock.now(), ClockTime(std::chrono::seconds(2)));
+  // advance_to never moves backwards.
+  clock.advance_to(ClockTime(std::chrono::seconds(1)));
+  EXPECT_EQ(clock.now(), ClockTime(std::chrono::seconds(2)));
+}
+
+TEST(VirtualClockTest, WaitUntilReturnsImmediatelyWhenDeadlinePassed) {
+  VirtualClock clock;
+  clock.advance(std::chrono::seconds(1));
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::unique_lock lock(mutex);
+  const bool pred_held = clock.wait_until(lock, cv, ClockTime(std::chrono::milliseconds(500)),
+                                          [] { return false; });
+  EXPECT_FALSE(pred_held);  // timed out (deadline already in the past)
+}
+
+TEST(VirtualClockTest, AdvanceWakesBlockedWaiter) {
+  VirtualClock clock;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    std::unique_lock lock(mutex);
+    clock.wait_until(lock, cv, ClockTime(std::chrono::milliseconds(100)),
+                     [] { return false; });
+    woke = true;
+  });
+  // An advance short of the deadline must not release the waiter...
+  clock.advance(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load());
+  // ...but crossing the deadline must, with no real time passing.
+  while (!woke.load()) {
+    clock.advance(std::chrono::milliseconds(50));
+    std::this_thread::yield();
+  }
+  waiter.join();
+  EXPECT_GE(clock.now().count(), ClockTime(std::chrono::milliseconds(100)).count());
+}
+
+TEST(VirtualClockTest, PredicateWinsOverDeadline) {
+  VirtualClock clock;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> pred_result{false};
+  std::thread waiter([&] {
+    std::unique_lock lock(mutex);
+    pred_result = clock.wait_until(lock, cv, ClockTime(std::chrono::hours(1)),
+                                   [&] { return stop.load(); });
+  });
+  {
+    std::lock_guard guard(mutex);
+    stop = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_TRUE(pred_result.load());  // returned via predicate, clock untouched
+  EXPECT_EQ(clock.now().count(), 0);
 }
 
 // Property sweep: uniform_int is unbiased enough across ranges.

@@ -1,0 +1,129 @@
+// Tests for the seeded workload fuzzer: seed determinism, seed
+// independence, and bound/shape guarantees of the generated traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "testing/workload_fuzzer.hpp"
+
+namespace faasbatch::testing {
+namespace {
+
+TEST(WorkloadFuzzerTest, SameSeedIsByteIdentical) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 0xDEADBEEFULL}) {
+    const trace::Workload a = fuzz_workload(seed);
+    const trace::Workload b = fuzz_workload(seed);
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.functions.size(); ++i) {
+      EXPECT_EQ(a.functions[i].name, b.functions[i].name);
+      EXPECT_EQ(a.functions[i].kind, b.functions[i].kind);
+      EXPECT_EQ(a.functions[i].duration_ms, b.functions[i].duration_ms);
+      EXPECT_EQ(a.functions[i].fib_n, b.functions[i].fib_n);
+      EXPECT_EQ(a.functions[i].cpu_limit_cores, b.functions[i].cpu_limit_cores);
+      EXPECT_EQ(a.functions[i].client_args_hash, b.functions[i].client_args_hash);
+    }
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+      EXPECT_EQ(a.events[i].arrival, b.events[i].arrival);
+      EXPECT_EQ(a.events[i].function, b.events[i].function);
+      EXPECT_EQ(a.events[i].duration_ms, b.events[i].duration_ms);
+      EXPECT_EQ(a.events[i].fib_n, b.events[i].fib_n);
+    }
+    EXPECT_EQ(workload_fingerprint(a), workload_fingerprint(b));
+  }
+}
+
+TEST(WorkloadFuzzerTest, DistinctSeedsGiveDistinctTraces) {
+  std::set<std::uint64_t> fingerprints;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    fingerprints.insert(workload_fingerprint(fuzz_workload(seed)));
+  }
+  // Every seed produced a different trace.
+  EXPECT_EQ(fingerprints.size(), 50u);
+}
+
+TEST(WorkloadFuzzerTest, RespectsConfiguredBounds) {
+  FuzzerOptions options;
+  options.min_invocations = 30;
+  options.max_invocations = 90;
+  options.min_functions = 3;
+  options.max_functions = 5;
+  options.horizon = 10 * kSecond;
+  options.max_duration_ms = 500.0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const trace::Workload workload = fuzz_workload(seed, options);
+    EXPECT_GE(workload.events.size(), options.min_invocations);
+    EXPECT_LE(workload.events.size(), options.max_invocations);
+    EXPECT_GE(workload.functions.size(), options.min_functions);
+    EXPECT_LE(workload.functions.size(), options.max_functions);
+    EXPECT_TRUE(std::is_sorted(
+        workload.events.begin(), workload.events.end(),
+        [](const trace::TraceEvent& a, const trace::TraceEvent& b) {
+          return a.arrival < b.arrival;
+        }));
+    for (const trace::TraceEvent& event : workload.events) {
+      EXPECT_GE(event.arrival, 0);
+      EXPECT_LT(event.arrival, options.horizon);
+      EXPECT_GT(event.duration_ms, 0.0);
+      EXPECT_LE(event.duration_ms, options.max_duration_ms);
+      EXPECT_LT(event.function, workload.functions.size());
+    }
+    for (const trace::FunctionProfile& profile : workload.functions) {
+      EXPECT_GT(profile.duration_ms, 0.0);
+      EXPECT_LE(profile.duration_ms, options.max_duration_ms);
+      if (profile.kind == trace::FunctionKind::kIo) {
+        EXPECT_NE(profile.client_args_hash, 0u);
+      } else {
+        EXPECT_GE(profile.fib_n, 1);
+      }
+    }
+  }
+}
+
+TEST(WorkloadFuzzerTest, GeneratesAdversarialShapes) {
+  // Across a seed range the fuzzer must actually produce the shapes it
+  // promises: mixed kinds, simultaneous arrivals, and window-boundary
+  // arrivals.
+  bool saw_mixed_kinds = false;
+  bool saw_simultaneous = false;
+  bool saw_window_boundary = false;
+  FuzzerOptions options;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const trace::Workload workload = fuzz_workload(seed, options);
+    bool any_cpu = false;
+    bool any_io = false;
+    for (const auto& profile : workload.functions) {
+      (profile.kind == trace::FunctionKind::kIo ? any_io : any_cpu) = true;
+    }
+    saw_mixed_kinds = saw_mixed_kinds || (any_cpu && any_io);
+    for (std::size_t i = 1; i < workload.events.size(); ++i) {
+      if (workload.events[i].arrival == workload.events[i - 1].arrival) {
+        saw_simultaneous = true;
+      }
+    }
+    for (const auto& event : workload.events) {
+      const SimDuration offset = event.arrival % options.dispatch_window;
+      if (event.arrival > 0 &&
+          (offset <= kMillisecond || offset >= options.dispatch_window - kMillisecond)) {
+        saw_window_boundary = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_mixed_kinds);
+  EXPECT_TRUE(saw_simultaneous);
+  EXPECT_TRUE(saw_window_boundary);
+}
+
+TEST(WorkloadFuzzerTest, RejectsInconsistentOptions) {
+  FuzzerOptions bad;
+  bad.min_invocations = 10;
+  bad.max_invocations = 5;
+  EXPECT_THROW(fuzz_workload(1, bad), std::invalid_argument);
+  FuzzerOptions zero_functions;
+  zero_functions.min_functions = 0;
+  EXPECT_THROW(fuzz_workload(1, zero_functions), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace faasbatch::testing

@@ -1,16 +1,40 @@
 // Tests for the live (real-thread) runtime: containers, platform
 // policies, handlers, and multiplexer behaviour under real concurrency.
+//
+// Timing-sensitive behaviour (window flushes, busy/idle container
+// decisions) is driven through a VirtualClock and completion gates, never
+// wall-clock sleeps, so every assertion is deterministic — including
+// under ThreadSanitizer's heavy scheduling perturbation.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <latch>
+#include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "live/functions.hpp"
 #include "live/live_container.hpp"
 #include "live/live_platform.hpp"
 
 namespace faasbatch::live {
 namespace {
+
+/// Repeatedly advances the virtual clock (waking window waits) until
+/// `pred` holds. The 1 ms pause is liveness pacing for the dispatcher
+/// thread, not a timing assumption: the loop tolerates arbitrarily slow
+/// scheduling and only ever fails if `pred` never becomes true.
+template <typename Pred>
+bool advance_until(VirtualClock& clock, std::chrono::milliseconds step, Pred pred) {
+  for (int i = 0; i < 10000; ++i) {
+    if (pred()) return true;
+    clock.advance(std::chrono::duration_cast<ClockTime>(step));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
 
 LiveContainerOptions fast_container() {
   LiveContainerOptions options;
@@ -58,29 +82,33 @@ TEST(LiveContainerTest, TasksRunConcurrently) {
   LiveContainerOptions options = fast_container();
   options.threads = 4;
   LiveContainer container("f", options);
-  std::atomic<int> concurrent{0};
-  std::atomic<int> peak{0};
-  for (int i = 0; i < 4; ++i) {
+  // Two tasks rendezvous at a latch: neither can pass until both are
+  // running, so reaching drain() proves >= 2 ran concurrently — no
+  // sleep-and-hope measurement.
+  std::latch rendezvous(2);
+  std::atomic<int> met{0};
+  for (int i = 0; i < 2; ++i) {
     container.submit([&] {
-      const int now = ++concurrent;
-      int expected = peak.load();
-      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(30));
-      --concurrent;
+      rendezvous.arrive_and_wait();
+      ++met;
     });
   }
   container.drain();
-  EXPECT_GE(peak.load(), 2);
+  EXPECT_EQ(met.load(), 2);
 }
 
 TEST(LiveContainerTest, DrainWaitsForInFlightWork) {
   LiveContainer container("f", fast_container());
   std::atomic<bool> finished{false};
-  container.submit([&finished] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  container.submit([&finished, open] {
+    open.wait();
     finished = true;
   });
+  // The task was queued before drain(), so drain() must not return until
+  // it has run to completion once the gate opens.
+  gate.set_value();
   container.drain();
   EXPECT_TRUE(finished.load());
 }
@@ -121,13 +149,16 @@ TEST(LivePlatformTest, FaasBatchGroupsIntoFewContainers) {
 
 TEST(LivePlatformTest, VanillaCreatesManyContainers) {
   LivePlatform platform(fast_platform(LivePolicy::kVanilla));
-  platform.register_function("slow", [](FunctionContext&) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // All six invocations rendezvous at a latch, so every one is in flight
+  // at once and no warm container is ever available — forced overlap,
+  // not sleep-based overlap.
+  std::latch all_running(6);
+  platform.register_function("slow", [&all_running](FunctionContext&) {
+    all_running.arrive_and_wait();
   });
   std::vector<std::future<InvocationReport>> futures;
   for (int i = 0; i < 6; ++i) futures.push_back(platform.invoke("slow"));
   for (auto& future : futures) future.get();
-  // All six overlap, so no warm container is ever available.
   EXPECT_EQ(platform.containers_created(), 6u);
 }
 
@@ -184,20 +215,36 @@ TEST(LivePlatformTest, DrainBlocksUntilQuiescent) {
 }
 
 TEST(LivePlatformTest, FaasBatchScalesOutWhenContainerBusy) {
-  LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
-  platform.register_function("slow", [](FunctionContext&) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  // Window timing runs on a virtual clock; container busy-ness is pinned
+  // by a gate the test controls. No wall-clock in any decision.
+  VirtualClock clock;
+  LivePlatformOptions options = fast_platform(LivePolicy::kFaasBatch);
+  options.clock = &clock;
+  LivePlatform platform(options);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<int> started{0};
+  platform.register_function("slow", [&started, open](FunctionContext&) {
+    ++started;
+    open.wait();
   });
-  // First window's group occupies container 1 for ~150 ms...
+
+  // First window's group occupies container 1 (handler blocked on gate)...
   auto first = platform.invoke("slow");
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(advance_until(clock, options.window,
+                            [&] { return started.load() == 1; }));
   // ...so the second window's group must scale out to a new container.
   auto second = platform.invoke("slow");
+  ASSERT_TRUE(advance_until(clock, options.window,
+                            [&] { return started.load() == 2; }));
+  EXPECT_EQ(platform.containers_created(), 2u);
+  gate.set_value();
   first.get();
   second.get();
-  EXPECT_EQ(platform.containers_created(), 2u);
   // Once both are idle, a third burst reuses them instead of growing.
   auto third = platform.invoke("slow");
+  ASSERT_TRUE(advance_until(clock, options.window,
+                            [&] { return started.load() == 3; }));
   third.get();
   EXPECT_EQ(platform.containers_created(), 2u);
 }

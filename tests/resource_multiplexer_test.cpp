@@ -1,5 +1,6 @@
 // Tests for the Resource Multiplexer: async hit/miss/pending protocol,
-// failure recovery, synchronous get_or_create under real concurrency.
+// failure recovery, synchronous get_or_create under real concurrency,
+// hash-collision semantics, and cache behaviour across container recycle.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "core/resource_multiplexer.hpp"
+#include "live/live_container.hpp"
 
 namespace faasbatch::core {
 namespace {
@@ -165,6 +168,108 @@ TEST(ResourceMultiplexerTest, GetOrCreateRecoversFromThrowingFactory) {
   const auto result = mux.get_or_create<int>("client", 9, working);
   EXPECT_EQ(*result, 3);
   EXPECT_EQ(calls, 2);
+}
+
+TEST(ResourceMultiplexerTest, HashCollisionOfDistinctArgsSharesInstance) {
+  // The paper (§III-D) keys the cache by Hash(args) alone and accepts
+  // collisions as negligible at container scope. This test pins that
+  // contract: two *different* argument tuples that collide to one hash
+  // share a single instance — the second factory never runs.
+  ResourceMultiplexer mux;
+  // Distinct logical tuples, deliberately folded to the same digest.
+  const std::uint64_t colliding_hash =
+      ArgsHasher().add("account", "alice").add("region", "us-east-1").digest();
+  int factories = 0;
+  const std::function<std::shared_ptr<std::string>()> alice = [&] {
+    ++factories;
+    return std::make_shared<std::string>("alice-client");
+  };
+  const std::function<std::shared_ptr<std::string>()> bob = [&] {
+    ++factories;
+    return std::make_shared<std::string>("bob-client");
+  };
+  const auto first = mux.get_or_create<std::string>("client", colliding_hash, alice);
+  const auto second = mux.get_or_create<std::string>("client", colliding_hash, bob);
+  EXPECT_EQ(factories, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(*second, "alice-client");  // collision serves the first tuple
+  EXPECT_EQ(mux.stats().hits, 1u);
+}
+
+TEST(ResourceMultiplexerTest, ConcurrentGetOrCreateFromContainerWorkers) {
+  // Drive get_or_create from real LiveContainer worker threads — the
+  // exact concurrency shape of the live platform's inline parallelism.
+  live::LiveContainerOptions options;
+  options.threads = 4;
+  options.cold_start_work_ms = 0.5;
+  options.base_memory_bytes = 16 * kKiB;
+  live::LiveContainer container("f", options);
+  std::atomic<int> factory_calls{0};
+  std::vector<std::shared_ptr<int>> results(16);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    container.submit([&, i] {
+      results[i] = container.multiplexer().get_or_create<int>(
+          "client", 11, [&factory_calls] {
+            ++factory_calls;
+            return std::make_shared<int>(5);
+          });
+    });
+  }
+  container.drain();
+  EXPECT_EQ(factory_calls.load(), 1);
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result.get(), results[0].get());
+  }
+  const auto stats = container.multiplexer().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.pending_waits, 15u);
+}
+
+TEST(ResourceMultiplexerTest, ConcurrentDistinctKeysEachCreateOnce) {
+  ResourceMultiplexer mux;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 4;
+  std::atomic<int> factory_calls{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mux, &factory_calls] {
+      for (std::uint64_t key = 0; key < kKeys; ++key) {
+        const auto value = mux.get_or_create<std::uint64_t>(
+            "client", key, [&factory_calls, key] {
+              ++factory_calls;
+              return std::make_shared<std::uint64_t>(key);
+            });
+        EXPECT_EQ(*value, key);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(factory_calls.load(), static_cast<int>(kKeys));
+  EXPECT_EQ(mux.stats().cached, kKeys);
+}
+
+TEST(ResourceMultiplexerTest, CacheAcrossContainerRecycle) {
+  // A container recycle tears the multiplexer cache down (clear) while
+  // handlers may still hold the old instances. The old shared_ptrs stay
+  // valid; the recycled cache rebuilds from a fresh miss.
+  ResourceMultiplexer mux;
+  int factory_calls = 0;
+  const std::function<std::shared_ptr<int>()> factory = [&] {
+    ++factory_calls;
+    return std::make_shared<int>(factory_calls);
+  };
+  const auto before = mux.get_or_create<int>("client", 3, factory);
+  EXPECT_EQ(*before, 1);
+  mux.clear();  // container recycled
+  EXPECT_EQ(mux.stats().cached, 0u);
+  const auto after = mux.get_or_create<int>("client", 3, factory);
+  EXPECT_EQ(factory_calls, 2);        // recycle forces re-creation
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(*before, 1);              // survivor handle still usable
+  EXPECT_EQ(*after, 2);
+  // Stats survive the recycle as lifetime counters.
+  EXPECT_EQ(mux.stats().misses, 2u);
 }
 
 // Property sweep: many distinct keys stay isolated.
