@@ -50,6 +50,7 @@ void add_row(metrics::Table& table, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchcommon::ObsScope obs(argc, argv);
   const Config config = Config::from_args(argc, argv);
   const auto workload = benchcommon::paper_workload(trace::FunctionKind::kIo, config);
 

@@ -15,6 +15,7 @@
 using namespace faasbatch;
 
 int main(int argc, char** argv) {
+  benchcommon::ObsScope obs(argc, argv);
   const Config config = Config::from_args(argc, argv);
   trace::WorkloadSpec workload_spec;
   workload_spec.kind = trace::FunctionKind::kCpuIntensive;

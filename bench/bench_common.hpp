@@ -1,18 +1,65 @@
 // Shared helpers for the evaluation benches (Figs. 11-14): workload
-// construction per the paper's §IV setup and CDF printing.
+// construction per the paper's §IV setup, CDF printing, and the
+// observability flags (--trace <file>, --metrics).
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/logging.hpp"
 #include "eval/comparison.hpp"
 #include "eval/export.hpp"
 #include "metrics/report.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "trace/workload.hpp"
 
 namespace faasbatch::benchcommon {
+
+/// Declare first in a bench's main(). Applies FB_LOG_LEVEL, scans argv
+/// for `--trace <file>` / `--metrics`, enables the matching recorders,
+/// and on destruction writes the Chrome trace / prints the Prometheus
+/// page. Flag tokens are invisible to Config::from_args (it only reads
+/// key=value), so the bench's own options are unaffected.
+class ObsScope {
+ public:
+  ObsScope(int argc, char** argv) {
+    set_log_level_from_env();
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else if (arg == "--metrics") {
+        metrics_ = true;
+      }
+    }
+    if (!trace_path_.empty()) obs::tracer().set_enabled(true);
+    if (metrics_) obs::metrics().set_enabled(true);
+  }
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+  ~ObsScope() {
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      if (out) {
+        obs::tracer().write_chrome_trace(out);
+        std::cerr << "wrote trace to " << trace_path_ << "\n";
+      } else {
+        std::cerr << "cannot write trace to " << trace_path_ << "\n";
+      }
+    }
+    if (metrics_) {
+      std::cout << "\n# --- metrics ---\n" << obs::metrics().prometheus_text();
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  bool metrics_ = false;
+};
 
 /// The paper's workload: one replayed Azure minute — 800 CPU-intensive
 /// invocations, or the first 400 for I/O (§IV "Benchmarks").

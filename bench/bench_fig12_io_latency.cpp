@@ -16,6 +16,7 @@
 using namespace faasbatch;
 
 int main(int argc, char** argv) {
+  benchcommon::ObsScope obs(argc, argv);
   const Config config = Config::from_args(argc, argv);
   const auto workload = benchcommon::paper_workload(trace::FunctionKind::kIo, config);
 

@@ -11,6 +11,8 @@
 #include "core/resource_multiplexer.hpp"
 #include "eval/experiment.hpp"
 #include "live/functions.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/cpu.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
@@ -135,6 +137,62 @@ void BM_LiveFib(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(live::fib(n));
 }
 BENCHMARK(BM_LiveFib)->Arg(20)->Arg(24);
+
+// --- Observability overhead guards (scripts/check_obs_overhead.py) ---
+//
+// The disabled-path benches pin the contract that instrumentation left
+// in hot paths costs one relaxed load + branch; the traced experiment
+// bench bounds the enabled-path cost against BM_FullExperimentFaasBatch.
+
+void BM_ObsDisabledCounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;  // disabled
+  obs::Counter& counter = registry.counter("bench_total");
+  for (auto _ : state) counter.inc();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsDisabledCounterInc);
+
+void BM_ObsDisabledHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;  // disabled
+  obs::Histogram& histogram = registry.histogram("bench_ms", {1.0, 10.0, 100.0});
+  for (auto _ : state) histogram.observe(3.5);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsDisabledHistogramObserve);
+
+void BM_ObsDisabledInstant(benchmark::State& state) {
+  obs::TraceRecorder recorder;  // disabled
+  for (auto _ : state) recorder.instant("cat", "tick", 1.0, 0);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsDisabledInstant);
+
+void BM_ObsEnabledInstant(benchmark::State& state) {
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  for (auto _ : state) recorder.instant("cat", "tick", 1.0, 0);
+  recorder.drain();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEnabledInstant);
+
+void BM_FullExperimentFaasBatchTraced(benchmark::State& state) {
+  trace::WorkloadSpec workload_spec;
+  workload_spec.invocations = 200;
+  workload_spec.seed = 42;
+  const trace::Workload workload = trace::synthesize_workload(workload_spec);
+  obs::tracer().set_enabled(true);
+  obs::metrics().set_enabled(true);
+  for (auto _ : state) {
+    eval::ExperimentSpec spec;
+    spec.scheduler = schedulers::SchedulerKind::kFaasBatch;
+    benchmark::DoNotOptimize(eval::run_experiment(spec, workload).completed);
+    obs::tracer().drain();  // don't let buffers grow across iterations
+  }
+  obs::tracer().set_enabled(false);
+  obs::metrics().set_enabled(false);
+}
+BENCHMARK(BM_FullExperimentFaasBatchTraced)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -17,10 +17,12 @@
 #include "eval/comparison.hpp"
 #include "metrics/report.hpp"
 #include "trace/azure_format.hpp"
+#include "common/logging.hpp"
 
 using namespace faasbatch;
 
 int main(int argc, char** argv) {
+  faasbatch::set_log_level_from_env();
   const Config config = Config::from_args(argc, argv);
 
   std::vector<trace::AzureFunctionRow> invocations;

@@ -16,6 +16,7 @@
 #include "metrics/report.hpp"
 #include "schedulers/exec_common.hpp"
 #include "trace/workload.hpp"
+#include "common/logging.hpp"
 
 using namespace faasbatch;
 
@@ -114,6 +115,7 @@ eval::ExperimentResult run_sticky(const trace::Workload& workload) {
 }  // namespace
 
 int main() {
+  faasbatch::set_log_level_from_env();
   trace::WorkloadSpec spec;
   spec.invocations = 400;
   spec.seed = 42;

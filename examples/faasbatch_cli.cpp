@@ -12,13 +12,23 @@
 //   cluster  — FaaSBatch across N workers and a balancer
 //              faasbatch_cli cluster workers=4 balancer=affinity
 // Common options: seed=, invocations=, window_ms=, trace= (replay a CSV).
+// Observability flags (position independent):
+//   --trace <file>  record lifecycle spans and write a Chrome trace_event
+//                   JSON document to <file> (open in ui.perfetto.dev);
+//                   with no subcommand, defaults to `compare` so all four
+//                   schedulers land in one trace
+//   --metrics       print the Prometheus metrics page to stdout at exit
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cluster/cluster.hpp"
 #include "common/config.hpp"
+#include "common/logging.hpp"
 #include "eval/comparison.hpp"
 #include "metrics/report.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/workload.hpp"
 
@@ -174,28 +184,83 @@ void usage() {
                "  cluster  FaaSBatch across workers= with balancer=\n"
                "common:    scheduler= kind=cpu|io invocations= seed= window_ms=\n"
                "           trace=path.csv multiplexer=0|1 batch_return=0|1\n"
-               "           keepalive=fixed|histogram ewma_alpha= workers=\n";
+               "           keepalive=fixed|histogram ewma_alpha= workers=\n"
+               "obs:       --trace <file.json>  write a Perfetto-loadable trace\n"
+               "           --metrics            print Prometheus metrics at exit\n";
+}
+
+/// Observability flags pulled out of argv before Config sees it. The
+/// remaining key=value tokens are untouched (Config ignores flag tokens
+/// anyway, but the flag *values*, like the trace path, must not be
+/// mistaken for a subcommand).
+struct ObsFlags {
+  std::string trace_path;  // empty = tracing off
+  bool metrics = false;
+  std::string command;  // first non-flag positional after argv[0]
+};
+
+ObsFlags parse_obs_flags(int argc, char** argv) {
+  ObsFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      flags.trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      flags.metrics = true;
+    } else if (flags.command.empty() && arg.find('=') == std::string::npos) {
+      flags.command = arg;
+    }
+  }
+  // A bare observability invocation traces something useful: the
+  // four-scheduler comparison, so every policy lands in one trace.
+  if (flags.command.empty() && (!flags.trace_path.empty() || flags.metrics)) {
+    flags.command = "compare";
+  }
+  return flags;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  set_log_level_from_env();
+  const ObsFlags flags = parse_obs_flags(argc, argv);
+  if (flags.command.empty()) {
     usage();
     return 2;
   }
-  const std::string command = argv[1];
+  if (!flags.trace_path.empty()) obs::tracer().set_enabled(true);
+  if (flags.metrics) obs::metrics().set_enabled(true);
+  const std::string& command = flags.command;
   const Config config = Config::from_args(argc, argv);
+  int status = 2;
+  bool known = true;
   try {
-    if (command == "run") return cmd_run(config);
-    if (command == "compare") return cmd_compare(config);
-    if (command == "sweep") return cmd_sweep(config);
-    if (command == "synth") return cmd_synth(config);
-    if (command == "cluster") return cmd_cluster(config);
+    if (command == "run") status = cmd_run(config);
+    else if (command == "compare") status = cmd_compare(config);
+    else if (command == "sweep") status = cmd_sweep(config);
+    else if (command == "synth") status = cmd_synth(config);
+    else if (command == "cluster") status = cmd_cluster(config);
+    else known = false;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  usage();
-  return 2;
+  if (!known) {
+    usage();
+    return 2;
+  }
+  if (!flags.trace_path.empty()) {
+    std::ofstream out(flags.trace_path);
+    if (!out) {
+      std::cerr << "error: cannot write trace to " << flags.trace_path << "\n";
+      return 1;
+    }
+    obs::tracer().write_chrome_trace(out);
+    std::cerr << "wrote trace to " << flags.trace_path
+              << " (open in ui.perfetto.dev)\n";
+  }
+  if (flags.metrics) {
+    std::cout << "\n# --- metrics ---\n" << obs::metrics().prometheus_text();
+  }
+  return status;
 }

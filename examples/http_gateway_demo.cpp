@@ -17,10 +17,12 @@
 #include "http/client.hpp"
 #include "live/functions.hpp"
 #include "live/http_gateway.hpp"
+#include "common/logging.hpp"
 
 using namespace faasbatch;
 
 int main(int argc, char** argv) {
+  faasbatch::set_log_level_from_env();
   const Config config = Config::from_args(argc, argv);
 
   live::LivePlatformOptions options;

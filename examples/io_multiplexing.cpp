@@ -11,6 +11,7 @@
 #include "live/functions.hpp"
 #include "live/live_platform.hpp"
 #include "metrics/stats.hpp"
+#include "common/logging.hpp"
 
 using namespace faasbatch;
 
@@ -43,6 +44,7 @@ void run(bool multiplexed, int invocations) {
 }  // namespace
 
 int main() {
+  faasbatch::set_log_level_from_env();
   constexpr int kInvocations = 48;
   std::cout << "Executing " << kInvocations
             << " I/O invocations in one shared container\n\n";

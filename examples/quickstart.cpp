@@ -9,6 +9,7 @@
 #include "live/functions.hpp"
 #include "live/live_platform.hpp"
 #include "metrics/stats.hpp"
+#include "common/logging.hpp"
 
 using namespace faasbatch;
 
@@ -46,6 +47,7 @@ RunOutcome run(live::LivePolicy policy, int invocations) {
 }  // namespace
 
 int main() {
+  faasbatch::set_log_level_from_env();
   constexpr int kInvocations = 60;
   std::cout << "Invoking " << kInvocations
             << " functions (half fib, half storage upload) under two policies\n\n";

@@ -13,10 +13,12 @@
 #include "metrics/report.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/workload.hpp"
+#include "common/logging.hpp"
 
 using namespace faasbatch;
 
 int main(int argc, char** argv) {
+  faasbatch::set_log_level_from_env();
   const Config config = Config::from_args(argc, argv);
 
   trace::Workload workload;

@@ -1,7 +1,10 @@
 #include "common/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace faasbatch {
 namespace {
@@ -30,6 +33,20 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 bool log_enabled(LogLevel level) {
   return static_cast<int>(level) >= static_cast<int>(log_level()) &&
          level != LogLevel::kOff;
+}
+
+void set_log_level_from_env() {
+  const char* value = std::getenv("FB_LOG_LEVEL");
+  if (value == nullptr) return;
+  std::string name(value);
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (name == "trace") set_log_level(LogLevel::kTrace);
+  else if (name == "debug") set_log_level(LogLevel::kDebug);
+  else if (name == "info") set_log_level(LogLevel::kInfo);
+  else if (name == "warn" || name == "warning") set_log_level(LogLevel::kWarn);
+  else if (name == "error") set_log_level(LogLevel::kError);
+  else if (name == "off" || name == "none") set_log_level(LogLevel::kOff);
 }
 
 namespace detail {

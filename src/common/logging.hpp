@@ -22,6 +22,12 @@ LogLevel log_level();
 /// True if a message at `level` would be emitted.
 bool log_enabled(LogLevel level);
 
+/// Applies the FB_LOG_LEVEL environment variable (trace|debug|info|warn|
+/// error|off, case-insensitive) to the process-wide threshold. Unset or
+/// unrecognised values leave the level unchanged. Entry points call this
+/// so operators can turn up logging without recompiling.
+void set_log_level_from_env();
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);
 }  // namespace detail

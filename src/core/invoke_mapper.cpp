@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
 namespace faasbatch::core {
+namespace {
+
+obs::Counter& windows_flushed_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_windows_flushed_total");
+  return c;
+}
+
+obs::Histogram& batch_size_histogram() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("fb_batch_size", obs::size_buckets());
+  return h;
+}
+
+}  // namespace
 
 InvokeMapper::InvokeMapper(SimDuration window) : window_(window) {
   if (window <= 0) throw std::invalid_argument("InvokeMapper: window must be > 0");
@@ -28,16 +45,31 @@ bool InvokeMapper::add(SimTime now, InvocationId id, FunctionId function) {
   return opened;
 }
 
-std::vector<FunctionGroup> InvokeMapper::flush() {
+std::vector<FunctionGroup> InvokeMapper::flush(SimTime now) {
   std::vector<FunctionGroup> groups = std::move(buckets_);
   buckets_.clear();
   std::sort(groups.begin(), groups.end(),
             [](const FunctionGroup& a, const FunctionGroup& b) {
               return a.function < b.function;
             });
+  const std::size_t closed_count = pending_count_;
+  const SimTime opened_at = window_opened_at_;
   window_open_ = false;
   pending_count_ = 0;
-  if (!groups.empty()) ++windows_flushed_;
+  if (!groups.empty()) {
+    ++windows_flushed_;
+    windows_flushed_total().inc();
+    for (const FunctionGroup& group : groups) {
+      batch_size_histogram().observe(static_cast<double>(group.size()));
+    }
+    if (now != kNoCloseTime && obs::tracer().enabled()) {
+      obs::tracer().complete(
+          "dispatch", "dispatch_window", static_cast<double>(opened_at),
+          static_cast<double>(now - opened_at), /*tid=*/0,
+          {{"invocations", Json(static_cast<std::int64_t>(closed_count))},
+           {"groups", Json(static_cast<std::int64_t>(groups.size()))}});
+    }
+  }
   return groups;
 }
 

@@ -41,8 +41,13 @@ class InvokeMapper {
 
   /// Closes the current window: returns the pending invocations grouped
   /// by function (groups ordered by function id, invocations in arrival
-  /// order) and resets the window.
-  std::vector<FunctionGroup> flush();
+  /// order) and resets the window. When the caller passes the close time
+  /// `now`, the window is also recorded as a dispatch-window trace span;
+  /// batch-size metrics are recorded either way.
+  std::vector<FunctionGroup> flush(SimTime now = kNoCloseTime);
+
+  /// Sentinel for flush() callers that do not know the close time.
+  static constexpr SimTime kNoCloseTime = -1;
 
   /// Invocations waiting in the open window.
   std::size_t pending() const { return pending_count_; }

@@ -4,8 +4,27 @@
 #include <utility>
 
 #include "common/hash.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace faasbatch::core {
+namespace {
+
+// Cache hit/miss series shared by every multiplexer instance (sim and
+// live); per-instance Stats stay exact and always-on.
+obs::Counter& mux_hits_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_mux_hits_total");
+  return c;
+}
+obs::Counter& mux_misses_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_mux_misses_total");
+  return c;
+}
+obs::Counter& mux_pending_waits_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_mux_pending_waits_total");
+  return c;
+}
+
+}  // namespace
 
 std::uint64_t ResourceMultiplexer::key_of(std::string_view kind,
                                           std::uint64_t args_hash) {
@@ -21,15 +40,18 @@ ResourceMultiplexer::Acquire ResourceMultiplexer::acquire(std::string_view kind,
   auto [it, inserted] = entries_.try_emplace(key);
   if (inserted) {
     ++stats_.misses;
+    mux_misses_total().inc();
     return Acquire::kMiss;
   }
   Entry& entry = it->second;
   if (entry.ready) {
     ++stats_.hits;
+    mux_hits_total().inc();
     if (instance != nullptr) *instance = entry.instance;
     return Acquire::kHit;
   }
   ++stats_.pending_waits;
+  mux_pending_waits_total().inc();
   entry.waiters.push_back(std::move(on_ready));
   return Acquire::kPending;
 }
@@ -81,6 +103,7 @@ ResourceMultiplexer::ResourcePtr ResourceMultiplexer::get_or_create_erased(
     auto [it, inserted] = entries_.try_emplace(key);
     if (inserted) {
       ++stats_.misses;
+      mux_misses_total().inc();
       lock.unlock();
       ResourcePtr instance;
       try {
@@ -109,9 +132,11 @@ ResourceMultiplexer::ResourcePtr ResourceMultiplexer::get_or_create_erased(
     Entry& entry = it->second;
     if (entry.ready) {
       ++stats_.hits;
+      mux_hits_total().inc();
       return entry.instance;
     }
     ++stats_.pending_waits;
+    mux_pending_waits_total().inc();
     ready_cv_.wait(lock, [this, key] {
       const auto eit = entries_.find(key);
       return eit == entries_.end() || eit->second.ready;

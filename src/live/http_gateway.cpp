@@ -4,6 +4,8 @@
 
 #include "common/json.hpp"
 #include "live/functions.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace faasbatch::live {
 namespace {
@@ -56,7 +58,23 @@ TargetParts parse_target(const std::string& target) {
 
 HttpGateway::HttpGateway(LivePlatform& platform, std::uint16_t port)
     : platform_(platform),
-      server_(port, [this](const http::Request& request) { return handle(request); }) {}
+      server_(port, [this](const http::Request& request) { return handle(request); }) {
+  // Serving a /metrics page implies the operator wants telemetry: turn
+  // the registry on so the platform's instruments record. Tracing stays
+  // opt-in (GET /trace?enable=1) because it buffers per-event data.
+  obs::metrics().set_enabled(true);
+  // Pre-register the core series so the very first scrape lists them at
+  // zero instead of omitting series whose code paths haven't run yet.
+  obs::metrics().counter("fb_live_requests_total");
+  obs::metrics().counter("fb_cold_starts_total");
+  obs::metrics().counter("fb_warm_hits_total");
+  obs::metrics().counter("fb_mux_hits_total");
+  obs::metrics().counter("fb_mux_misses_total");
+  obs::metrics().counter("fb_mux_pending_waits_total");
+  obs::metrics().histogram("fb_batch_size", obs::size_buckets());
+  obs::metrics().histogram("fb_live_queue_ms", obs::latency_ms_buckets());
+  obs::metrics().histogram("fb_live_exec_ms", obs::latency_ms_buckets());
+}
 
 http::Response HttpGateway::handle(const http::Request& request) {
   const TargetParts parts = parse_target(request.target);
@@ -69,6 +87,12 @@ http::Response HttpGateway::handle(const http::Request& request) {
   }
   if (head == "stats" && request.method == "GET") {
     return handle_stats();
+  }
+  if (head == "metrics" && request.method == "GET") {
+    return handle_metrics();
+  }
+  if (head == "trace" && request.method == "GET") {
+    return handle_trace(parts);
   }
   if (head == "functions" && request.method == "POST") {
     return handle_register(parts, request.body);
@@ -149,6 +173,19 @@ http::Response HttpGateway::handle_invoke(const TargetParts& parts,
   } catch (const std::invalid_argument& e) {
     return error_response(404, e.what());
   }
+}
+
+http::Response HttpGateway::handle_metrics() const {
+  return http::Response::make(200, obs::metrics().prometheus_text(),
+                              "text/plain; version=0.0.4");
+}
+
+http::Response HttpGateway::handle_trace(const TargetParts& parts) {
+  const auto enable = parts.query.find("enable");
+  if (enable != parts.query.end()) {
+    obs::tracer().set_enabled(enable->second != "0");
+  }
+  return json_response(200, obs::tracer().chrome_json());
 }
 
 http::Response HttpGateway::handle_stats() const {

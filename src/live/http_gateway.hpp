@@ -8,6 +8,12 @@
 // Endpoints:
 //   GET  /healthz                          -> 200 "ok"
 //   GET  /stats                            -> JSON platform counters
+//   GET  /metrics                          -> Prometheus text exposition
+//        of the process-global MetricsRegistry (enabled by the gateway)
+//   GET  /trace[?enable=1|0]               -> drains the TraceRecorder as
+//        a Chrome trace_event JSON document (loadable in Perfetto);
+//        enable=1 turns recording on, enable=0 turns it off — either way
+//        the response carries whatever was buffered up to that point
 //   POST /functions/{name}?type=fib&n=24   -> register a fib function
 //   POST /functions/{name}?type=io&account=A[&payload=1024]
 //                                          -> register an I/O function
@@ -48,6 +54,8 @@ class HttpGateway {
   http::Response handle_register(const TargetParts& parts, const std::string& body);
   http::Response handle_invoke(const TargetParts& parts, const std::string& body);
   http::Response handle_stats() const;
+  http::Response handle_metrics() const;
+  http::Response handle_trace(const TargetParts& parts);
 
   LivePlatform& platform_;
   http::Server server_;

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace faasbatch::live {
 
@@ -11,6 +13,44 @@ namespace {
 
 double ms_between(ClockTime from, ClockTime to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// Trace timestamps are microseconds on the platform's injected clock —
+// virtual time under a VirtualClock, wall time in production.
+double us_of(ClockTime t) {
+  return std::chrono::duration<double, std::micro>(t).count();
+}
+
+obs::Counter& live_requests_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_live_requests_total");
+  return c;
+}
+obs::Counter& live_cold_starts_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_cold_starts_total");
+  return c;
+}
+obs::Counter& live_warm_hits_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_warm_hits_total");
+  return c;
+}
+obs::Counter& live_windows_flushed_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_windows_flushed_total");
+  return c;
+}
+obs::Histogram& live_batch_size() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("fb_batch_size", obs::size_buckets());
+  return h;
+}
+obs::Histogram& live_queue_ms() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("fb_live_queue_ms", obs::latency_ms_buckets());
+  return h;
+}
+obs::Histogram& live_exec_ms() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("fb_live_exec_ms", obs::latency_ms_buckets());
+  return h;
 }
 
 }  // namespace
@@ -55,6 +95,11 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
     }
     request->id = next_id_++;
     ++outstanding_;
+    live_requests_total().inc();
+    if (obs::tracer().enabled()) {
+      obs::tracer().instant("live", "arrival", us_of(request->submitted),
+                            request->id, {{"function", Json(request->function)}});
+    }
     queue_.push_back(std::move(request));
   }
   queue_cv_.notify_all();
@@ -77,11 +122,18 @@ LiveContainer& LivePlatform::container_for(const std::string& function) {
   if (!idle.empty()) {
     LiveContainer* container = idle.back();
     idle.pop_back();
+    live_warm_hits_total().inc();
     return *container;
   }
   all_containers_.push_back(
       std::make_unique<LiveContainer>(function, options_.container));
   ++containers_created_;
+  live_cold_starts_total().inc();
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("container", "container_create", us_of(clock_->now()),
+                          obs::kContainerTrackBase + containers_created_,
+                          {{"function", Json(function)}});
+  }
   return *all_containers_.back();
 }
 
@@ -100,6 +152,21 @@ void LivePlatform::run_request(LiveContainer& container,
     report.queue_ms = ms_between(request->submitted, exec_start);
     report.exec_ms = ms_between(exec_start, exec_end);
     report.total_ms = ms_between(request->submitted, exec_end);
+    live_queue_ms().observe(report.queue_ms);
+    live_exec_ms().observe(report.exec_ms);
+    if (obs::tracer().enabled()) {
+      const Json function_arg = Json(request->function);
+      obs::tracer().name_thread(request->id, "inv " + std::to_string(request->id));
+      obs::tracer().complete("live", "invocation", us_of(request->submitted),
+                             us_of(exec_end) - us_of(request->submitted),
+                             request->id, {{"function", function_arg}});
+      obs::tracer().complete("live", "queue", us_of(request->submitted),
+                             us_of(exec_start) - us_of(request->submitted),
+                             request->id, {{"function", function_arg}});
+      obs::tracer().complete("live", "exec", us_of(exec_start),
+                             us_of(exec_end) - us_of(exec_start), request->id,
+                             {{"function", function_arg}});
+    }
     // Return the container to the warm pool BEFORE resolving the promise:
     // a caller sequencing invoke().get() calls must observe this idle
     // container on its next submission, or Vanilla reuse races the
@@ -144,8 +211,9 @@ void LivePlatform::dispatcher_loop() {
     // the live analogue of the Invoke Mapper + Inline-Parallel Producer.
     // The wait goes through the injected clock, so tests advance a
     // VirtualClock to close the window instead of sleeping through it.
+    const ClockTime window_open = clock_->now();
     const ClockTime window_deadline =
-        clock_->now() + std::chrono::duration_cast<ClockTime>(options_.window);
+        window_open + std::chrono::duration_cast<ClockTime>(options_.window);
     clock_->wait_until(lock, queue_cv_, window_deadline, [this] { return stopping_; });
     std::deque<std::shared_ptr<Request>> batch;
     batch.swap(queue_);
@@ -153,7 +221,17 @@ void LivePlatform::dispatcher_loop() {
     for (auto& request : batch) {
       groups[request->function].push_back(std::move(request));
     }
+    live_windows_flushed_total().inc();
+    if (obs::tracer().enabled() && !groups.empty()) {
+      const ClockTime window_close = clock_->now();
+      obs::tracer().complete(
+          "dispatch", "dispatch_window", us_of(window_open),
+          us_of(window_close) - us_of(window_open), /*tid=*/0,
+          {{"invocations", Json(static_cast<std::int64_t>(batch.size()))},
+           {"groups", Json(static_cast<std::int64_t>(groups.size()))}});
+    }
     for (auto& [function, requests] : groups) {
+      live_batch_size().observe(static_cast<double>(requests.size()));
       // One container per function group, as in the simulator: reuse an
       // *idle* keep-alive container of the function if one exists,
       // otherwise scale out with a fresh container (a busy container is
@@ -170,8 +248,17 @@ void LivePlatform::dispatcher_loop() {
         all_containers_.push_back(
             std::make_unique<LiveContainer>(function, options_.container));
         ++containers_created_;
+        live_cold_starts_total().inc();
+        if (obs::tracer().enabled()) {
+          obs::tracer().instant(
+              "container", "container_create", us_of(clock_->now()),
+              obs::kContainerTrackBase + containers_created_,
+              {{"function", Json(function)}});
+        }
         chosen = all_containers_.back().get();
         pool.push_back(chosen);
+      } else {
+        live_warm_hits_total().inc();
       }
       for (auto& request : requests) {
         run_request(*chosen, std::move(request));

@@ -50,9 +50,21 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
-  const auto emit = [&os](const std::vector<std::string>& row) {
+  // RFC 4180 quoting: cells containing a comma, quote, or newline are
+  // wrapped in double quotes, with embedded quotes doubled.
+  const auto quote = [](const std::string& cell) -> std::string {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  const auto emit = [&os, &quote](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      os << (c == 0 ? "" : ",") << row[c];
+      os << (c == 0 ? "" : ",") << quote(row[c]);
     }
     os << "\n";
   };

@@ -27,7 +27,8 @@ class Table {
   /// Renders with single-space-padded, right-aligned columns.
   void print(std::ostream& os) const;
 
-  /// Renders as CSV (no quoting; cells must not contain commas).
+  /// Renders as CSV with RFC 4180 quoting: cells containing commas,
+  /// quotes, or newlines are double-quoted, embedded quotes doubled.
   void print_csv(std::ostream& os) const;
 
   std::size_t rows() const { return rows_.size(); }

@@ -1,0 +1,196 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace faasbatch::obs {
+namespace {
+
+/// Shortest decimal that round-trips; avoids "1.000000" noise in the
+/// exposition while keeping exact integers exact.
+std::string format_double(double v) {
+  // Exact integers (bucket bounds like 10, 512) print as plain integers,
+  // never scientific notation — "le=\"10\"" rather than "le=\"1e+01\"".
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 &&
+      v < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  double parsed = 0.0;
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, v);
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == v) return candidate;
+  }
+  return buffer;
+}
+
+/// Splits "name{a=\"b\"}" into ("name", "a=\"b\""); labels may be empty.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {name.substr(0, brace), labels};
+}
+
+/// "name{labels,extra}" from pre-split parts; either may be empty.
+std::string join_labels(const std::string& base, const std::string& labels,
+                        const std::string& extra = "") {
+  std::string all = labels;
+  if (!extra.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra;
+  }
+  return all.empty() ? base : base + "{" + all + "}";
+}
+
+}  // namespace
+
+Histogram::Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds not strictly increasing");
+    }
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> latency_ms_buckets() {
+  return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+}
+
+std::vector<double> size_buckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_))).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(
+                                new Histogram(&enabled_, std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Json MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters;
+  for (const auto& [name, c] : counters_) {
+    counters[name] = static_cast<std::int64_t>(c->value());
+  }
+  Json gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  Json histograms;
+  for (const auto& [name, h] : histograms_) {
+    Json entry;
+    entry["count"] = static_cast<std::int64_t>(h->count());
+    entry["sum"] = h->sum();
+    JsonArray bounds;
+    JsonArray counts;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      bounds.push_back(h->bounds()[i]);
+      counts.push_back(static_cast<std::int64_t>(h->bucket_count(i)));
+    }
+    counts.push_back(static_cast<std::int64_t>(h->bucket_count(h->bounds().size())));
+    entry["bounds"] = bounds;
+    entry["counts"] = counts;
+    histograms[name] = std::move(entry);
+  }
+  Json out;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string last_typed;  // one TYPE line per base name
+  const auto type_line = [&](const std::string& base, const char* type) {
+    if (base == last_typed) return;
+    out += "# TYPE " + base + " " + type + "\n";
+    last_typed = base;
+  };
+  for (const auto& [name, c] : counters_) {
+    const auto [base, labels] = split_labels(name);
+    type_line(base, "counter");
+    out += join_labels(base, labels) + " " + std::to_string(c->value()) + "\n";
+  }
+  last_typed.clear();
+  for (const auto& [name, g] : gauges_) {
+    const auto [base, labels] = split_labels(name);
+    type_line(base, "gauge");
+    out += join_labels(base, labels) + " " + format_double(g->value()) + "\n";
+  }
+  last_typed.clear();
+  for (const auto& [name, h] : histograms_) {
+    const auto [base, labels] = split_labels(name);
+    type_line(base, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->bucket_count(i);
+      out += join_labels(base + "_bucket", labels,
+                         "le=\"" + format_double(h->bounds()[i]) + "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += h->bucket_count(h->bounds().size());
+    out += join_labels(base + "_bucket", labels, "le=\"+Inf\"") + " " +
+           std::to_string(cumulative) + "\n";
+    out += join_labels(base + "_sum", labels) + " " + format_double(h->sum()) + "\n";
+    out += join_labels(base + "_count", labels) + " " + std::to_string(cumulative) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace faasbatch::obs

@@ -1,0 +1,157 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms.
+//
+// The registry is the platform's always-on production telemetry surface:
+// components record counts (cold starts, multiplexer hits), levels
+// (live containers), and distributions (batch size, response latency)
+// against process-global instruments, and the HTTP gateway / CLI expose
+// them as a Prometheus text page or a JSON snapshot.
+//
+// Cost model: every instrument holds a pointer to its registry's enabled
+// flag and checks it with one relaxed atomic load before touching the
+// value, so instrumentation left in hot paths is a load+branch when the
+// registry is disabled (the default). Recording itself is a relaxed
+// atomic update — safe from any thread, including the live runtime's
+// worker pools. Nothing here affects control flow, which is what keeps
+// the deterministic differential harness bit-identical with metrics on
+// or off.
+//
+// Instrument names follow Prometheus conventions (fb_*_total for
+// counters) and may carry a literal label set: "fb_x_total{k=\"v\"}".
+// Exposition splices histogram "le" labels into any existing set.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace faasbatch::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A level that can move both ways (e.g. live containers right now).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bound[i]
+/// (Prometheus `le` semantics, first matching bucket); one overflow
+/// bucket catches everything above the last bound. Exposition emits the
+/// cumulative counts Prometheus expects.
+class Histogram {
+ public:
+  void observe(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    double current = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(current, current + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i; index bounds().size() is overflow.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_.at(i).load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
+  void reset();
+
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds + overflow
+  std::atomic<double> sum_{0.0};
+};
+
+/// Common bucket layouts.
+std::vector<double> latency_ms_buckets();  // 0.5 ms .. 10 s, ~log spaced
+std::vector<double> size_buckets();        // 1, 2, 4, ... 512
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-global registry used by all built-in instrumentation.
+  static MetricsRegistry& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. References stay valid for the registry's lifetime. Re-requesting
+  /// a histogram name with different bounds keeps the original bounds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Zeroes every instrument's value (instruments stay registered).
+  void reset();
+
+  /// One JSON object per instrument kind, keyed by name.
+  Json snapshot() const;
+
+  /// Prometheus text exposition format (version 0.0.4).
+  std::string prometheus_text() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::global().
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+}  // namespace faasbatch::obs

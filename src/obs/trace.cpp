@@ -1,0 +1,191 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace faasbatch::obs {
+namespace {
+
+std::uint64_t next_epoch() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache of "my buffer in recorder with epoch E"; re-resolved
+/// when the thread records into a different recorder.
+struct TlsSlot {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<void> buffer;
+};
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
+Json TraceEvent::to_json() const {
+  Json out;
+  out["name"] = name;
+  out["cat"] = cat;
+  out["ph"] = std::string(1, phase);
+  out["ts"] = ts_us;
+  out["pid"] = static_cast<std::int64_t>(pid);
+  out["tid"] = static_cast<std::int64_t>(tid);
+  if (phase == 'X') out["dur"] = dur_us;
+  if (!args.empty()) {
+    Json arg_object;
+    for (const TraceArg& arg : args) arg_object[arg.key] = arg.value;
+    out["args"] = std::move(arg_object);
+  }
+  return out;
+}
+
+TraceRecorder::TraceRecorder() : epoch_(next_epoch()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* instance = new TraceRecorder();  // never destroyed
+  return *instance;
+}
+
+TraceRecorder::Buffer& TraceRecorder::local_buffer() {
+  if (tls_slot.epoch != epoch_) {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    const auto me = std::this_thread::get_id();
+    std::shared_ptr<Buffer> mine;
+    for (const auto& buffer : buffers_) {
+      if (buffer->owner == me) {
+        mine = buffer;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      mine = std::make_shared<Buffer>();
+      mine->owner = me;
+      buffers_.push_back(mine);
+    }
+    tls_slot.epoch = epoch_;
+    tls_slot.buffer = mine;
+  }
+  return *static_cast<Buffer*>(tls_slot.buffer.get());
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (event.pid == 0) event.pid = current_pid_.load(std::memory_order_relaxed);
+  Buffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::uint32_t TraceRecorder::begin_process(const std::string& name) {
+  if (!enabled()) return 0;
+  const std::uint32_t pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
+  current_pid_.store(pid, std::memory_order_relaxed);
+  TraceEvent event;
+  event.phase = 'M';
+  event.name = "process_name";
+  event.pid = pid;
+  event.args.push_back({"name", Json(name)});
+  record(std::move(event));
+  name_thread(0, "platform");
+  return pid;
+}
+
+void TraceRecorder::name_thread(std::uint64_t tid, const std::string& name) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = 'M';
+  event.name = "thread_name";
+  event.pid = 0;  // resolved to current pid in record()
+  event.tid = tid;
+  event.args.push_back({"name", Json(name)});
+  record(std::move(event));
+}
+
+void TraceRecorder::complete(std::string_view cat, std::string_view name,
+                             double ts_us, double dur_us, std::uint64_t tid,
+                             TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = 'X';
+  event.cat = std::string(cat);
+  event.name = std::string(name);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.pid = 0;
+  event.tid = tid;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::instant(std::string_view cat, std::string_view name,
+                            double ts_us, std::uint64_t tid, TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = 'i';
+  event.cat = std::string(cat);
+  event.name = std::string(name);
+  event.ts_us = ts_us;
+  event.pid = 0;
+  event.tid = tid;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::counter(std::string_view name, double ts_us, double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = 'C';
+  event.cat = "counter";
+  event.name = std::string(name);
+  event.ts_us = ts_us;
+  event.pid = 0;
+  event.args.push_back({"value", Json(value)});
+  record(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    out.insert(out.end(), std::make_move_iterator(buffer->events.begin()),
+               std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    // Metadata first so viewers see names before slices, then timestamp,
+    // then record order for stable equal-time ordering.
+    if ((a.phase == 'M') != (b.phase == 'M')) return a.phase == 'M';
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+Json TraceRecorder::chrome_json() {
+  JsonArray events;
+  for (const TraceEvent& event : drain()) events.push_back(event.to_json());
+  Json out;
+  out["traceEvents"] = std::move(events);
+  out["displayTimeUnit"] = "ms";
+  return out;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) {
+  os << chrome_json().dump() << "\n";
+}
+
+std::size_t TraceRecorder::pending() const {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+}  // namespace faasbatch::obs

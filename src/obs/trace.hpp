@@ -1,0 +1,128 @@
+// TraceRecorder: per-invocation lifecycle spans in Chrome trace format.
+//
+// Components record spans ("X"), instants ("i"), and counter samples
+// ("C") as the platform runs; the export is a Chrome `trace_event` JSON
+// document that loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Timestamps are microseconds supplied by the caller —
+// the simulator passes SimTime (already µs), the live runtime passes its
+// injectable Clock's time — so the same instrumentation traces virtual
+// time deterministically in `sim/` and wall time in `live/`.
+//
+// Cost model mirrors MetricsRegistry: every emitter first checks one
+// relaxed atomic and returns immediately when tracing is off (the
+// default), so instrumentation in hot paths costs a load+branch and
+// cannot perturb the deterministic differential harness. When enabled,
+// events append to a per-thread buffer guarded by that buffer's own
+// mutex — uncontended except against drain() — so live worker threads
+// never serialise against each other while tracing.
+//
+// Track conventions used by the built-in instrumentation:
+//   pid  — one logical "process" per run (begin_process names it, e.g.
+//          one per scheduler in a comparison run)
+//   tid 0                 — platform track (dispatch windows, decisions)
+//   tid = invocation id   — that invocation's lifecycle spans
+//   tid = kContainerTrackBase + container id — container lifecycle
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace faasbatch::obs {
+
+/// Offset keeping container tracks clear of invocation-id tracks.
+inline constexpr std::uint64_t kContainerTrackBase = 1'000'000;
+
+struct TraceArg {
+  std::string key;
+  Json value;
+};
+using TraceArgs = std::vector<TraceArg>;
+
+struct TraceEvent {
+  char phase = 'i';    // 'X' complete, 'i' instant, 'C' counter, 'M' metadata
+  double ts_us = 0.0;  // microseconds since the run's clock epoch
+  double dur_us = 0.0; // 'X' only
+  std::uint32_t pid = 1;
+  std::uint64_t tid = 0;
+  std::string name;
+  std::string cat;
+  TraceArgs args;
+  std::uint64_t seq = 0;  // global record order; tie-break for equal ts
+
+  /// Chrome trace_event JSON object for this event.
+  Json to_json() const;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Process-global recorder used by all built-in instrumentation.
+  static TraceRecorder& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Opens a new logical process track group (e.g. one scheduler's run in
+  /// a comparison); emits the process_name metadata event and makes `pid`
+  /// the default for subsequent events. Returns the pid (0 if disabled).
+  std::uint32_t begin_process(const std::string& name);
+
+  /// Names a thread track within the current process.
+  void name_thread(std::uint64_t tid, const std::string& name);
+
+  /// Emitters; all are no-ops while disabled.
+  void complete(std::string_view cat, std::string_view name, double ts_us,
+                double dur_us, std::uint64_t tid, TraceArgs args = {});
+  void instant(std::string_view cat, std::string_view name, double ts_us,
+               std::uint64_t tid, TraceArgs args = {});
+  void counter(std::string_view name, double ts_us, double value);
+
+  /// Takes every buffered event, ordered by (ts, record order), clearing
+  /// the buffers. Thread-safe against concurrent recording.
+  std::vector<TraceEvent> drain();
+
+  /// Drains into {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  Json chrome_json();
+
+  /// Drains and writes the Chrome JSON document.
+  void write_chrome_trace(std::ostream& os);
+
+  /// Buffered events right now (for tests; racy under concurrency).
+  std::size_t pending() const;
+
+ private:
+  struct Buffer {
+    std::thread::id owner;
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  void record(TraceEvent event);
+  Buffer& local_buffer();
+
+  const std::uint64_t epoch_;  // distinguishes recorder instances in TLS
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint32_t> next_pid_{2};
+  std::atomic<std::uint32_t> current_pid_{1};
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/// Shorthand for TraceRecorder::global().
+inline TraceRecorder& tracer() { return TraceRecorder::global(); }
+
+}  // namespace faasbatch::obs

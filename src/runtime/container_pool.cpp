@@ -5,8 +5,39 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 
 namespace faasbatch::runtime {
+namespace {
+
+obs::Counter& cold_starts_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_cold_starts_total");
+  return c;
+}
+obs::Counter& warm_hits_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_warm_hits_total");
+  return c;
+}
+obs::Counter& failed_starts_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_failed_starts_total");
+  return c;
+}
+obs::Counter& keepalive_reclaims_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_keepalive_reclaims_total");
+  return c;
+}
+obs::Histogram& cold_start_ms_histogram() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("fb_cold_start_ms", obs::latency_ms_buckets());
+  return h;
+}
+obs::Gauge& live_containers_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("fb_live_containers");
+  return g;
+}
+
+}  // namespace
 
 ContainerPool::ContainerPool(Machine& machine)
     : machine_(machine),
@@ -32,6 +63,13 @@ Container* ContainerPool::try_acquire_warm(FunctionId function) {
   }
   container.set_state(ContainerState::kActive);
   ++accumulated_.warm_hits;
+  warm_hits_total().inc();
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("container", "warm_acquire",
+                          static_cast<double>(machine_.simulator().now()),
+                          obs::kContainerTrackBase + id,
+                          {{"function", Json(static_cast<std::int64_t>(function))}});
+  }
   return &container;
 }
 
@@ -53,7 +91,9 @@ void ContainerPool::provision_attempt(const trace::FunctionProfile& profile,
   containers_.emplace(id, std::move(container));
   ++accumulated_.total_provisioned;
   ++accumulated_.cold_starts;
+  cold_starts_total().inc();
   live_gauge_.set(machine_.simulator().now(), static_cast<double>(containers_.size()));
+  live_containers_gauge().set(static_cast<double>(containers_.size()));
 
   const RuntimeConfig& config = machine_.config();
   // Cold start = fixed I/O part, then a CPU part that contends with
@@ -70,15 +110,25 @@ void ContainerPool::provision_attempt(const trace::FunctionProfile& profile,
                 // memory is released) and start over; the waiters keep
                 // accumulating latency from the original request.
                 ++accumulated_.failed_starts;
+                failed_starts_total().inc();
                 containers_.erase(id);
                 live_gauge_.set(machine_.simulator().now(),
                                 static_cast<double>(containers_.size()));
+                live_containers_gauge().set(static_cast<double>(containers_.size()));
                 provision_attempt(profile, started, std::move(on_ready));
                 return;
               }
               raw->create_cpu_group();
               raw->set_state(ContainerState::kActive);
               const SimDuration latency = machine_.simulator().now() - started;
+              cold_start_ms_histogram().observe(to_millis(latency));
+              if (obs::tracer().enabled()) {
+                obs::tracer().complete(
+                    "container", "cold_start", static_cast<double>(started),
+                    static_cast<double>(latency), obs::kContainerTrackBase + id,
+                    {{"function", Json(static_cast<std::int64_t>(profile.id))},
+                     {"container", Json(static_cast<std::int64_t>(id))}});
+              }
               on_ready(*raw, latency);
             });
       });
@@ -125,6 +175,7 @@ void ContainerPool::reclaim(ContainerId id) {
     // Would have reaped an active container — reuse failed to cancel the
     // expiry timer. Count it so invariant checks can flag the bug.
     ++accumulated_.expired_while_active;
+    obs::metrics().counter("fb_expired_while_active_total").inc();
     return;
   }
   // Fold lifetime counters into the pool aggregate before destruction.
@@ -136,8 +187,17 @@ void ContainerPool::reclaim(ContainerId id) {
     auto& idle = idle_it->second;
     idle.erase(std::remove(idle.begin(), idle.end(), id), idle.end());
   }
+  keepalive_reclaims_total().inc();
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant(
+        "container", "keepalive_expiry",
+        static_cast<double>(machine_.simulator().now()),
+        obs::kContainerTrackBase + id,
+        {{"function", Json(static_cast<std::int64_t>(container.function()))}});
+  }
   containers_.erase(it);
   live_gauge_.set(machine_.simulator().now(), static_cast<double>(containers_.size()));
+  live_containers_gauge().set(static_cast<double>(containers_.size()));
 }
 
 PoolStats ContainerPool::stats() const {

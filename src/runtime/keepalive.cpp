@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics_registry.hpp"
+
 namespace faasbatch::runtime {
+namespace {
+
+// How often the histogram policy had enough IaT history to predict, vs
+// falling back to the conservative cap.
+obs::Counter& keepalive_predictions_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_keepalive_predictions_total");
+  return c;
+}
+obs::Counter& keepalive_cold_history_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_keepalive_cold_history_total");
+  return c;
+}
+obs::Gauge& keepalive_last_prediction_ms() {
+  static obs::Gauge& g = obs::metrics().gauge("fb_keepalive_last_prediction_ms");
+  return g;
+}
+
+}  // namespace
 
 FixedKeepAlive::FixedKeepAlive(SimDuration duration) : duration_(duration) {
   if (duration <= 0) throw std::invalid_argument("FixedKeepAlive: duration <= 0");
@@ -32,11 +52,15 @@ void HistogramKeepAlive::record_arrival(FunctionId function, SimTime now) {
 SimDuration HistogramKeepAlive::keep_alive_for(FunctionId function, SimTime) {
   const auto it = functions_.find(function);
   if (it == functions_.end() || it->second.iat_ms.count() < options_.min_samples) {
+    keepalive_cold_history_total().inc();
     return options_.cap;  // not enough history: stay conservative
   }
   const auto predicted =
       from_millis(it->second.iat_ms.percentile(options_.quantile));
-  return std::clamp(predicted, options_.floor, options_.cap);
+  const SimDuration clamped = std::clamp(predicted, options_.floor, options_.cap);
+  keepalive_predictions_total().inc();
+  keepalive_last_prediction_ms().set(to_millis(clamped));
+  return clamped;
 }
 
 std::size_t HistogramKeepAlive::samples_for(FunctionId function) const {

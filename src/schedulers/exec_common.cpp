@@ -4,6 +4,8 @@
 #include <cassert>
 #include <memory>
 
+#include "obs/trace.hpp"
+
 namespace faasbatch::schedulers {
 namespace {
 
@@ -89,6 +91,16 @@ void execute_invocation(SchedulerContext& ctx, runtime::Container& container,
         do_op();
       },
       &instance);
+  if (obs::tracer().enabled()) {
+    const char* label =
+        outcome == core::ResourceMultiplexer::Acquire::kHit       ? "mux_hit"
+        : outcome == core::ResourceMultiplexer::Acquire::kPending ? "mux_pending"
+                                                                  : "mux_miss";
+    obs::tracer().instant(
+        "mux", label, static_cast<double>(ctx.sim.now()), id,
+        {{"function", Json(static_cast<std::int64_t>(record.function))},
+         {"container", Json(static_cast<std::int64_t>(container.id()))}});
+  }
   switch (outcome) {
     case core::ResourceMultiplexer::Acquire::kHit:
       ctx.sim.schedule_after(from_millis(ctx.client_model.cached_hit_ms),

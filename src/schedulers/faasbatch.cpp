@@ -2,9 +2,23 @@
 
 #include <memory>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "schedulers/exec_common.hpp"
 
 namespace faasbatch::schedulers {
+namespace {
+
+obs::Counter& faasbatch_groups_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_faasbatch_groups_total");
+  return c;
+}
+obs::Counter& faasbatch_group_splits_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_faasbatch_group_splits_total");
+  return c;
+}
+
+}  // namespace
 
 FaasBatchScheduler::FaasBatchScheduler(SchedulerContext context,
                                        SchedulerOptions options)
@@ -41,13 +55,14 @@ void FaasBatchScheduler::on_arrival(InvocationId id) {
 
 void FaasBatchScheduler::on_window_close() {
   const std::size_t max_group = options().faasbatch_max_group;
-  for (core::FunctionGroup& group : mapper_.flush()) {
+  for (core::FunctionGroup& group : mapper_.flush(ctx().sim.now())) {
     if (max_group == 0 || group.size() <= max_group) {
       dispatch_group(std::move(group));
       continue;
     }
     // Bounded mode: split oversized groups into max_group-sized chunks,
     // each mapped to its own container.
+    faasbatch_group_splits_total().inc();
     for (std::size_t begin = 0; begin < group.invocations.size();
          begin += max_group) {
       const std::size_t end =
@@ -63,6 +78,14 @@ void FaasBatchScheduler::on_window_close() {
 
 void FaasBatchScheduler::dispatch_group(core::FunctionGroup group) {
   const FunctionId function = group.function;
+  faasbatch_groups_total().inc();
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant(
+        "scheduler", "group_dispatch", static_cast<double>(ctx().sim.now()),
+        /*tid=*/0,
+        {{"function", Json(static_cast<std::int64_t>(function))},
+         {"size", Json(static_cast<std::int64_t>(group.size()))}});
+  }
   loop_.enqueue(
       [this, function]() {
         // One dispatch decision covers the whole group — this is where

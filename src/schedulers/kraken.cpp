@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "schedulers/exec_common.hpp"
 
 namespace faasbatch::schedulers {
+namespace {
+
+obs::Counter& kraken_batches_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_kraken_batches_total");
+  return c;
+}
+
+}  // namespace
 
 KrakenScheduler::KrakenScheduler(SchedulerContext context, SchedulerOptions options)
     : Scheduler(context, options),
@@ -50,7 +60,7 @@ void KrakenScheduler::on_arrival(InvocationId id) {
 }
 
 void KrakenScheduler::on_window_close() {
-  for (const core::FunctionGroup& group : mapper_.flush()) {
+  for (const core::FunctionGroup& group : mapper_.flush(ctx().sim.now())) {
     handle_group(group);
   }
 }
@@ -75,6 +85,17 @@ void KrakenScheduler::handle_group(const core::FunctionGroup& group) {
       batch_size_for(slo_ms_for(group.function), estimate_exec_ms(group));
   const std::size_t containers =
       containers_for_group(group.function, group.size(), batch);
+  kraken_batches_total().inc();
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant(
+        "scheduler", "kraken_batch", static_cast<double>(ctx().sim.now()),
+        /*tid=*/0,
+        {{"function", Json(static_cast<std::int64_t>(group.function))},
+         {"group_size", Json(static_cast<std::int64_t>(group.size()))},
+         {"batch", Json(static_cast<std::int64_t>(batch))},
+         {"containers", Json(static_cast<std::int64_t>(containers))},
+         {"slo_ms", Json(slo_ms_for(group.function))}});
+  }
   // Distribute the group round-robin over the provisioned containers;
   // with accurate sizing each container receives at most `batch`
   // invocations, under-prediction deepens the serial queues instead.

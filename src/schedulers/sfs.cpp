@@ -3,12 +3,23 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "schedulers/exec_common.hpp"
 
 namespace faasbatch::schedulers {
 namespace {
 
 constexpr double kSliceEpsilon = 1e-9;
+
+obs::Counter& sfs_slices_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_sfs_slices_total");
+  return c;
+}
+obs::Counter& sfs_preemptions_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_sfs_preemptions_total");
+  return c;
+}
 
 }  // namespace
 
@@ -83,6 +94,7 @@ void SfsEngine::pump(std::size_t channel_index) {
   Task task = std::move(channel.queue.front());
   channel.queue.pop_front();
   const double slice = std::min(task.remaining, to_seconds(task.quantum));
+  sfs_slices_total().inc();
   machine_.cpu().submit(
       slice, 1.0, channel.group,
       [this, channel_index, task = std::move(task), slice]() mutable {
@@ -95,6 +107,7 @@ void SfsEngine::pump(std::size_t channel_index) {
           if (done) done();
         } else {
           // Survived its slice: double the quantum, go to the back.
+          sfs_preemptions_total().inc();
           task.quantum *= 2;
           ch.queue.push_back(std::move(task));
           pump(channel_index);
@@ -123,7 +136,14 @@ void SfsScheduler::on_arrival(InvocationId id) {
       [this, id]() {
         core::InvocationRecord& record = ctx().records.at(id);
         record.dispatched = ctx().sim.now();
-        if (runtime::Container* warm = ctx().pool.try_acquire_warm(record.function)) {
+        runtime::Container* warm = ctx().pool.try_acquire_warm(record.function);
+        if (obs::tracer().enabled()) {
+          obs::tracer().instant(
+              "scheduler", "dispatch", static_cast<double>(record.dispatched), id,
+              {{"function", Json(static_cast<std::int64_t>(record.function))},
+               {"warm", Json(warm != nullptr)}});
+        }
+        if (warm != nullptr) {
           start_execution(*warm, id, 0);
           return;
         }

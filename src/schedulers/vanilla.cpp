@@ -1,5 +1,6 @@
 #include "schedulers/vanilla.hpp"
 
+#include "obs/trace.hpp"
 #include "schedulers/exec_common.hpp"
 
 namespace faasbatch::schedulers {
@@ -18,7 +19,14 @@ void VanillaScheduler::on_arrival(InvocationId id) {
       [this, id]() {
         core::InvocationRecord& record = ctx().records.at(id);
         record.dispatched = ctx().sim.now();
-        if (runtime::Container* warm = ctx().pool.try_acquire_warm(record.function)) {
+        runtime::Container* warm = ctx().pool.try_acquire_warm(record.function);
+        if (obs::tracer().enabled()) {
+          obs::tracer().instant(
+              "scheduler", "dispatch", static_cast<double>(record.dispatched), id,
+              {{"function", Json(static_cast<std::int64_t>(record.function))},
+               {"warm", Json(warm != nullptr)}});
+        }
+        if (warm != nullptr) {
           start_execution(*warm, id, 0);
           return;
         }

@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "obs/metrics_registry.hpp"
+
 namespace faasbatch::sim {
+namespace {
+
+obs::Counter& sim_events_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_sim_events_total");
+  return c;
+}
+
+}  // namespace
 
 EventId Simulator::schedule_at(SimTime t, std::function<void()> action) {
   if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
@@ -20,6 +30,7 @@ void Simulator::run() {
     auto entry = queue_.pop();
     now_ = entry.time;
     ++processed_;
+    sim_events_total().inc();
     entry.action();
   }
 }
@@ -30,6 +41,7 @@ void Simulator::run_until(SimTime t) {
     auto entry = queue_.pop();
     now_ = entry.time;
     ++processed_;
+    sim_events_total().inc();
     entry.action();
   }
   if (!stopped_ && now_ < t) now_ = t;

@@ -153,5 +153,42 @@ TEST_F(GatewayFixture, ConcurrentInvocationsThroughGateway) {
   EXPECT_LE(platform_.containers_created(), 3u);
 }
 
+TEST_F(GatewayFixture, MetricsEndpointServesPrometheusText) {
+  http::Client client(gateway_.port());
+  ASSERT_EQ(client.post("/functions/fib?type=fib&n=12", "").status, 200);
+  ASSERT_EQ(client.post("/invoke/fib", "").status, 200);
+  const auto response = client.get("/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers.at("Content-Type").find("text/plain"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE fb_live_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("fb_cold_starts_total"), std::string::npos);
+  EXPECT_NE(response.body.find("fb_batch_size_bucket"), std::string::npos);
+  // Pre-registered series appear even before their code paths run.
+  EXPECT_NE(response.body.find("fb_mux_hits_total"), std::string::npos);
+  EXPECT_NE(response.body.find("fb_mux_misses_total"), std::string::npos);
+}
+
+TEST_F(GatewayFixture, TraceEndpointTogglesAndDrainsChromeJson) {
+  http::Client client(gateway_.port());
+  ASSERT_EQ(client.post("/functions/fib?type=fib&n=12", "").status, 200);
+  ASSERT_EQ(client.get("/trace?enable=1").status, 200);
+  ASSERT_EQ(client.post("/invoke/fib", "").status, 200);
+  const auto response = client.get("/trace?enable=0");
+  EXPECT_EQ(response.status, 200);
+  const Json doc = Json::parse(response.body);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  bool saw_invocation = false;
+  for (const Json& event : doc.at("traceEvents").as_array()) {
+    if (event.at("name").as_string() == "invocation") saw_invocation = true;
+  }
+  EXPECT_TRUE(saw_invocation);
+  // Drained and disabled: a fresh invocation adds nothing.
+  ASSERT_EQ(client.post("/invoke/fib", "").status, 200);
+  const Json empty = Json::parse(client.get("/trace").body);
+  EXPECT_TRUE(empty.at("traceEvents").as_array().empty());
+}
+
 }  // namespace
 }  // namespace faasbatch::live

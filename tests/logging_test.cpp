@@ -1,6 +1,8 @@
 // Tests for the leveled logger.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/logging.hpp"
 
 namespace faasbatch {
@@ -8,7 +10,10 @@ namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kWarn); }
+  void TearDown() override {
+    unsetenv("FB_LOG_LEVEL");
+    set_log_level(LogLevel::kWarn);
+  }
 };
 
 TEST_F(LoggingTest, ThresholdFiltersLevels) {
@@ -36,6 +41,28 @@ TEST_F(LoggingTest, LogLineStreamsWithoutCrashing) {
   // Emitted line (to stderr): exercises the emit path.
   FB_LOG(kError) << "logging_test visible line " << 7;
   SUCCEED();
+}
+
+TEST_F(LoggingTest, EnvVarSetsLevel) {
+  setenv("FB_LOG_LEVEL", "debug", 1);
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  setenv("FB_LOG_LEVEL", "ERROR", 1);  // case-insensitive
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  setenv("FB_LOG_LEVEL", "off", 1);
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, EnvVarUnsetOrGarbageLeavesLevelAlone) {
+  set_log_level(LogLevel::kInfo);
+  unsetenv("FB_LOG_LEVEL");
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  setenv("FB_LOG_LEVEL", "shouting", 1);
+  set_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
 }
 
 TEST_F(LoggingTest, SetAndGetRoundTrip) {

@@ -1,0 +1,370 @@
+// Tests for the observability layer: metrics registry semantics,
+// trace recorder ordering and JSON well-formedness, virtual-clock
+// timestamps in live spans, and the guard that tracing/metrics cannot
+// perturb simulation results (the deterministic-differential contract).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/json.hpp"
+#include "eval/experiment.hpp"
+#include "live/functions.hpp"
+#include "live/live_platform.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "trace/workload.hpp"
+
+namespace faasbatch {
+namespace {
+
+/// Restores the process-global recorders to their default (disabled,
+/// empty) state on scope exit so tests cannot leak into each other.
+struct GlobalObsGuard {
+  ~GlobalObsGuard() {
+    obs::tracer().set_enabled(false);
+    obs::tracer().drain();
+    obs::metrics().set_enabled(false);
+    obs::metrics().reset();
+  }
+};
+
+trace::Workload small_workload(std::uint64_t seed = 7) {
+  trace::WorkloadSpec spec;
+  spec.kind = trace::FunctionKind::kCpuIntensive;
+  spec.invocations = 40;
+  spec.num_functions = 4;
+  spec.seed = seed;
+  return trace::synthesize_workload(spec);
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistryTest, DisabledInstrumentsRecordNothing) {
+  obs::MetricsRegistry registry;  // disabled by default
+  obs::Counter& counter = registry.counter("c_total");
+  obs::Gauge& gauge = registry.gauge("g");
+  obs::Histogram& histogram = registry.histogram("h", {1.0, 2.0});
+  counter.inc();
+  gauge.set(5.0);
+  histogram.observe(1.5);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, CounterConcurrentIncrements) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  obs::Counter& counter = registry.counter("c_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundaries) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  obs::Histogram& h = registry.histogram("h", {1.0, 2.0, 4.0});
+  // Prometheus le semantics: an observation equal to a bound lands in
+  // that bound's bucket, strictly above it falls through to the next.
+  h.observe(0.5);  // bucket le=1
+  h.observe(1.0);  // bucket le=1 (boundary inclusive)
+  h.observe(1.5);  // bucket le=2
+  h.observe(2.0);  // bucket le=2
+  h.observe(4.0);  // bucket le=4
+  h.observe(9.0);  // overflow (+Inf)
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 9.0);
+}
+
+TEST(MetricsRegistryTest, HistogramRejectsUnsortedBounds) {
+  obs::MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("bad", {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("dup", {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposition) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.counter("fb_cold_starts_total").inc(3);
+  registry.gauge("fb_live_containers").set(2.0);
+  obs::Histogram& h = registry.histogram("fb_batch_size", {1.0, 2.0});
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(5.0);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE fb_cold_starts_total counter"), std::string::npos);
+  EXPECT_NE(text.find("fb_cold_starts_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fb_live_containers gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fb_batch_size histogram"), std::string::npos);
+  // Cumulative buckets: le="2" includes le="1"; +Inf includes everything.
+  EXPECT_NE(text.find("fb_batch_size_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("fb_batch_size_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("fb_batch_size_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("fb_batch_size_count 3"), std::string::npos);
+  EXPECT_NE(text.find("fb_batch_size_sum 8"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabelledNamesSpliceLeIntoLabelSet) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  obs::Histogram& h =
+      registry.histogram("fb_exec_ms{scheduler=\"faasbatch\"}", {10.0});
+  h.observe(5.0);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("fb_exec_ms_bucket{scheduler=\"faasbatch\",le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fb_exec_ms histogram"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsWellFormedJson) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.counter("c_total").inc(2);
+  registry.histogram("h", {1.0}).observe(0.5);
+  const Json round_trip = Json::parse(registry.snapshot().dump());
+  EXPECT_EQ(round_trip.at("counters").at("c_total").as_int(), 2);
+  EXPECT_EQ(round_trip.at("histograms").at("h").at("count").as_int(), 1);
+}
+
+// --- TraceRecorder ---
+
+TEST(TraceRecorderTest, DisabledEmitsNothing) {
+  obs::TraceRecorder recorder;
+  recorder.complete("cat", "span", 10.0, 5.0, 1);
+  recorder.instant("cat", "mark", 11.0, 1);
+  recorder.counter("queue_depth", 12.0, 3.0);
+  EXPECT_EQ(recorder.begin_process("p"), 0u);
+  EXPECT_EQ(recorder.pending(), 0u);
+  EXPECT_TRUE(recorder.drain().empty());
+}
+
+TEST(TraceRecorderTest, DrainOrdersByTimestampWithMetadataFirst) {
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.complete("cat", "late", 300.0, 10.0, 1);
+  recorder.instant("cat", "early", 100.0, 1);
+  recorder.begin_process("proc");  // metadata, emitted last
+  recorder.instant("cat", "middle", 200.0, 1);
+  const std::vector<obs::TraceEvent> events = recorder.drain();
+  ASSERT_GE(events.size(), 5u);  // process_name + platform thread + 3
+  EXPECT_EQ(events.front().phase, 'M');
+  std::vector<std::string> timed;
+  for (const obs::TraceEvent& event : events) {
+    if (event.phase != 'M') timed.push_back(event.name);
+  }
+  ASSERT_EQ(timed.size(), 3u);
+  EXPECT_EQ(timed[0], "early");
+  EXPECT_EQ(timed[1], "middle");
+  EXPECT_EQ(timed[2], "late");
+  EXPECT_EQ(recorder.pending(), 0u);  // drain clears
+}
+
+TEST(TraceRecorderTest, ChromeJsonRoundTrip) {
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  const std::uint32_t pid = recorder.begin_process("sim:faasbatch");
+  ASSERT_NE(pid, 0u);
+  recorder.name_thread(7, "inv 7");
+  recorder.complete("invocation", "exec", 100.0, 50.0, 7,
+                    {{"function", Json(std::int64_t{3})}});
+  recorder.instant("mux", "mux_hit", 120.0, 7);
+  recorder.counter("containers", 130.0, 2.0);
+  std::ostringstream os;
+  recorder.write_chrome_trace(os);
+  const Json doc = Json::parse(os.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const JsonArray& events = doc.at("traceEvents").as_array();
+  bool saw_exec = false;
+  for (const Json& event : events) {
+    if (event.at("name").as_string() != "exec") continue;
+    saw_exec = true;
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_DOUBLE_EQ(event.at("ts").as_double(), 100.0);
+    EXPECT_DOUBLE_EQ(event.at("dur").as_double(), 50.0);
+    EXPECT_EQ(event.at("pid").as_int(), static_cast<std::int64_t>(pid));
+    EXPECT_EQ(event.at("tid").as_int(), 7);
+    EXPECT_EQ(event.at("args").at("function").as_int(), 3);
+  }
+  EXPECT_TRUE(saw_exec);
+}
+
+TEST(TraceRecorderTest, ConcurrentEmittersLoseNoEvents) {
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.instant("cat", "tick", static_cast<double>(i),
+                         static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::size_t ticks = 0;
+  for (const obs::TraceEvent& event : recorder.drain()) {
+    if (event.name == "tick") ++ticks;
+  }
+  EXPECT_EQ(ticks, static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// --- Simulation integration ---
+
+eval::ExperimentSpec sim_spec(schedulers::SchedulerKind kind) {
+  eval::ExperimentSpec spec;
+  spec.scheduler = kind;
+  spec.scheduler_options.dispatch_window = from_millis(50.0);
+  return spec;
+}
+
+TEST(ObsSimulationTest, EverySchedulerEmitsCompleteSpanChains) {
+  GlobalObsGuard guard;
+  const trace::Workload workload = small_workload();
+  for (const auto kind :
+       {schedulers::SchedulerKind::kVanilla, schedulers::SchedulerKind::kKraken,
+        schedulers::SchedulerKind::kSfs, schedulers::SchedulerKind::kFaasBatch}) {
+    obs::tracer().drain();
+    obs::tracer().set_enabled(true);
+    (void)eval::run_experiment(sim_spec(kind), workload);
+    obs::tracer().set_enabled(false);
+    std::size_t invocation_spans = 0;
+    std::size_t schedule_spans = 0;
+    std::size_t exec_spans = 0;
+    double max_ts = 0.0;
+    for (const obs::TraceEvent& event : obs::tracer().drain()) {
+      if (event.name == "invocation") ++invocation_spans;
+      if (event.name == "schedule") ++schedule_spans;
+      if (event.name == "exec") {
+        ++exec_spans;
+        max_ts = std::max(max_ts, event.ts_us + event.dur_us);
+      }
+    }
+    // One full arrival -> dispatch -> exec chain per invocation; span
+    // timestamps are virtual time (µs), bounded by the sim horizon.
+    EXPECT_EQ(invocation_spans, workload.events.size()) << "scheduler " << (int)kind;
+    EXPECT_EQ(schedule_spans, workload.events.size());
+    EXPECT_EQ(exec_spans, workload.events.size());
+    EXPECT_GT(max_ts, 0.0);
+  }
+}
+
+TEST(ObsSimulationTest, ObservabilityDoesNotPerturbResults) {
+  GlobalObsGuard guard;
+  const trace::Workload workload = small_workload(11);
+  const eval::ExperimentSpec spec = sim_spec(schedulers::SchedulerKind::kFaasBatch);
+
+  obs::tracer().set_enabled(false);
+  obs::metrics().set_enabled(false);
+  const eval::ExperimentResult off = eval::run_experiment(spec, workload);
+
+  obs::tracer().set_enabled(true);
+  obs::metrics().set_enabled(true);
+  const eval::ExperimentResult on = eval::run_experiment(spec, workload);
+
+  // Tracing and metrics must be pure observers: virtual time, placement,
+  // and resource outcomes are bit-identical with them on or off.
+  EXPECT_EQ(off.makespan, on.makespan);
+  EXPECT_EQ(off.containers_provisioned, on.containers_provisioned);
+  EXPECT_EQ(off.cold_starts, on.cold_starts);
+  EXPECT_EQ(off.warm_hits, on.warm_hits);
+  ASSERT_EQ(off.records.size(), on.records.size());
+  for (std::size_t i = 0; i < off.records.size(); ++i) {
+    EXPECT_EQ(off.records[i].dispatched, on.records[i].dispatched);
+    EXPECT_EQ(off.records[i].exec_start, on.records[i].exec_start);
+    EXPECT_EQ(off.records[i].exec_end, on.records[i].exec_end);
+  }
+}
+
+TEST(ObsSimulationTest, MetricsCoverColdStartsAndBatchSizes) {
+  GlobalObsGuard guard;
+  obs::metrics().reset();
+  obs::metrics().set_enabled(true);
+  const trace::Workload workload = small_workload();
+  const eval::ExperimentResult result =
+      eval::run_experiment(sim_spec(schedulers::SchedulerKind::kFaasBatch), workload);
+  obs::metrics().set_enabled(false);
+  EXPECT_EQ(obs::metrics().counter("fb_cold_starts_total").value(),
+            result.cold_starts);
+  EXPECT_EQ(obs::metrics().counter("fb_invocations_total").value(),
+            workload.events.size());
+  EXPECT_GT(obs::metrics().counter("fb_faasbatch_groups_total").value(), 0u);
+  const std::string text = obs::metrics().prometheus_text();
+  EXPECT_NE(text.find("fb_batch_size_bucket"), std::string::npos);
+  EXPECT_NE(text.find("fb_response_latency_ms_bucket"), std::string::npos);
+}
+
+// --- Live platform: spans carry the injected clock's time ---
+
+TEST(ObsLiveTest, SpansUseVirtualClockTimestamps) {
+  GlobalObsGuard guard;
+  obs::tracer().drain();
+  obs::tracer().set_enabled(true);
+
+  VirtualClock clock;
+  live::LivePlatformOptions options;
+  options.policy = live::LivePolicy::kVanilla;  // immediate dispatch
+  options.clock = &clock;
+  options.container.threads = 1;
+  options.container.cold_start_work_ms = 0.5;
+
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<bool> started{false};
+  {
+    live::LivePlatform platform(options);
+    platform.register_function("gated", [&started, open](live::FunctionContext&) {
+      started = true;
+      open.wait();
+    });
+    auto future = platform.invoke("gated");
+    while (!started.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Execution began at virtual t=0; advance virtual time while the
+    // handler is pinned so the exec span's duration is exactly 5 ms.
+    clock.advance(std::chrono::milliseconds(5));
+    gate.set_value();
+    const live::InvocationReport report = future.get();
+    EXPECT_DOUBLE_EQ(report.exec_ms, 5.0);
+  }
+  obs::tracer().set_enabled(false);
+
+  bool saw_exec = false;
+  bool saw_arrival = false;
+  for (const obs::TraceEvent& event : obs::tracer().drain()) {
+    if (event.name == "arrival") {
+      saw_arrival = true;
+      EXPECT_DOUBLE_EQ(event.ts_us, 0.0);  // submitted at virtual zero
+    }
+    if (event.name == "exec") {
+      saw_exec = true;
+      EXPECT_DOUBLE_EQ(event.ts_us, 0.0);
+      EXPECT_DOUBLE_EQ(event.dur_us, 5000.0);  // virtual, not wall time
+    }
+  }
+  EXPECT_TRUE(saw_arrival);
+  EXPECT_TRUE(saw_exec);
+}
+
+}  // namespace
+}  // namespace faasbatch

@@ -60,6 +60,27 @@ TEST(TableTest, CsvOutput) {
   EXPECT_EQ(os.str(), "a,b\n1,2\n");
 }
 
+TEST(TableTest, CsvQuotesCellsWithCommasQuotesAndNewlines) {
+  Table table({"name", "value"});
+  table.add_row({"a,b", "plain"});
+  table.add_row({"say \"hi\"", "line1\nline2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  // RFC 4180: commas/newlines force quoting, embedded quotes double.
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "\"a,b\",plain\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
+TEST(TableTest, CsvQuotedHeader) {
+  Table table({"component,unit", "p50"});
+  table.add_row({"x", "1"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "\"component,unit\",p50\nx,1\n");
+}
+
 TEST(TableTest, NumFormatting) {
   EXPECT_EQ(Table::num(1.23456, 2), "1.23");
   EXPECT_EQ(Table::num(1.0, 0), "1");
