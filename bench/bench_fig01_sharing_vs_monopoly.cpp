@@ -25,6 +25,7 @@
 #include "trace/duration_model.hpp"
 
 using namespace faasbatch;
+// fb-lint-allow(raw-clock): motivation benches time real live-thread runs.
 using SteadyClock = std::chrono::steady_clock;
 
 namespace {

@@ -20,6 +20,7 @@
 #include "storage/client.hpp"
 
 using namespace faasbatch;
+// fb-lint-allow(raw-clock): motivation benches time real live-thread runs.
 using SteadyClock = std::chrono::steady_clock;
 
 int main(int argc, char** argv) {

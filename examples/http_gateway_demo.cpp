@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
               << "/functions/fib?type=fib&n=24'\n"
               << "  curl -XPOST localhost:" << gateway.port() << "/invoke/fib\n"
               << "  curl localhost:" << gateway.port() << "/stats\n";
-    while (true) std::this_thread::sleep_for(std::chrono::seconds(60));
+    while (true) {
+      // fb-lint-allow(raw-clock): demo parks the main thread forever.
+      std::this_thread::sleep_for(std::chrono::seconds(60));
+    }
   }
 
   // Self-drive the API.

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Checks that tracked C++ sources satisfy .clang-format.
+#
+#   scripts/check_format.sh          report violations (exit 1 if any)
+#   scripts/check_format.sh --fix    rewrite files in place
+#
+# Skips gracefully when clang-format is not installed (the dev container
+# ships only g++; CI installs clang-format via apt). Bulk-reformat
+# commits belong in .git-blame-ignore-revs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (install via apt to enable)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' 'src/**/*.h' \
+  'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+
+if [[ "${1:-}" == "--fix" ]]; then
+  clang-format -i "${files[@]}"
+  echo "check_format: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done
+
+if [[ $bad -ne 0 ]]; then
+  echo "check_format: run scripts/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: ${#files[@]} files clean"

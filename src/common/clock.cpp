@@ -14,24 +14,22 @@ ClockTime SystemClock::now() const {
       std::chrono::steady_clock::now().time_since_epoch());
 }
 
-bool SystemClock::wait_until(std::unique_lock<std::mutex>& lock,
-                             std::condition_variable& cv, ClockTime deadline,
-                             std::function<bool()> pred) {
+bool SystemClock::wait_until(std::unique_lock<Mutex>& lock, CondVar& cv,
+                             ClockTime deadline, std::function<bool()> pred) {
   const auto when = std::chrono::steady_clock::time_point(
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(deadline));
   return cv.wait_until(lock, when, std::move(pred));
 }
 
-bool VirtualClock::wait_until(std::unique_lock<std::mutex>& lock,
-                              std::condition_variable& cv, ClockTime deadline,
-                              std::function<bool()> pred) {
+bool VirtualClock::wait_until(std::unique_lock<Mutex>& lock, CondVar& cv,
+                              ClockTime deadline, std::function<bool()> pred) {
   {
-    std::lock_guard<std::mutex> guard(waiters_mutex_);
+    std::lock_guard<Mutex> guard(waiters_mutex_);
     waiters_.push_back(Waiter{lock.mutex(), &cv});
   }
   cv.wait(lock, [&] { return pred() || now() >= deadline; });
   {
-    std::lock_guard<std::mutex> guard(waiters_mutex_);
+    std::lock_guard<Mutex> guard(waiters_mutex_);
     const auto it = std::find_if(waiters_.begin(), waiters_.end(), [&](const Waiter& w) {
       return w.mutex == lock.mutex() && w.cv == &cv;
     });
@@ -45,13 +43,13 @@ void VirtualClock::advance(ClockTime delta) {
   now_ns_.fetch_add(delta.count());
   std::vector<Waiter> snapshot;
   {
-    std::lock_guard<std::mutex> guard(waiters_mutex_);
+    std::lock_guard<Mutex> guard(waiters_mutex_);
     snapshot = waiters_;
   }
   for (const Waiter& waiter : snapshot) {
     // Lock/unlock the waiter's mutex so the notify cannot slip between a
     // waiter's predicate check and its block (classic lost wakeup).
-    { std::lock_guard<std::mutex> fence(*waiter.mutex); }
+    { std::lock_guard<Mutex> fence(*waiter.mutex); }
     waiter.cv->notify_all();
   }
 }

@@ -18,11 +18,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <vector>
+
+#include "common/ordered_mutex.hpp"
 
 namespace faasbatch {
 
@@ -39,10 +40,10 @@ class Clock {
   /// Waits on `cv` (guarded by `lock`, which must be held) until `pred`
   /// returns true or the clock reaches `deadline`. Returns pred() at
   /// exit, exactly like std::condition_variable::wait_until. Spurious
-  /// wakeups are absorbed.
-  virtual bool wait_until(std::unique_lock<std::mutex>& lock,
-                          std::condition_variable& cv, ClockTime deadline,
-                          std::function<bool()> pred) = 0;
+  /// wakeups are absorbed. The lock/cv types are the faasbatch::Mutex /
+  /// CondVar aliases so FB_DEADLOCK_DETECT builds order-check waits too.
+  virtual bool wait_until(std::unique_lock<Mutex>& lock, CondVar& cv,
+                          ClockTime deadline, std::function<bool()> pred) = 0;
 
   /// Process-wide monotonic wall clock (the production default).
   static Clock& system();
@@ -52,8 +53,8 @@ class Clock {
 class SystemClock final : public Clock {
  public:
   ClockTime now() const override;
-  bool wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
-                  ClockTime deadline, std::function<bool()> pred) override;
+  bool wait_until(std::unique_lock<Mutex>& lock, CondVar& cv, ClockTime deadline,
+                  std::function<bool()> pred) override;
 };
 
 /// Test clock: time only moves when advance()/advance_to() is called.
@@ -69,8 +70,8 @@ class VirtualClock final : public Clock {
 
   ClockTime now() const override { return ClockTime{now_ns_.load()}; }
 
-  bool wait_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
-                  ClockTime deadline, std::function<bool()> pred) override;
+  bool wait_until(std::unique_lock<Mutex>& lock, CondVar& cv, ClockTime deadline,
+                  std::function<bool()> pred) override;
 
   /// Moves time forward by `delta` and wakes all waiters.
   void advance(ClockTime delta);
@@ -80,12 +81,12 @@ class VirtualClock final : public Clock {
 
  private:
   struct Waiter {
-    std::mutex* mutex;
-    std::condition_variable* cv;
+    Mutex* mutex;
+    CondVar* cv;
   };
 
   std::atomic<std::int64_t> now_ns_;
-  std::mutex waiters_mutex_;
+  Mutex waiters_mutex_;
   std::vector<Waiter> waiters_;
 };
 

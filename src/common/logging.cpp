@@ -6,11 +6,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/ordered_mutex.hpp"
+
 namespace faasbatch {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex{};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -51,7 +53,7 @@ void set_log_level_from_env() {
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::lock_guard<Mutex> lock(g_emit_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

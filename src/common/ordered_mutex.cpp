@@ -1,0 +1,199 @@
+#include "common/ordered_mutex.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace faasbatch {
+namespace {
+
+std::string thread_desc() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
+
+/// One recorded ordering constraint: some thread held `from` while
+/// acquiring `to`. Keeps enough context to reconstruct the report.
+struct EdgeInfo {
+  std::vector<std::string> chain;  ///< names held at recording, then `to`
+  std::string thread_id;
+};
+
+/// Process-wide acquisition-order graph. A single registry mutex guards
+/// it; OrderedMutex is a debug tool, so the serialisation is acceptable.
+class LockOrderGraph {
+ public:
+  static LockOrderGraph& instance() {
+    static LockOrderGraph* graph = new LockOrderGraph();  // fb-lint-allow(naked-new): leaked singleton, usable during static destruction
+    return *graph;
+  }
+
+  /// Called before blocking on `acquiring` with the thread's held stack.
+  /// Aborts on a self-lock or when the new edges would close a cycle.
+  void check_and_record(const OrderedMutex* acquiring,
+                        const std::vector<const OrderedMutex*>& held) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const OrderedMutex* h : held) {
+      if (h == acquiring) {
+        report_self_deadlock(acquiring, held);
+      }
+    }
+    for (const OrderedMutex* h : held) {
+      auto& successors = edges_[h];
+      if (successors.find(acquiring) != successors.end()) continue;  // known order
+      // A path acquiring ->* h means some thread ordered these locks the
+      // other way round: recording h -> acquiring would close a cycle.
+      std::vector<const OrderedMutex*> path;
+      if (find_path(acquiring, h, path)) {
+        report_cycle(acquiring, held, path);
+      }
+      EdgeInfo info;
+      info.thread_id = thread_desc();
+      for (const OrderedMutex* c : held) info.chain.push_back(c->name());
+      info.chain.push_back(acquiring->name());
+      successors.emplace(acquiring, std::move(info));
+    }
+  }
+
+  /// Forgets a destroyed mutex so a later allocation at the same address
+  /// cannot inherit stale ordering constraints.
+  void erase(const OrderedMutex* mutex) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    edges_.erase(mutex);
+    for (auto& [from, successors] : edges_) successors.erase(mutex);
+  }
+
+  std::size_t edge_count() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& [from, successors] : edges_) total += successors.size();
+    return total;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    edges_.clear();
+  }
+
+ private:
+  using Successors = std::unordered_map<const OrderedMutex*, EdgeInfo>;
+
+  /// DFS for a path from -> ... -> to along recorded edges.
+  bool find_path(const OrderedMutex* from, const OrderedMutex* to,
+                 std::vector<const OrderedMutex*>& path) {
+    visited_.clear();
+    return dfs(from, to, path);
+  }
+
+  bool dfs(const OrderedMutex* from, const OrderedMutex* to,
+           std::vector<const OrderedMutex*>& path) {
+    path.push_back(from);
+    if (from == to) return true;
+    visited_.insert(from);
+    const auto it = edges_.find(from);
+    if (it != edges_.end()) {
+      for (const auto& [next, info] : it->second) {
+        if (visited_.find(next) != visited_.end()) continue;
+        if (dfs(next, to, path)) return true;
+      }
+    }
+    path.pop_back();
+    return false;
+  }
+
+  [[noreturn]] void report_self_deadlock(
+      const OrderedMutex* mutex, const std::vector<const OrderedMutex*>& held) {
+    std::fprintf(stderr,
+                 "fb: deadlock: thread %s acquiring OrderedMutex \"%s\" it "
+                 "already holds\n",
+                 thread_desc().c_str(), mutex->name());
+    print_chain("  held", held);
+    std::abort();
+  }
+
+  [[noreturn]] void report_cycle(const OrderedMutex* acquiring,
+                                 const std::vector<const OrderedMutex*>& held,
+                                 const std::vector<const OrderedMutex*>& path) {
+    std::fprintf(stderr,
+                 "fb: potential deadlock: lock-order cycle detected\n"
+                 "  thread %s acquiring \"%s\" while holding:\n",
+                 thread_desc().c_str(), acquiring->name());
+    print_chain("   ", held);
+    std::fprintf(stderr, "  conflicts with previously recorded order:\n");
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto it = edges_.find(path[i]);
+      const auto eit = it->second.find(path[i + 1]);
+      std::fprintf(stderr, "    \"%s\" -> \"%s\" recorded by thread %s, chain:",
+                   path[i]->name(), path[i + 1]->name(),
+                   eit->second.thread_id.c_str());
+      for (const std::string& name : eit->second.chain) {
+        std::fprintf(stderr, " \"%s\"", name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+    }
+    std::abort();
+  }
+
+  void print_chain(const char* prefix,
+                   const std::vector<const OrderedMutex*>& held) {
+    std::fprintf(stderr, "%s:", prefix);
+    if (held.empty()) std::fprintf(stderr, " (nothing)");
+    for (const OrderedMutex* mutex : held) {
+      std::fprintf(stderr, " \"%s\"", mutex->name());
+    }
+    std::fprintf(stderr, "\n");
+  }
+
+  std::mutex mutex_;
+  std::unordered_map<const OrderedMutex*, Successors> edges_;
+  std::unordered_set<const OrderedMutex*> visited_;  // scratch for find_path
+};
+
+/// Locks this thread currently holds, in acquisition order.
+thread_local std::vector<const OrderedMutex*> t_held;
+
+void pop_held(const OrderedMutex* mutex) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+OrderedMutex::~OrderedMutex() { LockOrderGraph::instance().erase(this); }
+
+void OrderedMutex::lock() {
+  LockOrderGraph::instance().check_and_record(this, t_held);
+  mutex_.lock();
+  t_held.push_back(this);
+}
+
+bool OrderedMutex::try_lock() {
+  if (!mutex_.try_lock()) return false;
+  t_held.push_back(this);
+  return true;
+}
+
+void OrderedMutex::unlock() {
+  pop_held(this);
+  mutex_.unlock();
+}
+
+namespace lockorder {
+
+std::size_t edge_count() { return LockOrderGraph::instance().edge_count(); }
+
+void reset_for_testing() { LockOrderGraph::instance().reset(); }
+
+}  // namespace lockorder
+
+}  // namespace faasbatch

@@ -1,0 +1,89 @@
+// OrderedMutex: a mutex wrapper that detects lock-order inversions.
+//
+// Every acquisition records "held -> acquired" edges in a process-wide
+// lock-order graph. If acquiring a mutex would close a cycle (thread 1
+// locks A then B while thread 2 locks B then A — a potential deadlock
+// even when the interleaving never actually deadlocks), the process
+// prints both acquisition chains and aborts. Detection is keyed by
+// mutex instance; destroying a mutex removes its node from the graph.
+//
+// Cost model: every lock()/unlock() takes a global registry mutex and
+// walks a small graph, so OrderedMutex is a *debug* tool. Production
+// code uses the `Mutex`/`CondVar` aliases below, which are plain
+// std::mutex/std::condition_variable unless the build defines
+// FB_DEADLOCK_DETECT (cmake -DFB_DEADLOCK_DETECT=ON), making adoption a
+// zero-cost drop-in for release builds. The lock-heavy paths (live
+// platform, live containers, HTTP server, resource multiplexer,
+// observability buffers, storage) all route through the aliases, so one
+// CI configuration exercises the whole tree with detection on.
+//
+// try_lock() cannot deadlock and therefore does not cycle-check, but a
+// successfully try-locked mutex still joins the holder's chain so later
+// blocking acquisitions are ordered against it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace faasbatch {
+
+class OrderedMutex {
+ public:
+  OrderedMutex() = default;
+  explicit OrderedMutex(const char* name) : name_(name) {}
+  ~OrderedMutex();
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  /// Blocks like std::mutex::lock(); aborts with both lock chains if the
+  /// acquisition order contradicts an order recorded earlier.
+  void lock();
+
+  /// Non-blocking; records the hold (but no ordering constraint) on
+  /// success.
+  bool try_lock();
+
+  void unlock();
+
+  /// Diagnostic name shown in deadlock reports.
+  const char* name() const { return name_; }
+  void set_name(const char* name) { name_ = name; }
+
+ private:
+  std::mutex mutex_;
+  const char* name_ = "mutex";
+};
+
+/// Introspection into the process-wide lock-order graph (tests).
+namespace lockorder {
+
+/// Distinct "held -> acquired" edges currently recorded.
+std::size_t edge_count();
+
+/// Forgets every recorded edge. Test-only: callers must hold no
+/// OrderedMutex and run no concurrent OrderedMutex users.
+void reset_for_testing();
+
+}  // namespace lockorder
+
+// Aliases adopted by the platform's lock-heavy paths. Release builds get
+// the exact std types (zero overhead, std::condition_variable
+// notify/wait); FB_DEADLOCK_DETECT builds route every acquisition
+// through the lock-order graph. std::condition_variable_any is required
+// in detect builds because std::condition_variable only accepts
+// std::unique_lock<std::mutex>.
+#ifdef FB_DEADLOCK_DETECT
+using Mutex = OrderedMutex;
+using CondVar = std::condition_variable_any;
+inline void set_mutex_name(OrderedMutex& mutex, const char* name) {
+  mutex.set_name(name);
+}
+#else
+using Mutex = std::mutex;
+using CondVar = std::condition_variable;
+inline void set_mutex_name(std::mutex&, const char*) {}
+#endif
+
+}  // namespace faasbatch

@@ -16,7 +16,6 @@
 //    concurrent creators on a condition variable.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,6 +23,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/ordered_mutex.hpp"
 
 namespace faasbatch::core {
 
@@ -41,7 +42,7 @@ class ResourceMultiplexer {
     kMiss,     ///< caller must build the resource and call complete()
   };
 
-  ResourceMultiplexer() = default;
+  ResourceMultiplexer() { set_mutex_name(mutex_, "resource_multiplexer.cache"); }
   ResourceMultiplexer(const ResourceMultiplexer&) = delete;
   ResourceMultiplexer& operator=(const ResourceMultiplexer&) = delete;
 
@@ -92,8 +93,8 @@ class ResourceMultiplexer {
   ResourcePtr get_or_create_erased(std::string_view kind, std::uint64_t args_hash,
                                    const std::function<ResourcePtr()>& factory);
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_cv_;
+  mutable Mutex mutex_;
+  CondVar ready_cv_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   Stats stats_;
 };

@@ -14,6 +14,7 @@
 namespace faasbatch::http {
 
 Server::Server(std::uint16_t port, Handler handler) : handler_(std::move(handler)) {
+  set_mutex_name(workers_mutex_, "http_server.workers");
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("http::Server: socket() failed");
   const int enable = 1;
@@ -42,7 +43,7 @@ Server::Server(std::uint16_t port, Handler handler) : handler_(std::move(handler
 Server::~Server() {
   stop();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(workers_mutex_);
+  std::lock_guard<Mutex> lock(workers_mutex_);
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -69,7 +70,7 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       return;  // listener closed
     }
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    std::lock_guard<Mutex> lock(workers_mutex_);
     workers_.emplace_back([this, fd] { serve_connection(fd); });
   }
 }
@@ -91,6 +92,9 @@ void Server::serve_connection(int fd) {
             request->headers.count("Connection") != 0 &&
             request->headers.at("Connection") == "close";
         const std::string wire = response.serialize();
+        // Count before the reply hits the wire: a client that has read
+        // the full response must observe requests_served() >= its own.
+        ++served_;
         std::size_t sent = 0;
         while (sent < wire.size()) {
           const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);
@@ -100,7 +104,6 @@ void Server::serve_connection(int fd) {
           }
           sent += static_cast<std::size_t>(n);
         }
-        ++served_;
         if (close_after) {
           ::close(fd);
           return;

@@ -8,11 +8,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/ordered_mutex.hpp"
 #include "http/message.hpp"
 
 namespace faasbatch::http {
@@ -52,7 +52,7 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> served_{0};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
+  Mutex workers_mutex_;
   std::vector<std::thread> workers_;
 };
 

@@ -5,11 +5,13 @@
 namespace faasbatch::live {
 
 std::uint64_t busy_work_ms(double ms) {
+  // Calibrated CPU burn: the spin emulates real work, so it reads the
+  // real clock even when the platform's injectable Clock is virtual.
   const auto deadline =
-      std::chrono::steady_clock::now() +
+      std::chrono::steady_clock::now() +  // fb-lint-allow(raw-clock)
       std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0));
   std::uint64_t x = 0x243F6A8885A308D3ULL;
-  while (std::chrono::steady_clock::now() < deadline) {
+  while (std::chrono::steady_clock::now() < deadline) {  // fb-lint-allow(raw-clock)
     for (int i = 0; i < 512; ++i) x = x * 6364136223846793005ULL + 1442695040888963407ULL;
   }
   return x;
@@ -18,6 +20,7 @@ std::uint64_t busy_work_ms(double ms) {
 LiveContainer::LiveContainer(std::string function, const LiveContainerOptions& options)
     : function_(std::move(function)),
       clock_(options.clock != nullptr ? options.clock : &Clock::system()) {
+  set_mutex_name(mutex_, "live_container.queue");
   const ClockTime start = clock_->now();
   // Cold start: runtime bring-up (CPU) plus image/runtime memory.
   (void)busy_work_ms(options.cold_start_work_ms);
@@ -35,7 +38,7 @@ LiveContainer::LiveContainer(std::string function, const LiveContainerOptions& o
 
 LiveContainer::~LiveContainer() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -44,19 +47,19 @@ LiveContainer::~LiveContainer() {
 
 void LiveContainer::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 std::size_t LiveContainer::load() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<Mutex> lock(mutex_);
   return queue_.size() + in_flight_;
 }
 
 void LiveContainer::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<Mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
@@ -64,7 +67,7 @@ void LiveContainer::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<Mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (stopping_) return;
@@ -77,7 +80,7 @@ void LiveContainer::worker_loop() {
     task();
     ++executed_;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<Mutex> lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

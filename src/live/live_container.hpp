@@ -10,7 +10,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -21,6 +20,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/ordered_mutex.hpp"
 #include "common/types.hpp"
 #include "core/resource_multiplexer.hpp"
 
@@ -81,9 +81,9 @@ class LiveContainer {
   Clock* clock_;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
+  mutable Mutex mutex_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::atomic<std::uint64_t> executed_{0};

@@ -59,6 +59,7 @@ LivePlatform::LivePlatform(LivePlatformOptions options)
     : options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock : &Clock::system()),
       clients_(store_, options_.client_factory) {
+  set_mutex_name(mutex_, "live_platform.state");
   // Containers created by this platform share its time source unless the
   // caller pinned one explicitly.
   if (options_.container.clock == nullptr) options_.container.clock = clock_;
@@ -68,7 +69,7 @@ LivePlatform::LivePlatform(LivePlatformOptions options)
 LivePlatform::~LivePlatform() {
   drain();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -77,7 +78,7 @@ LivePlatform::~LivePlatform() {
 }
 
 void LivePlatform::register_function(const std::string& name, FunctionHandler handler) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<Mutex> lock(mutex_);
   functions_[name] = std::move(handler);
 }
 
@@ -89,7 +90,7 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
   request->submitted = clock_->now();
   std::future<InvocationReport> future = request->promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<Mutex> lock(mutex_);
     if (functions_.find(name) == functions_.end()) {
       throw std::invalid_argument("LivePlatform::invoke: unknown function " + name);
     }
@@ -99,6 +100,9 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
     if (obs::tracer().enabled()) {
       obs::tracer().instant("live", "arrival", us_of(request->submitted),
                             request->id, {{"function", Json(request->function)}});
+      obs::tracer().begin_span("live", "request", us_of(request->submitted),
+                               request->id,
+                               {{"function", Json(request->function)}});
     }
     queue_.push_back(std::move(request));
   }
@@ -107,12 +111,12 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
 }
 
 void LivePlatform::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<Mutex> lock(mutex_);
   drain_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 std::uint64_t LivePlatform::containers_created() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<Mutex> lock(mutex_);
   return containers_created_;
 }
 
@@ -166,6 +170,7 @@ void LivePlatform::run_request(LiveContainer& container,
       obs::tracer().complete("live", "exec", us_of(exec_start),
                              us_of(exec_end) - us_of(exec_start), request->id,
                              {{"function", function_arg}});
+      obs::tracer().end_span("live", "request", us_of(exec_end), request->id);
     }
     // Return the container to the warm pool BEFORE resolving the promise:
     // a caller sequencing invoke().get() calls must observe this idle
@@ -173,7 +178,7 @@ void LivePlatform::run_request(LiveContainer& container,
     // worker thread (the old wall-clock flake in VanillaReusesIdle-
     // Containers).
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<Mutex> lock(mutex_);
       if (options_.policy == LivePolicy::kVanilla) {
         warm_[request->function].push_back(&container);
       }
@@ -183,7 +188,7 @@ void LivePlatform::run_request(LiveContainer& container,
     // imply every future is ready.
     bool notify_drain = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<Mutex> lock(mutex_);
       if (--outstanding_ == 0) notify_drain = true;
     }
     if (notify_drain) drain_cv_.notify_all();
@@ -192,7 +197,7 @@ void LivePlatform::run_request(LiveContainer& container,
 
 void LivePlatform::dispatcher_loop() {
   while (true) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<Mutex> lock(mutex_);
     queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
     if (stopping_ && queue_.empty()) return;
 

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -22,6 +21,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/ordered_mutex.hpp"
 #include "core/resource_multiplexer.hpp"
 #include "live/live_container.hpp"
 #include "storage/client.hpp"
@@ -121,9 +121,9 @@ class LivePlatform {
   storage::ObjectStore store_;
   storage::ClientFactory clients_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::condition_variable drain_cv_;
+  mutable Mutex mutex_;
+  CondVar queue_cv_;
+  CondVar drain_cv_;
   std::deque<std::shared_ptr<Request>> queue_;
   std::map<std::string, FunctionHandler> functions_;
   /// All containers ever created; owned for the platform's lifetime

@@ -24,11 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/ordered_mutex.hpp"
 
 namespace faasbatch::obs {
 
@@ -117,7 +117,7 @@ std::vector<double> size_buckets();        // 1, 2, 4, ... 512
 
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry() { set_mutex_name(mutex_, "metrics_registry.instruments"); }
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -145,7 +145,7 @@ class MetricsRegistry {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -38,16 +38,19 @@ Json TraceEvent::to_json() const {
   return out;
 }
 
-TraceRecorder::TraceRecorder() : epoch_(next_epoch()) {}
+TraceRecorder::TraceRecorder() : epoch_(next_epoch()) {
+  set_mutex_name(buffers_mutex_, "trace_recorder.buffers");
+}
 
 TraceRecorder& TraceRecorder::global() {
-  static TraceRecorder* instance = new TraceRecorder();  // never destroyed
+  // Leaked singleton: usable during static destruction of clients.
+  static TraceRecorder* instance = new TraceRecorder();  // fb-lint-allow(naked-new)
   return *instance;
 }
 
 TraceRecorder::Buffer& TraceRecorder::local_buffer() {
   if (tls_slot.epoch != epoch_) {
-    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    std::lock_guard<Mutex> lock(buffers_mutex_);
     const auto me = std::this_thread::get_id();
     std::shared_ptr<Buffer> mine;
     for (const auto& buffer : buffers_) {
@@ -59,6 +62,7 @@ TraceRecorder::Buffer& TraceRecorder::local_buffer() {
     if (mine == nullptr) {
       mine = std::make_shared<Buffer>();
       mine->owner = me;
+      set_mutex_name(mine->mutex, "trace_recorder.buffer");
       buffers_.push_back(mine);
     }
     tls_slot.epoch = epoch_;
@@ -71,7 +75,7 @@ void TraceRecorder::record(TraceEvent event) {
   event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   if (event.pid == 0) event.pid = current_pid_.load(std::memory_order_relaxed);
   Buffer& buffer = local_buffer();
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  std::lock_guard<Mutex> lock(buffer.mutex);
   buffer.events.push_back(std::move(event));
 }
 
@@ -116,6 +120,33 @@ void TraceRecorder::complete(std::string_view cat, std::string_view name,
   record(std::move(event));
 }
 
+void TraceRecorder::begin_span(std::string_view cat, std::string_view name,
+                               double ts_us, std::uint64_t tid, TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = 'B';
+  event.cat = std::string(cat);
+  event.name = std::string(name);
+  event.ts_us = ts_us;
+  event.pid = 0;
+  event.tid = tid;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::end_span(std::string_view cat, std::string_view name,
+                             double ts_us, std::uint64_t tid) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = 'E';
+  event.cat = std::string(cat);
+  event.name = std::string(name);
+  event.ts_us = ts_us;
+  event.pid = 0;
+  event.tid = tid;
+  record(std::move(event));
+}
+
 void TraceRecorder::instant(std::string_view cat, std::string_view name,
                             double ts_us, std::uint64_t tid, TraceArgs args) {
   if (!enabled()) return;
@@ -145,12 +176,12 @@ void TraceRecorder::counter(std::string_view name, double ts_us, double value) {
 std::vector<TraceEvent> TraceRecorder::drain() {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    std::lock_guard<Mutex> lock(buffers_mutex_);
     buffers = buffers_;
   }
   std::vector<TraceEvent> out;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    std::lock_guard<Mutex> lock(buffer->mutex);
     out.insert(out.end(), std::make_move_iterator(buffer->events.begin()),
                std::make_move_iterator(buffer->events.end()));
     buffer->events.clear();
@@ -160,6 +191,8 @@ std::vector<TraceEvent> TraceRecorder::drain() {
     // then record order for stable equal-time ordering.
     if ((a.phase == 'M') != (b.phase == 'M')) return a.phase == 'M';
     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    // Equal timestamps fall back to emission order (seq), which is what
+    // keeps 'B'/'E' pairs correctly nested for the viewer.
     return a.seq < b.seq;
   });
   return out;
@@ -179,10 +212,10 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) {
 }
 
 std::size_t TraceRecorder::pending() const {
-  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  std::lock_guard<Mutex> lock(buffers_mutex_);
   std::size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    std::lock_guard<Mutex> buffer_lock(buffer->mutex);
     total += buffer->events.size();
   }
   return total;

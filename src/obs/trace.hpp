@@ -28,13 +28,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/ordered_mutex.hpp"
 
 namespace faasbatch::obs {
 
@@ -48,7 +48,8 @@ struct TraceArg {
 using TraceArgs = std::vector<TraceArg>;
 
 struct TraceEvent {
-  char phase = 'i';    // 'X' complete, 'i' instant, 'C' counter, 'M' metadata
+  char phase = 'i';    // 'X' complete, 'B'/'E' span, 'i' instant, 'C' counter,
+                       // 'M' metadata
   double ts_us = 0.0;  // microseconds since the run's clock epoch
   double dur_us = 0.0; // 'X' only
   std::uint32_t pid = 1;
@@ -86,6 +87,19 @@ class TraceRecorder {
   /// Emitters; all are no-ops while disabled.
   void complete(std::string_view cat, std::string_view name, double ts_us,
                 double dur_us, std::uint64_t tid, TraceArgs args = {});
+
+  /// Opens a duration event ('B'). Every begin_span must be matched by
+  /// an end_span with the same (name, tid) — emitted from the same
+  /// translation unit; fb_lint's span-balance rule enforces the per-TU
+  /// pairing. Unlike complete(), the pair survives even if the process
+  /// snapshots the trace while the span is still open (in-flight
+  /// requests stay visible).
+  void begin_span(std::string_view cat, std::string_view name, double ts_us,
+                  std::uint64_t tid, TraceArgs args = {});
+
+  /// Closes the innermost open 'B' span with the same (name, tid).
+  void end_span(std::string_view cat, std::string_view name, double ts_us,
+                std::uint64_t tid);
   void instant(std::string_view cat, std::string_view name, double ts_us,
                std::uint64_t tid, TraceArgs args = {});
   void counter(std::string_view name, double ts_us, double value);
@@ -106,7 +120,7 @@ class TraceRecorder {
  private:
   struct Buffer {
     std::thread::id owner;
-    std::mutex mutex;
+    Mutex mutex;
     std::vector<TraceEvent> events;
   };
 
@@ -118,7 +132,7 @@ class TraceRecorder {
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint32_t> next_pid_{2};
   std::atomic<std::uint32_t> current_pid_{1};
-  mutable std::mutex buffers_mutex_;
+  mutable Mutex buffers_mutex_;
   std::vector<std::shared_ptr<Buffer>> buffers_;
 };
 

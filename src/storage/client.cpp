@@ -40,22 +40,28 @@ std::optional<std::string> StorageClient::get(const std::string& key) {
 ClientFactory::ClientFactory(ObjectStore& store) : ClientFactory(store, Options{}) {}
 
 ClientFactory::ClientFactory(ObjectStore& store, Options options)
-    : store_(store), options_(options) {}
+    : store_(store), options_(options) {
+  set_mutex_name(creation_lock_, "client_factory.creation");
+}
 
 std::shared_ptr<StorageClient> ClientFactory::create(std::uint64_t args_hash) {
   // The creation lock models the runtime-level serialisation the paper
   // observed: concurrent creations in one process queue behind each other.
-  std::lock_guard<std::mutex> lock(creation_lock_);
-  const auto deadline = std::chrono::steady_clock::now() +
+  std::lock_guard<Mutex> lock(creation_lock_);
+  // Calibrated busy work standing in for TLS setup and SDK imports: real
+  // CPU burn, so it reads the real clock (not the injectable one).
+  const auto deadline = std::chrono::steady_clock::now() +  // fb-lint-allow(raw-clock)
                         std::chrono::microseconds(static_cast<std::int64_t>(
                             options_.creation_work_ms * 1000.0));
-  // Calibrated busy work standing in for TLS setup and SDK imports.
   volatile std::uint64_t sink = args_hash;
-  while (std::chrono::steady_clock::now() < deadline) {
+  while (std::chrono::steady_clock::now() < deadline) {  // fb-lint-allow(raw-clock)
     for (int i = 0; i < 256; ++i) sink = sink * 6364136223846793005ULL + 1442695040888963407ULL;
   }
   ++creations_;
+  // StorageClient's constructor is factory-private, so make_shared
+  // cannot reach it.
   return std::shared_ptr<StorageClient>(
+      // fb-lint-allow(naked-new)
       new StorageClient(store_, args_hash, options_.client_buffer_bytes));
 }
 

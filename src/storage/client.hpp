@@ -23,6 +23,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/ordered_mutex.hpp"
 #include "common/types.hpp"
 #include "storage/object_store.hpp"
 
@@ -125,7 +126,7 @@ class ClientFactory {
  private:
   ObjectStore& store_;
   Options options_;
-  std::mutex creation_lock_;
+  Mutex creation_lock_;
   std::atomic<std::uint64_t> creations_{0};
 };
 

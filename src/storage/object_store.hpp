@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ordered_mutex.hpp"
 #include "common/types.hpp"
 
 namespace faasbatch::storage {
@@ -40,7 +41,9 @@ struct StoreStats {
 
 class ObjectStore {
  public:
-  explicit ObjectStore(OpLatencyModel latency = {}) : latency_(latency) {}
+  explicit ObjectStore(OpLatencyModel latency = {}) : latency_(latency) {
+    set_mutex_name(mutex_, "object_store.objects");
+  }
 
   /// Stores `data` under `key`, replacing any previous object.
   void put(const std::string& key, std::string data);
@@ -64,7 +67,7 @@ class ObjectStore {
 
  private:
   OpLatencyModel latency_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<std::string, std::string> objects_;
   StoreStats stats_;
   Bytes total_bytes_ = 0;

@@ -91,6 +91,7 @@ TEST(ClientFactoryTest, CreationsSerialiseOnTheFactoryLock) {
 
   // Measure wall time of 4 concurrent creations: if creation serialises,
   // it must take at least ~4x the single-creation work.
+  // fb-lint-allow(raw-clock): measures real serialisation of creations.
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   for (int i = 0; i < 4; ++i) {
@@ -98,7 +99,8 @@ TEST(ClientFactoryTest, CreationsSerialiseOnTheFactoryLock) {
   }
   for (auto& thread : threads) thread.join();
   const double elapsed_ms = std::chrono::duration<double, std::milli>(
-                                std::chrono::steady_clock::now() - start)
+                                std::chrono::steady_clock::now() -  // fb-lint-allow(raw-clock)
+                                start)
                                 .count();
   EXPECT_GE(elapsed_ms, 4 * 5.0 * 0.8);  // allow 20% timer slack
   EXPECT_EQ(factory.creations(), 4u);

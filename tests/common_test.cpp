@@ -229,8 +229,8 @@ TEST(VirtualClockTest, StartsAtZeroAndAdvancesExactly) {
 TEST(VirtualClockTest, WaitUntilReturnsImmediatelyWhenDeadlinePassed) {
   VirtualClock clock;
   clock.advance(std::chrono::seconds(1));
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   std::unique_lock lock(mutex);
   const bool pred_held = clock.wait_until(lock, cv, ClockTime(std::chrono::milliseconds(500)),
                                           [] { return false; });
@@ -239,8 +239,8 @@ TEST(VirtualClockTest, WaitUntilReturnsImmediatelyWhenDeadlinePassed) {
 
 TEST(VirtualClockTest, AdvanceWakesBlockedWaiter) {
   VirtualClock clock;
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   std::atomic<bool> woke{false};
   std::thread waiter([&] {
     std::unique_lock lock(mutex);
@@ -262,8 +262,8 @@ TEST(VirtualClockTest, AdvanceWakesBlockedWaiter) {
 
 TEST(VirtualClockTest, PredicateWinsOverDeadline) {
   VirtualClock clock;
-  std::mutex mutex;
-  std::condition_variable cv;
+  Mutex mutex;
+  CondVar cv;
   std::atomic<bool> stop{false};
   std::atomic<bool> pred_result{false};
   std::thread waiter([&] {

@@ -31,7 +31,8 @@ bool advance_until(VirtualClock& clock, std::chrono::milliseconds step, Pred pre
   for (int i = 0; i < 10000; ++i) {
     if (pred()) return true;
     clock.advance(std::chrono::duration_cast<ClockTime>(step));
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Real 1 ms pacing while polling a cross-thread predicate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // fb-lint-allow(raw-clock)
   }
   return pred();
 }
@@ -52,10 +53,12 @@ TEST(FibTest, KnownValues) {
 }
 
 TEST(BusyWorkTest, TakesRoughlyRequestedTime) {
-  const auto start = std::chrono::steady_clock::now();
+  // Wall-time bound: asserts real elapsed time stays sane.
+  const auto start = std::chrono::steady_clock::now();  // fb-lint-allow(raw-clock)
   (void)busy_work_ms(10.0);
   const double elapsed = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - start)
+                             std::chrono::steady_clock::now() -  // fb-lint-allow(raw-clock)
+                             start)
                              .count();
   EXPECT_GE(elapsed, 9.0);
 }

@@ -208,6 +208,47 @@ TEST(TraceRecorderTest, ChromeJsonRoundTrip) {
   EXPECT_TRUE(saw_exec);
 }
 
+TEST(TraceRecorderTest, SpanPairsSurviveDrainAndSortStably) {
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.begin_span("live", "request", 100.0, 42,
+                      {{"function", Json(std::string("resize"))}});
+  recorder.end_span("live", "request", 150.0, 42);
+  // A zero-length span at the same timestamp as the enclosing end: the
+  // seq tie-break must preserve emission order, keeping pairs nested.
+  recorder.begin_span("live", "inner", 150.0, 42);
+  recorder.end_span("live", "inner", 150.0, 42);
+  const std::vector<obs::TraceEvent> events = recorder.drain();
+  std::vector<char> phases;
+  for (const obs::TraceEvent& event : events) {
+    if (event.phase != 'M') phases.push_back(event.phase);
+  }
+  ASSERT_EQ(phases.size(), 4u);
+  EXPECT_EQ(phases[0], 'B');
+  EXPECT_EQ(phases[1], 'E');  // request closes before inner opens at ts=150
+  EXPECT_EQ(phases[2], 'B');
+  EXPECT_EQ(phases[3], 'E');
+  EXPECT_EQ(events.front().args.empty(), false);  // 'B' carries args
+}
+
+TEST(TraceRecorderTest, SpanJsonCarriesBeginEndPhases) {
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.begin_span("live", "request", 10.0, 3);
+  recorder.end_span("live", "request", 20.0, 3);
+  std::ostringstream os;
+  recorder.write_chrome_trace(os);
+  const Json doc = Json::parse(os.str());
+  std::vector<std::string> phases;
+  for (const Json& event : doc.at("traceEvents").as_array()) {
+    if (event.at("name").as_string() == "request") {
+      phases.push_back(event.at("ph").as_string());
+      EXPECT_FALSE(event.contains("dur"));  // duration belongs to 'X' only
+    }
+  }
+  EXPECT_EQ(phases, (std::vector<std::string>{"B", "E"}));
+}
+
 TEST(TraceRecorderTest, ConcurrentEmittersLoseNoEvents) {
   obs::TraceRecorder recorder;
   recorder.set_enabled(true);
@@ -339,7 +380,10 @@ TEST(ObsLiveTest, SpansUseVirtualClockTimestamps) {
       open.wait();
     });
     auto future = platform.invoke("gated");
-    while (!started.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    while (!started.load()) {
+      // fb-lint-allow(raw-clock): real pacing on a cross-thread flag.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     // Execution began at virtual t=0; advance virtual time while the
     // handler is pinned so the exec span's duration is exactly 5 ms.
     clock.advance(std::chrono::milliseconds(5));

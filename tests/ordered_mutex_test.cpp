@@ -1,0 +1,180 @@
+// OrderedMutex lock-order deadlock detection.
+//
+// Death tests induce an A->B / B->A inversion across two threads
+// (sequenced so the program would NOT actually deadlock — the detector
+// must flag the potential) and assert the process aborts with both lock
+// chains in the report. OrderedMutex is used directly so the suite runs
+// in every build configuration, not just FB_DEADLOCK_DETECT ones.
+
+#include "common/ordered_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace faasbatch {
+namespace {
+
+class OrderedMutexTest : public ::testing::Test {
+ protected:
+  void SetUp() override { lockorder::reset_for_testing(); }
+  void TearDown() override { lockorder::reset_for_testing(); }
+};
+
+// The inversion that must abort, extracted so death tests can run it in
+// the forked child: thread 1 establishes A -> B, the caller then locks B
+// and tries A.
+void establish_ab_then_lock_ba(OrderedMutex& a, OrderedMutex& b) {
+  std::thread t([&] {
+    a.lock();
+    b.lock();
+    b.unlock();
+    a.unlock();
+  });
+  t.join();
+  b.lock();
+  a.lock();  // cycle: the detector aborts here
+  a.unlock();
+  b.unlock();
+}
+
+TEST_F(OrderedMutexTest, ConsistentOrderIsAccepted) {
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  for (int i = 0; i < 3; ++i) {
+    a.lock();
+    b.lock();
+    b.unlock();
+    a.unlock();
+  }
+  EXPECT_GE(lockorder::edge_count(), 1u);
+}
+
+TEST_F(OrderedMutexTest, DisjointLocksRecordNoEdges) {
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  a.lock();
+  a.unlock();
+  b.lock();
+  b.unlock();
+  EXPECT_EQ(lockorder::edge_count(), 0u);
+}
+
+TEST_F(OrderedMutexTest, InversionAbortsWithBothChains) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex a("pool.A");
+  OrderedMutex b("pool.B");
+  // The report must name the acquisition that closed the cycle and the
+  // previously recorded conflicting chain.
+  EXPECT_DEATH(establish_ab_then_lock_ba(a, b),
+               "lock-order cycle.*acquiring \"pool.A\" while holding"
+               ".*\"pool.B\""
+               ".*recorded by thread.*\"pool.A\" \"pool.B\"");
+}
+
+TEST_F(OrderedMutexTest, ThreeLockCycleIsDetected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  OrderedMutex c("C");
+  EXPECT_DEATH(
+      {
+        std::thread t1([&] {
+          a.lock();
+          b.lock();
+          b.unlock();
+          a.unlock();
+        });
+        t1.join();
+        std::thread t2([&] {
+          b.lock();
+          c.lock();
+          c.unlock();
+          b.unlock();
+        });
+        t2.join();
+        c.lock();
+        a.lock();  // closes A -> B -> C -> A
+      },
+      "lock-order cycle");
+}
+
+TEST_F(OrderedMutexTest, SelfLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex a("self");
+  EXPECT_DEATH(
+      {
+        a.lock();
+        a.lock();
+      },
+      "already holds");
+}
+
+TEST_F(OrderedMutexTest, DestructionForgetsOrdering) {
+  OrderedMutex a("A");
+  {
+    OrderedMutex b("B");
+    a.lock();
+    b.lock();
+    b.unlock();
+    a.unlock();
+    EXPECT_EQ(lockorder::edge_count(), 1u);
+  }
+  EXPECT_EQ(lockorder::edge_count(), 0u);
+}
+
+TEST_F(OrderedMutexTest, TryLockOrdersLaterBlockingAcquisitions) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  EXPECT_DEATH(
+      {
+        std::thread t([&] {
+          ASSERT_TRUE(a.try_lock());
+          b.lock();  // records A -> B even though A came from try_lock
+          b.unlock();
+          a.unlock();
+        });
+        t.join();
+        b.lock();
+        a.lock();
+      },
+      "lock-order cycle");
+}
+
+TEST_F(OrderedMutexTest, CondVarWaitReleasesHold) {
+  // A cv wait drops the lock, so orders taken while waiting must not
+  // conflict with the waiter's mutex.
+  OrderedMutex a("A");
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    std::unique_lock<OrderedMutex> lock(a);
+    cv.wait(lock, [&] { return ready; });
+  });
+  OrderedMutex b("B");
+  b.lock();
+  a.lock();  // fine: nobody holds A while taking B
+  ready = true;
+  a.unlock();
+  b.unlock();
+  cv.notify_all();
+  waiter.join();
+}
+
+#ifdef FB_DEADLOCK_DETECT
+TEST_F(OrderedMutexTest, PlatformAliasesRouteThroughDetector) {
+  Mutex m;
+  set_mutex_name(m, "aliased");
+  const std::size_t before = lockorder::edge_count();
+  Mutex inner;
+  m.lock();
+  inner.lock();
+  inner.unlock();
+  m.unlock();
+  EXPECT_EQ(lockorder::edge_count(), before + 1);
+}
+#endif
+
+}  // namespace
+}  // namespace faasbatch

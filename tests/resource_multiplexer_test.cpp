@@ -135,6 +135,7 @@ TEST(ResourceMultiplexerTest, GetOrCreateConcurrentSingleCreation) {
   std::atomic<int> factory_calls{0};
   const std::function<std::shared_ptr<int>()> factory = [&] {
     ++factory_calls;
+    // fb-lint-allow(raw-clock): widens the race window deliberately.
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     return std::make_shared<int>(1);
   };

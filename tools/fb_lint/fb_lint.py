@@ -1,0 +1,404 @@
+#!/usr/bin/env python3
+"""fb_lint — FaaSBatch repo-invariant linter.
+
+The reproduction's determinism and comparability guarantees rest on
+conventions no compiler checks. This tool machine-checks them as a ctest
+and a CI job:
+
+  raw-clock     Wall-clock and sleep primitives (steady_clock::now(),
+                system_clock, sleep_for, clock_gettime, ...) are banned
+                outside src/common/clock.* — all time flows through the
+                injectable Clock so the differential harness and live
+                tests stay deterministic.
+  raw-rng       Stdlib randomness (std::random_device, rand(), mt19937,
+                std::*_distribution — whose sequences are stdlib-
+                dependent) is banned outside src/common/rng.* — all
+                draws go through the seeded xoshiro Rng.
+  layering      The module include-DAG declared in fb_lint.toml must
+                hold: core/ and sim/ never see live/ or http/, common/
+                includes nothing above itself, obs/ stays include-only
+                (observer stays observer).
+  naked-new     No raw `new`/`delete` expressions outside declared
+                arena/pool files; ownership lives in smart pointers.
+  span-balance  Every TraceRecorder::begin_span() in a translation unit
+                is matched by an end_span() in the same unit, so traces
+                cannot leak open 'B' events.
+
+Rules, allowlists, and the layering table live in fb_lint.toml at the
+repo root. Inline escapes:
+
+  // fb-lint-allow(rule)        suppress `rule` on this line (or, when
+                                the line holds only the comment, on the
+                                next line)
+  // fb-lint-allow-file(rule)   suppress `rule` for the whole file
+
+Exit status: 0 clean, 1 violations, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python < 3.11
+    tomllib = None
+
+ALLOW_RE = re.compile(r"fb-lint-allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"fb-lint-allow-file\(([^)]*)\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+# Tokens that read the wall clock or block on real time.
+CLOCK_TOKENS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"), "std::chrono::high_resolution_clock"),
+    (re.compile(r"\bclock_gettime\b"), "clock_gettime()"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time(nullptr)"),
+    (re.compile(r"\bsleep_for\b"), "std::this_thread::sleep_for"),
+    (re.compile(r"\bsleep_until\b"), "std::this_thread::sleep_until"),
+    (re.compile(r"\busleep\s*\("), "usleep()"),
+    (re.compile(r"\bnanosleep\s*\("), "nanosleep()"),
+]
+
+# Tokens that draw entropy or use stdlib-dependent random sequences.
+RNG_TOKENS = [
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\bd?rand48\s*\("), "*rand48()"),
+    (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\bminstd_rand0?\b"), "std::minstd_rand"),
+    (re.compile(r"\b\w+_distribution\s*<"), "std::*_distribution (stdlib-dependent sequence)"),
+    (re.compile(r"#\s*include\s*<random>"), "#include <random>"),
+]
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+class SourceFile:
+    """One scanned file: raw lines, comment/string-stripped lines, and
+    the suppression sets parsed from its comments."""
+
+    def __init__(self, rel_path: str, text: str):
+        self.rel_path = rel_path
+        self.raw_lines = text.splitlines()
+        self.clean_lines = _strip_comments_and_strings(text).splitlines()
+        self.file_allows: set[str] = set()
+        self.line_allows: dict[int, set[str]] = {}  # 0-based line -> rules
+        self._parse_suppressions()
+
+    def _parse_suppressions(self) -> None:
+        for i, raw in enumerate(self.raw_lines):
+            for match in ALLOW_FILE_RE.finditer(raw):
+                self.file_allows.update(_split_rules(match.group(1)))
+            # fb-lint-allow-file( does not match ALLOW_RE (the "(" must
+            # directly follow "allow"), so the two patterns are disjoint.
+            rules = set()
+            for match in ALLOW_RE.finditer(raw):
+                rules.update(_split_rules(match.group(1)))
+            if not rules:
+                continue
+            self.line_allows.setdefault(i, set()).update(rules)
+            # A comment-only line shields the line below it.
+            code = self.clean_lines[i].strip() if i < len(self.clean_lines) else ""
+            if not code:
+                self.line_allows.setdefault(i + 1, set()).update(rules)
+
+    def allowed(self, rule: str, line_index: int) -> bool:
+        if rule in self.file_allows:
+            return True
+        return rule in self.line_allows.get(line_index, set())
+
+
+def _split_rules(spec: str) -> list[str]:
+    return [r.strip() for r in spec.split(",") if r.strip()]
+
+
+def _strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string literals, and char literals while
+    preserving the line structure, so token rules only see code."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c == '"':
+            # Raw string literal R"delim( ... )delim"
+            if i >= 1 and text[i - 1] == "R" and (i < 2 or not text[i - 2].isalnum()):
+                m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                if m:
+                    closer = ")" + m.group(1) + '"'
+                    end = text.find(closer, i)
+                    end = n if end < 0 else end + len(closer)
+                    out.extend("\n" for ch in text[i:end] if ch == "\n")
+                    i = end
+                    continue
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        elif c == "'":
+            i += 1
+            # Distinguish char literals from digit separators (1'000'000):
+            # a digit separator is preceded by an alnum and followed by one.
+            prev = text[i - 2] if i >= 2 else ""
+            if prev.isalnum():
+                continue  # digit separator; keep scanning normally
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+
+def check_tokens(src: SourceFile, rule: str, tokens) -> list[Violation]:
+    out = []
+    for i, line in enumerate(src.clean_lines):
+        for pattern, label in tokens:
+            if pattern.search(line):
+                out.append(
+                    Violation(
+                        src.rel_path,
+                        i + 1,
+                        rule,
+                        f"{label} outside the {('clock' if rule == 'raw-clock' else 'rng')} "
+                        f"funnel (src/common/{'clock' if rule == 'raw-clock' else 'rng'}.*)",
+                    )
+                )
+    return out
+
+
+def check_layering(src: SourceFile, layering: dict[str, list[str]]) -> list[Violation]:
+    parts = Path(src.rel_path).parts
+    if len(parts) < 3 or parts[0] != "src":
+        return []  # only src/<module>/ files are constrained
+    module = parts[1]
+    out = []
+    if module not in layering:
+        out.append(
+            Violation(
+                src.rel_path,
+                1,
+                "layering",
+                f"module 'src/{module}/' is not declared in fb_lint.toml [layering]",
+            )
+        )
+        return out
+    allowed = set(layering[module]) | {module}
+    # Raw lines: comment/string stripping would blank the include path
+    # itself. A commented-out include is harmless to match — the edge it
+    # names was deliberate enough to write down.
+    for i, line in enumerate(src.raw_lines):
+        m = INCLUDE_RE.match(line)
+        if not m or "/" not in m.group(1):
+            continue
+        target = m.group(1).split("/", 1)[0]
+        if target in allowed:
+            continue
+        if target in layering:
+            out.append(
+                Violation(
+                    src.rel_path,
+                    i + 1,
+                    "layering",
+                    f"src/{module}/ must not include \"{m.group(1)}\" "
+                    f"({module} -> {target} violates the module DAG)",
+                )
+            )
+        else:
+            out.append(
+                Violation(
+                    src.rel_path,
+                    i + 1,
+                    "layering",
+                    f"include \"{m.group(1)}\" targets module '{target}' "
+                    f"which is not declared in fb_lint.toml [layering]",
+                )
+            )
+    return out
+
+
+NEW_RE = re.compile(r"\bnew\b")
+DELETE_RE = re.compile(r"\bdelete\b")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+OPERATOR_NEWDEL_RE = re.compile(r"\boperator\s+(?:new|delete)\s*(?:\[\s*\])?")
+
+
+def check_naked_new(src: SourceFile) -> list[Violation]:
+    out = []
+    for i, line in enumerate(src.clean_lines):
+        scrubbed = DELETED_FN_RE.sub("", OPERATOR_NEWDEL_RE.sub("", line))
+        if NEW_RE.search(scrubbed):
+            out.append(
+                Violation(src.rel_path, i + 1, "naked-new",
+                          "raw `new` expression; use make_unique/make_shared "
+                          "or a declared arena/pool file")
+            )
+        if DELETE_RE.search(scrubbed):
+            out.append(
+                Violation(src.rel_path, i + 1, "naked-new",
+                          "raw `delete` expression; ownership belongs in "
+                          "smart pointers")
+            )
+    return out
+
+
+BEGIN_SPAN_RE = re.compile(r"\bbegin_span\s*\(")
+END_SPAN_RE = re.compile(r"\bend_span\s*\(")
+
+
+def check_span_balance(src: SourceFile) -> list[Violation]:
+    begins, ends, last_line = 0, 0, 1
+    for i, line in enumerate(src.clean_lines):
+        b = len(BEGIN_SPAN_RE.findall(line))
+        e = len(END_SPAN_RE.findall(line))
+        if b:
+            last_line = i + 1
+        begins += b
+        ends += e
+    if begins == ends:
+        return []
+    return [
+        Violation(src.rel_path, last_line, "span-balance",
+                  f"TraceRecorder begin_span/end_span unbalanced in this "
+                  f"translation unit ({begins} begin vs {ends} end)")
+    ]
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def rule_allowed_paths(config: dict, rule: str) -> list[str]:
+    return config.get("rules", {}).get(rule, {}).get("allow", [])
+
+
+def rule_enabled(config: dict, rule: str) -> bool:
+    return config.get("rules", {}).get(rule, {}).get("enabled", True)
+
+
+def path_matches(rel_path: str, globs: list[str]) -> bool:
+    return any(fnmatch.fnmatch(rel_path, g) for g in globs)
+
+
+def lint_file(root: Path, rel_path: str, config: dict) -> list[Violation]:
+    text = (root / rel_path).read_text(encoding="utf-8", errors="replace")
+    src = SourceFile(rel_path, text)
+    violations: list[Violation] = []
+    if rule_enabled(config, "raw-clock") and not path_matches(
+        rel_path, rule_allowed_paths(config, "raw-clock")
+    ):
+        violations += check_tokens(src, "raw-clock", CLOCK_TOKENS)
+    if rule_enabled(config, "raw-rng") and not path_matches(
+        rel_path, rule_allowed_paths(config, "raw-rng")
+    ):
+        violations += check_tokens(src, "raw-rng", RNG_TOKENS)
+    if rule_enabled(config, "layering"):
+        violations += check_layering(src, config.get("layering", {}))
+    if rule_enabled(config, "naked-new") and not path_matches(
+        rel_path, rule_allowed_paths(config, "naked-new")
+    ):
+        violations += check_naked_new(src)
+    if rule_enabled(config, "span-balance"):
+        violations += check_span_balance(src)
+    return [v for v in violations if not src.allowed(v.rule, v.line - 1)]
+
+
+def collect_files(root: Path, config: dict) -> list[str]:
+    roots = config.get("lint", {}).get("roots", ["src"])
+    extensions = tuple(config.get("lint", {}).get("extensions", [".cpp", ".hpp", ".h", ".cc"]))
+    files = []
+    for top in roots:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.is_file() and path.suffix in extensions:
+                files.append(path.relative_to(root).as_posix())
+    return files
+
+
+def load_config(path: Path) -> dict:
+    if tomllib is None:
+        print("fb_lint: Python >= 3.11 required (tomllib)", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        with open(path, "rb") as f:
+            return tomllib.load(f)
+    except (OSError, tomllib.TOMLDecodeError) as e:
+        print(f"fb_lint: cannot load config {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description="FaaSBatch repo-invariant linter")
+    parser.add_argument("--root", default=".", help="repository root (default: cwd)")
+    parser.add_argument("--config", default=None,
+                        help="config file (default: <root>/fb_lint.toml)")
+    parser.add_argument("--files", nargs="*", default=None,
+                        help="lint only these paths (relative to --root)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    config = load_config(Path(args.config) if args.config else root / "fb_lint.toml")
+
+    files = args.files if args.files is not None else collect_files(root, config)
+    violations: list[Violation] = []
+    for rel_path in files:
+        if not (root / rel_path).is_file():
+            print(f"fb_lint: no such file: {rel_path}", file=sys.stderr)
+            return 2
+        violations += lint_file(root, rel_path, config)
+
+    for v in violations:
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+    if not args.quiet:
+        print(
+            f"fb_lint: {len(files)} files, {len(violations)} violation(s)",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

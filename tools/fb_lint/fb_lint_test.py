@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Fixture-based self-test for fb_lint.
+
+Runs the linter as a subprocess (the same way ctest and CI invoke it)
+against fixtures/mini_repo — a miniature tree with one known-violation
+file per rule plus allowlist / inline-suppression / clean files — and
+asserts the exact (path, line, rule) set that must fire.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+LINTER = HERE / "fb_lint.py"
+FIXTURE_ROOT = HERE / "fixtures" / "mini_repo"
+
+VIOLATION_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[^\]]+)\]")
+
+# Every violation the fixture tree must produce — nothing more, nothing
+# less. Line numbers are pinned so comment/string stripping can't drift.
+EXPECTED = {
+    ("src/core/raw_clock.cpp", 8, "raw-clock"),
+    ("src/core/raw_clock.cpp", 13, "raw-clock"),
+    ("src/core/raw_rng.cpp", 2, "raw-rng"),
+    ("src/core/raw_rng.cpp", 7, "raw-rng"),
+    ("src/core/raw_rng.cpp", 8, "raw-rng"),
+    ("src/core/raw_rng.cpp", 9, "raw-rng"),
+    ("src/core/layering_violation.cpp", 4, "layering"),
+    ("src/obs/observer_reaches_back.cpp", 3, "layering"),
+    ("src/core/naked_new.cpp", 11, "naked-new"),
+    ("src/core/naked_new.cpp", 15, "naked-new"),
+    ("src/live/span_unbalanced.cpp", 8, "span-balance"),
+}
+
+# Files whose would-be violations are neutralised by config allowlists or
+# suppression comments; any hit from them is a regression.
+MUST_BE_CLEAN = {
+    "src/common/clock.cpp",
+    "src/common/arena.cpp",
+    "src/live/suppressed.cpp",
+    "src/live/file_allow.cpp",
+    "tests/clean_test.cpp",
+}
+
+
+def run_lint(*extra_args: str) -> tuple[int, str, str]:
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--root", str(FIXTURE_ROOT), *extra_args],
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def parse(stdout: str) -> set[tuple[str, int, str]]:
+    out = set()
+    for line in stdout.splitlines():
+        m = VIOLATION_RE.match(line)
+        if m:
+            out.add((m.group("path"), int(m.group("line")), m.group("rule")))
+    return out
+
+
+class FixtureTreeTest(unittest.TestCase):
+    """One full-tree run, shared across assertions."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.code, cls.stdout, cls.stderr = run_lint()
+        cls.found = parse(cls.stdout)
+
+    def test_exit_code_signals_violations(self):
+        self.assertEqual(self.code, 1, self.stdout + self.stderr)
+
+    def test_exact_violation_set(self):
+        self.assertEqual(self.found, EXPECTED,
+                         f"missing: {EXPECTED - self.found}\n"
+                         f"unexpected: {self.found - EXPECTED}")
+
+    def test_each_rule_fires_at_least_once(self):
+        fired = {rule for _, _, rule in self.found}
+        self.assertEqual(
+            fired, {"raw-clock", "raw-rng", "layering", "naked-new", "span-balance"})
+
+    def test_allowlisted_and_suppressed_files_are_clean(self):
+        dirty = {path for path, _, _ in self.found if path in MUST_BE_CLEAN}
+        self.assertEqual(dirty, set(), self.stdout)
+
+    def test_tokens_in_comments_and_strings_do_not_fire(self):
+        # raw_clock.cpp mentions system_clock in a comment and a string;
+        # only the two code lines may fire.
+        hits = {(p, l) for p, l, r in self.found if p == "src/core/raw_clock.cpp"}
+        self.assertEqual(hits, {("src/core/raw_clock.cpp", 8),
+                                ("src/core/raw_clock.cpp", 13)})
+
+    def test_deleted_functions_do_not_count_as_naked_new(self):
+        hits = {l for p, l, r in self.found if p == "src/core/naked_new.cpp"}
+        self.assertEqual(hits, {11, 15})
+
+
+class CliTest(unittest.TestCase):
+    def test_files_mode_limits_scope(self):
+        code, stdout, _ = run_lint("--files", "src/core/raw_clock.cpp")
+        self.assertEqual(code, 1)
+        self.assertEqual({p for p, _, _ in parse(stdout)},
+                         {"src/core/raw_clock.cpp"})
+
+    def test_clean_subset_exits_zero(self):
+        code, stdout, _ = run_lint("--files", "tests/clean_test.cpp", "-q")
+        self.assertEqual(code, 0, stdout)
+        self.assertEqual(stdout, "")
+
+    def test_missing_file_is_usage_error(self):
+        code, _, stderr = run_lint("--files", "src/core/nonexistent.cpp")
+        self.assertEqual(code, 2)
+        self.assertIn("no such file", stderr)
+
+    def test_repo_config_loads(self):
+        # Guard against the real fb_lint.toml going stale: it must parse
+        # and declare every rule the fixture exercises.
+        repo_root = HERE.parent.parent
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "--root", str(repo_root),
+             "--files", "-q"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,15 @@
+// Declared arena file: the config allowlists naked-new here, so raw
+// allocation in the arena implementation must not fire.
+#include <cstddef>
+
+namespace fixture {
+
+char* arena_block(std::size_t n) {
+  return new char[n];
+}
+
+void arena_release(char* p) {
+  delete[] p;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// The clock funnel: the config allowlists this file, so raw clock reads
+// here are legitimate and must not fire.
+#include <chrono>
+
+namespace fixture {
+
+long funnel_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Known-bad: core/ must never see live/ (the DAG declares
+// core = [common, obs]).
+#include "common/clock.hpp"  // fine: declared dependency
+#include "live/live_platform.hpp"  // line 4: layering (core -> live)
+
+namespace fixture {
+int core_fn() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Known-bad: raw new/delete outside a declared arena/pool file.
+#include <memory>
+
+namespace fixture {
+
+struct Widget {
+  int x = 0;
+};
+
+Widget* make() {
+  return new Widget();  // line 11: naked-new
+}
+
+void destroy(Widget* w) {
+  delete w;  // line 15: naked-new
+}
+
+// Deleted functions and placement-free operator declarations must NOT
+// fire — they are not allocation expressions.
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  void* operator new(std::size_t) = delete;
+};
+
+std::unique_ptr<Widget> make_ok() { return std::make_unique<Widget>(); }
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Known-bad: reads the wall clock and sleeps outside src/common/clock.*.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+long now_ns() {
+  auto t = std::chrono::steady_clock::now();  // line 8: raw-clock
+  return t.time_since_epoch().count();
+}
+
+void nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // line 13: raw-clock
+}
+
+// A token inside a comment must NOT fire: system_clock::now().
+const char* label() { return "system_clock in a string must not fire"; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Known-bad: stdlib randomness outside src/common/rng.*.
+#include <random>  // line 2: raw-rng
+
+namespace fixture {
+
+int draw() {
+  std::random_device rd;                           // line 7: raw-rng
+  std::mt19937 gen(rd());                          // line 8: raw-rng
+  std::uniform_int_distribution<int> dist(0, 10);  // line 9: raw-rng
+  return dist(gen);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// fb-lint-allow-file(raw-rng)
+// Whole-file suppression: this calibration shim deliberately uses the
+// stdlib engine to cross-check the in-repo xoshiro implementation.
+#include <random>
+
+namespace fixture {
+
+int stdlib_draw(unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_int_distribution<int> dist(0, 10);
+  return dist(gen);
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Known-bad: a begin_span with no matching end_span in this TU leaks an
+// open 'B' event into every exported trace.
+#include "obs/trace.hpp"
+
+namespace fixture {
+
+void handle(double ts) {
+  obs::tracer().begin_span("live", "request", ts, 1);  // line 8: span-balance
+  // ... work happens, but the span is never closed ...
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Known-bad: obs/ is include-only — the observer must not reach back
+// into the platform (obs = [common] in the DAG).
+#include "core/engine.hpp"  // line 3: layering (obs -> core)
+
+namespace fixture {
+int obs_fn() { return 2; }
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// A well-behaved test file: balanced spans, no banned tokens, smart
+// pointers only. Must produce zero violations.
+#include <memory>
+
+#include "common/clock.hpp"
+#include "obs/trace.hpp"
+
+namespace fixture {
+
+void traced(double ts) {
+  obs::tracer().begin_span("test", "step", ts, 7);
+  obs::tracer().end_span("test", "step", ts + 1, 7);
+}
+
+std::shared_ptr<int> owned() { return std::make_shared<int>(42); }
+
+}  // namespace fixture
