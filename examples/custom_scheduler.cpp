@@ -59,7 +59,10 @@ class StickyScheduler : public schedulers::Scheduler {
     ctx().records.at(id).cold_start = cold;
     schedulers::execute_invocation(
         ctx(), container, id, schedulers::ExecEnv{},
-        [this, id]() { ctx().notify_complete(id); });
+        [this, id](bool ok) {
+          // No chaos engine is wired here, so attempts always succeed.
+          if (ok) ctx().notify_complete(id);
+        });
     // Note: the home container is never released; it stays active for
     // the platform's lifetime (that's the "sticky" trade-off).
   }

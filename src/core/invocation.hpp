@@ -10,6 +10,19 @@
 
 namespace faasbatch::core {
 
+/// Terminal state of an invocation. Every invocation must reach exactly
+/// one terminal outcome — the chaos differential harness asserts it.
+enum class Outcome {
+  /// Still in flight (no terminal outcome yet).
+  kPending,
+  /// Finished successfully.
+  kCompleted,
+  /// Exhausted its retry budget or request deadline after faults.
+  kFailed,
+  /// Rejected at admission by the overload guard; never executed.
+  kShed,
+};
+
 struct InvocationRecord {
   InvocationId id = 0;
   FunctionId function = kInvalidFunction;
@@ -32,6 +45,18 @@ struct InvocationRecord {
   SimTime returned = 0;
 
   bool completed = false;
+  /// Terminal outcome; kPending until the platform accounts the
+  /// invocation (success, terminal failure, or shed).
+  Outcome outcome = Outcome::kPending;
+  /// Execution attempts started (1 for a fault-free run; retries add 1
+  /// each). 0 when the invocation was shed before ever dispatching.
+  std::uint32_t attempts = 0;
+  /// Faults this invocation absorbed (crashes, exec errors, storage
+  /// failures) across all attempts.
+  std::uint32_t faults = 0;
+
+  /// True once the invocation reached any terminal outcome.
+  bool accounted() const { return outcome != Outcome::kPending; }
 
   /// Caller-observed response latency (arrival -> result returned).
   SimDuration response_latency() const {

@@ -72,7 +72,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     records[i].arrival = workload.events[i].arrival;
   }
 
-  std::size_t completed = 0;
+  resilience::ChaosEngine chaos(spec.fault_plan, spec.retry_policy,
+                                spec.overload);
+  if (spec.fault_plan.any()) {
+    // The chaos plan supersedes the pool's config-derived boot-failure
+    // injector so every fault class shares one seed and one stats block.
+    pool.set_fault_injector(&chaos.injector());
+  }
+
+  std::size_t accounted = 0;
   SimTime makespan = 0;
   schedulers::SchedulerContext context{
       simulator,
@@ -82,10 +90,14 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       spec.client_model,
       records,
       /*notify_complete=*/nullptr,
+      &chaos,
   };
-  context.notify_complete = [&](InvocationId) {
-    ++completed;
-    if (completed == records.size()) {
+  context.notify_complete = [&](InvocationId id) {
+    // "Accounted" covers every terminal outcome; shed invocations never
+    // took an admission slot, so only the others release one.
+    if (records.at(id).outcome != core::Outcome::kShed) chaos.finish();
+    ++accounted;
+    if (accounted == records.size()) {
       makespan = simulator.now();
       simulator.stop();
     }
@@ -110,10 +122,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
 
   simulator.run();
 
-  if (completed != records.size()) {
+  if (accounted != records.size()) {
     throw std::runtime_error("run_experiment: " +
-                             std::to_string(records.size() - completed) +
-                             " invocations never completed under " +
+                             std::to_string(records.size() - accounted) +
+                             " invocations never terminally accounted under " +
                              std::string(scheduler->name()));
   }
 
@@ -123,17 +135,30 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     obs::Histogram& response_ms = obs::metrics().histogram(
         "fb_response_latency_ms", obs::latency_ms_buckets());
     for (const core::InvocationRecord& record : records) {
-      response_ms.observe(to_millis(record.response_latency()));
+      if (record.completed) response_ms.observe(to_millis(record.response_latency()));
     }
   }
 
   ExperimentResult result;
   result.scheduler_name = std::string(scheduler->name());
   result.invocations = records.size();
-  result.completed = completed;
+  result.accounted = accounted;
   std::size_t slo_violations = 0;
   std::size_t slo_checked = 0;
   for (const core::InvocationRecord& record : records) {
+    switch (record.outcome) {
+      case core::Outcome::kCompleted:
+        ++result.completed;
+        break;
+      case core::Outcome::kFailed:
+        ++result.failed;
+        continue;  // failed/shed stamps are not meaningful latencies
+      case core::Outcome::kShed:
+        ++result.shed;
+        continue;
+      case core::Outcome::kPending:
+        continue;  // unreachable after the accounted check above
+    }
     result.latency.add(record.breakdown());
     result.response_ms.add(to_millis(record.response_latency()));
     const auto slo_it = spec.scheduler_options.kraken_slo_ms.find(record.function);
@@ -142,6 +167,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       if (to_millis(record.breakdown().total()) > slo_it->second) ++slo_violations;
     }
   }
+  result.fault_stats = chaos.injector().stats();
+  result.chaos_counters = chaos.counters();
+  result.chaos_fingerprint = chaos.fingerprint();
   if (slo_checked > 0) {
     result.slo_violation_rate =
         static_cast<double>(slo_violations) / static_cast<double>(slo_checked);

@@ -12,6 +12,7 @@
 
 #include "core/invocation.hpp"
 #include "metrics/breakdown.hpp"
+#include "resilience/chaos_engine.hpp"
 #include "runtime/config.hpp"
 #include "runtime/keepalive.hpp"
 #include "schedulers/scheduler.hpp"
@@ -34,12 +35,34 @@ struct ExperimentSpec {
   storage::ClientCostModel client_model;
   KeepAliveKind keepalive = KeepAliveKind::kFixed;
   runtime::HistogramKeepAlive::Options keepalive_histogram;
+
+  /// Chaos inputs. When the plan injects any fault the pool's boot
+  /// failures also come from this plan (superseding
+  /// RuntimeConfig::cold_start_failure_rate); with an all-zero plan the
+  /// legacy config knob keeps working unchanged.
+  resilience::FaultPlan fault_plan;
+  resilience::RetryPolicy retry_policy;
+  resilience::OverloadGuard::Options overload;
 };
 
 struct ExperimentResult {
   std::string scheduler_name;
   std::size_t invocations = 0;
   std::size_t completed = 0;
+  /// Terminally-accounted invocations: completed + failed + shed. Always
+  /// equals `invocations` when run_experiment returns.
+  std::size_t accounted = 0;
+  /// Invocations that exhausted their retry budget or deadline.
+  std::size_t failed = 0;
+  /// Invocations rejected at admission by the overload guard.
+  std::size_t shed = 0;
+
+  /// Chaos accounting for the run (all zero on fault-free runs).
+  resilience::FaultStats fault_stats;
+  resilience::ChaosCounters chaos_counters;
+  /// Deterministic fold of fault/retry/shed counters; byte-identical
+  /// across two runs with the same (spec, workload).
+  std::uint64_t chaos_fingerprint = 0;
 
   /// Per-component latency distributions in milliseconds.
   metrics::BreakdownAggregate latency;
@@ -81,8 +104,9 @@ struct ExperimentResult {
 };
 
 /// Runs `workload` under `spec`. Deterministic for a given (spec,
-/// workload) pair. Throws std::runtime_error if any invocation fails to
-/// complete (which would indicate a scheduler bug).
+/// workload) pair. Throws std::runtime_error if any invocation is never
+/// terminally accounted — completed, terminally failed, or shed — which
+/// would indicate a scheduler bug (a lost invocation).
 ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const trace::Workload& workload);
 

@@ -14,11 +14,23 @@ http::Response json_response(int status, const Json& body) {
   return http::Response::make(status, body.dump(), "application/json");
 }
 
-http::Response error_response(int status, const std::string& message) {
+// Structured error body with a stable machine-readable code:
+//   {"error": {"code": "...", "message": "..."}}
+http::Response error_response(int status, const std::string& code,
+                              const std::string& message) {
+  Json error;
+  error["code"] = code;
+  error["message"] = message;
   Json body;
-  body["error"] = message;
+  body["error"] = error;
   return json_response(status, body);
 }
+
+/// Releases one OverloadGuard slot on scope exit.
+struct AdmissionRelease {
+  resilience::OverloadGuard& guard;
+  ~AdmissionRelease() { guard.release(); }
+};
 
 }  // namespace
 
@@ -56,9 +68,24 @@ TargetParts parse_target(const std::string& target) {
   return parts;
 }
 
+namespace {
+resilience::OverloadGuard::Options guard_options(const GatewayOptions& options) {
+  resilience::OverloadGuard::Options guard;
+  guard.max_inflight = options.max_inflight_invokes;
+  guard.retry_after_seconds = options.retry_after_seconds;
+  return guard;
+}
+}  // namespace
+
 HttpGateway::HttpGateway(LivePlatform& platform, std::uint16_t port)
+    : HttpGateway(platform, GatewayOptions{.port = port}) {}
+
+HttpGateway::HttpGateway(LivePlatform& platform, GatewayOptions options)
     : platform_(platform),
-      server_(port, [this](const http::Request& request) { return handle(request); }) {
+      options_(options),
+      invoke_guard_(guard_options(options_)),
+      server_(options_.port,
+              [this](const http::Request& request) { return handle(request); }) {
   // Serving a /metrics page implies the operator wants telemetry: turn
   // the registry on so the platform's instruments record. Tracing stays
   // opt-in (GET /trace?enable=1) because it buffers per-event data.
@@ -71,15 +98,28 @@ HttpGateway::HttpGateway(LivePlatform& platform, std::uint16_t port)
   obs::metrics().counter("fb_mux_hits_total");
   obs::metrics().counter("fb_mux_misses_total");
   obs::metrics().counter("fb_mux_pending_waits_total");
+  obs::metrics().counter("fb_live_shed_total");
+  obs::metrics().counter("fb_live_deadline_expired_total");
+  obs::metrics().counter("fb_live_cancelled_total");
   obs::metrics().histogram("fb_batch_size", obs::size_buckets());
   obs::metrics().histogram("fb_live_queue_ms", obs::latency_ms_buckets());
   obs::metrics().histogram("fb_live_exec_ms", obs::latency_ms_buckets());
 }
 
 http::Response HttpGateway::handle(const http::Request& request) {
+  try {
+    return route(request);
+  } catch (const std::exception& e) {
+    // Last-resort catch: a handler bug must surface as a structured 500,
+    // not tear down the connection thread.
+    return error_response(500, "internal", e.what());
+  }
+}
+
+http::Response HttpGateway::route(const http::Request& request) {
   const TargetParts parts = parse_target(request.target);
   if (parts.segments.empty()) {
-    return error_response(404, "not found");
+    return error_response(404, "not_found", "no such endpoint");
   }
   const std::string& head = parts.segments.front();
   if (head == "healthz" && request.method == "GET") {
@@ -101,15 +141,16 @@ http::Response HttpGateway::handle(const http::Request& request) {
     return handle_invoke(parts, request.body);
   }
   if (head == "functions" || head == "invoke") {
-    return error_response(405, "method not allowed");
+    return error_response(405, "method_not_allowed",
+                          "use POST for " + head + " endpoints");
   }
-  return error_response(404, "not found");
+  return error_response(404, "not_found", "no such endpoint");
 }
 
 http::Response HttpGateway::handle_register(const TargetParts& parts,
                                             const std::string& body) {
   if (parts.segments.size() != 2) {
-    return error_response(400, "missing function name");
+    return error_response(400, "invalid_request", "missing function name");
   }
   const std::string& name = parts.segments[1];
   try {
@@ -145,33 +186,74 @@ http::Response HttpGateway::handle_register(const TargetParts& parts,
       }
       platform_.register_function(name, make_io_handler(account, payload));
     } else {
-      return error_response(400, "unknown type");
+      return error_response(400, "invalid_request", "unknown type " + type);
     }
   } catch (const std::exception& e) {
-    return error_response(400, e.what());
+    return error_response(400, "invalid_request", e.what());
   }
   Json reply;
   reply["registered"] = name;
   return json_response(200, reply);
 }
 
+http::Response HttpGateway::shed_response(const std::string& code,
+                                          const std::string& message) {
+  http::Response response = error_response(options_.shed_status, code, message);
+  response.headers["Retry-After"] = std::to_string(options_.retry_after_seconds);
+  return response;
+}
+
 http::Response HttpGateway::handle_invoke(const TargetParts& parts,
                                           const std::string& body) {
   if (parts.segments.size() != 2) {
-    return error_response(400, "missing function name");
+    return error_response(400, "invalid_request", "missing function name");
   }
+  std::chrono::milliseconds deadline = options_.default_deadline;
+  const auto deadline_param = parts.query.find("deadline_ms");
+  if (deadline_param != parts.query.end()) {
+    try {
+      const long long ms = std::stoll(deadline_param->second);
+      if (ms < 0) throw std::invalid_argument("negative");
+      deadline = std::chrono::milliseconds(ms);
+    } catch (const std::exception&) {
+      return error_response(400, "invalid_request",
+                            "deadline_ms must be a non-negative integer");
+    }
+  }
+  // Bounded admission: shed before touching the platform so an
+  // overloaded gateway answers fast instead of queueing blocked
+  // connection threads.
+  if (!invoke_guard_.try_admit()) {
+    return shed_response("overloaded",
+                         "too many in-flight invocations; retry later");
+  }
+  AdmissionRelease release{invoke_guard_};
   try {
     // Like the paper's platform, the HTTP reply returns only after the
     // invocation (and, for batched groups, its execution) completes.
     // The request body travels to the handler as the payload.
-    const InvocationReport report = platform_.invoke(parts.segments[1], body).get();
+    const InvocationReport report =
+        platform_.invoke(parts.segments[1], body, deadline).get();
+    switch (report.status) {
+      case InvocationStatus::kOk:
+        break;
+      case InvocationStatus::kShed:
+        return shed_response("overloaded",
+                             "platform dispatch queue is full; retry later");
+      case InvocationStatus::kDeadlineExpired:
+        return error_response(504, "deadline_exceeded",
+                              "deadline expired before execution started");
+      case InvocationStatus::kCancelled:
+        return error_response(503, "shutting_down",
+                              "platform is draining; no new invocations");
+    }
     Json reply;
     reply["queue_ms"] = report.queue_ms;
     reply["exec_ms"] = report.exec_ms;
     reply["total_ms"] = report.total_ms;
     return json_response(200, reply);
   } catch (const std::invalid_argument& e) {
-    return error_response(404, e.what());
+    return error_response(404, "unknown_function", e.what());
   }
 }
 

@@ -17,19 +17,30 @@
 //   POST /functions/{name}?type=fib&n=24   -> register a fib function
 //   POST /functions/{name}?type=io&account=A[&payload=1024]
 //                                          -> register an I/O function
-//   POST /invoke/{name}                    -> run one invocation (the
+//   POST /invoke/{name}[?deadline_ms=N]    -> run one invocation (the
 //        request body is passed to the handler as its payload); the
-//        response returns after completion with the timing report JSON
+//        response returns after completion with the timing report JSON.
+//        deadline_ms bounds submit-to-execution-start: expiry yields
+//        504 before the handler ever runs
 // Registration accepts a JSON body ({"type":"fib","n":24}) or the
 // equivalent query parameters.
+//
+// Error responses carry a structured JSON body with a stable,
+// machine-readable code:
+//   {"error": {"code": "unknown_function", "message": "..."}}
+// Codes: not_found, method_not_allowed, invalid_request,
+// unknown_function, overloaded, deadline_exceeded, shutting_down,
+// internal. Shed responses (overloaded) include a Retry-After header.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "http/server.hpp"
 #include "live/live_platform.hpp"
+#include "resilience/overload_guard.hpp"
 
 namespace faasbatch::live {
 
@@ -40,24 +51,48 @@ struct TargetParts {
 };
 TargetParts parse_target(const std::string& target);
 
+struct GatewayOptions {
+  /// 127.0.0.1 port to serve on; 0 picks a free port.
+  std::uint16_t port = 0;
+  /// Bounded admission for POST /invoke: at most this many invocations
+  /// in flight through the gateway at once; excess requests are shed
+  /// with `shed_status` + Retry-After. 0 = unlimited.
+  std::size_t max_inflight_invokes = 0;
+  /// Status for shed responses: 503 (default) or 429 for deployments
+  /// that prefer rate-limit semantics.
+  int shed_status = 503;
+  /// Value of the Retry-After header on shed responses.
+  unsigned retry_after_seconds = 1;
+  /// Deadline applied to invokes without an explicit ?deadline_ms=.
+  /// Zero means no deadline.
+  std::chrono::milliseconds default_deadline{0};
+};
+
 class HttpGateway {
  public:
   /// Serves `platform` on 127.0.0.1:`port` (0 picks a free port). The
   /// platform must outlive the gateway.
   HttpGateway(LivePlatform& platform, std::uint16_t port = 0);
+  HttpGateway(LivePlatform& platform, GatewayOptions options);
 
   std::uint16_t port() const { return server_.port(); }
   std::uint64_t requests_served() const { return server_.requests_served(); }
+  /// Invocations rejected by the gateway's admission guard.
+  std::uint64_t invokes_shed() const { return invoke_guard_.shed(); }
 
  private:
   http::Response handle(const http::Request& request);
+  http::Response route(const http::Request& request);
   http::Response handle_register(const TargetParts& parts, const std::string& body);
   http::Response handle_invoke(const TargetParts& parts, const std::string& body);
   http::Response handle_stats() const;
   http::Response handle_metrics() const;
   http::Response handle_trace(const TargetParts& parts);
+  http::Response shed_response(const std::string& code, const std::string& message);
 
   LivePlatform& platform_;
+  GatewayOptions options_;
+  resilience::OverloadGuard invoke_guard_;
   http::Server server_;
 };
 

@@ -52,6 +52,25 @@ obs::Histogram& live_exec_ms() {
       obs::metrics().histogram("fb_live_exec_ms", obs::latency_ms_buckets());
   return h;
 }
+obs::Counter& live_shed_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_live_shed_total");
+  return c;
+}
+obs::Counter& live_deadline_expired_total() {
+  static obs::Counter& c =
+      obs::metrics().counter("fb_live_deadline_expired_total");
+  return c;
+}
+obs::Counter& live_cancelled_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_live_cancelled_total");
+  return c;
+}
+
+// Single close point for the per-request span: every terminal path
+// (executed or settled unexecuted) ends the span opened in invoke().
+void end_request_span(double at_us, std::uint64_t id) {
+  obs::tracer().end_span("live", "request", at_us, id);
+}
 
 }  // namespace
 
@@ -67,6 +86,10 @@ LivePlatform::LivePlatform(LivePlatformOptions options)
 }
 
 LivePlatform::~LivePlatform() {
+  // Graceful drain first: flush any open dispatch window immediately so
+  // teardown never waits out (or, under a VirtualClock, hangs on) the
+  // window timer while invocations sit queued.
+  shutdown();
   drain();
   {
     std::lock_guard<Mutex> lock(mutex_);
@@ -77,34 +100,74 @@ LivePlatform::~LivePlatform() {
   // Containers drain in their destructors.
 }
 
+void LivePlatform::shutdown() {
+  {
+    std::lock_guard<Mutex> lock(mutex_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
 void LivePlatform::register_function(const std::string& name, FunctionHandler handler) {
   std::lock_guard<Mutex> lock(mutex_);
   functions_[name] = std::move(handler);
 }
 
 std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
-                                                   std::string payload) {
+                                                   std::string payload,
+                                                   std::chrono::milliseconds deadline) {
   auto request = std::make_shared<Request>();
   request->function = name;
   request->payload = std::move(payload);
   request->submitted = clock_->now();
+  if (deadline.count() > 0) {
+    request->deadline =
+        request->submitted + std::chrono::duration_cast<ClockTime>(deadline);
+  }
   std::future<InvocationReport> future = request->promise.get_future();
+  InvocationStatus verdict = InvocationStatus::kOk;
   {
     std::lock_guard<Mutex> lock(mutex_);
     if (functions_.find(name) == functions_.end()) {
       throw std::invalid_argument("LivePlatform::invoke: unknown function " + name);
     }
     request->id = next_id_++;
-    ++outstanding_;
     live_requests_total().inc();
-    if (obs::tracer().enabled()) {
-      obs::tracer().instant("live", "arrival", us_of(request->submitted),
-                            request->id, {{"function", Json(request->function)}});
-      obs::tracer().begin_span("live", "request", us_of(request->submitted),
-                               request->id,
-                               {{"function", Json(request->function)}});
+    if (draining_) {
+      verdict = InvocationStatus::kCancelled;
+    } else if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      verdict = InvocationStatus::kShed;
     }
-    queue_.push_back(std::move(request));
+    if (verdict == InvocationStatus::kOk) {
+      ++outstanding_;
+      if (obs::tracer().enabled()) {
+        obs::tracer().instant("live", "arrival", us_of(request->submitted),
+                              request->id, {{"function", Json(request->function)}});
+        obs::tracer().begin_span("live", "request", us_of(request->submitted),
+                                 request->id,
+                                 {{"function", Json(request->function)}});
+      }
+      queue_.push_back(request);
+    }
+  }
+  if (verdict != InvocationStatus::kOk) {
+    // Rejected at admission: resolve the future off-lock, never queued,
+    // never counted as outstanding — drain() does not wait for it.
+    if (verdict == InvocationStatus::kShed) {
+      live_shed_total().inc();
+    } else {
+      live_cancelled_total().inc();
+    }
+    if (obs::tracer().enabled()) {
+      obs::tracer().instant(
+          "live", verdict == InvocationStatus::kShed ? "shed" : "cancelled",
+          us_of(request->submitted), request->id,
+          {{"function", Json(request->function)}});
+    }
+    InvocationReport report;
+    report.status = verdict;
+    request->promise.set_value(report);
+    return future;
   }
   queue_cv_.notify_all();
   return future;
@@ -141,6 +204,30 @@ LiveContainer& LivePlatform::container_for(const std::string& function) {
   return *all_containers_.back();
 }
 
+void LivePlatform::settle_unexecuted(const std::shared_ptr<Request>& request,
+                                     InvocationStatus status) {
+  const ClockTime now = clock_->now();
+  InvocationReport report;
+  report.status = status;
+  report.queue_ms = ms_between(request->submitted, now);
+  report.total_ms = report.queue_ms;
+  if (status == InvocationStatus::kDeadlineExpired) {
+    live_deadline_expired_total().inc();
+  }
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("live", "deadline_expired", us_of(now), request->id,
+                          {{"function", Json(request->function)}});
+    end_request_span(us_of(now), request->id);
+  }
+  request->promise.set_value(report);
+  bool notify_drain = false;
+  {
+    std::lock_guard<Mutex> lock(mutex_);
+    if (--outstanding_ == 0) notify_drain = true;
+  }
+  if (notify_drain) drain_cv_.notify_all();
+}
+
 void LivePlatform::run_request(LiveContainer& container,
                                std::shared_ptr<Request> request) {
   // Caller holds mutex_ (handler lookup is done before submitting).
@@ -148,6 +235,19 @@ void LivePlatform::run_request(LiveContainer& container,
   container.submit([this, &container, request = std::move(request),
                     handler = std::move(handler)]() {
     const ClockTime exec_start = clock_->now();
+    if (exec_start >= request->deadline) {
+      // The deadline expired while the request waited behind other work
+      // in this container. Return the container (Vanilla reuse) and
+      // settle without running the handler.
+      {
+        std::lock_guard<Mutex> lock(mutex_);
+        if (options_.policy == LivePolicy::kVanilla) {
+          warm_[request->function].push_back(&container);
+        }
+      }
+      settle_unexecuted(request, InvocationStatus::kDeadlineExpired);
+      return;
+    }
     FunctionContext context{container.multiplexer(), store_, clients_, request->id,
                             request->payload};
     handler(context);
@@ -170,7 +270,7 @@ void LivePlatform::run_request(LiveContainer& container,
       obs::tracer().complete("live", "exec", us_of(exec_start),
                              us_of(exec_end) - us_of(exec_start), request->id,
                              {{"function", function_arg}});
-      obs::tracer().end_span("live", "request", us_of(exec_end), request->id);
+      end_request_span(us_of(exec_end), request->id);
     }
     // Return the container to the warm pool BEFORE resolving the promise:
     // a caller sequencing invoke().get() calls must observe this idle
@@ -197,6 +297,9 @@ void LivePlatform::run_request(LiveContainer& container,
 
 void LivePlatform::dispatcher_loop() {
   while (true) {
+    // Requests whose deadline passed before dispatch; settled after the
+    // lock drops (promise resolution never runs under mutex_).
+    std::vector<std::shared_ptr<Request>> expired;
     std::unique_lock<Mutex> lock(mutex_);
     queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
     if (stopping_ && queue_.empty()) return;
@@ -206,8 +309,16 @@ void LivePlatform::dispatcher_loop() {
       while (!queue_.empty()) {
         auto request = std::move(queue_.front());
         queue_.pop_front();
+        if (clock_->now() >= request->deadline) {
+          expired.push_back(std::move(request));
+          continue;
+        }
         LiveContainer& container = container_for(request->function);
         run_request(container, std::move(request));
+      }
+      lock.unlock();
+      for (const auto& request : expired) {
+        settle_unexecuted(request, InvocationStatus::kDeadlineExpired);
       }
       continue;
     }
@@ -216,19 +327,26 @@ void LivePlatform::dispatcher_loop() {
     // the live analogue of the Invoke Mapper + Inline-Parallel Producer.
     // The wait goes through the injected clock, so tests advance a
     // VirtualClock to close the window instead of sleeping through it.
+    // A draining platform flushes immediately: shutdown() must not wait
+    // out the window timer.
     const ClockTime window_open = clock_->now();
     const ClockTime window_deadline =
         window_open + std::chrono::duration_cast<ClockTime>(options_.window);
-    clock_->wait_until(lock, queue_cv_, window_deadline, [this] { return stopping_; });
+    clock_->wait_until(lock, queue_cv_, window_deadline,
+                       [this] { return stopping_ || draining_; });
+    const ClockTime window_close = clock_->now();
     std::deque<std::shared_ptr<Request>> batch;
     batch.swap(queue_);
     std::map<std::string, std::vector<std::shared_ptr<Request>>> groups;
     for (auto& request : batch) {
+      if (window_close >= request->deadline) {
+        expired.push_back(std::move(request));
+        continue;
+      }
       groups[request->function].push_back(std::move(request));
     }
     live_windows_flushed_total().inc();
     if (obs::tracer().enabled() && !groups.empty()) {
-      const ClockTime window_close = clock_->now();
       obs::tracer().complete(
           "dispatch", "dispatch_window", us_of(window_open),
           us_of(window_close) - us_of(window_open), /*tid=*/0,
@@ -268,6 +386,10 @@ void LivePlatform::dispatcher_loop() {
       for (auto& request : requests) {
         run_request(*chosen, std::move(request));
       }
+    }
+    lock.unlock();
+    for (const auto& request : expired) {
+      settle_unexecuted(request, InvocationStatus::kDeadlineExpired);
     }
   }
 }

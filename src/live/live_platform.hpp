@@ -45,11 +45,22 @@ struct FunctionContext {
 
 using FunctionHandler = std::function<void(FunctionContext&)>;
 
+/// Terminal outcome of one invocation. Every future resolves with
+/// exactly one of these — submissions are never silently dropped.
+enum class InvocationStatus {
+  kOk,               ///< handler ran to completion
+  kShed,             ///< rejected at submit: queue at max_queue capacity
+  kDeadlineExpired,  ///< deadline passed before the handler started
+  kCancelled,        ///< rejected at submit: platform shutting down
+};
+
 /// Timing report for one completed invocation (wall-clock milliseconds).
 struct InvocationReport {
+  InvocationStatus status = InvocationStatus::kOk;
   double queue_ms = 0.0;  ///< submit -> execution start (incl. window wait)
   double exec_ms = 0.0;   ///< handler run time
   double total_ms = 0.0;  ///< submit -> completion
+  bool ok() const { return status == InvocationStatus::kOk; }
 };
 
 enum class LivePolicy {
@@ -70,6 +81,10 @@ struct LivePlatformOptions {
   /// Clock::system(). Tests inject a VirtualClock and advance() it to
   /// flush dispatch windows deterministically instead of sleeping.
   Clock* clock = nullptr;
+  /// Bounded admission: invoke() sheds (future resolves immediately with
+  /// InvocationStatus::kShed) when this many requests are already queued
+  /// for dispatch. 0 = unbounded.
+  std::size_t max_queue = 0;
 };
 
 class LivePlatform {
@@ -85,10 +100,22 @@ class LivePlatform {
   /// Registers (or replaces) a function.
   void register_function(const std::string& name, FunctionHandler handler);
 
-  /// Submits one invocation; the future resolves when it completes.
+  /// Submits one invocation; the future resolves when it reaches a
+  /// terminal outcome (see InvocationStatus — not necessarily success).
   /// `payload` is handed to the handler verbatim (request body).
-  std::future<InvocationReport> invoke(const std::string& name,
-                                       std::string payload = "");
+  /// A positive `deadline` bounds submit-to-execution-start: if it
+  /// passes before the handler begins (window wait, busy container),
+  /// the future resolves with kDeadlineExpired and the handler never
+  /// runs. Zero means no deadline.
+  std::future<InvocationReport> invoke(
+      const std::string& name, std::string payload = "",
+      std::chrono::milliseconds deadline = std::chrono::milliseconds(0));
+
+  /// Begins graceful drain: every invocation already queued still
+  /// executes to completion, but new invoke() calls resolve immediately
+  /// with kCancelled. Pending dispatch windows flush at once rather than
+  /// waiting out the timer. Idempotent; the destructor calls it.
+  void shutdown();
 
   /// Blocks until every submitted invocation has completed.
   void drain();
@@ -109,12 +136,19 @@ class LivePlatform {
     std::string payload;
     std::uint64_t id;
     ClockTime submitted;
+    /// Absolute time after which the request must not start executing.
+    ClockTime deadline = ClockTime::max();
     std::promise<InvocationReport> promise;
   };
 
   void dispatcher_loop();
   void run_request(LiveContainer& container, std::shared_ptr<Request> request);
   LiveContainer& container_for(const std::string& function);
+  /// Resolves a queued request's future without running its handler
+  /// (deadline expiry) and settles drain bookkeeping. Call WITHOUT
+  /// holding mutex_.
+  void settle_unexecuted(const std::shared_ptr<Request>& request,
+                         InvocationStatus status);
 
   LivePlatformOptions options_;
   Clock* clock_;
@@ -136,6 +170,7 @@ class LivePlatform {
   std::uint64_t containers_created_ = 0;
   std::uint64_t next_id_ = 0;
   std::size_t outstanding_ = 0;
+  bool draining_ = false;
   bool stopping_ = false;
   std::thread dispatcher_;
 };

@@ -1,0 +1,103 @@
+#include "resilience/chaos_engine.hpp"
+
+#include "common/hash.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace faasbatch::resilience {
+namespace {
+
+obs::Counter& retries_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_chaos_retries_total");
+  return c;
+}
+obs::Counter& sheds_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_chaos_shed_total");
+  return c;
+}
+obs::Counter& terminal_failures_total() {
+  static obs::Counter& c =
+      obs::metrics().counter("fb_chaos_terminal_failures_total");
+  return c;
+}
+obs::Counter& deadline_failures_total() {
+  static obs::Counter& c =
+      obs::metrics().counter("fb_chaos_deadline_failures_total");
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t ChaosCounters::fingerprint() const {
+  std::uint64_t h = fnv1a_u64(retries);
+  h = fnv1a_u64(sheds, h);
+  h = fnv1a_u64(terminal_failures, h);
+  h = fnv1a_u64(deadline_failures, h);
+  return h;
+}
+
+ChaosEngine::ChaosEngine(FaultPlan plan, RetryPolicy retry,
+                         OverloadGuard::Options overload)
+    : injector_(plan),
+      retry_(retry),
+      overload_(overload),
+      // Offset keeps the backoff stream distinct from the injector's
+      // per-class forks even though both derive from plan.seed.
+      backoff_rng_(plan.seed ^ 0xB0FFu) {}
+
+bool ChaosEngine::admit() {
+  if (overload_.try_admit()) return true;
+  ++counters_.sheds;
+  sheds_total().inc();
+  return false;
+}
+
+void ChaosEngine::finish() { overload_.release(); }
+
+bool ChaosEngine::plan_retry(InvocationId id, std::uint32_t attempts,
+                             SimTime arrival, SimTime now,
+                             SimDuration* backoff) {
+  const SimTime deadline = retry_.request_deadline > 0
+                               ? arrival + retry_.request_deadline
+                               : 0;
+  if (deadline != 0 && now >= deadline) {
+    ++counters_.deadline_failures;
+    ++counters_.terminal_failures;
+    deadline_failures_total().inc();
+    terminal_failures_total().inc();
+    prev_backoff_.erase(id);
+    return false;
+  }
+  if (!retry_.allows_retry(attempts)) {
+    ++counters_.terminal_failures;
+    terminal_failures_total().inc();
+    prev_backoff_.erase(id);
+    return false;
+  }
+  SimDuration& prev = prev_backoff_[id];
+  const SimDuration delay = retry_.next_backoff(prev, backoff_rng_);
+  if (deadline != 0 && now + delay >= deadline) {
+    // The retry could not even start before the deadline: fail now
+    // rather than burning a container slot on a doomed attempt.
+    ++counters_.deadline_failures;
+    ++counters_.terminal_failures;
+    deadline_failures_total().inc();
+    terminal_failures_total().inc();
+    prev_backoff_.erase(id);
+    return false;
+  }
+  prev = delay;
+  ++counters_.retries;
+  retries_total().inc();
+  if (backoff != nullptr) *backoff = delay;
+  return true;
+}
+
+std::uint64_t ChaosEngine::fingerprint() const {
+  std::uint64_t h = counters_.fingerprint();
+  h = fnv1a_u64(injector_.stats().fingerprint(), h);
+  h = fnv1a_u64(overload_.admitted(), h);
+  h = fnv1a_u64(overload_.shed(), h);
+  return h;
+}
+
+}  // namespace faasbatch::resilience

@@ -1,0 +1,124 @@
+#include "resilience/fault_injector.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/hash.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace faasbatch::resilience {
+namespace {
+
+obs::Counter& fault_counter(const char* kind) {
+  return obs::metrics().counter(std::string("fb_fault_injected_total{kind=\"") +
+                                kind + "\"}");
+}
+
+obs::Counter& cold_start_faults_total() {
+  static obs::Counter& c = fault_counter("cold_start");
+  return c;
+}
+obs::Counter& crash_faults_total() {
+  static obs::Counter& c = fault_counter("container_crash");
+  return c;
+}
+obs::Counter& exec_faults_total() {
+  static obs::Counter& c = fault_counter("exec_error");
+  return c;
+}
+obs::Counter& storage_faults_total() {
+  static obs::Counter& c = fault_counter("storage");
+  return c;
+}
+obs::Counter& straggler_faults_total() {
+  static obs::Counter& c = fault_counter("straggler");
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t FaultStats::fingerprint() const {
+  std::uint64_t h = fnv1a_u64(cold_start_failures);
+  h = fnv1a_u64(container_crashes, h);
+  h = fnv1a_u64(exec_errors, h);
+  h = fnv1a_u64(storage_failures, h);
+  h = fnv1a_u64(stragglers, h);
+  return h;
+}
+
+std::uint64_t FaultPlan::fingerprint() const {
+  const auto fold_double = [](double value, std::uint64_t seed) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a_u64(bits, seed);
+  };
+  std::uint64_t h = fnv1a_u64(seed);
+  h = fold_double(cold_start_failure_rate, h);
+  h = fold_double(container_crash_rate, h);
+  h = fold_double(exec_error_rate, h);
+  h = fold_double(storage_failure_rate, h);
+  h = fold_double(straggler_rate, h);
+  h = fold_double(straggler_multiplier, h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(crash_detection_latency), h);
+  return h;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan),
+      cold_start_rng_(0),
+      crash_rng_(0),
+      exec_rng_(0),
+      storage_rng_(0),
+      straggler_rng_(0) {
+  // Fork one independent stream per fault class off a root seeded from
+  // the plan, so draws in one class never shift another class's sequence.
+  Rng root(plan_.seed);
+  cold_start_rng_ = root.fork();
+  crash_rng_ = root.fork();
+  exec_rng_ = root.fork();
+  storage_rng_ = root.fork();
+  straggler_rng_ = root.fork();
+}
+
+bool FaultInjector::draw(Rng& rng, double rate) {
+  if (rate <= 0.0) return false;
+  return rng.uniform() < rate;
+}
+
+bool FaultInjector::inject_cold_start_failure() {
+  if (!draw(cold_start_rng_, plan_.cold_start_failure_rate)) return false;
+  ++stats_.cold_start_failures;
+  cold_start_faults_total().inc();
+  return true;
+}
+
+bool FaultInjector::inject_container_crash() {
+  if (!draw(crash_rng_, plan_.container_crash_rate)) return false;
+  ++stats_.container_crashes;
+  crash_faults_total().inc();
+  return true;
+}
+
+bool FaultInjector::inject_exec_error() {
+  if (!draw(exec_rng_, plan_.exec_error_rate)) return false;
+  ++stats_.exec_errors;
+  exec_faults_total().inc();
+  return true;
+}
+
+bool FaultInjector::inject_storage_failure() {
+  if (!draw(storage_rng_, plan_.storage_failure_rate)) return false;
+  ++stats_.storage_failures;
+  storage_faults_total().inc();
+  return true;
+}
+
+double FaultInjector::straggler_multiplier() {
+  if (!draw(straggler_rng_, plan_.straggler_rate)) return 1.0;
+  ++stats_.stragglers;
+  straggler_faults_total().inc();
+  return plan_.straggler_multiplier;
+}
+
+}  // namespace faasbatch::resilience

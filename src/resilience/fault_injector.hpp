@@ -1,0 +1,77 @@
+// Deterministic, seed-driven fault injection.
+//
+// Every fault decision is a draw from a per-fault-class Rng stream forked
+// from the plan's seed, so the same (seed, plan) pair reproduces the same
+// decisions bit-for-bit — any chaos-run failure replays exactly. A class
+// whose rate is 0 never draws, so turning one fault class on does not
+// perturb the decisions of another.
+//
+// The injector also keeps its own plain counters (FaultStats): unlike the
+// obs counters it mirrors into, these are deterministic state that the
+// differential harness fingerprints to assert replay identity.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "resilience/fault_plan.hpp"
+
+namespace faasbatch::resilience {
+
+/// Deterministic counts of injected faults; part of the chaos fingerprint.
+struct FaultStats {
+  std::uint64_t cold_start_failures = 0;
+  std::uint64_t container_crashes = 0;
+  std::uint64_t exec_errors = 0;
+  std::uint64_t storage_failures = 0;
+  std::uint64_t stragglers = 0;
+
+  std::uint64_t total() const {
+    return cold_start_failures + container_crashes + exec_errors +
+           storage_failures + stragglers;
+  }
+
+  /// Stable FNV-1a fold over every counter.
+  std::uint64_t fingerprint() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// One decision per container boot attempt: true = the boot fails
+  /// after paying its cold start.
+  bool inject_cold_start_failure();
+
+  /// One decision per container dispatch: true = the container crashes
+  /// as execution begins, failing every invocation mapped to it.
+  bool inject_container_crash();
+
+  /// One decision per invocation execution attempt.
+  bool inject_exec_error();
+
+  /// One decision per storage-client creation attempt.
+  bool inject_storage_failure();
+
+  /// One decision per invocation execution attempt: the body-latency
+  /// multiplier (1.0 normally, plan.straggler_multiplier when the attempt
+  /// lands on a degraded container).
+  double straggler_multiplier();
+
+ private:
+  /// Draws from `rng` only when rate > 0 (stream isolation).
+  static bool draw(Rng& rng, double rate);
+
+  FaultPlan plan_;
+  Rng cold_start_rng_;
+  Rng crash_rng_;
+  Rng exec_rng_;
+  Rng storage_rng_;
+  Rng straggler_rng_;
+  FaultStats stats_;
+};
+
+}  // namespace faasbatch::resilience

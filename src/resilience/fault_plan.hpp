@@ -1,0 +1,77 @@
+// Declarative fault plan: what to break, how often, from which seed.
+//
+// FaaSBatch's core trick — mapping a whole invocation group to ONE
+// container — enlarges the fault blast radius: a single container crash
+// now takes out an entire batch. The paper never evaluates this, so the
+// chaos layer makes it a first-class, deterministic experiment input: a
+// FaultPlan declares per-fault-class rates and a seed, a FaultInjector
+// turns it into reproducible fault decisions, and the differential
+// harness asserts that every scheduler terminally accounts for every
+// invocation under any plan.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace faasbatch::resilience {
+
+/// All rates are per-decision probabilities in [0, 1]; 0 disables the
+/// fault class entirely (and consumes no randomness, so enabling one
+/// class never perturbs another class's stream).
+struct FaultPlan {
+  /// Seed of the injector's fault streams. Each fault class draws from
+  /// its own forked sub-stream, so the same (seed, plan) pair yields the
+  /// same decisions per class regardless of interleaving.
+  std::uint64_t seed = 0xC4A05;
+
+  /// Container boot fails after paying its cold start (image pull error,
+  /// runtime crash). Subsumes RuntimeConfig::cold_start_failure_rate.
+  double cold_start_failure_rate = 0.0;
+
+  /// The container crashes when a dispatch's execution begins: every
+  /// invocation mapped to it for that dispatch fails together (the
+  /// batching blast radius) and the container is destroyed.
+  double container_crash_rate = 0.0;
+
+  /// One invocation attempt raises an execution error after running its
+  /// body (user-code exception, OOM-killed task).
+  double exec_error_rate = 0.0;
+
+  /// Storage-client creation fails for one invocation attempt after
+  /// paying the creation cost (auth/endpoint errors).
+  double storage_failure_rate = 0.0;
+
+  /// One invocation attempt lands on a degraded ("straggler") container
+  /// and its body takes straggler_multiplier times longer.
+  double straggler_rate = 0.0;
+  double straggler_multiplier = 4.0;
+
+  /// Delay between a container crash and the platform observing it
+  /// (health-check / connection-reset latency) before re-dispatching.
+  SimDuration crash_detection_latency = 100 * kMillisecond;
+
+  /// True when any fault class can fire.
+  bool any() const {
+    return cold_start_failure_rate > 0.0 || container_crash_rate > 0.0 ||
+           exec_error_rate > 0.0 || storage_failure_rate > 0.0 ||
+           straggler_rate > 0.0;
+  }
+
+  /// A plan injecting every fault class at the same `rate`.
+  static FaultPlan uniform(double rate, std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.cold_start_failure_rate = rate;
+    plan.container_crash_rate = rate;
+    plan.exec_error_rate = rate;
+    plan.storage_failure_rate = rate;
+    plan.straggler_rate = rate;
+    return plan;
+  }
+
+  /// Stable FNV-1a fingerprint over every field (for determinism checks).
+  std::uint64_t fingerprint() const;
+};
+
+}  // namespace faasbatch::resilience

@@ -1,0 +1,65 @@
+// Overload guard: bounded admission with load shedding.
+//
+// A platform that queues unboundedly under overload converts excess load
+// into unbounded latency for everyone (Kaffes et al., "Practical
+// Scheduling for Real-World Serverless Computing"); shedding the excess
+// keeps admitted requests fast and gives callers an honest retry signal.
+// The guard is a small atomic admission counter usable from both the
+// single-threaded simulator and the live platform's request threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace faasbatch::resilience {
+
+class OverloadGuard {
+ public:
+  struct Options {
+    /// Admitted-but-not-finished requests allowed; 0 = unlimited.
+    std::size_t max_inflight = 0;
+    /// Retry-After hint (seconds) handed to shed callers.
+    unsigned retry_after_seconds = 1;
+  };
+
+  OverloadGuard() = default;
+  explicit OverloadGuard(Options options) : options_(options) {}
+
+  /// Admits one request if capacity remains; otherwise counts a shed and
+  /// returns false. Every true return must be paired with release().
+  bool try_admit() {
+    if (options_.max_inflight == 0) {
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    std::size_t current = inflight_.load(std::memory_order_relaxed);
+    while (current < options_.max_inflight) {
+      if (inflight_.compare_exchange_weak(current, current + 1,
+                                          std::memory_order_relaxed)) {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Returns one admitted request's slot.
+  void release() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  std::size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  std::uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_{};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+};
+
+}  // namespace faasbatch::resilience

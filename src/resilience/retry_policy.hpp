@@ -1,0 +1,51 @@
+// Retry policy: exponential backoff with decorrelated jitter, a
+// per-invocation attempt budget, and an optional per-request deadline.
+//
+// Retries are always per-MEMBER, never per-group: when a batched
+// container crashes, each surviving invocation re-dispatches
+// individually with its own backoff, so one flaky member cannot hold an
+// entire group hostage (see DESIGN.md "Batch blast radius").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace faasbatch::resilience {
+
+struct RetryPolicy {
+  /// Total execution attempts per invocation (first try included).
+  /// An attempt that fails with no budget left is terminally failed.
+  std::uint32_t max_attempts = 4;
+
+  /// Backoff bounds. The delay before attempt n+1 uses decorrelated
+  /// jitter: uniform(base, 3 * previous_delay), capped at max_backoff —
+  /// the AWS Architecture Blog variant that avoids synchronized retry
+  /// storms without tracking the attempt number.
+  SimDuration base_backoff = 10 * kMillisecond;
+  SimDuration max_backoff = 2 * kSecond;
+
+  /// End-to-end deadline measured from arrival; an invocation whose next
+  /// retry cannot start before the deadline is terminally failed instead
+  /// of retried. 0 disables the deadline.
+  SimDuration request_deadline = 0;
+
+  /// True when `attempts` used so far leaves budget for another try.
+  bool allows_retry(std::uint32_t attempts) const {
+    return attempts < max_attempts;
+  }
+
+  /// The next backoff delay given the previous one (0 for the first
+  /// retry); draws its jitter from `rng`.
+  SimDuration next_backoff(SimDuration previous, Rng& rng) const {
+    const SimDuration lo = std::max<SimDuration>(base_backoff, 1);
+    const SimDuration hi = std::max<SimDuration>(lo, 3 * std::max(previous, lo));
+    const auto jittered = static_cast<SimDuration>(
+        rng.uniform(static_cast<double>(lo), static_cast<double>(hi) + 1.0));
+    return std::clamp(jittered, lo, std::max(lo, max_backoff));
+  }
+};
+
+}  // namespace faasbatch::resilience

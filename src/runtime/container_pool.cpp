@@ -40,9 +40,14 @@ obs::Gauge& live_containers_gauge() {
 }  // namespace
 
 ContainerPool::ContainerPool(Machine& machine)
-    : machine_(machine),
-      failure_rng_(machine.config().failure_seed),
-      live_gauge_(0.0, /*keep_history=*/true) {
+    : machine_(machine), live_gauge_(0.0, /*keep_history=*/true) {
+  // Default injector carries only the legacy boot-failure knob; a chaos
+  // harness replaces it via set_fault_injector with a richer plan.
+  resilience::FaultPlan plan;
+  plan.seed = machine.config().failure_seed;
+  plan.cold_start_failure_rate = machine.config().cold_start_failure_rate;
+  own_injector_ = std::make_unique<resilience::FaultInjector>(plan);
+  injector_ = own_injector_.get();
   live_gauge_.set(machine_.simulator().now(), 0.0);
 }
 
@@ -104,8 +109,7 @@ void ContainerPool::provision_attempt(const trace::FunctionProfile& profile,
         machine_.cpu().submit(
             machine_.config().cold_start_cpu_seconds,
             [this, raw, id, started, profile, on_ready = std::move(on_ready)]() mutable {
-              const double failure_rate = machine_.config().cold_start_failure_rate;
-              if (failure_rate > 0.0 && failure_rng_.uniform() < failure_rate) {
+              if (injector_->inject_cold_start_failure()) {
                 // Injected boot failure: tear the attempt down (its
                 // memory is released) and start over; the waiters keep
                 // accumulating latency from the original request.
@@ -165,6 +169,42 @@ void ContainerPool::release(Container& container) {
   container.expiry_event_ = machine_.simulator().schedule_after(
       keep_alive, [this, id] { reclaim(id); });
   container.expiry_scheduled_ = true;
+}
+
+void ContainerPool::set_fault_injector(resilience::FaultInjector* injector) {
+  injector_ = injector != nullptr ? injector : own_injector_.get();
+}
+
+void ContainerPool::destroy(Container& container) {
+  if (container.active_invocations() != 0) {
+    throw std::logic_error("ContainerPool::destroy: container still has work");
+  }
+  const ContainerId id = container.id();
+  auto it = containers_.find(id);
+  assert(it != containers_.end());
+  if (container.expiry_scheduled_) {
+    machine_.simulator().cancel(container.expiry_event_);
+    container.expiry_scheduled_ = false;
+  }
+  accumulated_.total_served += container.served();
+  accumulated_.total_client_creations += container.client_creations();
+  accumulated_.total_client_memory += container.client_memory();
+  ++accumulated_.crashed;
+  obs::metrics().counter("fb_container_crashes_total").inc();
+  auto idle_it = idle_by_function_.find(container.function());
+  if (idle_it != idle_by_function_.end()) {
+    auto& idle = idle_it->second;
+    idle.erase(std::remove(idle.begin(), idle.end(), id), idle.end());
+  }
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant(
+        "container", "crash", static_cast<double>(machine_.simulator().now()),
+        obs::kContainerTrackBase + id,
+        {{"function", Json(static_cast<std::int64_t>(container.function()))}});
+  }
+  containers_.erase(it);
+  live_gauge_.set(machine_.simulator().now(), static_cast<double>(containers_.size()));
+  live_containers_gauge().set(static_cast<double>(containers_.size()));
 }
 
 void ContainerPool::reclaim(ContainerId id) {

@@ -15,7 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/rng.hpp"
+#include "resilience/fault_injector.hpp"
 #include "runtime/container.hpp"
 #include "runtime/keepalive.hpp"
 #include "runtime/machine.hpp"
@@ -36,6 +36,8 @@ struct PoolStats {
   /// idle. Reuse must cancel the pending expiry, so this is 0 in a
   /// correct run; the differential invariant harness asserts it.
   std::uint64_t expired_while_active = 0;
+  /// Containers destroyed by injected crashes (ContainerPool::destroy).
+  std::uint64_t crashed = 0;
   std::uint64_t total_served = 0;
   std::uint64_t total_client_creations = 0;
   Bytes total_client_memory = 0;
@@ -70,6 +72,19 @@ class ContainerPool {
   /// armed). The container must have no active invocations.
   void release(Container& container);
 
+  /// Destroys a container immediately (injected crash). The caller must
+  /// have drained its active invocations first (their attempts failed);
+  /// lifetime counters fold into the pool aggregate like a reclaim.
+  void destroy(Container& container);
+
+  /// Shares an externally-owned fault injector (the harness's
+  /// ChaosEngine) instead of the pool's own config-derived one; the
+  /// injector must outlive the pool.
+  void set_fault_injector(resilience::FaultInjector* injector);
+
+  /// The injector currently deciding boot failures.
+  resilience::FaultInjector& fault_injector() { return *injector_; }
+
   /// Installs a keep-alive policy; by default containers idle for
   /// RuntimeConfig::keep_alive (the paper's fixed behaviour).
   void set_keepalive_policy(std::unique_ptr<KeepAlivePolicy> policy);
@@ -99,7 +114,11 @@ class ContainerPool {
                          ReadyCallback on_ready);
 
   Machine& machine_;
-  Rng failure_rng_;
+  // Boot-failure decisions come from a FaultInjector; by default the pool
+  // builds its own from RuntimeConfig {failure_seed,
+  // cold_start_failure_rate}, but a harness-owned one can be shared in.
+  std::unique_ptr<resilience::FaultInjector> own_injector_;
+  resilience::FaultInjector* injector_ = nullptr;
   std::unique_ptr<KeepAlivePolicy> keepalive_;  // nullptr = fixed config value
   std::unordered_map<ContainerId, std::unique_ptr<Container>> containers_;
   std::unordered_map<FunctionId, std::vector<ContainerId>> idle_by_function_;

@@ -43,38 +43,138 @@ void create_storage_client(SchedulerContext& ctx, runtime::Container& container,
       });
 }
 
+bool admit_invocation(SchedulerContext& ctx, InvocationId id) {
+  if (ctx.chaos == nullptr || ctx.chaos->admit()) return true;
+  core::InvocationRecord& record = ctx.records.at(id);
+  record.outcome = core::Outcome::kShed;
+  record.returned = ctx.sim.now();
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("chaos", "shed", static_cast<double>(ctx.sim.now()), id,
+                          {{"function", Json(static_cast<std::int64_t>(record.function))}});
+  }
+  if (ctx.notify_complete) ctx.notify_complete(id);
+  return false;
+}
+
+bool retry_or_fail(SchedulerContext& ctx, InvocationId id,
+                   std::function<void()> redispatch) {
+  core::InvocationRecord& record = ctx.records.at(id);
+  SimDuration backoff = 0;
+  if (ctx.chaos != nullptr &&
+      ctx.chaos->plan_retry(id, record.attempts, record.arrival, ctx.sim.now(),
+                            &backoff)) {
+    if (obs::tracer().enabled()) {
+      obs::tracer().instant(
+          "chaos", "retry", static_cast<double>(ctx.sim.now()), id,
+          {{"attempt", Json(static_cast<std::int64_t>(record.attempts))},
+           {"backoff_ms", Json(to_millis(backoff))}});
+    }
+    ctx.sim.schedule_after(backoff, std::move(redispatch));
+    return true;
+  }
+  record.outcome = core::Outcome::kFailed;
+  record.returned = ctx.sim.now();
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant(
+        "chaos", "terminal_failure", static_cast<double>(ctx.sim.now()), id,
+        {{"attempts", Json(static_cast<std::int64_t>(record.attempts))}});
+  }
+  if (ctx.notify_complete) ctx.notify_complete(id);
+  return false;
+}
+
+bool maybe_crash_dispatch(SchedulerContext& ctx, runtime::Container& container,
+                          std::vector<InvocationId> members,
+                          std::function<void(InvocationId)> redispatch) {
+  if (ctx.chaos == nullptr || members.empty()) return false;
+  if (!ctx.chaos->injector().inject_container_crash()) return false;
+  runtime::Container* crashed = &container;
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant(
+        "chaos", "container_crash", static_cast<double>(ctx.sim.now()),
+        obs::kContainerTrackBase + container.id(),
+        {{"members", Json(static_cast<std::int64_t>(members.size()))}});
+  }
+  const SimDuration detect = ctx.chaos->injector().plan().crash_detection_latency;
+  ctx.sim.schedule_after(
+      detect, [&ctx, crashed, members = std::move(members),
+               redispatch = std::move(redispatch)]() {
+        // The crash takes the whole dispatch down together: every member
+        // consumed an attempt and absorbed a fault before re-dispatch.
+        ctx.pool.destroy(*crashed);
+        for (const InvocationId id : members) {
+          core::InvocationRecord& record = ctx.records.at(id);
+          ++record.attempts;
+          ++record.faults;
+          // Copy redispatch: the retry fires after a backoff, when this
+          // crash-detection callback is long destroyed.
+          retry_or_fail(ctx, id, [redispatch, id] { redispatch(id); });
+        }
+      });
+  return true;
+}
+
 void execute_invocation(SchedulerContext& ctx, runtime::Container& container,
                         InvocationId id, const ExecEnv& env,
-                        std::function<void()> on_done) {
+                        std::function<void(bool ok)> on_done) {
   core::InvocationRecord& record = ctx.records.at(id);
   const trace::FunctionProfile& profile = ctx.workload.functions.at(record.function);
   record.exec_start = ctx.sim.now();
+  ++record.attempts;
   container.begin_invocation();
 
-  // Completion stamp shared by both body kinds.
-  auto finish = [&ctx, &container, id, on_done = std::move(on_done)]() {
+  // Per-attempt fault draws, in a fixed order per class stream.
+  bool exec_fault = false;
+  double straggler = 1.0;
+  if (ctx.chaos != nullptr) {
+    exec_fault = ctx.chaos->injector().inject_exec_error();
+    straggler = ctx.chaos->injector().straggler_multiplier();
+    if (exec_fault) ++record.faults;
+  }
+
+  // Completion stamp shared by both body kinds. A failed attempt still
+  // stamps exec_end (it ran and paid its costs) but leaves the record
+  // unaccounted for the caller's retry decision.
+  auto finish = [&ctx, &container, id, on_done = std::move(on_done)](bool ok) {
     core::InvocationRecord& r = ctx.records.at(id);
     r.exec_end = ctx.sim.now();
-    r.completed = true;
+    if (ok) {
+      r.completed = true;
+      r.outcome = core::Outcome::kCompleted;
+    }
     container.end_invocation();
-    if (on_done) on_done();
+    if (on_done) on_done(ok);
   };
 
   if (profile.kind == trace::FunctionKind::kCpuIntensive) {
-    const double work = body_duration_ms(ctx, id) / 1000.0;
+    const double work = body_duration_ms(ctx, id) / 1000.0 * straggler;
+    auto body_done = [exec_fault, finish = std::move(finish)]() {
+      finish(!exec_fault);
+    };
     if (env.run_cpu) {
-      env.run_cpu(work, std::move(finish));
+      env.run_cpu(work, std::move(body_done));
     } else {
-      ctx.machine.cpu().submit(work, 1.0, container.cpu_group(), std::move(finish));
+      ctx.machine.cpu().submit(work, 1.0, container.cpu_group(), std::move(body_done));
     }
     return;
   }
 
   // I/O body: client acquisition, then the object operation (modelled as
   // network-bound latency, not CPU).
-  const SimDuration op_latency = from_millis(body_duration_ms(ctx, id));
-  auto do_op = [&ctx, op_latency, finish = std::move(finish)]() {
-    ctx.sim.schedule_after(op_latency, finish);
+  if (ctx.chaos != nullptr && ctx.chaos->injector().inject_storage_failure()) {
+    // Client creation fails after paying its cost; the attempt dies
+    // without touching the multiplexer cache (a failed client must not
+    // be shared with the rest of the batch).
+    ++record.faults;
+    create_storage_client(ctx, container,
+                          [finish = std::move(finish)]() { finish(false); });
+    return;
+  }
+  const SimDuration op_latency = static_cast<SimDuration>(
+      static_cast<double>(from_millis(body_duration_ms(ctx, id))) * straggler);
+  auto do_op = [&ctx, op_latency, exec_fault, finish = std::move(finish)]() {
+    ctx.sim.schedule_after(op_latency,
+                           [exec_fault, finish]() { finish(!exec_fault); });
   };
 
   if (env.mux == nullptr) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "core/resource_multiplexer.hpp"
 #include "runtime/container.hpp"
@@ -28,13 +29,43 @@ struct ExecEnv {
   std::function<void(double work_core_seconds, std::function<void()> done)> run_cpu;
 };
 
-/// Runs invocation `id` inside `container`. Stamps exec_start now and
-/// exec_end at completion, marks the record completed, balances
-/// begin_invocation/end_invocation, then calls `on_done`. The caller is
+/// Runs one execution attempt of invocation `id` inside `container`.
+/// Stamps exec_start now and exec_end at completion, counts the attempt,
+/// balances begin_invocation/end_invocation, then calls `on_done(ok)`.
+/// With a chaos engine in the context the attempt may absorb an injected
+/// execution error, storage-client failure, or straggler slowdown; `ok`
+/// is false when the attempt failed (the record is NOT terminally
+/// accounted — the caller decides via retry_or_fail). On success the
+/// record is marked completed with Outcome::kCompleted. The caller is
 /// responsible for releasing the container and notifying the harness.
 void execute_invocation(SchedulerContext& ctx, runtime::Container& container,
                         InvocationId id, const ExecEnv& env,
-                        std::function<void()> on_done);
+                        std::function<void(bool ok)> on_done);
+
+/// Admission check at arrival. True = proceed. False = the overload
+/// guard shed the invocation; it has been terminally accounted
+/// (Outcome::kShed, notify_complete fired) and must not be dispatched.
+bool admit_invocation(SchedulerContext& ctx, InvocationId id);
+
+/// Decides the fate of invocation `id` after a failed attempt: either
+/// schedules `redispatch` after the retry policy's backoff (returns
+/// true) or terminally fails the invocation — Outcome::kFailed, returned
+/// stamped, notify_complete fired (returns false). Without a chaos
+/// engine the invocation is failed immediately (no policy = no retries).
+bool retry_or_fail(SchedulerContext& ctx, InvocationId id,
+                   std::function<void()> redispatch);
+
+/// Samples a container-crash fault for one dispatch of `members` into
+/// `container` at ready time (before any member executes). Returns false
+/// when no crash was injected (the caller proceeds normally). On a crash
+/// every member of the dispatch fails together — the batching blast
+/// radius: after the plan's crash-detection latency the container is
+/// destroyed and each member is individually retried via
+/// `redispatch(id)` or terminally failed. Retries are deliberately
+/// per-member, never per-group (see DESIGN.md).
+bool maybe_crash_dispatch(SchedulerContext& ctx, runtime::Container& container,
+                          std::vector<InvocationId> members,
+                          std::function<void(InvocationId)> redispatch);
 
 /// Body duration of invocation `id` in ms: the trace event's own duration
 /// when present (inputs vary per request), else the profile default.

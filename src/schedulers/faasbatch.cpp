@@ -47,6 +47,7 @@ core::ResourceMultiplexer::Stats FaasBatchScheduler::multiplexer_stats() const {
 }
 
 void FaasBatchScheduler::on_arrival(InvocationId id) {
+  if (!admit_invocation(ctx(), id)) return;
   const core::InvocationRecord& record = ctx().records.at(id);
   if (mapper_.add(ctx().sim.now(), id, record.function)) {
     ctx().sim.schedule_after(mapper_.window(), [this] { on_window_close(); });
@@ -105,11 +106,26 @@ void FaasBatchScheduler::dispatch_group(core::FunctionGroup group) {
           for (InvocationId id : group.invocations) {
             ctx().records.at(id).cold_start = cold_start;
           }
+          // The batching blast radius: one crash fails the WHOLE group.
+          // Survivors re-dispatch individually, each in its own group.
+          if (maybe_crash_dispatch(ctx(), container, group.invocations,
+                                   [this](InvocationId rid) {
+                                     redispatch_member(rid);
+                                   })) {
+            return;
+          }
           expand_group(container, group);
         };
         ctx().pool.acquire(ctx().workload.functions.at(group.function),
                            std::move(on_ready));
       });
+}
+
+void FaasBatchScheduler::redispatch_member(InvocationId id) {
+  core::FunctionGroup group;
+  group.function = ctx().records.at(id).function;
+  group.invocations.push_back(id);
+  dispatch_group(std::move(group));
 }
 
 void FaasBatchScheduler::expand_group(runtime::Container& container,
@@ -118,24 +134,33 @@ void FaasBatchScheduler::expand_group(runtime::Container& container,
   // tasks inside the container's cpuset. The container is released only
   // when the last one finishes.
   auto remaining = std::make_shared<std::size_t>(group.invocations.size());
-  auto members = std::make_shared<std::vector<InvocationId>>(group.invocations);
+  // Batch-return replies cover only members whose attempt succeeded here;
+  // a failed member leaves the group for its own retry and must not be
+  // double-notified when the group reply goes out.
+  auto succeeded = std::make_shared<std::vector<InvocationId>>();
   const bool batch_return = options().faasbatch_batch_return;
   ExecEnv env;
   env.mux = options().enable_multiplexer ? &mux_for(container.id()) : nullptr;
   for (InvocationId id : group.invocations) {
     execute_invocation(
         ctx(), container, id, env,
-        [this, &container, id, remaining, members, batch_return]() {
-          if (!batch_return) {
-            ctx().records.at(id).returned = ctx().sim.now();
-            ctx().notify_complete(id);
+        [this, &container, id, remaining, succeeded, batch_return](bool ok) {
+          if (ok) {
+            if (batch_return) {
+              succeeded->push_back(id);
+            } else {
+              ctx().records.at(id).returned = ctx().sim.now();
+              ctx().notify_complete(id);
+            }
+          } else {
+            retry_or_fail(ctx(), id, [this, id] { redispatch_member(id); });
           }
           if (--*remaining != 0) return;
           // Whole group done: with the paper's batch-return semantics
           // every member's reply goes out now, together.
           if (batch_return) {
             const SimTime now = ctx().sim.now();
-            for (InvocationId member : *members) {
+            for (InvocationId member : *succeeded) {
               ctx().records.at(member).returned = now;
               ctx().notify_complete(member);
             }

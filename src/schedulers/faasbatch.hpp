@@ -44,6 +44,10 @@ class FaasBatchScheduler : public Scheduler {
   void dispatch_group(core::FunctionGroup group);
   void expand_group(runtime::Container& container, const core::FunctionGroup& group);
 
+  /// Retry path: the member re-enters the pipeline as a single-member
+  /// group, bypassing the batch window (per-member retries, DESIGN.md).
+  void redispatch_member(InvocationId id);
+
   /// Per-container multiplexer, created on first use. Entries for
   /// reclaimed containers are dropped lazily.
   core::ResourceMultiplexer& mux_for(ContainerId id);

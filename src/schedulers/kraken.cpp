@@ -53,6 +53,7 @@ double KrakenScheduler::slo_ms_for(FunctionId function) const {
 }
 
 void KrakenScheduler::on_arrival(InvocationId id) {
+  if (!admit_invocation(ctx(), id)) return;
   const core::InvocationRecord& record = ctx().records.at(id);
   if (mapper_.add(ctx().sim.now(), id, record.function)) {
     ctx().sim.schedule_after(mapper_.window(), [this] { on_window_close(); });
@@ -122,6 +123,14 @@ void KrakenScheduler::dispatch_batch(std::vector<InvocationId> batch) {
         auto on_ready = [this, batch](runtime::Container& container,
                                       SimDuration cold_start) mutable {
           for (InvocationId id : batch) ctx().records.at(id).cold_start = cold_start;
+          // A crash here takes the whole serial batch down; survivors
+          // re-dispatch individually as single-member batches.
+          if (maybe_crash_dispatch(ctx(), container, batch,
+                                   [this](InvocationId rid) {
+                                     dispatch_batch({rid});
+                                   })) {
+            return;
+          }
           run_serial(container, std::move(batch), 0);
         };
         if (runtime::Container* warm = ctx().pool.try_acquire_warm(function)) {
@@ -139,11 +148,18 @@ void KrakenScheduler::run_serial(runtime::Container& container,
     return;
   }
   const InvocationId id = batch[index];
-  execute_invocation(ctx(), container, id, ExecEnv{},
-                     [this, &container, batch = std::move(batch), index, id]() mutable {
-                       ctx().notify_complete(id);
-                       run_serial(container, std::move(batch), index + 1);
-                     });
+  execute_invocation(
+      ctx(), container, id, ExecEnv{},
+      [this, &container, batch = std::move(batch), index, id](bool ok) mutable {
+        if (ok) {
+          ctx().notify_complete(id);
+        } else {
+          // Per-member retry: the failed member re-enters the pipeline
+          // as its own batch while the rest of this one keeps going.
+          retry_or_fail(ctx(), id, [this, id] { dispatch_batch({id}); });
+        }
+        run_serial(container, std::move(batch), index + 1);
+      });
 }
 
 }  // namespace faasbatch::schedulers

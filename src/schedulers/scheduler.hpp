@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/invocation.hpp"
+#include "resilience/chaos_engine.hpp"
 #include "runtime/container_pool.hpp"
 #include "runtime/machine.hpp"
 #include "storage/client.hpp"
@@ -39,8 +40,13 @@ struct SchedulerContext {
   storage::ClientCostModel client_model;
   /// Records indexed by InvocationId; schedulers stamp phase times.
   std::vector<core::InvocationRecord>& records;
-  /// Harness callback fired exactly once per completed invocation.
+  /// Harness callback fired exactly once per terminally-accounted
+  /// invocation (completed, terminally failed, or shed); the record's
+  /// outcome distinguishes the cases.
   std::function<void(InvocationId)> notify_complete;
+  /// Chaos harness (fault injection, retry policy, overload guard);
+  /// nullptr = fault-free run with no admission control.
+  resilience::ChaosEngine* chaos = nullptr;
 };
 
 /// Policy knobs (paper §IV "Dispatch Intervals" and "Porting Kraken and

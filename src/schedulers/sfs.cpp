@@ -123,6 +123,11 @@ SfsScheduler::SfsScheduler(SchedulerContext context, SchedulerOptions options)
               options.sfs_initial_quantum, options.sfs_adaptive_quantum) {}
 
 void SfsScheduler::on_arrival(InvocationId id) {
+  if (!admit_invocation(ctx(), id)) return;
+  dispatch(id);
+}
+
+void SfsScheduler::dispatch(InvocationId id) {
   loop_.enqueue(
       [this, id]() {
         const auto& config = ctx().machine.config();
@@ -158,14 +163,23 @@ void SfsScheduler::on_arrival(InvocationId id) {
 void SfsScheduler::start_execution(runtime::Container& container, InvocationId id,
                                    SimDuration cold_start) {
   ctx().records.at(id).cold_start = cold_start;
+  if (maybe_crash_dispatch(ctx(), container, {id},
+                           [this](InvocationId rid) { dispatch(rid); })) {
+    return;
+  }
   ExecEnv env;
   env.run_cpu = [this](double work, std::function<void()> done) {
     engine_.submit(work, std::move(done));
   };
-  execute_invocation(ctx(), container, id, env, [this, &container, id]() {
-    ctx().pool.release(container);
-    ctx().notify_complete(id);
-  });
+  execute_invocation(ctx(), container, id, env,
+                     [this, &container, id](bool ok) {
+                       ctx().pool.release(container);
+                       if (ok) {
+                         ctx().notify_complete(id);
+                         return;
+                       }
+                       retry_or_fail(ctx(), id, [this, id] { dispatch(id); });
+                     });
 }
 
 }  // namespace faasbatch::schedulers

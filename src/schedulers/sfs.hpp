@@ -83,6 +83,8 @@ class SfsScheduler : public Scheduler {
   void on_arrival(InvocationId id) override;
 
  private:
+  /// Dispatch pipeline entry; also the re-dispatch path for retries.
+  void dispatch(InvocationId id);
   void start_execution(runtime::Container& container, InvocationId id,
                        SimDuration cold_start);
 

@@ -9,6 +9,11 @@ VanillaScheduler::VanillaScheduler(SchedulerContext context, SchedulerOptions op
     : Scheduler(context, options), loop_(ctx().machine, ctx().machine.config().dispatch_parallelism) {}
 
 void VanillaScheduler::on_arrival(InvocationId id) {
+  if (!admit_invocation(ctx(), id)) return;
+  dispatch(id);
+}
+
+void VanillaScheduler::dispatch(InvocationId id) {
   loop_.enqueue(
       [this, id]() {
         const auto& config = ctx().machine.config();
@@ -41,10 +46,19 @@ void VanillaScheduler::on_arrival(InvocationId id) {
 void VanillaScheduler::start_execution(runtime::Container& container, InvocationId id,
                                        SimDuration cold_start) {
   ctx().records.at(id).cold_start = cold_start;
-  execute_invocation(ctx(), container, id, ExecEnv{}, [this, &container, id]() {
-    ctx().pool.release(container);
-    ctx().notify_complete(id);
-  });
+  if (maybe_crash_dispatch(ctx(), container, {id},
+                           [this](InvocationId rid) { dispatch(rid); })) {
+    return;
+  }
+  execute_invocation(ctx(), container, id, ExecEnv{},
+                     [this, &container, id](bool ok) {
+                       ctx().pool.release(container);
+                       if (ok) {
+                         ctx().notify_complete(id);
+                         return;
+                       }
+                       retry_or_fail(ctx(), id, [this, id] { dispatch(id); });
+                     });
 }
 
 }  // namespace faasbatch::schedulers

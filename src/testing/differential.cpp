@@ -15,7 +15,7 @@ namespace {
 /// Everything one instrumented scheduler run produces.
 struct InstrumentedRun {
   SchedulerRunSummary summary;
-  std::vector<std::uint32_t> completions;  // per-invocation completion count
+  std::vector<std::uint32_t> accountings;  // per-invocation terminal notifications
   std::vector<core::InvocationRecord> records;
   runtime::PoolStats pool_stats;
   std::size_t live_containers_at_end = 0;
@@ -39,12 +39,16 @@ InstrumentedRun run_one(schedulers::SchedulerKind kind, eval::ExperimentSpec spe
         std::make_unique<runtime::HistogramKeepAlive>(spec.keepalive_histogram));
   }
 
+  resilience::ChaosEngine chaos(spec.fault_plan, spec.retry_policy,
+                                spec.overload);
+  if (spec.fault_plan.any()) pool.set_fault_injector(&chaos.injector());
+
   InstrumentedRun run;
   run.machine_cores = spec.runtime.machine_cores;
   run.platform_base_bytes = static_cast<double>(spec.runtime.platform_base_memory);
 
   run.records.resize(workload.events.size());
-  run.completions.assign(workload.events.size(), 0);
+  run.accountings.assign(workload.events.size(), 0);
   for (std::size_t i = 0; i < workload.events.size(); ++i) {
     run.records[i].id = static_cast<InvocationId>(i);
     run.records[i].function = workload.events[i].function;
@@ -68,9 +72,11 @@ InstrumentedRun run_one(schedulers::SchedulerKind kind, eval::ExperimentSpec spe
       spec.client_model,
       run.records,
       /*notify_complete=*/nullptr,
+      &chaos,
   };
   context.notify_complete = [&](InvocationId id) {
-    ++run.completions.at(id);
+    if (run.records.at(id).outcome != core::Outcome::kShed) chaos.finish();
+    ++run.accountings.at(id);
     run.summary.last_completion = simulator.now();
   };
 
@@ -92,9 +98,16 @@ InstrumentedRun run_one(schedulers::SchedulerKind kind, eval::ExperimentSpec spe
   // fire and every container is reclaimed, so drain invariants apply.
   simulator.run();
 
-  for (const std::uint32_t count : run.completions) {
-    if (count > 0) ++run.summary.completed;
+  for (const core::InvocationRecord& record : run.records) {
+    switch (record.outcome) {
+      case core::Outcome::kCompleted: ++run.summary.completed; break;
+      case core::Outcome::kFailed: ++run.summary.failed; break;
+      case core::Outcome::kShed: ++run.summary.shed; break;
+      case core::Outcome::kPending: break;  // reported as a violation
+    }
   }
+  run.summary.faults_injected = chaos.injector().stats().total();
+  run.summary.chaos_fingerprint = chaos.fingerprint();
   run.pool_stats = pool.stats();
   run.summary.containers_provisioned = run.pool_stats.total_provisioned;
   run.summary.warm_hits = run.pool_stats.warm_hits;
@@ -135,7 +148,12 @@ std::string DifferentialReport::summary() const {
       << violations.size() << " violations\n";
   for (const SchedulerRunSummary& run : runs) {
     out << "  " << run.name << ": " << run.completed << "/" << run.invocations
-        << " completed, " << run.containers_provisioned << " containers, peak "
+        << " completed";
+    if (run.failed != 0 || run.shed != 0 || run.faults_injected != 0) {
+      out << " (" << run.failed << " failed, " << run.shed << " shed, "
+          << run.faults_injected << " faults injected)";
+    }
+    out << ", " << run.containers_provisioned << " containers, peak "
         << run.peak_busy_cores << " busy cores\n";
   }
   for (const InvariantViolation& violation : violations) {
@@ -158,18 +176,45 @@ DifferentialReport check_workload(std::uint64_t seed, const trace::Workload& wor
   bool have_vanilla = false;
   std::uint64_t faasbatch_containers = 0;
   bool have_faasbatch = false;
+  const bool chaos_mode = options.spec.fault_plan.any();
 
   for (const schedulers::SchedulerKind kind : options.schedulers) {
     const InstrumentedRun run = run_one(kind, options.spec, workload);
     const std::string& name = run.summary.name;
 
-    // 1. Conservation: every invocation completes exactly once.
-    for (std::size_t i = 0; i < run.completions.size(); ++i) {
-      if (run.completions[i] != 1) {
-        violate(name, "exactly-once completion",
-                "invocation " + std::to_string(i) + " completed " +
-                    std::to_string(run.completions[i]) + " times");
+    // Chaos determinism: an identical second run must reproduce every
+    // fault/retry/shed decision bit-for-bit.
+    if (chaos_mode) {
+      const InstrumentedRun replay = run_one(kind, options.spec, workload);
+      if (replay.summary.chaos_fingerprint != run.summary.chaos_fingerprint ||
+          replay.summary.completed != run.summary.completed ||
+          replay.summary.failed != run.summary.failed ||
+          replay.summary.shed != run.summary.shed) {
+        violate(name, "chaos determinism",
+                "replay diverged: fingerprint " +
+                    std::to_string(run.summary.chaos_fingerprint) + " vs " +
+                    std::to_string(replay.summary.chaos_fingerprint));
       }
+    }
+
+    // 1. Conservation: every invocation is terminally accounted exactly
+    // once (completed, failed, or shed — never lost, never double).
+    for (std::size_t i = 0; i < run.accountings.size(); ++i) {
+      if (run.accountings[i] != 1) {
+        violate(name, "exactly-once terminal accounting",
+                "invocation " + std::to_string(i) + " accounted " +
+                    std::to_string(run.accountings[i]) + " times");
+      } else if (!run.records[i].accounted()) {
+        violate(name, "terminal outcome recorded",
+                "invocation " + std::to_string(i) +
+                    " notified but outcome still pending");
+      }
+    }
+    if (!chaos_mode && options.spec.overload.max_inflight == 0 &&
+        run.summary.completed != run.summary.invocations) {
+      violate(name, "fault-free runs complete everything",
+              std::to_string(run.summary.invocations - run.summary.completed) +
+                  " invocations did not complete without faults");
     }
 
     // 2. Phase stamps are ordered for every completed invocation.
@@ -247,7 +292,10 @@ DifferentialReport check_workload(std::uint64_t seed, const trace::Workload& wor
 
   // Cross-scheduler: window batching can only consolidate, so FaaSBatch
   // must never start more containers than Vanilla on the same trace.
-  if (have_vanilla && have_faasbatch && faasbatch_containers > vanilla_containers) {
+  // Only meaningful fault-free: under chaos, crash blast radius and
+  // per-member retries legitimately add FaaSBatch containers.
+  if (!chaos_mode && have_vanilla && have_faasbatch &&
+      faasbatch_containers > vanilla_containers) {
     violate("", "FaaSBatch consolidates vs Vanilla",
             "FaaSBatch provisioned " + std::to_string(faasbatch_containers) +
                 " containers, Vanilla " + std::to_string(vanilla_containers));
@@ -259,6 +307,14 @@ DifferentialReport check_workload(std::uint64_t seed, const trace::Workload& wor
 DifferentialReport run_differential(std::uint64_t seed, const FuzzerOptions& fuzz,
                                     const DifferentialOptions& options) {
   const trace::Workload workload = fuzz_workload(seed, fuzz);
+  if (options.fuzz_faults && !options.spec.fault_plan.any()) {
+    // Chaos by default: every seed sweep exercises faults, with
+    // fuzz_fault_plan keeping a fraction of seeds fault-free so the
+    // fault-free-only invariants retain coverage.
+    DifferentialOptions chaos_options = options;
+    chaos_options.spec.fault_plan = fuzz_fault_plan(seed);
+    return check_workload(seed, workload, chaos_options);
+  }
   return check_workload(seed, workload, options);
 }
 

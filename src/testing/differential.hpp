@@ -7,9 +7,11 @@
 // run executes, and checks two classes of invariants:
 //
 //  per-scheduler (conservation)
-//   * every invocation completes exactly once;
-//   * phase stamps are ordered (arrival <= dispatched <= exec_start <
-//     exec_end <= returned);
+//   * every invocation is terminally accounted exactly once — completed,
+//     terminally failed, or shed (under a fault-free plan that means
+//     completed);
+//   * phase stamps are ordered for completed invocations (arrival <=
+//     dispatched <= exec_start < exec_end <= returned);
 //   * busy cores stay within [0, machine cores] at every rate change;
 //   * resident memory never goes negative and returns exactly to the
 //     platform base once the run drains and keep-alives expire;
@@ -18,10 +20,17 @@
 //
 //  cross-scheduler (differential)
 //   * FaaSBatch never provisions more containers than Vanilla for the
-//     same trace (window batching can only consolidate).
+//     same trace (window batching can only consolidate; checked only on
+//     fault-free plans — retries legitimately add containers).
+//
+// Chaos mode: when the spec's FaultPlan injects any fault, each
+// scheduler runs TWICE and the two runs' chaos fingerprints (fault,
+// retry, shed, and outcome counters) must match bit-for-bit — the
+// determinism half of "same seed + same plan => same failures".
 //
 // Every violation carries the generating seed, so a red run replays
-// exactly with fuzz_workload(seed).
+// exactly with fuzz_workload(seed) (+ fuzz_fault_plan(seed) in chaos
+// mode).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +52,12 @@ struct DifferentialOptions {
   std::vector<schedulers::SchedulerKind> schedulers = {
       schedulers::SchedulerKind::kVanilla, schedulers::SchedulerKind::kKraken,
       schedulers::SchedulerKind::kSfs, schedulers::SchedulerKind::kFaasBatch};
+
+  /// run_differential only: when the spec's own FaultPlan is all-zero,
+  /// derive one from the seed via fuzz_fault_plan, so seed sweeps
+  /// exercise chaos by default. A spec with an explicit plan is never
+  /// overridden; set false to force fault-free runs.
+  bool fuzz_faults = true;
 
   DifferentialOptions() {
     // Drain keep-alives quickly: the harness runs the simulator to full
@@ -69,6 +84,13 @@ struct SchedulerRunSummary {
   std::string name;
   std::size_t invocations = 0;
   std::size_t completed = 0;
+  /// Terminal outcomes under chaos (0 on fault-free runs).
+  std::size_t failed = 0;
+  std::size_t shed = 0;
+  /// Total faults the injector fired during the run.
+  std::uint64_t faults_injected = 0;
+  /// ChaosEngine::fingerprint() of the run (determinism witness).
+  std::uint64_t chaos_fingerprint = 0;
   std::uint64_t containers_provisioned = 0;
   std::uint64_t warm_hits = 0;
   SimTime last_completion = 0;

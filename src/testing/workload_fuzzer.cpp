@@ -173,6 +173,34 @@ trace::Workload fuzz_workload(std::uint64_t seed, const FuzzerOptions& options) 
   return workload;
 }
 
+resilience::FaultPlan fuzz_fault_plan(std::uint64_t seed,
+                                      const FaultPlanFuzzerOptions& options) {
+  if (options.fault_free_fraction < 0.0 || options.fault_free_fraction > 1.0 ||
+      options.max_rate <= 0.0 || options.max_rate > 1.0) {
+    throw std::invalid_argument("fuzz_fault_plan: inconsistent options");
+  }
+  // A distinct stream from fuzz_workload's: the same seed drives both
+  // generators without their draws interleaving.
+  Rng rng(seed ^ 0xFA17u);
+  resilience::FaultPlan plan;
+  plan.seed = rng.next_u64();
+  if (rng.uniform() < options.fault_free_fraction) return plan;
+  // Each class independently on (~55%) at a fuzzed rate, so plans cover
+  // single-fault, mixed-fault, and occasionally still fault-free cases.
+  const auto rate = [&]() {
+    return rng.uniform() < 0.55 ? rng.uniform(0.01, options.max_rate) : 0.0;
+  };
+  plan.cold_start_failure_rate = rate();
+  plan.container_crash_rate = rate();
+  plan.exec_error_rate = rate();
+  plan.storage_failure_rate = rate();
+  plan.straggler_rate = rate();
+  plan.straggler_multiplier = rng.uniform(2.0, 8.0);
+  plan.crash_detection_latency =
+      static_cast<SimDuration>(rng.uniform(10.0, 300.0)) * kMillisecond;
+  return plan;
+}
+
 std::uint64_t workload_fingerprint(const trace::Workload& workload) {
   std::uint64_t h = fnv1a_u64(static_cast<std::uint64_t>(workload.kind));
   h = fnv1a_u64(static_cast<std::uint64_t>(workload.horizon), h);

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "resilience/fault_plan.hpp"
 #include "trace/workload.hpp"
 
 namespace faasbatch::testing {
@@ -47,5 +48,22 @@ trace::Workload fuzz_workload(std::uint64_t seed, const FuzzerOptions& options =
 /// table and event list). Two workloads are byte-identical iff their
 /// fingerprints and shapes match; used to assert seed determinism.
 std::uint64_t workload_fingerprint(const trace::Workload& workload);
+
+struct FaultPlanFuzzerOptions {
+  /// Fraction of seeds that produce an all-zero (fault-free) plan, so
+  /// the seed sweep keeps exercising invariants that only hold without
+  /// faults (e.g. FaaSBatch-consolidates-vs-Vanilla).
+  double fault_free_fraction = 0.3;
+  /// Upper bound for every fuzzed per-decision fault rate.
+  double max_rate = 0.3;
+};
+
+/// Deterministically generates one fault plan from `seed`: either
+/// fault-free (see fault_free_fraction) or a plan with each fault class
+/// independently enabled at a rate in (0, max_rate]. The plan's own
+/// injection seed is derived from `seed`, so replaying a seed reproduces
+/// both the workload AND its faults.
+resilience::FaultPlan fuzz_fault_plan(std::uint64_t seed,
+                                      const FaultPlanFuzzerOptions& options = {});
 
 }  // namespace faasbatch::testing

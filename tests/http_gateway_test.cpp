@@ -1,6 +1,8 @@
 // Tests for the live platform's HTTP gateway.
 #include <gtest/gtest.h>
 
+#include <future>
+#include <latch>
 #include <thread>
 #include <vector>
 
@@ -151,6 +153,125 @@ TEST_F(GatewayFixture, ConcurrentInvocationsThroughGateway) {
   EXPECT_EQ(ok.load(), 40);
   // Batched through FaaSBatch: far fewer containers than invocations.
   EXPECT_LE(platform_.containers_created(), 3u);
+}
+
+// Every error response carries {"error": {"code", "message"}} with a
+// stable machine-readable code — clients branch on the code, not on
+// prose. This is the regression suite for that contract.
+TEST_F(GatewayFixture, ErrorBodiesAreStructuredWithStableCodes) {
+  http::Client client(gateway_.port());
+  const auto expect_code = [](const http::Response& response, int status,
+                              const std::string& code) {
+    EXPECT_EQ(response.status, status) << response.body;
+    const Json body = Json::parse(response.body);
+    const Json& error = body.at("error");
+    EXPECT_EQ(error.at("code").as_string(), code);
+    EXPECT_FALSE(error.at("message").as_string().empty());
+  };
+  expect_code(client.post("/invoke/ghost", ""), 404, "unknown_function");
+  expect_code(client.get("/nope"), 404, "not_found");
+  expect_code(client.get("/"), 404, "not_found");
+  expect_code(client.get("/invoke/x"), 405, "method_not_allowed");
+  expect_code(client.post("/invoke", ""), 400, "invalid_request");
+  expect_code(client.post("/functions/x", "{not json"), 400, "invalid_request");
+  expect_code(client.post("/functions/x?type=nope", ""), 400, "invalid_request");
+  expect_code(client.post("/functions", ""), 400, "invalid_request");
+  expect_code(client.post("/invoke/ghost?deadline_ms=abc", ""), 400,
+              "invalid_request");
+  expect_code(client.post("/invoke/ghost?deadline_ms=-5", ""), 400,
+              "invalid_request");
+}
+
+TEST_F(GatewayFixture, DeadlineExpiredInvokeIs504) {
+  // The fixture's dispatch window is 10 ms, so a 1 ms deadline always
+  // expires by the time the window flushes: deterministic 504, and the
+  // handler never runs.
+  http::Client client(gateway_.port());
+  ASSERT_EQ(client.post("/functions/fib?type=fib&n=15", "").status, 200);
+  const auto response = client.post("/invoke/fib?deadline_ms=1", "");
+  EXPECT_EQ(response.status, 504);
+  const Json body = Json::parse(response.body);
+  EXPECT_EQ(body.at("error").at("code").as_string(), "deadline_exceeded");
+  // An un-deadlined invoke on the same platform still succeeds.
+  EXPECT_EQ(client.post("/invoke/fib", "").status, 200);
+}
+
+TEST(GatewayOverloadTest, ShedsAboveInflightCapWithRetryAfter) {
+  LivePlatform platform(fast_options());
+  GatewayOptions options;
+  options.max_inflight_invokes = 1;
+  options.retry_after_seconds = 7;
+  HttpGateway gateway(platform, options);
+
+  // The handler proves the first invoke is in flight (latch), then holds
+  // it there (gate) while the second request arrives — admission is
+  // decided by synchronisation, not timing.
+  std::latch started(1);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  platform.register_function("block", [&started, open](FunctionContext&) {
+    started.count_down();
+    open.wait();
+  });
+
+  std::thread first([&] {
+    http::Client client(gateway.port());
+    EXPECT_EQ(client.post("/invoke/block", "").status, 200);
+  });
+  started.wait();  // first request admitted and executing
+
+  http::Client client(gateway.port());
+  const auto shed = client.post("/invoke/block", "");
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(shed.headers.at("Retry-After"), "7");
+  const Json body = Json::parse(shed.body);
+  EXPECT_EQ(body.at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(gateway.invokes_shed(), 1u);
+
+  gate.set_value();
+  first.join();
+  // Slot released: the next invoke is admitted again.
+  EXPECT_EQ(client.post("/invoke/block", "").status, 200);
+}
+
+TEST(GatewayOverloadTest, ShedStatusConfigurableTo429) {
+  LivePlatform platform(fast_options());
+  GatewayOptions options;
+  options.max_inflight_invokes = 1;
+  options.shed_status = 429;
+  HttpGateway gateway(platform, options);
+
+  std::latch started(1);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  platform.register_function("block", [&started, open](FunctionContext&) {
+    started.count_down();
+    open.wait();
+  });
+  std::thread first([&] {
+    http::Client client(gateway.port());
+    EXPECT_EQ(client.post("/invoke/block", "").status, 200);
+  });
+  started.wait();
+  http::Client client(gateway.port());
+  const auto shed = client.post("/invoke/block", "");
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_EQ(Json::parse(shed.body).at("error").at("code").as_string(),
+            "overloaded");
+  gate.set_value();
+  first.join();
+}
+
+TEST(GatewayOverloadTest, DrainingPlatformReturnsShuttingDown) {
+  LivePlatform platform(fast_options());
+  HttpGateway gateway(platform, 0);
+  platform.register_function("fib", [](FunctionContext&) {});
+  platform.shutdown();
+  http::Client client(gateway.port());
+  const auto response = client.post("/invoke/fib", "");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_EQ(Json::parse(response.body).at("error").at("code").as_string(),
+            "shutting_down");
 }
 
 TEST_F(GatewayFixture, MetricsEndpointServesPrometheusText) {

@@ -252,6 +252,114 @@ TEST(LivePlatformTest, FaasBatchScalesOutWhenContainerBusy) {
   EXPECT_EQ(platform.containers_created(), 2u);
 }
 
+TEST(LivePlatformTest, DeadlineExpiresAtWindowFlush) {
+  // The dispatch window (15 ms) is longer than the request deadline
+  // (5 ms), so by the time the window flushes the deadline has passed:
+  // the future must resolve kDeadlineExpired and the handler never runs.
+  // All timing is virtual — the outcome is decided by clock arithmetic,
+  // not scheduling.
+  VirtualClock clock;
+  LivePlatformOptions options = fast_platform(LivePolicy::kFaasBatch);
+  options.clock = &clock;
+  LivePlatform platform(options);
+  std::atomic<int> ran{0};
+  platform.register_function("f", [&ran](FunctionContext&) { ++ran; });
+
+  auto future = platform.invoke("f", "", std::chrono::milliseconds(5));
+  ASSERT_TRUE(advance_until(clock, options.window, [&] {
+    return future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  }));
+  const InvocationReport report = future.get();
+  EXPECT_EQ(report.status, InvocationStatus::kDeadlineExpired);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(ran.load(), 0);
+  // drain() must not wait on a terminally-settled request.
+  platform.drain();
+}
+
+TEST(LivePlatformTest, DeadlineExpiresWhileQueuedBehindBusyContainer) {
+  // Two gate-blocked invocations occupy both container threads; a third
+  // with a deadline joins the same window's group and queues inside the
+  // container. The clock then advances past its deadline before the gate
+  // opens, so the exec-start check must expire it without running it.
+  VirtualClock clock;
+  LivePlatformOptions options = fast_platform(LivePolicy::kFaasBatch);
+  options.clock = &clock;
+  options.container.threads = 2;
+  LivePlatform platform(options);
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<int> started{0};
+  platform.register_function("slow", [&started, open](FunctionContext&) {
+    ++started;
+    open.wait();
+  });
+
+  auto a = platform.invoke("slow");
+  auto b = platform.invoke("slow");
+  // Deadline far beyond the window, so it survives the flush check and
+  // expires only inside the container (100 ms < the 500 ms advance).
+  auto c = platform.invoke("slow", "", std::chrono::milliseconds(100));
+  ASSERT_TRUE(advance_until(clock, options.window,
+                            [&] { return started.load() == 2; }));
+  clock.advance(std::chrono::duration_cast<ClockTime>(std::chrono::milliseconds(500)));
+  gate.set_value();
+  EXPECT_EQ(a.get().status, InvocationStatus::kOk);
+  EXPECT_EQ(b.get().status, InvocationStatus::kOk);
+  EXPECT_EQ(c.get().status, InvocationStatus::kDeadlineExpired);
+  EXPECT_EQ(started.load(), 2);
+}
+
+TEST(LivePlatformTest, ShedsWhenQueueFull) {
+  // With the virtual clock never advanced the dispatcher sits in its
+  // window wait, so the first request stays queued and the second hits
+  // the max_queue bound: its future is ready immediately with kShed.
+  VirtualClock clock;
+  LivePlatformOptions options = fast_platform(LivePolicy::kFaasBatch);
+  options.clock = &clock;
+  options.max_queue = 1;
+  LivePlatform platform(options);
+  std::atomic<int> ran{0};
+  platform.register_function("f", [&ran](FunctionContext&) { ++ran; });
+
+  auto queued = platform.invoke("f");
+  auto shed = platform.invoke("f");
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(shed.get().status, InvocationStatus::kShed);
+
+  // The admitted request still completes once the window flushes.
+  ASSERT_TRUE(advance_until(clock, options.window, [&] {
+    return queued.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  }));
+  EXPECT_EQ(queued.get().status, InvocationStatus::kOk);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(LivePlatformTest, ShutdownDrainsQueuedAndCancelsNew) {
+  // shutdown() is a graceful drain: requests already queued flush and
+  // execute immediately — even mid-window on a never-advanced virtual
+  // clock — while later invokes resolve at once with kCancelled.
+  VirtualClock clock;
+  LivePlatformOptions options = fast_platform(LivePolicy::kFaasBatch);
+  options.clock = &clock;
+  LivePlatform platform(options);
+  std::atomic<int> ran{0};
+  platform.register_function("f", [&ran](FunctionContext&) { ++ran; });
+
+  auto a = platform.invoke("f");
+  auto b = platform.invoke("f");
+  platform.shutdown();
+  EXPECT_EQ(a.get().status, InvocationStatus::kOk);
+  EXPECT_EQ(b.get().status, InvocationStatus::kOk);
+  EXPECT_EQ(ran.load(), 2);
+
+  auto late = platform.invoke("f");
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(late.get().status, InvocationStatus::kCancelled);
+  EXPECT_EQ(ran.load(), 2);
+  platform.drain();  // returns: nothing outstanding
+}
+
 TEST(LivePlatformTest, SeparateFunctionsSeparateContainers) {
   LivePlatform platform(fast_platform(LivePolicy::kFaasBatch));
   platform.register_function("a", make_fib_handler(10));

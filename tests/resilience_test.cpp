@@ -1,0 +1,188 @@
+// Unit tests for the resilience primitives: FaultPlan/FaultInjector
+// determinism and stream isolation, RetryPolicy backoff bounds and
+// deadlines, OverloadGuard admission, and ChaosEngine decisions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "resilience/chaos_engine.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/overload_guard.hpp"
+#include "resilience/retry_policy.hpp"
+
+namespace faasbatch::resilience {
+namespace {
+
+TEST(FaultPlanTest, AnyReflectsRates) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  plan.exec_error_rate = 0.1;
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(FaultPlan::uniform(0.05, 7).any());
+  EXPECT_FALSE(FaultPlan::uniform(0.0, 7).any());
+}
+
+TEST(FaultPlanTest, FingerprintSeparatesPlans) {
+  const FaultPlan a = FaultPlan::uniform(0.1, 1);
+  FaultPlan b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.container_crash_rate = 0.2;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  FaultPlan c = a;
+  c.seed = 2;
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(FaultInjectorTest, ZeroRatesNeverFire) {
+  FaultInjector injector{FaultPlan{}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.inject_cold_start_failure());
+    EXPECT_FALSE(injector.inject_container_crash());
+    EXPECT_FALSE(injector.inject_exec_error());
+    EXPECT_FALSE(injector.inject_storage_failure());
+    EXPECT_EQ(injector.straggler_multiplier(), 1.0);
+  }
+  EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+TEST(FaultInjectorTest, DeterministicForSeed) {
+  const FaultPlan plan = FaultPlan::uniform(0.25, 0xD00D);
+  FaultInjector a{plan};
+  FaultInjector b{plan};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.inject_exec_error(), b.inject_exec_error());
+    EXPECT_EQ(a.inject_container_crash(), b.inject_container_crash());
+    EXPECT_EQ(a.inject_storage_failure(), b.inject_storage_failure());
+  }
+  EXPECT_EQ(a.stats().fingerprint(), b.stats().fingerprint());
+  EXPECT_GT(a.stats().total(), 0u);
+}
+
+TEST(FaultInjectorTest, StreamsAreIsolatedPerFaultClass) {
+  // Enabling a second fault class must not change the first class's
+  // decision sequence — each class draws from its own forked stream.
+  FaultPlan exec_only;
+  exec_only.seed = 42;
+  exec_only.exec_error_rate = 0.3;
+  FaultPlan exec_and_crash = exec_only;
+  exec_and_crash.container_crash_rate = 0.5;
+
+  FaultInjector a{exec_only};
+  FaultInjector b{exec_and_crash};
+  for (int i = 0; i < 300; ++i) {
+    b.inject_container_crash();  // interleave crash draws
+    EXPECT_EQ(a.inject_exec_error(), b.inject_exec_error()) << "draw " << i;
+  }
+}
+
+TEST(FaultInjectorTest, RatesRoughlyHonoured) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.exec_error_rate = 0.2;
+  FaultInjector injector{plan};
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (injector.inject_exec_error()) ++fired;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / 10000.0, 0.2, 0.02);
+  EXPECT_EQ(injector.stats().exec_errors, static_cast<std::uint64_t>(fired));
+}
+
+TEST(RetryPolicyTest, BackoffStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.base_backoff = 10 * kMillisecond;
+  policy.max_backoff = 500 * kMillisecond;
+  Rng rng(1);
+  SimDuration prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    prev = policy.next_backoff(prev, rng);
+    EXPECT_GE(prev, policy.base_backoff);
+    EXPECT_LE(prev, policy.max_backoff);
+  }
+}
+
+TEST(RetryPolicyTest, AttemptBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_TRUE(policy.allows_retry(1));
+  EXPECT_TRUE(policy.allows_retry(2));
+  EXPECT_FALSE(policy.allows_retry(3));
+}
+
+TEST(OverloadGuardTest, UnlimitedByDefault) {
+  OverloadGuard guard;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(guard.try_admit());
+  EXPECT_EQ(guard.admitted(), 100u);
+  EXPECT_EQ(guard.shed(), 0u);
+}
+
+TEST(OverloadGuardTest, ShedsAboveCapAndRecoversOnRelease) {
+  OverloadGuard::Options options;
+  options.max_inflight = 2;
+  OverloadGuard guard(options);
+  EXPECT_TRUE(guard.try_admit());
+  EXPECT_TRUE(guard.try_admit());
+  EXPECT_FALSE(guard.try_admit());
+  EXPECT_EQ(guard.shed(), 1u);
+  guard.release();
+  EXPECT_TRUE(guard.try_admit());
+  EXPECT_EQ(guard.admitted(), 3u);
+  EXPECT_EQ(guard.inflight(), 2u);
+}
+
+TEST(ChaosEngineTest, AdmitCountsSheds) {
+  OverloadGuard::Options overload;
+  overload.max_inflight = 1;
+  ChaosEngine chaos({}, {}, overload);
+  EXPECT_TRUE(chaos.admit());
+  EXPECT_FALSE(chaos.admit());
+  EXPECT_EQ(chaos.counters().sheds, 1u);
+  chaos.finish();
+  EXPECT_TRUE(chaos.admit());
+}
+
+TEST(ChaosEngineTest, RetriesUntilBudgetExhausts) {
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  ChaosEngine chaos({}, retry, {});
+  SimDuration backoff = 0;
+  EXPECT_TRUE(chaos.plan_retry(/*id=*/1, /*attempts=*/1, /*arrival=*/0,
+                               /*now=*/kSecond, &backoff));
+  EXPECT_GT(backoff, 0);
+  EXPECT_TRUE(chaos.plan_retry(1, 2, 0, 2 * kSecond, &backoff));
+  EXPECT_FALSE(chaos.plan_retry(1, 3, 0, 3 * kSecond, &backoff));
+  EXPECT_EQ(chaos.counters().retries, 2u);
+  EXPECT_EQ(chaos.counters().terminal_failures, 1u);
+}
+
+TEST(ChaosEngineTest, DeadlineCutsRetriesShort) {
+  RetryPolicy retry;
+  retry.max_attempts = 100;
+  retry.request_deadline = 500 * kMillisecond;
+  ChaosEngine chaos({}, retry, {});
+  SimDuration backoff = 0;
+  // Past the deadline already: no retry regardless of budget.
+  EXPECT_FALSE(chaos.plan_retry(7, 1, /*arrival=*/0,
+                                /*now=*/600 * kMillisecond, &backoff));
+  EXPECT_EQ(chaos.counters().deadline_failures, 1u);
+  EXPECT_EQ(chaos.counters().terminal_failures, 1u);
+}
+
+TEST(ChaosEngineTest, FingerprintIsDeterministic) {
+  const FaultPlan plan = FaultPlan::uniform(0.3, 0xBEEF);
+  const auto drive = [&plan]() {
+    ChaosEngine chaos(plan, {}, {});
+    for (int i = 0; i < 100; ++i) {
+      chaos.injector().inject_exec_error();
+      chaos.injector().inject_container_crash();
+      SimDuration backoff = 0;
+      chaos.plan_retry(static_cast<InvocationId>(i % 7), 1, 0,
+                       i * kMillisecond, &backoff);
+    }
+    return chaos.fingerprint();
+  };
+  EXPECT_EQ(drive(), drive());
+}
+
+}  // namespace
+}  // namespace faasbatch::resilience
