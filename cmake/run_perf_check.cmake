@@ -1,0 +1,32 @@
+# Runs bench_dispatch in quick mode and feeds the JSON to
+# scripts/check_perf.py. Invoked by the `perf_check` ctest (label: perf)
+# registered in bench/CMakeLists.txt; split into a -P script because a
+# single ctest COMMAND cannot chain two processes.
+#
+# Expects: -DBENCH=<bench_dispatch path> -DCHECK=<check_perf.py path>
+#          -DBASELINE=<bench_baseline.json path> -DOUT=<report path>
+
+foreach(var BENCH CHECK BASELINE OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_perf_check.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BENCH} quick=1 out=${OUT}
+  RESULT_VARIABLE bench_result)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench_dispatch failed (${bench_result})")
+endif()
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(NOT Python3_EXECUTABLE)
+  set(Python3_EXECUTABLE python3)
+endif()
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${CHECK} ${OUT} --baseline ${BASELINE}
+  RESULT_VARIABLE check_result)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "check_perf.py failed (${check_result})")
+endif()

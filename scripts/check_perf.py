@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Dispatch-pipeline perf guard.
+
+Reads a bench_dispatch JSON report (bench_dispatch quick=1 out=<file>)
+and compares it against the checked-in baseline
+(bench/bench_baseline.json by default):
+
+  * throughput_ips may not drop below baseline / FACTOR
+  * p99_ms may not rise above baseline * FACTOR
+
+FACTOR is 3x — deliberately generous, as with check_obs_overhead.py:
+this guards against structural regressions (a lock on the admission
+path, a lost batched wakeup turning into per-request notifies), not
+micro-variance between machines. Baselines were recorded on a 1-vCPU
+runner (the JSON records hardware_concurrency); faster hardware only
+adds margin on the throughput floors.
+
+Usage:
+  check_perf.py <dispatch.json> [--baseline <baseline.json>] [--update]
+
+--update rewrites the baseline from the current report instead of
+checking (run on a quiet machine, then commit the result).
+"""
+import argparse
+import json
+import os
+import sys
+
+FACTOR = 3.0
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "bench_baseline.json")
+
+
+def load_cells(path):
+    with open(path) as f:
+        report = json.load(f)
+    cells = {}
+    for bench in report.get("benchmarks", []):
+        cells[bench["name"]] = bench
+    return report, cells
+
+
+def update_baseline(report, cells, path):
+    baseline = {
+        "comment": "perf floors for scripts/check_perf.py; regenerate with "
+                   "bench_dispatch quick=1 out=d.json && check_perf.py d.json "
+                   "--update",
+        "hardware_concurrency": report.get("hardware_concurrency", 0),
+        "benchmarks": {},
+    }
+    for name, cell in sorted(cells.items()):
+        entry = {"throughput_ips": round(cell["throughput_ips"], 1)}
+        if "p99_ms" in cell:
+            entry["p99_ms"] = round(cell["p99_ms"], 3)
+        baseline["benchmarks"][name] = entry
+    with open(path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"wrote baseline for {len(cells)} cells to {path}")
+    return 0
+
+
+def check(cells, baseline_path):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+    checked = 0
+    for name, expect in baseline["benchmarks"].items():
+        got = cells.get(name)
+        if got is None:
+            failures.append(f"missing benchmark cell {name}")
+            continue
+        floor = expect["throughput_ips"] / FACTOR
+        if got["throughput_ips"] < floor:
+            failures.append(
+                f"{name}: throughput {got['throughput_ips']:.0f} inv/s < "
+                f"floor {floor:.0f} (baseline {expect['throughput_ips']:.0f} "
+                f"/ {FACTOR}x)")
+        else:
+            print(f"ok: {name} throughput {got['throughput_ips']:.0f} inv/s "
+                  f"(floor {floor:.0f})")
+            checked += 1
+        if "p99_ms" in expect and "p99_ms" in got:
+            ceiling = expect["p99_ms"] * FACTOR
+            if got["p99_ms"] > ceiling:
+                failures.append(
+                    f"{name}: p99 {got['p99_ms']:.2f} ms > ceiling "
+                    f"{ceiling:.2f} (baseline {expect['p99_ms']:.2f} "
+                    f"* {FACTOR}x)")
+            else:
+                print(f"ok: {name} p99 {got['p99_ms']:.2f} ms "
+                      f"(ceiling {ceiling:.2f})")
+                checked += 1
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"dispatch perf within bounds ({checked} checks)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", help="bench_dispatch JSON (out=<file>)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this report")
+    args = parser.parse_args()
+
+    report, cells = load_cells(args.report)
+    if not cells:
+        print(f"FAIL: no benchmark cells in {args.report}", file=sys.stderr)
+        return 1
+    if args.update:
+        return update_baseline(report, cells, args.baseline)
+    return check(cells, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+// Lock-free bounded MPSC ring for the sharded dispatch pipeline.
+//
+// Multiple producer threads (invoke() callers) push concurrently; exactly
+// one consumer (the shard's flush loop) pops. The implementation is the
+// classic Vyukov bounded queue: every cell carries a sequence number that
+// encodes whether it is free, full, or being written, so producers claim
+// slots with one CAS and never block each other or the consumer. A full
+// ring rejects the push (the caller sheds or overflows) instead of
+// waiting — backpressure is an explicit outcome, never a hidden stall.
+//
+// Memory ordering: slot claims are relaxed CAS on enqueue_pos_ (the cell
+// sequence provides the synchronisation), payload publication is a
+// release store of the cell sequence, and consumption acquires it — the
+// standard pattern TSan verifies end-to-end in mpsc_ring_test's stress
+// suite. Positions are monotonically increasing, so size_approx() is a
+// subtraction of two relaxed loads (approximate under concurrency, exact
+// when quiescent).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace faasbatch::live::dispatch {
+
+/// Rounds up to the next power of two (minimum 1).
+constexpr std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 1).
+  explicit MpscRing(std::size_t capacity)
+      : capacity_(next_pow2(capacity == 0 ? 1 : capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer push; returns false when the ring is full (the item
+  /// is left intact in that case so the caller can overflow or shed it).
+  bool try_push(T& item) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell still holds an unconsumed item: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(item);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-consumer pop; returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell* cell = &cells_[pos & mask_];
+    const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) < 0) {
+      return false;  // producer hasn't published this slot yet: empty
+    }
+    out = std::move(cell->value);
+    cell->value = T{};
+    cell->seq.store(pos + capacity_, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Items currently buffered; exact only when no push/pop is racing.
+  std::size_t size_approx() const {
+    const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers and the consumer advance independent cache lines.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace faasbatch::live::dispatch

@@ -1,0 +1,260 @@
+// One shard of the sharded dispatch pipeline: a lock-free MPSC ring fed
+// by producers plus a flush loop that batches arrivals per dispatch
+// window (the live analogue of the paper's Invoke Mapper, partitioned
+// Archipelago-style so shards never serialise against each other).
+//
+// Hot path: try_enqueue() claims a ring slot with atomics only — no
+// mutex, no condvar unless the flush loop is provably idle (the
+// `sleeping_` handshake). The shard mutex exists solely for the flush
+// loop's waits and the rare overflow path of an unbounded platform.
+//
+// Admission vs. drain atomicity: producers wrap the push in an
+// `admitting_` reference count and re-check `closed_` after entering it;
+// close() publishes `closed_` first, and the flush loop waits for
+// `admitting_` to reach zero before its final sweep. Any producer that
+// passed the closed check therefore lands its item before the final
+// drain reads the ring, so a request is either rejected (kClosed) or
+// guaranteed to flush — never accepted-and-lost. This closes the
+// shutdown race the single-queue path historically had (a late invoke()
+// slipping past the draining check into a queue nobody drains).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ordered_mutex.hpp"
+#include "live/dispatch/metrics.hpp"
+#include "live/dispatch/mpsc_ring.hpp"
+
+namespace faasbatch::live::dispatch {
+
+/// Outcome of one admission attempt.
+enum class Admit {
+  kOk,      ///< queued; the next window flush picks it up
+  kFull,    ///< bounded shard at capacity: shed
+  kClosed,  ///< shard closed (platform draining): cancel
+};
+
+/// Point-in-time view of one shard (gateway /stats, tests).
+struct ShardSnapshot {
+  std::size_t shard = 0;
+  std::size_t depth = 0;  ///< items awaiting flush right now (approx)
+  std::uint64_t enqueued = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t overflow = 0;  ///< pushes that took the mutex overflow path
+  std::uint64_t windows = 0;   ///< flushes performed
+};
+
+template <typename Item>
+class Shard {
+ public:
+  struct Options {
+    std::size_t index = 0;
+    /// Ring slots (rounded up to a power of two).
+    std::size_t ring_capacity = 8192;
+    /// Logical admission bound; 0 = unbounded (ring overflow spills to a
+    /// mutex-guarded side queue instead of shedding).
+    std::size_t max_queue = 0;
+    Clock* clock = nullptr;  ///< required
+    /// Batching window; zero flushes immediately (Vanilla policy).
+    std::chrono::milliseconds window{0};
+  };
+
+  /// Called on the shard thread with everything drained for one window.
+  /// `window_open`/`window_close` bound the batching wait (equal when the
+  /// window is zero or the flush is a drain sweep).
+  using FlushFn = std::function<void(std::size_t shard, std::vector<Item> items,
+                                     ClockTime window_open, ClockTime window_close)>;
+
+  Shard(const Options& options, FlushFn flush)
+      : options_(options),
+        flush_(std::move(flush)),
+        ring_(options.max_queue > 0 ? options.max_queue : options.ring_capacity),
+        instruments_(shard_instruments(options.index)) {
+    set_mutex_name(mutex_, "dispatch.shard");
+    thread_ = std::thread([this] { flush_loop(); });
+  }
+
+  ~Shard() {
+    close();
+    join();
+  }
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Multi-producer admission; lock-free except the rare overflow path.
+  Admit try_enqueue(Item item) {
+    admitting_.fetch_add(1, std::memory_order_seq_cst);
+    if (closed_.load(std::memory_order_seq_cst)) {
+      admitting_.fetch_sub(1, std::memory_order_release);
+      return Admit::kClosed;
+    }
+    bool pushed = false;
+    if (options_.max_queue > 0 &&
+        ring_.size_approx() >= options_.max_queue) {
+      // Bounded shard at its logical capacity: shed without touching the
+      // ring (capacity was rounded up to a power of two).
+    } else if (ring_.try_push(item)) {
+      pushed = true;
+    } else if (options_.max_queue == 0) {
+      // Unbounded platform but the ring is momentarily full: spill to
+      // the mutex-guarded side queue rather than shedding.
+      {
+        std::lock_guard<Mutex> lock(mutex_);
+        overflow_.push_back(std::move(item));
+      }
+      overflow_count_.fetch_add(1, std::memory_order_relaxed);
+      instruments_.overflow.inc();
+      pushed = true;
+    }
+    if (!pushed) {
+      admitting_.fetch_sub(1, std::memory_order_release);
+      shed_count_.fetch_add(1, std::memory_order_relaxed);
+      instruments_.shed.inc();
+      return Admit::kFull;
+    }
+    published_.fetch_add(1, std::memory_order_seq_cst);
+    admitting_.fetch_sub(1, std::memory_order_release);
+    enqueued_count_.fetch_add(1, std::memory_order_relaxed);
+    instruments_.enqueued.inc();
+    instruments_.depth.set(static_cast<double>(depth()));
+    // Wake the flush loop only when it is provably idle: the seq_cst
+    // published_/sleeping_ pair guarantees either we see sleeping_ and
+    // notify, or the loop's wait predicate sees our publish.
+    if (sleeping_.load(std::memory_order_seq_cst)) {
+      { std::lock_guard<Mutex> lock(mutex_); }
+      cv_.notify_one();
+    }
+    return Admit::kOk;
+  }
+
+  /// Closes admission and triggers the final drain sweep. Idempotent.
+  /// Every item accepted before the close is still flushed.
+  void close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    { std::lock_guard<Mutex> lock(mutex_); }
+    cv_.notify_all();
+  }
+
+  /// Joins the flush thread (it exits after the post-close final sweep).
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ShardSnapshot snapshot() const {
+    ShardSnapshot snap;
+    snap.shard = options_.index;
+    snap.depth = depth();
+    snap.enqueued = enqueued_count_.load(std::memory_order_relaxed);
+    snap.shed = shed_count_.load(std::memory_order_relaxed);
+    snap.overflow = overflow_count_.load(std::memory_order_relaxed);
+    snap.windows = windows_count_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+  std::size_t index() const { return options_.index; }
+
+ private:
+  std::size_t depth() const {
+    const std::uint64_t published = published_.load(std::memory_order_relaxed);
+    const std::uint64_t consumed = consumed_public_.load(std::memory_order_relaxed);
+    return published >= consumed ? static_cast<std::size_t>(published - consumed) : 0;
+  }
+
+  /// Drains ring + overflow into `out`. Called on the shard thread with
+  /// `lock` held; the ring itself needs no lock (single consumer).
+  void drain_pending(std::vector<Item>& out) {
+    Item item;
+    while (ring_.try_pop(item)) out.push_back(std::move(item));
+    while (!overflow_.empty()) {
+      out.push_back(std::move(overflow_.front()));
+      overflow_.pop_front();
+    }
+  }
+
+  void flush_loop() {
+    std::unique_lock<Mutex> lock(mutex_);
+    for (;;) {
+      sleeping_.store(true, std::memory_order_seq_cst);
+      cv_.wait(lock, [this] {
+        return closed_.load(std::memory_order_acquire) ||
+               published_.load(std::memory_order_seq_cst) != consumed_;
+      });
+      sleeping_.store(false, std::memory_order_relaxed);
+      const bool draining = closed_.load(std::memory_order_acquire);
+      const ClockTime window_open = options_.clock->now();
+      if (!draining && options_.window.count() > 0) {
+        // Let the window fill. A close() mid-window flushes immediately —
+        // shutdown never waits out the timer.
+        const ClockTime deadline =
+            window_open + std::chrono::duration_cast<ClockTime>(options_.window);
+        options_.clock->wait_until(lock, cv_, deadline, [this] {
+          return closed_.load(std::memory_order_acquire);
+        });
+      }
+      flush_once(lock, window_open);
+      if (closed_.load(std::memory_order_acquire)) {
+        // Final sweep: admission is closed; wait out in-flight pushes so
+        // every accepted item is visible, then drain one last time.
+        lock.unlock();
+        while (admitting_.load(std::memory_order_acquire) != 0) {
+          std::this_thread::yield();
+        }
+        lock.lock();
+        flush_once(lock, options_.clock->now());
+        return;
+      }
+    }
+  }
+
+  /// One drain + flush callback round. Drops the lock for the callback so
+  /// the flush function may take platform locks freely.
+  void flush_once(std::unique_lock<Mutex>& lock, ClockTime window_open) {
+    std::vector<Item> items;
+    drain_pending(items);
+    consumed_ += items.size();
+    consumed_public_.store(consumed_, std::memory_order_relaxed);
+    instruments_.depth.set(static_cast<double>(depth()));
+    if (items.empty()) return;
+    windows_count_.fetch_add(1, std::memory_order_relaxed);
+    instruments_.windows.inc();
+    const ClockTime window_close = options_.clock->now();
+    lock.unlock();
+    flush_(options_.index, std::move(items), window_open, window_close);
+    lock.lock();
+  }
+
+  Options options_;
+  FlushFn flush_;
+  MpscRing<Item> ring_;
+  ShardInstruments instruments_;
+
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<Item> overflow_;  // guarded by mutex_
+
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> sleeping_{false};
+  std::atomic<int> admitting_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::uint64_t consumed_ = 0;  // shard-thread only
+  std::atomic<std::uint64_t> consumed_public_{0};
+
+  std::atomic<std::uint64_t> enqueued_count_{0};
+  std::atomic<std::uint64_t> shed_count_{0};
+  std::atomic<std::uint64_t> overflow_count_{0};
+  std::atomic<std::uint64_t> windows_count_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace faasbatch::live::dispatch

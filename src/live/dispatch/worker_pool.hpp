@@ -1,0 +1,93 @@
+// Pull-based worker pool that drains flushed dispatch batches.
+//
+// Shards push one Batch per window flush and issue exactly one
+// notify_one per push — completion wakeups are batched at window
+// granularity instead of per-invocation, which is the main reason the
+// sharded pipeline scales past the single-queue dispatcher (the legacy
+// path pays a mutex round-trip and a wakeup for every request).
+//
+// stop() is graceful: workers finish every batch already queued before
+// exiting, so a platform drain never strands work here.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/ordered_mutex.hpp"
+
+namespace faasbatch::live::dispatch {
+
+template <typename Batch>
+class WorkerPool {
+ public:
+  using ExecuteFn = std::function<void(Batch&&)>;
+
+  WorkerPool(std::size_t workers, ExecuteFn execute)
+      : execute_(std::move(execute)) {
+    set_mutex_name(mutex_, "dispatch.workers");
+    if (workers == 0) workers = 1;
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~WorkerPool() { stop(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Hands one flushed batch to the pool: one lock, one wakeup.
+  void push(Batch&& batch) {
+    {
+      std::lock_guard<Mutex> lock(mutex_);
+      queue_.push_back(std::move(batch));
+    }
+    cv_.notify_one();
+  }
+
+  /// Stops accepting work and joins; queued batches still execute.
+  void stop() {
+    {
+      std::lock_guard<Mutex> lock(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+  std::size_t workers() const { return threads_.size(); }
+
+ private:
+  void worker_loop() {
+    std::unique_lock<Mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (!queue_.empty()) {
+        Batch batch = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        execute_(std::move(batch));
+        lock.lock();
+        continue;
+      }
+      if (stopping_) return;
+    }
+  }
+
+  ExecuteFn execute_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<Batch> queue_;  // guarded by mutex_
+  bool stopping_ = false;    // guarded by mutex_
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace faasbatch::live::dispatch

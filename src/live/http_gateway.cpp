@@ -104,6 +104,13 @@ HttpGateway::HttpGateway(LivePlatform& platform, GatewayOptions options)
   obs::metrics().histogram("fb_batch_size", obs::size_buckets());
   obs::metrics().histogram("fb_live_queue_ms", obs::latency_ms_buckets());
   obs::metrics().histogram("fb_live_exec_ms", obs::latency_ms_buckets());
+  // Per-shard dispatch series (sharded pipeline only): registering them
+  // up front makes shard queue-depth gauges scrapeable from the first
+  // request.
+  const DispatchStats dispatch = platform_.dispatch_stats();
+  for (std::size_t shard = 0; shard < dispatch.shards; ++shard) {
+    dispatch::shard_instruments(shard);
+  }
 }
 
 http::Response HttpGateway::handle(const http::Request& request) {
@@ -277,6 +284,25 @@ http::Response HttpGateway::handle_stats() const {
   body["store_objects"] = static_cast<std::int64_t>(platform_.store().object_count());
   body["policy"] =
       platform_.options().policy == LivePolicy::kFaasBatch ? "faasbatch" : "vanilla";
+  const DispatchStats dispatch = platform_.dispatch_stats();
+  Json dispatch_body;
+  dispatch_body["mode"] =
+      dispatch.mode == DispatchMode::kSharded ? "sharded" : "single_queue";
+  dispatch_body["shards"] = static_cast<std::int64_t>(dispatch.shards);
+  dispatch_body["workers"] = static_cast<std::int64_t>(dispatch.workers);
+  Json shard_list{JsonArray{}};
+  for (const auto& snap : dispatch.shard_stats) {
+    Json entry;
+    entry["shard"] = static_cast<std::int64_t>(snap.shard);
+    entry["depth"] = static_cast<std::int64_t>(snap.depth);
+    entry["enqueued"] = static_cast<std::int64_t>(snap.enqueued);
+    entry["shed"] = static_cast<std::int64_t>(snap.shed);
+    entry["overflow"] = static_cast<std::int64_t>(snap.overflow);
+    entry["windows"] = static_cast<std::int64_t>(snap.windows);
+    shard_list.push_back(entry);
+  }
+  dispatch_body["shard_stats"] = shard_list;
+  body["dispatch"] = dispatch_body;
   return json_response(200, body);
 }
 

@@ -7,7 +7,9 @@
 //
 // Endpoints:
 //   GET  /healthz                          -> 200 "ok"
-//   GET  /stats                            -> JSON platform counters
+//   GET  /stats                            -> JSON platform counters,
+//                                             incl. dispatch pipeline shape
+//                                             and per-shard activity
 //   GET  /metrics                          -> Prometheus text exposition
 //        of the process-global MetricsRegistry (enabled by the gateway)
 //   GET  /trace[?enable=1|0]               -> drains the TraceRecorder as

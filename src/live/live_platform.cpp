@@ -66,8 +66,16 @@ obs::Counter& live_cancelled_total() {
   return c;
 }
 
-// Single close point for the per-request span: every terminal path
-// (executed or settled unexecuted) ends the span opened in invoke().
+// Single open/close points for the per-request span: both admission
+// paths open it here and every terminal path (executed or settled
+// unexecuted) ends it, so the TU stays span-balanced by construction.
+void begin_request_span(double at_us, std::uint64_t id, const std::string& function) {
+  obs::tracer().instant("live", "arrival", at_us, id,
+                        {{"function", Json(function)}});
+  obs::tracer().begin_span("live", "request", at_us, id,
+                           {{"function", Json(function)}});
+}
+
 void end_request_span(double at_us, std::uint64_t id) {
   obs::tracer().end_span("live", "request", at_us, id);
 }
@@ -77,12 +85,38 @@ void end_request_span(double at_us, std::uint64_t id) {
 LivePlatform::LivePlatform(LivePlatformOptions options)
     : options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock : &Clock::system()),
-      clients_(store_, options_.client_factory) {
+      clients_(store_, options_.client_factory),
+      functions_(std::make_shared<const FunctionMap>()) {
   set_mutex_name(mutex_, "live_platform.state");
   // Containers created by this platform share its time source unless the
   // caller pinned one explicitly.
   if (options_.container.clock == nullptr) options_.container.clock = clock_;
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  if (options_.dispatch == DispatchMode::kSharded) {
+    Dispatcher::Options dispatch_options;
+    dispatch_options.shards =
+        options_.shards == 0 ? kDefaultShards : options_.shards;
+    dispatch_options.workers = options_.dispatch_workers == 0
+                                   ? kDefaultDispatchWorkers
+                                   : options_.dispatch_workers;
+    dispatch_options.ring_capacity = options_.shard_ring_capacity == 0
+                                         ? kDefaultShardRingCapacity
+                                         : options_.shard_ring_capacity;
+    dispatch_options.max_queue = options_.max_queue;
+    dispatch_options.clock = clock_;
+    // Vanilla dispatches on arrival: a zero window flushes immediately.
+    dispatch_options.window = options_.policy == LivePolicy::kFaasBatch
+                                  ? options_.window
+                                  : std::chrono::milliseconds(0);
+    sharded_ = std::make_unique<Dispatcher>(
+        dispatch_options,
+        [this](std::size_t shard, std::vector<RequestPtr> items,
+               ClockTime window_open, ClockTime window_close) {
+          flush_shard(shard, std::move(items), window_open, window_close);
+        },
+        [this](FlushedBatch&& batch) { execute_batch(std::move(batch)); });
+  } else {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
 }
 
 LivePlatform::~LivePlatform() {
@@ -91,26 +125,41 @@ LivePlatform::~LivePlatform() {
   // window timer while invocations sit queued.
   shutdown();
   drain();
-  {
-    std::lock_guard<Mutex> lock(mutex_);
-    stopping_ = true;
+  if (sharded_ != nullptr) {
+    // Shard flush threads and workers join only after drain(): the
+    // workers are what retire outstanding invocations.
+    sharded_->join();
   }
-  queue_cv_.notify_all();
-  dispatcher_.join();
+  if (dispatcher_.joinable()) {
+    {
+      std::lock_guard<Mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    dispatcher_.join();
+  }
   // Containers drain in their destructors.
 }
 
 void LivePlatform::shutdown() {
+  draining_.store(true, std::memory_order_seq_cst);
+  if (sharded_ != nullptr) {
+    // Atomically closes admission on every shard and triggers their
+    // final drain sweeps; a racing invoke() either landed before the
+    // close (and will flush) or resolves kCancelled.
+    sharded_->close();
+  }
   {
     std::lock_guard<Mutex> lock(mutex_);
-    draining_ = true;
   }
   queue_cv_.notify_all();
 }
 
 void LivePlatform::register_function(const std::string& name, FunctionHandler handler) {
   std::lock_guard<Mutex> lock(mutex_);
-  functions_[name] = std::move(handler);
+  auto next = std::make_shared<FunctionMap>(*functions_.load());
+  (*next)[name] = std::move(handler);
+  functions_.store(std::shared_ptr<const FunctionMap>(std::move(next)));
 }
 
 std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
@@ -124,32 +173,22 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
     request->deadline =
         request->submitted + std::chrono::duration_cast<ClockTime>(deadline);
   }
-  std::future<InvocationReport> future = request->promise.get_future();
-  InvocationStatus verdict = InvocationStatus::kOk;
   {
-    std::lock_guard<Mutex> lock(mutex_);
-    if (functions_.find(name) == functions_.end()) {
+    // Resolve the handler once, lock-free, from the registration
+    // snapshot; dispatch and execution never consult the map again.
+    const auto functions = functions_.load();
+    const auto it = functions->find(name);
+    if (it == functions->end()) {
       throw std::invalid_argument("LivePlatform::invoke: unknown function " + name);
     }
-    request->id = next_id_++;
-    live_requests_total().inc();
-    if (draining_) {
-      verdict = InvocationStatus::kCancelled;
-    } else if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
-      verdict = InvocationStatus::kShed;
-    }
-    if (verdict == InvocationStatus::kOk) {
-      ++outstanding_;
-      if (obs::tracer().enabled()) {
-        obs::tracer().instant("live", "arrival", us_of(request->submitted),
-                              request->id, {{"function", Json(request->function)}});
-        obs::tracer().begin_span("live", "request", us_of(request->submitted),
-                                 request->id,
-                                 {{"function", Json(request->function)}});
-      }
-      queue_.push_back(request);
-    }
+    request->handler = it->second;
   }
+  request->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  live_requests_total().inc();
+  std::future<InvocationReport> future = request->promise.get_future();
+  const InvocationStatus verdict = options_.dispatch == DispatchMode::kSharded
+                                       ? admit_sharded(request)
+                                       : admit_single_queue(request);
   if (verdict != InvocationStatus::kOk) {
     // Rejected at admission: resolve the future off-lock, never queued,
     // never counted as outstanding — drain() does not wait for it.
@@ -167,20 +206,94 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
     InvocationReport report;
     report.status = verdict;
     request->promise.set_value(report);
-    return future;
+  }
+  return future;
+}
+
+InvocationStatus LivePlatform::admit_sharded(const RequestPtr& request) {
+  if (draining_.load(std::memory_order_acquire)) {
+    return InvocationStatus::kCancelled;
+  }
+  // Count the request as outstanding BEFORE it can reach a shard flush:
+  // once the ring holds it, a concurrent drain() must wait for it. A
+  // failed admission unwinds the count (transient overcount is benign —
+  // drain() only requires "never undercounted").
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (obs::tracer().enabled()) {
+    begin_request_span(us_of(request->submitted), request->id, request->function);
+  }
+  const std::size_t shard = sharded_->shard_for(request->function);
+  switch (sharded_->enqueue(shard, request)) {
+    case dispatch::Admit::kOk:
+      return InvocationStatus::kOk;
+    case dispatch::Admit::kFull:
+      unadmit(request);
+      return InvocationStatus::kShed;
+    case dispatch::Admit::kClosed:
+      break;
+  }
+  unadmit(request);
+  return InvocationStatus::kCancelled;
+}
+
+void LivePlatform::unadmit(const RequestPtr& request) {
+  if (obs::tracer().enabled()) {
+    end_request_span(us_of(clock_->now()), request->id);
+  }
+  finish_one();
+}
+
+InvocationStatus LivePlatform::admit_single_queue(const RequestPtr& request) {
+  {
+    std::lock_guard<Mutex> lock(mutex_);
+    if (draining_.load(std::memory_order_acquire)) {
+      return InvocationStatus::kCancelled;
+    }
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      return InvocationStatus::kShed;
+    }
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    if (obs::tracer().enabled()) {
+      begin_request_span(us_of(request->submitted), request->id, request->function);
+    }
+    queue_.push_back(request);
   }
   queue_cv_.notify_all();
-  return future;
+  return InvocationStatus::kOk;
 }
 
 void LivePlatform::drain() {
   std::unique_lock<Mutex> lock(mutex_);
-  drain_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  drain_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void LivePlatform::finish_one() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Pulse the mutex so a drain() between its predicate check and its
+    // cv wait cannot miss the notify.
+    {
+      std::lock_guard<Mutex> lock(mutex_);
+    }
+    drain_cv_.notify_all();
+  }
 }
 
 std::uint64_t LivePlatform::containers_created() const {
   std::lock_guard<Mutex> lock(mutex_);
   return containers_created_;
+}
+
+DispatchStats LivePlatform::dispatch_stats() const {
+  DispatchStats stats;
+  stats.mode = options_.dispatch;
+  if (sharded_ != nullptr) {
+    stats.shards = sharded_->shards();
+    stats.workers = sharded_->workers();
+    stats.shard_stats = sharded_->snapshots();
+  }
+  return stats;
 }
 
 LiveContainer& LivePlatform::container_for(const std::string& function) {
@@ -204,7 +317,33 @@ LiveContainer& LivePlatform::container_for(const std::string& function) {
   return *all_containers_.back();
 }
 
-void LivePlatform::settle_unexecuted(const std::shared_ptr<Request>& request,
+LiveContainer& LivePlatform::batch_container_for(const std::string& function) {
+  // Caller holds mutex_. One container per function group, as in the
+  // simulator: reuse an *idle* keep-alive container of the function if
+  // one exists, otherwise scale out with a fresh container (a busy
+  // container is still running a previous window's group).
+  auto& pool = warm_[function];
+  for (LiveContainer* candidate : pool) {
+    if (candidate->load() == 0) {
+      live_warm_hits_total().inc();
+      return *candidate;
+    }
+  }
+  all_containers_.push_back(
+      std::make_unique<LiveContainer>(function, options_.container));
+  ++containers_created_;
+  live_cold_starts_total().inc();
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("container", "container_create", us_of(clock_->now()),
+                          obs::kContainerTrackBase + containers_created_,
+                          {{"function", Json(function)}});
+  }
+  LiveContainer* chosen = all_containers_.back().get();
+  pool.push_back(chosen);
+  return *chosen;
+}
+
+void LivePlatform::settle_unexecuted(const RequestPtr& request,
                                      InvocationStatus status) {
   const ClockTime now = clock_->now();
   InvocationReport report;
@@ -220,20 +359,11 @@ void LivePlatform::settle_unexecuted(const std::shared_ptr<Request>& request,
     end_request_span(us_of(now), request->id);
   }
   request->promise.set_value(report);
-  bool notify_drain = false;
-  {
-    std::lock_guard<Mutex> lock(mutex_);
-    if (--outstanding_ == 0) notify_drain = true;
-  }
-  if (notify_drain) drain_cv_.notify_all();
+  finish_one();
 }
 
-void LivePlatform::run_request(LiveContainer& container,
-                               std::shared_ptr<Request> request) {
-  // Caller holds mutex_ (handler lookup is done before submitting).
-  FunctionHandler handler = functions_.at(request->function);
-  container.submit([this, &container, request = std::move(request),
-                    handler = std::move(handler)]() {
+void LivePlatform::run_request(LiveContainer& container, RequestPtr request) {
+  container.submit([this, &container, request = std::move(request)]() {
     const ClockTime exec_start = clock_->now();
     if (exec_start >= request->deadline) {
       // The deadline expired while the request waited behind other work
@@ -250,7 +380,7 @@ void LivePlatform::run_request(LiveContainer& container,
     }
     FunctionContext context{container.multiplexer(), store_, clients_, request->id,
                             request->payload};
-    handler(context);
+    request->handler(context);
     const ClockTime exec_end = clock_->now();
     InvocationReport report;
     report.queue_ms = ms_between(request->submitted, exec_start);
@@ -286,20 +416,82 @@ void LivePlatform::run_request(LiveContainer& container,
     request->promise.set_value(report);
     // Only now count the invocation as settled: drain() returning must
     // imply every future is ready.
-    bool notify_drain = false;
+    finish_one();
+  });
+}
+
+void LivePlatform::flush_shard(std::size_t shard, std::vector<RequestPtr> items,
+                               ClockTime window_open, ClockTime window_close) {
+  // Runs on the shard's flush thread; no platform lock needed — the
+  // items are exclusively ours and grouping is pure computation.
+  std::vector<RequestPtr> expired;
+  std::map<std::string, std::vector<RequestPtr>> groups;
+  for (auto& request : items) {
+    if (window_close >= request->deadline) {
+      expired.push_back(std::move(request));
+      continue;
+    }
+    groups[request->function].push_back(std::move(request));
+  }
+  live_windows_flushed_total().inc();
+  if (obs::tracer().enabled() && !groups.empty()) {
+    obs::tracer().complete(
+        "dispatch", "dispatch_window", us_of(window_open),
+        us_of(window_close) - us_of(window_open),
+        obs::kDispatchTrackBase + shard,
+        {{"invocations", Json(static_cast<std::int64_t>(items.size()))},
+         {"groups", Json(static_cast<std::int64_t>(groups.size()))},
+         {"shard", Json(static_cast<std::int64_t>(shard))}});
+  }
+  if (!groups.empty()) {
+    FlushedBatch batch;
+    batch.shard = shard;
+    batch.groups.reserve(groups.size());
+    for (auto& [function, requests] : groups) {
+      if (options_.policy == LivePolicy::kFaasBatch) {
+        live_batch_size().observe(static_cast<double>(requests.size()));
+      }
+      batch.groups.emplace_back(function, std::move(requests));
+    }
+    // One pool wakeup per flushed window, not per invocation.
+    sharded_->submit(std::move(batch));
+  }
+  for (const auto& request : expired) {
+    settle_unexecuted(request, InvocationStatus::kDeadlineExpired);
+  }
+}
+
+void LivePlatform::execute_batch(FlushedBatch&& batch) {
+  // Runs on a dispatch worker thread.
+  for (auto& [function, requests] : batch.groups) {
+    if (options_.policy == LivePolicy::kVanilla) {
+      // A fresh (or idle warm) container per invocation.
+      for (auto& request : requests) {
+        LiveContainer* container = nullptr;
+        {
+          std::lock_guard<Mutex> lock(mutex_);
+          container = &container_for(request->function);
+        }
+        run_request(*container, std::move(request));
+      }
+      continue;
+    }
+    LiveContainer* chosen = nullptr;
     {
       std::lock_guard<Mutex> lock(mutex_);
-      if (--outstanding_ == 0) notify_drain = true;
+      chosen = &batch_container_for(function);
     }
-    if (notify_drain) drain_cv_.notify_all();
-  });
+    for (auto& request : requests) {
+      run_request(*chosen, std::move(request));
+    }
+  }
 }
 
 void LivePlatform::dispatcher_loop() {
   while (true) {
     // Requests whose deadline passed before dispatch; settled after the
     // lock drops (promise resolution never runs under mutex_).
-    std::vector<std::shared_ptr<Request>> expired;
+    std::vector<RequestPtr> expired;
     std::unique_lock<Mutex> lock(mutex_);
     queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
     if (stopping_ && queue_.empty()) return;
@@ -326,18 +518,19 @@ void LivePlatform::dispatcher_loop() {
     // FaaSBatch: let the window fill, then flush groups per function —
     // the live analogue of the Invoke Mapper + Inline-Parallel Producer.
     // The wait goes through the injected clock, so tests advance a
-    // VirtualClock to close the window instead of sleeping through it.
-    // A draining platform flushes immediately: shutdown() must not wait
-    // out the window timer.
+    // VirtualClock to close the window deterministically instead of
+    // sleeping. A draining platform flushes immediately: shutdown() must
+    // not wait out the window timer.
     const ClockTime window_open = clock_->now();
     const ClockTime window_deadline =
         window_open + std::chrono::duration_cast<ClockTime>(options_.window);
-    clock_->wait_until(lock, queue_cv_, window_deadline,
-                       [this] { return stopping_ || draining_; });
+    clock_->wait_until(lock, queue_cv_, window_deadline, [this] {
+      return stopping_ || draining_.load(std::memory_order_acquire);
+    });
     const ClockTime window_close = clock_->now();
-    std::deque<std::shared_ptr<Request>> batch;
+    std::deque<RequestPtr> batch;
     batch.swap(queue_);
-    std::map<std::string, std::vector<std::shared_ptr<Request>>> groups;
+    std::map<std::string, std::vector<RequestPtr>> groups;
     for (auto& request : batch) {
       if (window_close >= request->deadline) {
         expired.push_back(std::move(request));
@@ -355,36 +548,9 @@ void LivePlatform::dispatcher_loop() {
     }
     for (auto& [function, requests] : groups) {
       live_batch_size().observe(static_cast<double>(requests.size()));
-      // One container per function group, as in the simulator: reuse an
-      // *idle* keep-alive container of the function if one exists,
-      // otherwise scale out with a fresh container (a busy container is
-      // still running a previous window's group).
-      auto& pool = warm_[function];
-      LiveContainer* chosen = nullptr;
-      for (LiveContainer* candidate : pool) {
-        if (candidate->load() == 0) {
-          chosen = candidate;
-          break;
-        }
-      }
-      if (chosen == nullptr) {
-        all_containers_.push_back(
-            std::make_unique<LiveContainer>(function, options_.container));
-        ++containers_created_;
-        live_cold_starts_total().inc();
-        if (obs::tracer().enabled()) {
-          obs::tracer().instant(
-              "container", "container_create", us_of(clock_->now()),
-              obs::kContainerTrackBase + containers_created_,
-              {{"function", Json(function)}});
-        }
-        chosen = all_containers_.back().get();
-        pool.push_back(chosen);
-      } else {
-        live_warm_hits_total().inc();
-      }
+      LiveContainer& chosen = batch_container_for(function);
       for (auto& request : requests) {
-        run_request(*chosen, std::move(request));
+        run_request(chosen, std::move(request));
       }
     }
     lock.unlock();

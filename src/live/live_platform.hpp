@@ -6,8 +6,20 @@
 // resource multiplexing. The same architecture the simulator evaluates,
 // runnable inside any process. Used by the examples and the live
 // motivation benchmarks.
+//
+// Two dispatch pipelines are available (LivePlatformOptions::dispatch):
+//
+//  - kSharded (default): arrivals hash by function name onto N
+//    shard-local lock-free MPSC rings; each shard runs its own window
+//    flush loop and hands batches to a pull-based worker pool with one
+//    wakeup per flushed batch. invoke() never takes the platform mutex
+//    on the happy path.
+//  - kSingleQueue: the original single mutex-guarded queue with one
+//    dispatcher thread. Kept selectable for differential comparison
+//    (see tests/chaos_differential_test.cpp and bench/bench_dispatch).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -23,6 +35,7 @@
 #include "common/clock.hpp"
 #include "common/ordered_mutex.hpp"
 #include "core/resource_multiplexer.hpp"
+#include "live/dispatch/sharded_dispatcher.hpp"
 #include "live/live_container.hpp"
 #include "storage/client.hpp"
 #include "storage/object_store.hpp"
@@ -71,6 +84,19 @@ enum class LivePolicy {
   kFaasBatch,
 };
 
+/// Which arrival pipeline carries invoke() calls to containers.
+enum class DispatchMode {
+  /// Original single mutex-guarded queue and dispatcher thread.
+  kSingleQueue,
+  /// Sharded lock-free pipeline (default).
+  kSharded,
+};
+
+/// Defaults for the sharded pipeline (option value 0 selects them).
+inline constexpr std::size_t kDefaultShards = 4;
+inline constexpr std::size_t kDefaultDispatchWorkers = 2;
+inline constexpr std::size_t kDefaultShardRingCapacity = 8192;
+
 struct LivePlatformOptions {
   LivePolicy policy = LivePolicy::kFaasBatch;
   /// Dispatch window for the FaaSBatch policy.
@@ -83,8 +109,30 @@ struct LivePlatformOptions {
   Clock* clock = nullptr;
   /// Bounded admission: invoke() sheds (future resolves immediately with
   /// InvocationStatus::kShed) when this many requests are already queued
-  /// for dispatch. 0 = unbounded.
+  /// for dispatch. 0 = unbounded. Under kSharded the bound applies per
+  /// shard — requests of one function always share a shard, so the
+  /// single-function backpressure semantics match the single queue.
   std::size_t max_queue = 0;
+
+  /// Arrival pipeline; see DispatchMode.
+  DispatchMode dispatch = DispatchMode::kSharded;
+  /// Shard count for kSharded; 0 = kDefaultShards.
+  std::size_t shards = 0;
+  /// Worker threads draining flushed batches; 0 = kDefaultDispatchWorkers.
+  std::size_t dispatch_workers = 0;
+  /// MPSC ring slots per shard when max_queue is 0 (unbounded platforms
+  /// spill past the ring into a mutex-guarded side queue, never shed);
+  /// 0 = kDefaultShardRingCapacity.
+  std::size_t shard_ring_capacity = 0;
+};
+
+/// Point-in-time dispatch pipeline stats (gateway /stats, tests).
+struct DispatchStats {
+  DispatchMode mode = DispatchMode::kSharded;
+  std::size_t shards = 0;
+  std::size_t workers = 0;
+  /// Per-shard counters; empty in kSingleQueue mode.
+  std::vector<dispatch::ShardSnapshot> shard_stats;
 };
 
 class LivePlatform {
@@ -114,7 +162,10 @@ class LivePlatform {
   /// Begins graceful drain: every invocation already queued still
   /// executes to completion, but new invoke() calls resolve immediately
   /// with kCancelled. Pending dispatch windows flush at once rather than
-  /// waiting out the timer. Idempotent; the destructor calls it.
+  /// waiting out the timer. Admission close is atomic with the final
+  /// drain — an invoke() racing shutdown() either lands before the
+  /// shards' final sweep (and executes) or resolves kCancelled; accepted
+  /// work is never stranded. Idempotent; the destructor calls it.
   void shutdown();
 
   /// Blocks until every submitted invocation has completed.
@@ -126,6 +177,9 @@ class LivePlatform {
   /// Storage clients actually constructed (misses; hits are reuse).
   std::uint64_t client_creations() const { return clients_.creations(); }
 
+  /// Dispatch pipeline shape and per-shard activity.
+  DispatchStats dispatch_stats() const;
+
   storage::ObjectStore& store() { return store_; }
 
   const LivePlatformOptions& options() const { return options_; }
@@ -134,21 +188,53 @@ class LivePlatform {
   struct Request {
     std::string function;
     std::string payload;
-    std::uint64_t id;
+    std::uint64_t id = 0;
     ClockTime submitted;
     /// Absolute time after which the request must not start executing.
     ClockTime deadline = ClockTime::max();
+    /// Resolved at admission from the functions snapshot, so dispatch
+    /// and execution never need the registration map (or its lock).
+    FunctionHandler handler;
     std::promise<InvocationReport> promise;
   };
+  using RequestPtr = std::shared_ptr<Request>;
+  using FunctionMap = std::map<std::string, FunctionHandler>;
 
-  void dispatcher_loop();
-  void run_request(LiveContainer& container, std::shared_ptr<Request> request);
+  /// One window flush from one shard: requests grouped by function.
+  struct FlushedBatch {
+    std::size_t shard = 0;
+    std::vector<std::pair<std::string, std::vector<RequestPtr>>> groups;
+  };
+  using Dispatcher = dispatch::ShardedDispatcher<RequestPtr, FlushedBatch>;
+
+  // -- admission -----------------------------------------------------
+  InvocationStatus admit_sharded(const RequestPtr& request);
+  InvocationStatus admit_single_queue(const RequestPtr& request);
+  /// Unwinds a failed sharded admission (span + outstanding count).
+  void unadmit(const RequestPtr& request);
+
+  // -- dispatch ------------------------------------------------------
+  void dispatcher_loop();  // kSingleQueue thread body
+  /// Shard flush callback: expire deadlines, group by function, hand one
+  /// batch to the worker pool. Runs on the shard's flush thread.
+  void flush_shard(std::size_t shard, std::vector<RequestPtr> items,
+                   ClockTime window_open, ClockTime window_close);
+  /// Worker-pool callback: route each group to a container.
+  void execute_batch(FlushedBatch&& batch);
+
+  // -- execution -----------------------------------------------------
+  void run_request(LiveContainer& container, RequestPtr request);
   LiveContainer& container_for(const std::string& function);
+  /// FaaSBatch group placement: an *idle* warm container of the function
+  /// or a fresh one (a busy container still runs a previous window's
+  /// group). Caller holds mutex_.
+  LiveContainer& batch_container_for(const std::string& function);
   /// Resolves a queued request's future without running its handler
   /// (deadline expiry) and settles drain bookkeeping. Call WITHOUT
   /// holding mutex_.
-  void settle_unexecuted(const std::shared_ptr<Request>& request,
-                         InvocationStatus status);
+  void settle_unexecuted(const RequestPtr& request, InvocationStatus status);
+  /// Retires one outstanding invocation and wakes drain() at zero.
+  void finish_one();
 
   LivePlatformOptions options_;
   Clock* clock_;
@@ -158,8 +244,10 @@ class LivePlatform {
   mutable Mutex mutex_;
   CondVar queue_cv_;
   CondVar drain_cv_;
-  std::deque<std::shared_ptr<Request>> queue_;
-  std::map<std::string, FunctionHandler> functions_;
+  std::deque<RequestPtr> queue_;  // kSingleQueue only; guarded by mutex_
+  /// Copy-on-write registration snapshot: invoke() resolves handlers
+  /// lock-free; register_function swaps in a new map under mutex_.
+  std::atomic<std::shared_ptr<const FunctionMap>> functions_;
   /// All containers ever created; owned for the platform's lifetime
   /// (keep-alive never expires within a process run).
   std::vector<std::unique_ptr<LiveContainer>> all_containers_;
@@ -168,11 +256,12 @@ class LivePlatform {
   /// invocation; FaaSBatch keeps one shared container per function.
   std::map<std::string, std::vector<LiveContainer*>> warm_;
   std::uint64_t containers_created_ = 0;
-  std::uint64_t next_id_ = 0;
-  std::size_t outstanding_ = 0;
-  bool draining_ = false;
-  bool stopping_ = false;
-  std::thread dispatcher_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<bool> draining_{false};
+  bool stopping_ = false;  // kSingleQueue only; guarded by mutex_
+  std::unique_ptr<Dispatcher> sharded_;  // kSharded pipeline
+  std::thread dispatcher_;               // kSingleQueue thread
 };
 
 }  // namespace faasbatch::live

@@ -22,6 +22,7 @@
 //   tid 0                 — platform track (dispatch windows, decisions)
 //   tid = invocation id   — that invocation's lifecycle spans
 //   tid = kContainerTrackBase + container id — container lifecycle
+//   tid = kDispatchTrackBase + shard — dispatch-shard window flushes
 #pragma once
 
 #include <atomic>
@@ -40,6 +41,10 @@ namespace faasbatch::obs {
 
 /// Offset keeping container tracks clear of invocation-id tracks.
 inline constexpr std::uint64_t kContainerTrackBase = 1'000'000;
+
+/// Offset for dispatch-shard tracks (one per shard of the sharded
+/// dispatch pipeline), clear of container and invocation tracks.
+inline constexpr std::uint64_t kDispatchTrackBase = 2'000'000;
 
 struct TraceArg {
   std::string key;

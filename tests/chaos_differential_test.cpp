@@ -12,8 +12,15 @@
 //    still hold with faults injected.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <tuple>
+#include <vector>
 
+#include "common/clock.hpp"
+#include "live/live_platform.hpp"
+#include "resilience/fault_injector.hpp"
 #include "testing/differential.hpp"
 
 namespace faasbatch::testing {
@@ -126,6 +133,165 @@ TEST(ChaosDifferentialTest, FuzzedFaultPlansAreDeterministic) {
   }
   // Different seeds should (generally) differ.
   EXPECT_NE(fuzz_fault_plan(1).fingerprint(), fuzz_fault_plan(2).fingerprint());
+}
+
+// -----------------------------------------------------------------------
+// Live sharded-vs-single-queue equivalence
+//
+// The live platform's two dispatch pipelines must be observationally
+// equivalent: the same seeded fuzzed workload, with a FaultPlan deciding
+// (in fixed submission order) which invocations are doomed by a too-short
+// deadline, must produce identical terminal Outcome accounting on both
+// paths. All timing is virtual, so the doomed/healthy split is decided by
+// clock arithmetic, not scheduling.
+// -----------------------------------------------------------------------
+
+struct LiveOutcomeCounts {
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+};
+
+void tally(std::vector<std::future<live::InvocationReport>>& futures,
+           LiveOutcomeCounts& counts) {
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "an invocation never reached a terminal outcome";
+    switch (future.get().status) {
+      case live::InvocationStatus::kOk: ++counts.ok; break;
+      case live::InvocationStatus::kShed: ++counts.shed; break;
+      case live::InvocationStatus::kDeadlineExpired: ++counts.expired; break;
+      case live::InvocationStatus::kCancelled: ++counts.cancelled; break;
+    }
+  }
+}
+
+LiveOutcomeCounts run_live_chaos(live::DispatchMode mode, std::uint64_t seed) {
+  FuzzerOptions fuzz;
+  fuzz.min_invocations = 40;
+  fuzz.max_invocations = 80;
+  fuzz.horizon = 10 * kSecond;
+  const trace::Workload workload = fuzz_workload(seed, fuzz);
+
+  // The fault stream decides, deterministically per (plan, order), which
+  // submissions carry a 5 ms deadline — far shorter than the 15 ms
+  // window, so every doomed invocation expires at its window flush on
+  // either pipeline.
+  resilience::FaultPlan plan;
+  plan.seed = seed * 977 + 13;
+  plan.exec_error_rate = 0.25;
+  resilience::FaultInjector injector(plan);
+
+  VirtualClock clock;
+  live::LivePlatformOptions options;
+  options.policy = live::LivePolicy::kFaasBatch;
+  options.window = std::chrono::milliseconds(15);
+  options.dispatch = mode;
+  options.clock = &clock;
+  options.container.threads = 2;
+  options.container.cold_start_work_ms = 0.5;
+  live::LivePlatform platform(options);
+
+  std::atomic<std::uint64_t> ran{0};
+  for (const auto& profile : workload.functions) {
+    platform.register_function(profile.name,
+                               [&ran](live::FunctionContext&) { ++ran; });
+  }
+
+  std::vector<std::future<live::InvocationReport>> futures;
+  futures.reserve(workload.events.size() + 3);
+  for (const auto& event : workload.events) {
+    const bool doomed = injector.inject_exec_error();
+    futures.push_back(platform.invoke(
+        workload.functions[event.function].name, "",
+        doomed ? std::chrono::milliseconds(5) : std::chrono::milliseconds(0)));
+  }
+
+  // Advance virtual time until every future settles (window flushes and
+  // executions run on real threads; the loop only paces, never decides).
+  const auto all_ready = [&futures] {
+    for (auto& future : futures) {
+      if (future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int i = 0; i < 10000 && !all_ready(); ++i) {
+    clock.advance(std::chrono::duration_cast<ClockTime>(
+        std::chrono::milliseconds(15)));
+    // Real 1 ms pacing while polling a cross-thread predicate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // fb-lint-allow(raw-clock)
+  }
+
+  // Post-shutdown invokes must cancel identically on both paths.
+  platform.shutdown();
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(platform.invoke(workload.functions[0].name));
+  }
+  platform.drain();
+
+  LiveOutcomeCounts counts;
+  tally(futures, counts);
+  EXPECT_EQ(counts.ok, ran.load()) << "every kOk must have executed exactly once";
+  return counts;
+}
+
+class LiveDispatchEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LiveDispatchEquivalenceTest, ShardedMatchesSingleQueueUnderChaos) {
+  const std::uint64_t seed = GetParam();
+  const LiveOutcomeCounts sharded =
+      run_live_chaos(live::DispatchMode::kSharded, seed);
+  const LiveOutcomeCounts single =
+      run_live_chaos(live::DispatchMode::kSingleQueue, seed);
+  EXPECT_EQ(sharded.ok, single.ok) << "seed " << seed;
+  EXPECT_EQ(sharded.shed, single.shed) << "seed " << seed;
+  EXPECT_EQ(sharded.expired, single.expired) << "seed " << seed;
+  EXPECT_EQ(sharded.cancelled, single.cancelled) << "seed " << seed;
+  // The workload actually exercised both classes.
+  EXPECT_GT(sharded.ok, 0u) << "seed " << seed;
+  EXPECT_GT(sharded.expired, 0u) << "seed " << seed;
+  EXPECT_EQ(sharded.cancelled, 3u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiveDispatchEquivalenceTest,
+                         ::testing::Values<std::uint64_t>(3, 11, 27));
+
+TEST(LiveDispatchEquivalenceTest, BoundedSheddingMatchesWithOneShard) {
+  // Shed equivalence: max_queue bounds the single queue globally and the
+  // sharded pipeline per shard, so with shards=1 the two must agree
+  // exactly. The virtual clock never advances, pinning every request in
+  // the open window while later ones overflow the bound.
+  for (const live::DispatchMode mode :
+       {live::DispatchMode::kSharded, live::DispatchMode::kSingleQueue}) {
+    VirtualClock clock;
+    live::LivePlatformOptions options;
+    options.policy = live::LivePolicy::kFaasBatch;
+    options.window = std::chrono::milliseconds(15);
+    options.dispatch = mode;
+    options.shards = 1;
+    options.max_queue = 3;
+    options.clock = &clock;
+    options.container.threads = 2;
+    options.container.cold_start_work_ms = 0.5;
+    live::LivePlatform platform(options);
+    platform.register_function("f", [](live::FunctionContext&) {});
+
+    std::vector<std::future<live::InvocationReport>> futures;
+    for (int i = 0; i < 10; ++i) futures.push_back(platform.invoke("f"));
+    platform.shutdown();  // flushes the open window immediately
+    platform.drain();
+
+    LiveOutcomeCounts counts;
+    tally(futures, counts);
+    EXPECT_EQ(counts.ok, 3u) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(counts.shed, 7u) << "mode " << static_cast<int>(mode);
+  }
 }
 
 TEST(ChaosDifferentialTest, FuzzedPlansMixFaultFreeAndFaulty) {

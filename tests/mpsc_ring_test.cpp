@@ -1,0 +1,236 @@
+// Property and stress tests for the lock-free MPSC ring underlying the
+// sharded dispatch pipeline (src/live/dispatch/mpsc_ring.hpp).
+//
+// The stress tests use the repo's gate/latch idiom — producers rendezvous
+// at a latch so they hammer the ring genuinely concurrently — and never
+// sleep, so 20 back-to-back TSan runs stay fast and deterministic enough
+// to converge. CI runs this binary in the tsan job's x20 loop.
+
+#include "live/dispatch/mpsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <latch>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace faasbatch::live::dispatch {
+namespace {
+
+TEST(NextPow2Test, RoundsUp) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(8), 8u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(MpscRingTest, PushPopRoundTripInOrder) {
+  MpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.try_push(v));
+  }
+  EXPECT_EQ(ring.size_approx(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+TEST(MpscRingTest, FullRingRejectsAndLeavesItemIntact) {
+  MpscRing<std::string> ring(2);
+  std::string a = "a", b = "b", c = "c";
+  EXPECT_TRUE(ring.try_push(a));
+  EXPECT_TRUE(ring.try_push(b));
+  // The rejected item must survive so the caller can shed or overflow it.
+  EXPECT_FALSE(ring.try_push(c));
+  EXPECT_EQ(c, "c");
+  std::string out;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, "a");
+  EXPECT_TRUE(ring.try_push(c));
+}
+
+TEST(MpscRingTest, PopOnEmptyFails) {
+  MpscRing<int> ring(4);
+  int out = 42;
+  EXPECT_FALSE(ring.try_pop(out));
+  int v = 7;
+  EXPECT_TRUE(ring.try_push(v));
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(MpscRingTest, WrapsAroundManyTimes) {
+  MpscRing<std::uint64_t> ring(4);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    std::uint64_t v = i;
+    ASSERT_TRUE(ring.try_push(v));
+    std::uint64_t out = 0;
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out, i);
+  }
+}
+
+// Encodes (producer, sequence) so the consumer can verify per-producer
+// FIFO order after a fully concurrent run.
+struct Tagged {
+  std::uint32_t producer = 0;
+  std::uint32_t seq = 0;
+};
+
+// Multi-producer FIFO-per-producer: items from one producer may
+// interleave with others', but never reorder among themselves.
+TEST(MpscRingStressTest, PerProducerFifoOrderSurvivesConcurrency) {
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 2000;
+  MpscRing<Tagged> ring(64);  // small ring: forces wrap + contention
+
+  std::latch gate(kProducers + 1);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      gate.arrive_and_wait();
+      for (std::uint32_t s = 0; s < kPerProducer; ++s) {
+        Tagged item{p, s};
+        while (!ring.try_push(item)) {
+          std::this_thread::yield();  // full: wait for the consumer
+        }
+      }
+    });
+  }
+
+  std::vector<std::uint32_t> next_seq(kProducers, 0);
+  std::uint64_t popped = 0;
+  gate.arrive_and_wait();
+  while (popped < std::uint64_t{kProducers} * kPerProducer) {
+    Tagged item;
+    if (!ring.try_pop(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_LT(item.producer, kProducers);
+    // FIFO per producer: each producer's sequence pops in order.
+    ASSERT_EQ(item.seq, next_seq[item.producer])
+        << "producer " << item.producer << " reordered";
+    ++next_seq[item.producer];
+    ++popped;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+// Backpressure accounting: with no consumer, exactly `capacity` pushes
+// succeed no matter how many producers race, and every rejected push
+// leaves its item intact (the shed path reads it afterwards).
+TEST(MpscRingStressTest, FullRingBackpressureAccountsEveryPush) {
+  constexpr std::size_t kCapacity = 128;
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 500;
+  MpscRing<Tagged> ring(kCapacity);
+
+  std::latch gate(kProducers);
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> intact{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      gate.arrive_and_wait();
+      for (std::uint32_t s = 0; s < kPerProducer; ++s) {
+        Tagged item{p, s};
+        if (ring.try_push(item)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          if (item.producer == p && item.seq == s) {
+            intact.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(accepted.load(), kCapacity);
+  EXPECT_EQ(accepted.load() + rejected.load(),
+            std::uint64_t{kProducers} * kPerProducer);
+  EXPECT_EQ(intact.load(), rejected.load());
+  EXPECT_EQ(ring.size_approx(), kCapacity);
+
+  // Drain and verify nothing was lost or duplicated among the accepted.
+  std::map<std::uint32_t, std::uint32_t> last_seq;
+  Tagged item;
+  std::uint64_t drained = 0;
+  while (ring.try_pop(item)) {
+    auto [it, inserted] = last_seq.emplace(item.producer, item.seq);
+    if (!inserted) {
+      ASSERT_GT(item.seq, it->second) << "duplicate or reordered item";
+      it->second = item.seq;
+    }
+    ++drained;
+  }
+  EXPECT_EQ(drained, accepted.load());
+}
+
+// Concurrent producers + live consumer under shared-ptr payloads: the
+// exact item type the dispatch pipeline moves. Catches lifetime races
+// (use-after-move, double-release) that int payloads cannot.
+TEST(MpscRingStressTest, SharedPtrPayloadsNeverLeakOrTear) {
+  constexpr std::uint32_t kProducers = 3;
+  constexpr std::uint32_t kPerProducer = 1500;
+  MpscRing<std::shared_ptr<std::uint64_t>> ring(32);
+
+  std::latch gate(kProducers + 1);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      gate.arrive_and_wait();
+      for (std::uint32_t s = 0; s < kPerProducer; ++s) {
+        auto item =
+            std::make_shared<std::uint64_t>((std::uint64_t{p} << 32) | s);
+        while (!ring.try_push(item)) std::this_thread::yield();
+        // A successful push moved the pointer out.
+        ASSERT_EQ(item, nullptr);
+      }
+    });
+  }
+
+  std::uint64_t sum = 0;
+  std::uint64_t popped = 0;
+  gate.arrive_and_wait();
+  while (popped < std::uint64_t{kProducers} * kPerProducer) {
+    std::shared_ptr<std::uint64_t> item;
+    if (!ring.try_pop(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_NE(item, nullptr);
+    ASSERT_EQ(item.use_count(), 1);  // the ring released its reference
+    sum += *item;
+    ++popped;
+  }
+  for (auto& t : producers) t.join();
+
+  std::uint64_t expected = 0;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    for (std::uint32_t s = 0; s < kPerProducer; ++s) {
+      expected += (std::uint64_t{p} << 32) | s;
+    }
+  }
+  EXPECT_EQ(sum, expected);
+}
+
+}  // namespace
+}  // namespace faasbatch::live::dispatch

@@ -205,11 +205,22 @@ def check_tokens(src: SourceFile, rule: str, tokens) -> list[Violation]:
     return out
 
 
+def _module_lookup(segments: list[str], layering: dict[str, list[str]]) -> str:
+    """Most specific declared module for a path: the longest declared
+    prefix of `segments` joined with '/', e.g. src/live/dispatch/ resolves
+    to "live/dispatch" when declared, else to its parent "live"."""
+    for k in range(len(segments), 0, -1):
+        name = "/".join(segments[:k])
+        if name in layering:
+            return name
+    return segments[0] if segments else ""
+
+
 def check_layering(src: SourceFile, layering: dict[str, list[str]]) -> list[Violation]:
     parts = Path(src.rel_path).parts
     if len(parts) < 3 or parts[0] != "src":
         return []  # only src/<module>/ files are constrained
-    module = parts[1]
+    module = _module_lookup(list(parts[1:-1]), layering)
     out = []
     if module not in layering:
         out.append(
@@ -229,7 +240,7 @@ def check_layering(src: SourceFile, layering: dict[str, list[str]]) -> list[Viol
         m = INCLUDE_RE.match(line)
         if not m or "/" not in m.group(1):
             continue
-        target = m.group(1).split("/", 1)[0]
+        target = _module_lookup(m.group(1).split("/")[:-1], layering)
         if target in allowed:
             continue
         if target in layering:
