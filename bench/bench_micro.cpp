@@ -11,6 +11,7 @@
 #include "core/resource_multiplexer.hpp"
 #include "eval/experiment.hpp"
 #include "live/functions.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/cpu.hpp"
@@ -166,6 +167,47 @@ void BM_ObsDisabledInstant(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsDisabledInstant);
+
+void BM_ObsDisabledFlightEvent(benchmark::State& state) {
+  obs::FlightRecorder recorder;  // disabled
+  for (auto _ : state) {
+    recorder.record(obs::FlightEventKind::kEnqueue, 0, 1, 2, 3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsDisabledFlightEvent);
+
+void BM_ObsEnabledFlightEvent(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  recorder.set_enabled(true);
+  for (auto _ : state) {
+    recorder.record(obs::FlightEventKind::kEnqueue, 0, 1, 2, 3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEnabledFlightEvent);
+
+void BM_ObsDisabledQuantileObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;  // disabled
+  obs::QuantileHistogram& quantiles = registry.quantile("bench_ms_quantiles");
+  for (auto _ : state) quantiles.record(3.5);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsDisabledQuantileObserve);
+
+void BM_ObsEnabledQuantileObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(true);
+  obs::QuantileHistogram& quantiles = registry.quantile("bench_ms_quantiles");
+  double value = 0.0;
+  for (auto _ : state) {
+    quantiles.record(value);
+    value += 0.1;
+    if (value > 1000.0) value = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsEnabledQuantileObserve);
 
 void BM_ObsEnabledInstant(benchmark::State& state) {
   obs::TraceRecorder recorder;

@@ -1,10 +1,15 @@
-# Runs bench_dispatch in quick mode and feeds the JSON to
-# scripts/check_perf.py. Invoked by the `perf_check` ctest (label: perf)
-# registered in bench/CMakeLists.txt; split into a -P script because a
-# single ctest COMMAND cannot chain two processes.
+# Runs a quick-mode bench (bench_dispatch or bench_obs) and feeds the
+# JSON to scripts/check_perf.py. Invoked by the `perf_check` /
+# `obs_perf_check` ctests (label: perf) registered in
+# bench/CMakeLists.txt; split into a -P script because a single ctest
+# COMMAND cannot chain two processes.
 #
-# Expects: -DBENCH=<bench_dispatch path> -DCHECK=<check_perf.py path>
+# Expects: -DBENCH=<bench binary path> -DCHECK=<check_perf.py path>
 #          -DBASELINE=<bench_baseline.json path> -DOUT=<report path>
+# Optional: -DPREFIX=<comma-separated baseline-name prefixes this bench
+#           owns; forwarded as --prefix args. Comma, not semicolon — a
+#           semicolon list does not survive the add_test -> script -D
+#           handoff intact>
 
 foreach(var BENCH CHECK BASELINE OUT)
   if(NOT DEFINED ${var})
@@ -16,7 +21,7 @@ execute_process(
   COMMAND ${BENCH} quick=1 out=${OUT}
   RESULT_VARIABLE bench_result)
 if(NOT bench_result EQUAL 0)
-  message(FATAL_ERROR "bench_dispatch failed (${bench_result})")
+  message(FATAL_ERROR "${BENCH} failed (${bench_result})")
 endif()
 
 find_package(Python3 COMPONENTS Interpreter QUIET)
@@ -24,8 +29,17 @@ if(NOT Python3_EXECUTABLE)
   set(Python3_EXECUTABLE python3)
 endif()
 
+set(prefix_args "")
+if(DEFINED PREFIX)
+  string(REPLACE "," ";" prefix_list "${PREFIX}")
+  foreach(p IN LISTS prefix_list)
+    list(APPEND prefix_args --prefix ${p})
+  endforeach()
+endif()
+
 execute_process(
   COMMAND ${Python3_EXECUTABLE} ${CHECK} ${OUT} --baseline ${BASELINE}
+          ${prefix_args}
   RESULT_VARIABLE check_result)
 if(NOT check_result EQUAL 0)
   message(FATAL_ERROR "check_perf.py failed (${check_result})")

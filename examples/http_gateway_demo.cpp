@@ -60,5 +60,7 @@ int main(int argc, char** argv) {
   std::cout << "POST /invoke/upload -> " << client.post("/invoke/upload", "").body
             << "\n";
   std::cout << "GET /stats -> " << client.get("/stats").body << "\n";
+  std::cout << "GET /healthz -> " << client.get("/healthz").body << "\n";
+  std::cout << "GET /debug/vars -> " << client.get("/debug/vars").body << "\n";
   return 0;
 }

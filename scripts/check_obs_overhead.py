@@ -24,6 +24,18 @@ DISABLED_NS_CEILING = {
     "BM_ObsDisabledCounterInc": 50.0,
     "BM_ObsDisabledHistogramObserve": 50.0,
     "BM_ObsDisabledInstant": 50.0,
+    "BM_ObsDisabledFlightEvent": 50.0,
+    "BM_ObsDisabledQuantileObserve": 50.0,
+}
+
+# ns ceilings for enabled-path hot primitives: recording must stay
+# lock-free and allocation-free. Generous bounds — a flight event is six
+# relaxed stores (~5-20 ns), a quantile record is a frexp plus three
+# relaxed RMWs (~10-30 ns); hundreds of ns means a lock or an allocation
+# crept in.
+ENABLED_NS_CEILING = {
+    "BM_ObsEnabledFlightEvent": 500.0,
+    "BM_ObsEnabledQuantileObserve": 500.0,
 }
 
 # Traced full experiment must stay within this factor of untraced.
@@ -45,14 +57,16 @@ def main(path):
         times[bench["name"]] = to_ns(bench["real_time"], bench["time_unit"])
 
     failures = []
-    for name, ceiling in DISABLED_NS_CEILING.items():
-        got = times.get(name)
-        if got is None:
-            failures.append(f"missing benchmark {name}")
-        elif got > ceiling:
-            failures.append(f"{name}: {got:.1f} ns > {ceiling:.0f} ns ceiling")
-        else:
-            print(f"ok: {name} = {got:.1f} ns (ceiling {ceiling:.0f})")
+    for ceilings in (DISABLED_NS_CEILING, ENABLED_NS_CEILING):
+        for name, ceiling in ceilings.items():
+            got = times.get(name)
+            if got is None:
+                failures.append(f"missing benchmark {name}")
+            elif got > ceiling:
+                failures.append(
+                    f"{name}: {got:.1f} ns > {ceiling:.0f} ns ceiling")
+            else:
+                print(f"ok: {name} = {got:.1f} ns (ceiling {ceiling:.0f})")
 
     base = times.get("BM_FullExperimentFaasBatch")
     traced = times.get("BM_FullExperimentFaasBatchTraced")
@@ -71,6 +85,17 @@ def main(path):
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
+        # Per-metric breakdown: when one ceiling blows, show every obs
+        # primitive's measured time so the offending layer is obvious
+        # without rerunning the bench locally.
+        print("\nper-metric breakdown (all BM_Obs* cells):", file=sys.stderr)
+        for name in sorted(times):
+            if not name.startswith("BM_Obs"):
+                continue
+            ceiling = DISABLED_NS_CEILING.get(name) or ENABLED_NS_CEILING.get(name)
+            bound = f" (ceiling {ceiling:.0f} ns)" if ceiling else ""
+            print(f"  {name:40s} {times[name]:10.1f} ns{bound}",
+                  file=sys.stderr)
         return 1
     print("observability overhead within bounds")
     return 0

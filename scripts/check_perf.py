@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Dispatch-pipeline perf guard.
+"""Perf guard for bench reports (dispatch pipeline, obs primitives).
 
-Reads a bench_dispatch JSON report (bench_dispatch quick=1 out=<file>)
-and compares it against the checked-in baseline
-(bench/bench_baseline.json by default):
+Reads a bench JSON report (bench_dispatch quick=1 out=<file>, or
+bench_obs quick=1 out=<file>) and compares it against the checked-in
+baseline (bench/bench_baseline.json by default):
 
   * throughput_ips may not drop below baseline / FACTOR
   * p99_ms may not rise above baseline * FACTOR
@@ -16,10 +16,20 @@ runner (the JSON records hardware_concurrency); faster hardware only
 adds margin on the throughput floors.
 
 Usage:
-  check_perf.py <dispatch.json> [--baseline <baseline.json>] [--update]
+  check_perf.py <report.json> [--baseline <baseline.json>]
+                [--prefix P ...] [--update]
+
+Several benches share one baseline file, each owning a name prefix
+(bench_dispatch: e2e/ and invoke_path/; bench_obs: obs/). --prefix
+restricts both checking and updating to cells whose name starts with
+one of the given prefixes, so one bench's report is never held against
+(or allowed to clobber) another bench's floors. Without --prefix every
+baseline cell is checked.
 
 --update rewrites the baseline from the current report instead of
-checking (run on a quiet machine, then commit the result).
+checking (run on a quiet machine, then commit the result). Combined
+with --prefix it merges: only matching cells are replaced, the rest of
+the baseline file is preserved.
 """
 import argparse
 import json
@@ -42,33 +52,54 @@ def load_cells(path):
     return report, cells
 
 
-def update_baseline(report, cells, path):
+def matches(name, prefixes):
+    return not prefixes or any(name.startswith(p) for p in prefixes)
+
+
+def update_baseline(report, cells, path, prefixes):
     baseline = {
         "comment": "perf floors for scripts/check_perf.py; regenerate with "
                    "bench_dispatch quick=1 out=d.json && check_perf.py d.json "
-                   "--update",
+                   "--update --prefix e2e/ --prefix invoke_path/, and "
+                   "bench_obs quick=1 out=o.json && check_perf.py o.json "
+                   "--update --prefix obs/",
         "hardware_concurrency": report.get("hardware_concurrency", 0),
         "benchmarks": {},
     }
+    if prefixes and os.path.exists(path):
+        # Merge: keep every cell this report does not own.
+        with open(path) as f:
+            existing = json.load(f)
+        baseline["benchmarks"] = {
+            name: entry for name, entry in existing.get("benchmarks", {}).items()
+            if not matches(name, prefixes)}
+    written = 0
     for name, cell in sorted(cells.items()):
+        if not matches(name, prefixes):
+            continue
         entry = {"throughput_ips": round(cell["throughput_ips"], 1)}
         if "p99_ms" in cell:
             entry["p99_ms"] = round(cell["p99_ms"], 3)
         baseline["benchmarks"][name] = entry
+        written += 1
+    baseline["benchmarks"] = dict(sorted(baseline["benchmarks"].items()))
     with open(path, "w") as f:
         json.dump(baseline, f, indent=2)
         f.write("\n")
-    print(f"wrote baseline for {len(cells)} cells to {path}")
+    print(f"wrote baseline ({written} cells updated, "
+          f"{len(baseline['benchmarks'])} total) to {path}")
     return 0
 
 
-def check(cells, baseline_path):
+def check(cells, baseline_path, prefixes):
     with open(baseline_path) as f:
         baseline = json.load(f)
 
     failures = []
     checked = 0
     for name, expect in baseline["benchmarks"].items():
+        if not matches(name, prefixes):
+            continue
         got = cells.get(name)
         if got is None:
             failures.append(f"missing benchmark cell {name}")
@@ -99,15 +130,22 @@ def check(cells, baseline_path):
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print(f"dispatch perf within bounds ({checked} checks)")
+    if checked == 0:
+        print("FAIL: no baseline cells matched "
+              f"prefixes {prefixes}", file=sys.stderr)
+        return 1
+    print(f"perf within bounds ({checked} checks)")
     return 0
 
 
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("report", help="bench_dispatch JSON (out=<file>)")
+    parser.add_argument("report", help="bench JSON report (out=<file>)")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--prefix", action="append", default=None,
+                        help="only check/update baseline cells whose name "
+                             "starts with this (repeatable)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this report")
     args = parser.parse_args()
@@ -117,8 +155,8 @@ def main():
         print(f"FAIL: no benchmark cells in {args.report}", file=sys.stderr)
         return 1
     if args.update:
-        return update_baseline(report, cells, args.baseline)
-    return check(cells, args.baseline)
+        return update_baseline(report, cells, args.baseline, args.prefix)
+    return check(cells, args.baseline, args.prefix)
 
 
 if __name__ == "__main__":

@@ -1,5 +1,6 @@
 #include "common/ordered_mutex.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -11,6 +12,16 @@
 
 namespace faasbatch {
 namespace {
+
+/// Installed abort hook (lockorder::set_lock_cycle_hook); fired once
+/// before std::abort in the report paths below.
+std::atomic<lockorder::CycleHook> g_cycle_hook{nullptr};
+
+void fire_cycle_hook(const char* acquiring, const char* conflicting) {
+  if (const auto hook = g_cycle_hook.load(std::memory_order_acquire)) {
+    hook(acquiring, conflicting);
+  }
+}
 
 std::string thread_desc() {
   std::ostringstream os;
@@ -114,6 +125,7 @@ class LockOrderGraph {
                  "already holds\n",
                  thread_desc().c_str(), mutex->name());
     print_chain("  held", held);
+    fire_cycle_hook(mutex->name(), mutex->name());
     std::abort();
   }
 
@@ -137,6 +149,7 @@ class LockOrderGraph {
       }
       std::fprintf(stderr, "\n");
     }
+    fire_cycle_hook(acquiring->name(), path.empty() ? "?" : path.back()->name());
     std::abort();
   }
 
@@ -193,6 +206,10 @@ namespace lockorder {
 std::size_t edge_count() { return LockOrderGraph::instance().edge_count(); }
 
 void reset_for_testing() { LockOrderGraph::instance().reset(); }
+
+void set_lock_cycle_hook(CycleHook hook) {
+  g_cycle_hook.store(hook, std::memory_order_release);
+}
 
 }  // namespace lockorder
 

@@ -66,6 +66,19 @@ std::size_t edge_count();
 /// OrderedMutex and run no concurrent OrderedMutex users.
 void reset_for_testing();
 
+/// Called once, just before the process aborts on a detected self-lock
+/// or lock-order cycle, with the names of the mutex being acquired and
+/// the mutex it conflicts with. Lets a diagnostics layer (the obs flight
+/// recorder) persist its "black box" before the stacks disappear. The
+/// hook runs with the lock-order registry's internal mutex held, so it
+/// MUST NOT lock any OrderedMutex — plain std::mutex and lock-free
+/// structures only.
+using CycleHook = void (*)(const char* acquiring, const char* conflicting);
+
+/// Installs (or, with nullptr, removes) the abort hook. Not synchronised
+/// against concurrent aborts: install at startup, before threads race.
+void set_lock_cycle_hook(CycleHook hook);
+
 }  // namespace lockorder
 
 // Aliases adopted by the platform's lock-heavy paths. Release builds get

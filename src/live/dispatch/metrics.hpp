@@ -22,6 +22,11 @@ struct ShardInstruments {
   obs::Counter& overflow;   ///< fb_dispatch_shard_overflow_total{shard=...}
   obs::Counter& windows;    ///< fb_dispatch_shard_windows_total{shard=...}
   obs::Gauge& depth;        ///< fb_dispatch_shard_depth{shard=...}
+  /// fb_dispatch_shard_oldest_age_ms{shard=...} — age of the oldest entry
+  /// still awaiting flush (0 when empty). Refreshed at scrape time by the
+  /// gateway from ShardSnapshot::oldest_ns, since an age only moves with
+  /// the clock, not with events.
+  obs::Gauge& oldest_age_ms;
 };
 
 /// Resolves (registering on first use) the instrument set of `shard`.

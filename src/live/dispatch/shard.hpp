@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,8 +34,13 @@
 #include "common/ordered_mutex.hpp"
 #include "live/dispatch/metrics.hpp"
 #include "live/dispatch/mpsc_ring.hpp"
+#include "obs/watchdog.hpp"
 
 namespace faasbatch::live::dispatch {
+
+/// Sentinel for "no pending entry" in oldest-entry tracking. INT64_MIN,
+/// not 0: VirtualClock time 0 is a valid enqueue instant.
+inline constexpr std::int64_t kNoPending = std::numeric_limits<std::int64_t>::min();
 
 /// Outcome of one admission attempt.
 enum class Admit {
@@ -51,6 +57,11 @@ struct ShardSnapshot {
   std::uint64_t shed = 0;
   std::uint64_t overflow = 0;  ///< pushes that took the mutex overflow path
   std::uint64_t windows = 0;   ///< flushes performed
+  /// Enqueue time (clock ns) of the oldest entry still awaiting flush;
+  /// kNoPending when the shard is empty. The age (now - oldest_ns) is
+  /// the watchdog's second input next to depth: a wedged shard shows a
+  /// nonzero depth whose oldest entry only gets older.
+  std::int64_t oldest_ns = kNoPending;
 };
 
 template <typename Item>
@@ -66,6 +77,10 @@ class Shard {
     Clock* clock = nullptr;  ///< required
     /// Batching window; zero flushes immediately (Vanilla policy).
     std::chrono::milliseconds window{0};
+    /// Optional stall watchdog: the shard registers "shard/<index>" and
+    /// beats it once per flush round (the heartbeat contract: beat on
+    /// completed drains, never on wakeups).
+    obs::Watchdog* watchdog = nullptr;
   };
 
   /// Called on the shard thread with everything drained for one window.
@@ -80,12 +95,23 @@ class Shard {
         ring_(options.max_queue > 0 ? options.max_queue : options.ring_capacity),
         instruments_(shard_instruments(options.index)) {
     set_mutex_name(mutex_, "dispatch.shard");
+    if (options_.watchdog != nullptr) {
+      heartbeat_ = options_.watchdog->register_source(
+          "shard/" + std::to_string(options_.index),
+          [this] { return static_cast<double>(depth()); },
+          options_.clock->now().count());
+    }
     thread_ = std::thread([this] { flush_loop(); });
   }
 
   ~Shard() {
     close();
     join();
+    // After the flush thread is gone: the depth_fn captures `this`, so
+    // the source must leave the watchdog before the shard's storage does.
+    if (options_.watchdog != nullptr && heartbeat_ != nullptr) {
+      options_.watchdog->unregister(heartbeat_);
+    }
   }
 
   Shard(const Shard&) = delete;
@@ -127,6 +153,12 @@ class Shard {
     enqueued_count_.fetch_add(1, std::memory_order_relaxed);
     instruments_.enqueued.inc();
     instruments_.depth.set(static_cast<double>(depth()));
+    // First entry into an empty shard stamps the oldest-entry clock; the
+    // flush loop clears it when it drains the shard empty. Approximate
+    // under races (like depth), which is fine for a staleness gauge.
+    std::int64_t none = kNoPending;
+    oldest_ns_.compare_exchange_strong(none, options_.clock->now().count(),
+                                       std::memory_order_relaxed);
     // Wake the flush loop only when it is provably idle: the seq_cst
     // published_/sleeping_ pair guarantees either we see sleeping_ and
     // notify, or the loop's wait predicate sees our publish.
@@ -158,6 +190,7 @@ class Shard {
     snap.shed = shed_count_.load(std::memory_order_relaxed);
     snap.overflow = overflow_count_.load(std::memory_order_relaxed);
     snap.windows = windows_count_.load(std::memory_order_relaxed);
+    snap.oldest_ns = oldest_ns_.load(std::memory_order_relaxed);
     return snap;
   }
 
@@ -224,6 +257,15 @@ class Shard {
     consumed_ += items.size();
     consumed_public_.store(consumed_, std::memory_order_relaxed);
     instruments_.depth.set(static_cast<double>(depth()));
+    const ClockTime now = options_.clock->now();
+    // Entries still pending after the drain arrived during it — their
+    // age restarts here; a fully drained shard has no oldest entry.
+    oldest_ns_.store(depth() == 0 ? kNoPending : now.count(),
+                     std::memory_order_relaxed);
+    // Heartbeat contract: beat only on a completed drain round. A loop
+    // wedged inside its window wait never reaches this line, which is
+    // exactly the signal the watchdog's stall test pins down.
+    if (heartbeat_ != nullptr) heartbeat_->beat(now.count());
     if (items.empty()) return;
     windows_count_.fetch_add(1, std::memory_order_relaxed);
     instruments_.windows.inc();
@@ -253,7 +295,9 @@ class Shard {
   std::atomic<std::uint64_t> shed_count_{0};
   std::atomic<std::uint64_t> overflow_count_{0};
   std::atomic<std::uint64_t> windows_count_{0};
+  std::atomic<std::int64_t> oldest_ns_{kNoPending};
 
+  std::shared_ptr<obs::HeartbeatSource> heartbeat_;
   std::thread thread_;
 };
 

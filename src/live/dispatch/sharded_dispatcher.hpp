@@ -39,13 +39,16 @@ class ShardedDispatcher {
     std::size_t max_queue = 0;         ///< per shard; 0 = unbounded
     Clock* clock = nullptr;            ///< required
     std::chrono::milliseconds window{0};
+    /// Optional stall watchdog shared by every shard and the worker pool.
+    obs::Watchdog* watchdog = nullptr;
   };
 
   using FlushFn = typename Shard<Item>::FlushFn;
   using ExecuteFn = typename WorkerPool<Batch>::ExecuteFn;
 
   ShardedDispatcher(const Options& options, FlushFn flush, ExecuteFn execute)
-      : pool_(options.workers == 0 ? 2 : options.workers, std::move(execute)) {
+      : pool_(options.workers == 0 ? 2 : options.workers, std::move(execute),
+              options.watchdog, options.clock) {
     const std::size_t count = options.shards == 0 ? 4 : options.shards;
     shards_.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -55,6 +58,7 @@ class ShardedDispatcher {
       shard_options.max_queue = options.max_queue;
       shard_options.clock = options.clock;
       shard_options.window = options.window;
+      shard_options.watchdog = options.watchdog;
       shards_.push_back(std::make_unique<Shard<Item>>(shard_options, flush));
     }
   }

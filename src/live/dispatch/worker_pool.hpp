@@ -12,12 +12,15 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/ordered_mutex.hpp"
+#include "obs/watchdog.hpp"
 
 namespace faasbatch::live::dispatch {
 
@@ -26,9 +29,18 @@ class WorkerPool {
  public:
   using ExecuteFn = std::function<void(Batch&&)>;
 
-  WorkerPool(std::size_t workers, ExecuteFn execute)
-      : execute_(std::move(execute)) {
+  /// `watchdog` (with its `clock`) is optional: when set, the pool
+  /// registers one "workers" heartbeat source whose depth is the shared
+  /// batch queue and beats it once per executed batch.
+  WorkerPool(std::size_t workers, ExecuteFn execute,
+             obs::Watchdog* watchdog = nullptr, Clock* clock = nullptr)
+      : execute_(std::move(execute)), watchdog_(watchdog), clock_(clock) {
     set_mutex_name(mutex_, "dispatch.workers");
+    if (watchdog_ != nullptr && clock_ != nullptr) {
+      heartbeat_ = watchdog_->register_source(
+          "workers", [this] { return static_cast<double>(queued()); },
+          clock_->now().count());
+    }
     if (workers == 0) workers = 1;
     threads_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
@@ -36,7 +48,13 @@ class WorkerPool {
     }
   }
 
-  ~WorkerPool() { stop(); }
+  ~WorkerPool() {
+    stop();
+    // depth_fn captures `this`; drop out of the watchdog before storage.
+    if (watchdog_ != nullptr && heartbeat_ != nullptr) {
+      watchdog_->unregister(heartbeat_);
+    }
+  }
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
@@ -65,6 +83,12 @@ class WorkerPool {
 
   std::size_t workers() const { return threads_.size(); }
 
+  /// Batches waiting for a worker right now (watchdog depth input).
+  std::size_t queued() const {
+    std::lock_guard<Mutex> lock(mutex_);
+    return queue_.size();
+  }
+
  private:
   void worker_loop() {
     std::unique_lock<Mutex> lock(mutex_);
@@ -75,6 +99,8 @@ class WorkerPool {
         queue_.pop_front();
         lock.unlock();
         execute_(std::move(batch));
+        // Heartbeat contract: beat on a completed batch, not on wakeups.
+        if (heartbeat_ != nullptr) heartbeat_->beat(clock_->now().count());
         lock.lock();
         continue;
       }
@@ -83,7 +109,10 @@ class WorkerPool {
   }
 
   ExecuteFn execute_;
-  Mutex mutex_;
+  obs::Watchdog* watchdog_ = nullptr;
+  Clock* clock_ = nullptr;
+  std::shared_ptr<obs::HeartbeatSource> heartbeat_;
+  mutable Mutex mutex_;
   CondVar cv_;
   std::deque<Batch> queue_;  // guarded by mutex_
   bool stopping_ = false;    // guarded by mutex_

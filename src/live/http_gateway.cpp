@@ -3,7 +3,9 @@
 #include <stdexcept>
 
 #include "common/json.hpp"
+#include "live/dispatch/metrics.hpp"
 #include "live/functions.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 
@@ -84,6 +86,8 @@ HttpGateway::HttpGateway(LivePlatform& platform, GatewayOptions options)
     : platform_(platform),
       options_(options),
       invoke_guard_(guard_options(options_)),
+      heartbeat_(platform.watchdog().register_source(
+          "gateway", nullptr, platform.clock().now().count())),
       server_(options_.port,
               [this](const http::Request& request) { return handle(request); }) {
   // Serving a /metrics page implies the operator wants telemetry: turn
@@ -104,6 +108,11 @@ HttpGateway::HttpGateway(LivePlatform& platform, GatewayOptions options)
   obs::metrics().histogram("fb_batch_size", obs::size_buckets());
   obs::metrics().histogram("fb_live_queue_ms", obs::latency_ms_buckets());
   obs::metrics().histogram("fb_live_exec_ms", obs::latency_ms_buckets());
+  obs::metrics().quantile("fb_live_queue_ms_quantiles");
+  obs::metrics().quantile("fb_live_exec_ms_quantiles");
+  // The flight recorder is the always-on black box: a served platform
+  // keeps it recording so an incident dump has history to show.
+  obs::flight().set_enabled(true);
   // Per-shard dispatch series (sharded pipeline only): registering them
   // up front makes shard queue-depth gauges scrapeable from the first
   // request.
@@ -113,7 +122,14 @@ HttpGateway::HttpGateway(LivePlatform& platform, GatewayOptions options)
   }
 }
 
+HttpGateway::~HttpGateway() {
+  // Runs before the server_ member destructor stops the accept loop;
+  // the shared_ptr keeps the source alive for any in-flight beat.
+  platform_.watchdog().unregister(heartbeat_);
+}
+
 http::Response HttpGateway::handle(const http::Request& request) {
+  heartbeat_->beat(platform_.clock().now().count());
   try {
     return route(request);
   } catch (const std::exception& e) {
@@ -130,7 +146,11 @@ http::Response HttpGateway::route(const http::Request& request) {
   }
   const std::string& head = parts.segments.front();
   if (head == "healthz" && request.method == "GET") {
-    return http::Response::make(200, "ok");
+    return handle_healthz();
+  }
+  if (head == "debug" && request.method == "GET" &&
+      parts.segments.size() == 2 && parts.segments[1] == "vars") {
+    return handle_debug_vars();
   }
   if (head == "stats" && request.method == "GET") {
     return handle_stats();
@@ -264,7 +284,55 @@ http::Response HttpGateway::handle_invoke(const TargetParts& parts,
   }
 }
 
+namespace {
+/// Age in ms of a shard's oldest pending entry (0 when the shard is
+/// empty — kNoPending is the "nothing waiting" sentinel).
+double shard_oldest_age_ms(const dispatch::ShardSnapshot& snap,
+                           std::int64_t now_ns) {
+  if (snap.oldest_ns == dispatch::kNoPending) return 0.0;
+  return static_cast<double>(now_ns - snap.oldest_ns) / 1e6;
+}
+}  // namespace
+
+DispatchStats HttpGateway::refresh_dispatch_gauges() const {
+  DispatchStats dispatch = platform_.dispatch_stats();
+  const std::int64_t now_ns = platform_.clock().now().count();
+  for (const auto& snap : dispatch.shard_stats) {
+    dispatch::ShardInstruments instruments = dispatch::shard_instruments(snap.shard);
+    instruments.depth.set(static_cast<double>(snap.depth));
+    instruments.oldest_age_ms.set(shard_oldest_age_ms(snap, now_ns));
+  }
+  return dispatch;
+}
+
+http::Response HttpGateway::handle_healthz() const {
+  const obs::WatchdogReport report =
+      platform_.watchdog().scan(platform_.clock().now().count());
+  Json body = report.to_json();
+  body["status"] = report.healthy ? "ok" : "stalled";
+  // 503 flags the stalled pipeline to load balancers; the body names the
+  // wedged source (e.g. "shard/2") for the operator.
+  return json_response(report.healthy ? 200 : 503, body);
+}
+
+http::Response HttpGateway::handle_debug_vars() const {
+  refresh_dispatch_gauges();
+  Json body;
+  body["metrics"] = obs::metrics().snapshot();
+  body["watchdog"] =
+      platform_.watchdog().scan(platform_.clock().now().count()).to_json();
+  Json flight;
+  flight["enabled"] = obs::flight().enabled();
+  flight["incidents"] =
+      static_cast<std::int64_t>(obs::flight().incident_count());
+  const Json last = obs::flight().last_incident();
+  if (!last.is_null()) flight["last_incident"] = last;
+  body["flight"] = flight;
+  return json_response(200, body);
+}
+
 http::Response HttpGateway::handle_metrics() const {
+  refresh_dispatch_gauges();
   return http::Response::make(200, obs::metrics().prometheus_text(),
                               "text/plain; version=0.0.4");
 }
@@ -284,7 +352,8 @@ http::Response HttpGateway::handle_stats() const {
   body["store_objects"] = static_cast<std::int64_t>(platform_.store().object_count());
   body["policy"] =
       platform_.options().policy == LivePolicy::kFaasBatch ? "faasbatch" : "vanilla";
-  const DispatchStats dispatch = platform_.dispatch_stats();
+  const DispatchStats dispatch = refresh_dispatch_gauges();
+  const std::int64_t now_ns = platform_.clock().now().count();
   Json dispatch_body;
   dispatch_body["mode"] =
       dispatch.mode == DispatchMode::kSharded ? "sharded" : "single_queue";
@@ -299,6 +368,7 @@ http::Response HttpGateway::handle_stats() const {
     entry["shed"] = static_cast<std::int64_t>(snap.shed);
     entry["overflow"] = static_cast<std::int64_t>(snap.overflow);
     entry["windows"] = static_cast<std::int64_t>(snap.windows);
+    entry["oldest_age_ms"] = shard_oldest_age_ms(snap, now_ns);
     shard_list.push_back(entry);
   }
   dispatch_body["shard_stats"] = shard_list;

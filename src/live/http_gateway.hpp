@@ -6,7 +6,13 @@
 // when execution completes, §III-C).
 //
 // Endpoints:
-//   GET  /healthz                          -> 200 "ok"
+//   GET  /healthz                          -> stall-watchdog scan as JSON;
+//        200 when every dispatch loop is making progress, 503 with the
+//        stalled source names (e.g. "shard/2") when one has pending work
+//        but no heartbeat for longer than the stall threshold
+//   GET  /debug/vars                       -> one JSON page with the
+//        metrics snapshot (incl. quantiles), the watchdog report, and
+//        flight-recorder state (incident count + last incident dump)
 //   GET  /stats                            -> JSON platform counters,
 //                                             incl. dispatch pipeline shape
 //                                             and per-shard activity
@@ -76,6 +82,7 @@ class HttpGateway {
   /// platform must outlive the gateway.
   HttpGateway(LivePlatform& platform, std::uint16_t port = 0);
   HttpGateway(LivePlatform& platform, GatewayOptions options);
+  ~HttpGateway();
 
   std::uint16_t port() const { return server_.port(); }
   std::uint64_t requests_served() const { return server_.requests_served(); }
@@ -87,14 +94,24 @@ class HttpGateway {
   http::Response route(const http::Request& request);
   http::Response handle_register(const TargetParts& parts, const std::string& body);
   http::Response handle_invoke(const TargetParts& parts, const std::string& body);
+  http::Response handle_healthz() const;
+  http::Response handle_debug_vars() const;
   http::Response handle_stats() const;
   http::Response handle_metrics() const;
   http::Response handle_trace(const TargetParts& parts);
   http::Response shed_response(const std::string& code, const std::string& message);
+  /// Fetches dispatch stats and pushes per-shard depth / oldest-entry-age
+  /// into their gauges. Ages only move with the clock, so they are
+  /// refreshed here, at scrape time, not on events.
+  DispatchStats refresh_dispatch_gauges() const;
 
   LivePlatform& platform_;
   GatewayOptions options_;
   resilience::OverloadGuard invoke_guard_;
+  /// Progress of the gateway's request loop, registered with the
+  /// platform watchdog (depth-less: reported, never flagged). Declared
+  /// before server_ so it exists when the first request arrives.
+  std::shared_ptr<obs::HeartbeatSource> heartbeat_;
   http::Server server_;
 };
 

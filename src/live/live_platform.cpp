@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 
@@ -65,15 +66,42 @@ obs::Counter& live_cancelled_total() {
   static obs::Counter& c = obs::metrics().counter("fb_live_cancelled_total");
   return c;
 }
+obs::QuantileHistogram& live_queue_quantiles() {
+  static obs::QuantileHistogram& q =
+      obs::metrics().quantile("fb_live_queue_ms_quantiles");
+  return q;
+}
+obs::QuantileHistogram& live_exec_quantiles() {
+  static obs::QuantileHistogram& q =
+      obs::metrics().quantile("fb_live_exec_ms_quantiles");
+  return q;
+}
+
+/// Per-function duration/wait quantile series. The registry-map lookup
+/// is gated on enabled() so the disabled hot path stays one relaxed
+/// load — only scraped platforms pay the map resolution.
+void observe_function_quantiles(const std::string& function, double queue_ms,
+                                double exec_ms) {
+  if (!obs::metrics().enabled()) return;
+  const std::string label = "{function=\"" + function + "\"}";
+  obs::metrics().quantile("fb_live_queue_ms_quantiles" + label).record(queue_ms);
+  obs::metrics().quantile("fb_live_exec_ms_quantiles" + label).record(exec_ms);
+}
+
+/// Consecutive sheds that declare a shed storm (one incident per burst).
+constexpr std::uint32_t kShedBurstIncident = 32;
 
 // Single open/close points for the per-request span: both admission
 // paths open it here and every terminal path (executed or settled
 // unexecuted) ends it, so the TU stays span-balanced by construction.
 void begin_request_span(double at_us, std::uint64_t id, const std::string& function) {
+  // The derived root span id links this request's trace to its flight-
+  // recorder events (and, in the simulator, to every retry attempt).
+  const Json span = Json(obs::span_hex(obs::invocation_root_span(id)));
   obs::tracer().instant("live", "arrival", at_us, id,
-                        {{"function", Json(function)}});
+                        {{"function", Json(function)}, {"span", span}});
   obs::tracer().begin_span("live", "request", at_us, id,
-                           {{"function", Json(function)}});
+                           {{"function", Json(function)}, {"span", span}});
 }
 
 void end_request_span(double at_us, std::uint64_t id) {
@@ -91,6 +119,8 @@ LivePlatform::LivePlatform(LivePlatformOptions options)
   // Containers created by this platform share its time source unless the
   // caller pinned one explicitly.
   if (options_.container.clock == nullptr) options_.container.clock = clock_;
+  watchdog_.set_stall_threshold_ns(
+      std::chrono::duration_cast<ClockTime>(options_.stall_threshold).count());
   if (options_.dispatch == DispatchMode::kSharded) {
     Dispatcher::Options dispatch_options;
     dispatch_options.shards =
@@ -103,6 +133,7 @@ LivePlatform::LivePlatform(LivePlatformOptions options)
                                          : options_.shard_ring_capacity;
     dispatch_options.max_queue = options_.max_queue;
     dispatch_options.clock = clock_;
+    dispatch_options.watchdog = &watchdog_;
     // Vanilla dispatches on arrival: a zero window flushes immediately.
     dispatch_options.window = options_.policy == LivePolicy::kFaasBatch
                                   ? options_.window
@@ -115,6 +146,13 @@ LivePlatform::LivePlatform(LivePlatformOptions options)
         },
         [this](FlushedBatch&& batch) { execute_batch(std::move(batch)); });
   } else {
+    queue_heartbeat_ = watchdog_.register_source(
+        "dispatcher",
+        [this] {
+          std::lock_guard<Mutex> lock(mutex_);
+          return static_cast<double>(queue_.size());
+        },
+        clock_->now().count());
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
   }
 }
@@ -137,6 +175,10 @@ LivePlatform::~LivePlatform() {
     }
     queue_cv_.notify_all();
     dispatcher_.join();
+  }
+  if (queue_heartbeat_ != nullptr) {
+    // depth_fn captures `this`; leave the watchdog before member teardown.
+    watchdog_.unregister(queue_heartbeat_);
   }
   // Containers drain in their destructors.
 }
@@ -189,11 +231,24 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
   const InvocationStatus verdict = options_.dispatch == DispatchMode::kSharded
                                        ? admit_sharded(request)
                                        : admit_single_queue(request);
-  if (verdict != InvocationStatus::kOk) {
+  if (verdict == InvocationStatus::kOk) {
+    // Any successful admission ends a shed burst.
+    shed_streak_.store(0, std::memory_order_relaxed);
+  } else {
     // Rejected at admission: resolve the future off-lock, never queued,
     // never counted as outstanding — drain() does not wait for it.
     if (verdict == InvocationStatus::kShed) {
       live_shed_total().inc();
+      const std::uint64_t root = obs::invocation_root_span(request->id);
+      const std::uint32_t streak =
+          shed_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+      obs::flight().record(obs::FlightEventKind::kShed, obs::kNoShard,
+                           request->submitted.count(), request->id, root, streak);
+      // One incident per burst, at the crossing — not one per shed.
+      if (streak == kShedBurstIncident) {
+        obs::flight().incident("shed_burst", request->submitted.count(),
+                               request->id, root);
+      }
     } else {
       live_cancelled_total().inc();
     }
@@ -225,6 +280,10 @@ InvocationStatus LivePlatform::admit_sharded(const RequestPtr& request) {
   const std::size_t shard = sharded_->shard_for(request->function);
   switch (sharded_->enqueue(shard, request)) {
     case dispatch::Admit::kOk:
+      obs::flight().record(obs::FlightEventKind::kEnqueue,
+                           static_cast<std::uint32_t>(shard),
+                           request->submitted.count(), request->id,
+                           obs::invocation_root_span(request->id));
       return InvocationStatus::kOk;
     case dispatch::Admit::kFull:
       unadmit(request);
@@ -352,6 +411,12 @@ void LivePlatform::settle_unexecuted(const RequestPtr& request,
   report.total_ms = report.queue_ms;
   if (status == InvocationStatus::kDeadlineExpired) {
     live_deadline_expired_total().inc();
+    // Deadline expiry is a dump trigger: the black box shows what the
+    // pipeline was doing while this request's time ran out.
+    const std::uint64_t root = obs::invocation_root_span(request->id);
+    obs::flight().record(obs::FlightEventKind::kFault, obs::kNoShard,
+                         now.count(), request->id, root);
+    obs::flight().incident("deadline_expired", now.count(), request->id, root);
   }
   if (obs::tracer().enabled()) {
     obs::tracer().instant("live", "deadline_expired", us_of(now), request->id,
@@ -378,6 +443,10 @@ void LivePlatform::run_request(LiveContainer& container, RequestPtr request) {
       settle_unexecuted(request, InvocationStatus::kDeadlineExpired);
       return;
     }
+    obs::flight().record(obs::FlightEventKind::kExec, obs::kNoShard,
+                         exec_start.count(), request->id,
+                         obs::attempt_span(obs::invocation_root_span(request->id), 1),
+                         /*attempt=*/1);
     FunctionContext context{container.multiplexer(), store_, clients_, request->id,
                             request->payload};
     request->handler(context);
@@ -388,6 +457,9 @@ void LivePlatform::run_request(LiveContainer& container, RequestPtr request) {
     report.total_ms = ms_between(request->submitted, exec_end);
     live_queue_ms().observe(report.queue_ms);
     live_exec_ms().observe(report.exec_ms);
+    live_queue_quantiles().record(report.queue_ms);
+    live_exec_quantiles().record(report.exec_ms);
+    observe_function_quantiles(request->function, report.queue_ms, report.exec_ms);
     if (obs::tracer().enabled()) {
       const Json function_arg = Json(request->function);
       obs::tracer().name_thread(request->id, "inv " + std::to_string(request->id));
@@ -434,6 +506,9 @@ void LivePlatform::flush_shard(std::size_t shard, std::vector<RequestPtr> items,
     groups[request->function].push_back(std::move(request));
   }
   live_windows_flushed_total().inc();
+  obs::flight().record(obs::FlightEventKind::kFlush,
+                       static_cast<std::uint32_t>(shard), window_close.count(),
+                       /*id=*/0, /*span=*/0, items.size());
   if (obs::tracer().enabled() && !groups.empty()) {
     obs::tracer().complete(
         "dispatch", "dispatch_window", us_of(window_open),
@@ -509,6 +584,11 @@ void LivePlatform::dispatcher_loop() {
         run_request(container, std::move(request));
       }
       lock.unlock();
+      // Beat only after a completed dispatch round (heartbeat contract:
+      // progress, not liveness — a wedged loop must stop beating).
+      if (queue_heartbeat_ != nullptr) {
+        queue_heartbeat_->beat(clock_->now().count());
+      }
       for (const auto& request : expired) {
         settle_unexecuted(request, InvocationStatus::kDeadlineExpired);
       }
@@ -554,6 +634,9 @@ void LivePlatform::dispatcher_loop() {
       }
     }
     lock.unlock();
+    if (queue_heartbeat_ != nullptr) {
+      queue_heartbeat_->beat(clock_->now().count());
+    }
     for (const auto& request : expired) {
       settle_unexecuted(request, InvocationStatus::kDeadlineExpired);
     }

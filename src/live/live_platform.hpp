@@ -37,6 +37,7 @@
 #include "core/resource_multiplexer.hpp"
 #include "live/dispatch/sharded_dispatcher.hpp"
 #include "live/live_container.hpp"
+#include "obs/watchdog.hpp"
 #include "storage/client.hpp"
 #include "storage/object_store.hpp"
 
@@ -124,6 +125,12 @@ struct LivePlatformOptions {
   /// spill past the ring into a mutex-guarded side queue, never shed);
   /// 0 = kDefaultShardRingCapacity.
   std::size_t shard_ring_capacity = 0;
+
+  /// Stall-watchdog threshold: a dispatch loop with pending work and no
+  /// heartbeat for this long is reported unhealthy. Must exceed the
+  /// dispatch window (a shard legitimately sits a full window between
+  /// flushes); tests with a VirtualClock tighten it.
+  std::chrono::milliseconds stall_threshold{5000};
 };
 
 /// Point-in-time dispatch pipeline stats (gateway /stats, tests).
@@ -179,6 +186,15 @@ class LivePlatform {
 
   /// Dispatch pipeline shape and per-shard activity.
   DispatchStats dispatch_stats() const;
+
+  /// Stall watchdog over the dispatch pipeline (shards, worker pool, the
+  /// single-queue dispatcher). Scan it with now() from clock() — the
+  /// gateway's /healthz does exactly that.
+  obs::Watchdog& watchdog() { return watchdog_; }
+  const obs::Watchdog& watchdog() const { return watchdog_; }
+
+  /// The platform's injected time source (system clock by default).
+  Clock& clock() const { return *clock_; }
 
   storage::ObjectStore& store() { return store_; }
 
@@ -259,7 +275,15 @@ class LivePlatform {
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<bool> draining_{false};
+  /// Consecutive sheds with no successful admission in between; crossing
+  /// kShedBurstIncident triggers one flight-recorder incident per burst.
+  std::atomic<std::uint32_t> shed_streak_{0};
   bool stopping_ = false;  // kSingleQueue only; guarded by mutex_
+  /// Declared before the pipelines: shards, the worker pool, and the
+  /// single-queue heartbeat all unregister their sources on teardown and
+  /// must do so into a still-alive watchdog.
+  obs::Watchdog watchdog_;
+  std::shared_ptr<obs::HeartbeatSource> queue_heartbeat_;  // kSingleQueue
   std::unique_ptr<Dispatcher> sharded_;  // kSharded pipeline
   std::thread dispatcher_;               // kSingleQueue thread
 };

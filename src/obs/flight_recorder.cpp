@@ -1,0 +1,229 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/ordered_mutex.hpp"
+#include "obs/trace.hpp"
+
+namespace faasbatch::obs {
+namespace {
+
+std::uint64_t next_epoch() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache of "my ring in recorder with epoch E" (same pattern
+/// as TraceRecorder's buffer slot).
+struct TlsSlot {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<void> ring;
+};
+thread_local TlsSlot tls_ring;
+
+/// Filesystem-safe version of an incident reason.
+std::string sanitize_reason(std::string_view reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (const char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("incident") : out;
+}
+
+/// Lock-order abort hook: dump the black box before the process dies.
+/// Runs under the detector's internal mutex — FlightRecorder::incident
+/// only touches std::mutex and atomics, never an OrderedMutex.
+void lock_cycle_incident(const char* acquiring, const char* conflicting) {
+  (void)acquiring;
+  (void)conflicting;
+  FlightRecorder::global().incident("lock_cycle", 0);
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kEnqueue:
+      return "enqueue";
+    case FlightEventKind::kFlush:
+      return "flush";
+    case FlightEventKind::kExec:
+      return "exec";
+    case FlightEventKind::kFault:
+      return "fault";
+    case FlightEventKind::kShed:
+      return "shed";
+    case FlightEventKind::kRetry:
+      return "retry";
+    case FlightEventKind::kIncident:
+      return "incident";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder() : epoch_(next_epoch()) {}
+
+FlightRecorder& FlightRecorder::global() {
+  // Leaked singleton: usable during static destruction of clients. The
+  // lock-order abort hook is installed alongside it so every binary that
+  // records flight events also dumps them on a detected deadlock.
+  static FlightRecorder* instance = [] {
+    auto* recorder = new FlightRecorder();  // fb-lint-allow(naked-new)
+    lockorder::set_lock_cycle_hook(&lock_cycle_incident);
+    return recorder;
+  }();
+  return *instance;
+}
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  if (tls_ring.epoch != epoch_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto mine = std::make_shared<Ring>();
+    rings_.push_back(mine);
+    tls_ring.epoch = epoch_;
+    tls_ring.ring = mine;
+  }
+  return *static_cast<Ring*>(tls_ring.ring.get());
+}
+
+void FlightRecorder::record_impl(FlightEventKind kind, std::uint32_t shard,
+                                 std::int64_t ts, std::uint64_t id,
+                                 std::uint64_t span, std::uint64_t arg) {
+  Ring& ring = local_ring();
+  const std::uint64_t index =
+      ring.head.fetch_add(1, std::memory_order_relaxed) % kRingCapacity;
+  Slot& slot = ring.slots[index];
+  // Invalidate, write payload, republish: a dump racing this overwrite
+  // sees either the old event, empty, or the new event — never a blend.
+  slot.words[0].store(0, std::memory_order_release);
+  slot.words[1].store((static_cast<std::uint64_t>(kind) << 32) | shard,
+                      std::memory_order_relaxed);
+  slot.words[2].store(static_cast<std::uint64_t>(ts), std::memory_order_relaxed);
+  slot.words[3].store(id, std::memory_order_relaxed);
+  slot.words[4].store(span, std::memory_order_relaxed);
+  slot.words[5].store(arg, std::memory_order_relaxed);
+  slot.words[0].store(seq_.fetch_add(1, std::memory_order_relaxed),
+                      std::memory_order_release);
+}
+
+Json FlightRecorder::dump() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  struct Decoded {
+    std::uint64_t seq, shard, id, span, arg;
+    std::int64_t ts;
+    FlightEventKind kind;
+  };
+  JsonArray threads;
+  for (std::size_t t = 0; t < rings.size(); ++t) {
+    std::vector<Decoded> events;
+    events.reserve(kRingCapacity);
+    for (const Slot& slot : rings[t]->slots) {
+      const std::uint64_t seq = slot.words[0].load(std::memory_order_acquire);
+      if (seq == 0) continue;  // empty or mid-overwrite
+      const std::uint64_t packed = slot.words[1].load(std::memory_order_relaxed);
+      Decoded d;
+      d.seq = seq;
+      d.kind = static_cast<FlightEventKind>(packed >> 32);
+      d.shard = packed & 0xffffffffull;
+      d.ts = static_cast<std::int64_t>(
+          slot.words[2].load(std::memory_order_relaxed));
+      d.id = slot.words[3].load(std::memory_order_relaxed);
+      d.span = slot.words[4].load(std::memory_order_relaxed);
+      d.arg = slot.words[5].load(std::memory_order_relaxed);
+      events.push_back(d);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Decoded& a, const Decoded& b) { return a.seq < b.seq; });
+    JsonArray out;
+    for (const Decoded& d : events) {
+      Json e;
+      e["seq"] = static_cast<std::int64_t>(d.seq);
+      e["kind"] = std::string(flight_event_kind_name(d.kind));
+      if (d.shard != kNoShard) e["shard"] = static_cast<std::int64_t>(d.shard);
+      e["ts"] = static_cast<std::int64_t>(d.ts);
+      e["id"] = static_cast<std::int64_t>(d.id);
+      e["span"] = span_hex(d.span);
+      e["arg"] = static_cast<std::int64_t>(d.arg);
+      out.push_back(std::move(e));
+    }
+    Json entry;
+    entry["thread"] = static_cast<std::int64_t>(t);
+    entry["events"] = std::move(out);
+    threads.push_back(std::move(entry));
+  }
+  Json result;
+  result["threads"] = std::move(threads);
+  return result;
+}
+
+Json FlightRecorder::incident(std::string_view reason, std::int64_t ts,
+                              std::uint64_t id, std::uint64_t span) {
+  if (!enabled()) return Json();
+  const std::uint64_t seq =
+      incident_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record(FlightEventKind::kIncident, kNoShard, ts, id, span, seq);
+  Json out = dump();
+  out["reason"] = std::string(reason);
+  out["ts"] = ts;
+  out["id"] = static_cast<std::int64_t>(id);
+  out["span"] = span_hex(span);
+  out["incident_seq"] = static_cast<std::int64_t>(seq);
+
+  const std::string dir = dump_destination();
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/flight_incident_" + std::to_string(seq) +
+                             "_" + sanitize_reason(reason) + ".json";
+    std::ofstream file(path);
+    if (file) file << out.dump() << "\n";
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_incident_ = out;
+  return out;
+}
+
+Json FlightRecorder::last_incident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_incident_;
+}
+
+void FlightRecorder::set_dump_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dump_dir_override_ = std::move(dir);
+}
+
+std::string FlightRecorder::dump_destination() const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!dump_dir_override_.empty()) return dump_dir_override_;
+  }
+  const char* env = std::getenv("FB_FLIGHT_DUMP_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    for (Slot& slot : ring->slots) {
+      slot.words[0].store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+  seq_.store(1, std::memory_order_relaxed);
+  incident_count_.store(0, std::memory_order_relaxed);
+  last_incident_ = Json();
+}
+
+}  // namespace faasbatch::obs

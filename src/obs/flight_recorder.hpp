@@ -1,0 +1,157 @@
+// FlightRecorder: always-on per-thread ring buffers of compact events,
+// dumped as a JSON "black box" when something goes wrong.
+//
+// Metrics aggregate away the story and traces are off by default in
+// production; when a chaos fault fires, a deadline expires, sheds burst,
+// or the lock-order detector aborts, what you want is the last few
+// hundred *raw* pipeline events — who enqueued what into which shard,
+// which windows flushed, which attempts faulted — from every thread,
+// with span ids that link back into the trace tree. The flight recorder
+// keeps exactly that: a fixed-size ring per thread of 6-word structured
+// events, recorded lock-free, snapshotted on incident.
+//
+// Cost model: recording first checks one relaxed atomic and returns when
+// the recorder is disabled — the same load+branch contract as the other
+// obs instruments (guarded at ≤50 ns by scripts/check_obs_overhead.py).
+// When enabled, an event is a TLS ring lookup plus six relaxed atomic
+// stores into a preallocated slot — no locks, no allocation, safe from
+// any thread including the dispatch shards' flush loops.
+//
+// Ring semantics: each thread owns a kRingCapacity-slot ring, overwritten
+// oldest-first. Slots are arrays of atomic words (not plain structs) so a
+// dump can race recording without undefined behaviour; the slot's
+// sequence word is invalidated before and republished after the payload,
+// so a torn slot reads as empty rather than as a chimera of two events.
+// A dump is therefore "the last N events per thread, minus any slot
+// being overwritten at that instant" — exactly the fidelity a black box
+// needs, at zero cost to the writers.
+//
+// Dump triggers wired up by the platform: ChaosEngine fault classes
+// (terminal failures, container crashes), deadline expiry, shed bursts,
+// and — via lockorder::set_lock_cycle_hook — OrderedMutex cycle aborts.
+// Incidents are also written to $FB_FLIGHT_DUMP_DIR (one JSON file each)
+// when that directory is configured, which is how CI preserves them as
+// artifacts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace faasbatch::obs {
+
+/// What happened. Kept deliberately coarse — the arg word carries the
+/// kind-specific detail (batch size, attempt number, fault class...).
+enum class FlightEventKind : std::uint8_t {
+  kEnqueue = 1,   ///< request admitted into a dispatch shard (arg: depth)
+  kFlush = 2,     ///< shard window flushed (arg: batch size)
+  kExec = 3,      ///< attempt started executing (arg: attempt number)
+  kFault = 4,     ///< injected/observed fault on an attempt (arg: attempt)
+  kShed = 5,      ///< admission rejected the request (arg: shed streak)
+  kRetry = 6,     ///< retry scheduled (arg: backoff, unit per caller)
+  kIncident = 7,  ///< dump trigger itself (arg: incident sequence)
+};
+
+/// Stable lowercase name used in dumps ("enqueue", "flush", ...).
+const char* flight_event_kind_name(FlightEventKind kind);
+
+/// Shard word for events with no shard/worker affinity.
+inline constexpr std::uint32_t kNoShard = 0xffffffff;
+
+class FlightRecorder {
+ public:
+  /// Events retained per thread. 256 spans several dispatch windows of
+  /// history at typical per-shard rates while keeping a 32-thread dump
+  /// under ~1 MB of JSON.
+  static constexpr std::size_t kRingCapacity = 256;
+
+  FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Process-global recorder used by all built-in instrumentation. Also
+  /// installs the lock-order abort hook on first use.
+  static FlightRecorder& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one event into this thread's ring. One relaxed load when
+  /// disabled; lock-free and allocation-free when enabled (after the
+  /// thread's first event, which registers its ring).
+  void record(FlightEventKind kind, std::uint32_t shard, std::int64_t ts,
+              std::uint64_t id, std::uint64_t span, std::uint64_t arg = 0) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    record_impl(kind, shard, ts, id, span, arg);
+  }
+
+  /// Snapshot of every thread's ring, oldest event first per thread:
+  /// {"threads":[{"thread":i,"events":[{seq,kind,shard,ts,id,span,arg}...]}]}.
+  /// Safe to call while other threads record (see ring semantics above).
+  Json dump() const;
+
+  /// Records a kIncident event, takes a dump, wraps it with the incident
+  /// header (reason, ts, triggering id/span, incident sequence), stores
+  /// it as last_incident(), and — when a dump directory is configured —
+  /// writes it to flight_incident_<seq>_<reason>.json. Returns the dump.
+  /// No-op returning null JSON while disabled.
+  Json incident(std::string_view reason, std::int64_t ts, std::uint64_t id = 0,
+                std::uint64_t span = 0);
+
+  /// Incidents recorded since construction (or the last clear()).
+  std::uint64_t incident_count() const {
+    return incident_count_.load(std::memory_order_relaxed);
+  }
+
+  /// The most recent incident dump; null JSON when none yet.
+  Json last_incident() const;
+
+  /// Overrides the $FB_FLIGHT_DUMP_DIR destination ("" restores the
+  /// environment value; incident files are skipped when both are empty).
+  void set_dump_dir(std::string dir);
+
+  /// Drops every buffered event and incident and restarts the sequence
+  /// counter, so two identical runs in one process produce identical
+  /// dumps. Test support; racy against concurrent recorders.
+  void clear();
+
+ private:
+  // One retained event = 6 atomic words. words[0] is the global sequence
+  // (0 = empty slot), stored release *after* the payload words so a
+  // racing dump never assembles half-written events.
+  struct Slot {
+    std::atomic<std::uint64_t> words[6];
+  };
+  struct Ring {
+    std::atomic<std::uint64_t> head{0};  // next logical slot index
+    std::vector<Slot> slots{kRingCapacity};
+  };
+
+  void record_impl(FlightEventKind kind, std::uint32_t shard, std::int64_t ts,
+                   std::uint64_t id, std::uint64_t span, std::uint64_t arg);
+  Ring& local_ring();
+  std::string dump_destination() const;
+
+  const std::uint64_t epoch_;  // distinguishes recorder instances in TLS
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{1};  // 0 means "empty slot"
+  std::atomic<std::uint64_t> incident_count_{0};
+  // Plain std::mutex, not the Mutex alias: the incident path runs inside
+  // lockorder's abort hook, where acquiring any OrderedMutex would
+  // re-enter the detector it is reporting for.
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  Json last_incident_;
+  std::string dump_dir_override_;
+};
+
+/// Shorthand for FlightRecorder::global().
+inline FlightRecorder& flight() { return FlightRecorder::global(); }
+
+}  // namespace faasbatch::obs

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 namespace faasbatch::obs {
 namespace {
@@ -123,11 +124,25 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *it->second;
 }
 
+QuantileHistogram& MetricsRegistry::quantile(const std::string& name) {
+  std::lock_guard<Mutex> lock(mutex_);
+  auto it = quantiles_.find(name);
+  if (it == quantiles_.end()) {
+    it = quantiles_
+             .emplace(name, std::unique_ptr<QuantileHistogram>(
+                                new QuantileHistogram(  // fb-lint-allow(naked-new)
+                                    &enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<Mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, q] : quantiles_) q->reset();
 }
 
 // GCC 12 reports a spurious -Wmaybe-uninitialized deep inside the
@@ -162,10 +177,23 @@ Json MetricsRegistry::snapshot() const {
     entry["counts"] = counts;
     histograms[name] = std::move(entry);
   }
+  Json quantiles;
+  for (const auto& [name, q] : quantiles_) {
+    const QuantileSummary s = q->summary();
+    Json entry;
+    entry["count"] = static_cast<std::int64_t>(s.count);
+    entry["sum"] = s.sum;
+    entry["p50"] = s.p50;
+    entry["p95"] = s.p95;
+    entry["p99"] = s.p99;
+    entry["p999"] = s.p999;
+    quantiles[name] = std::move(entry);
+  }
   Json out;
   out["counters"] = std::move(counters);
   out["gauges"] = std::move(gauges);
   out["histograms"] = std::move(histograms);
+  out["quantiles"] = std::move(quantiles);
   return out;
 }
 #if defined(__GNUC__) && !defined(__clang__)
@@ -208,6 +236,22 @@ std::string MetricsRegistry::prometheus_text() const {
            std::to_string(cumulative) + "\n";
     out += join_labels(base + "_sum", labels) + " " + format_double(h->sum()) + "\n";
     out += join_labels(base + "_count", labels) + " " + std::to_string(cumulative) +
+           "\n";
+  }
+  last_typed.clear();
+  for (const auto& [name, q] : quantiles_) {
+    const auto [base, labels] = split_labels(name);
+    type_line(base, "summary");
+    const QuantileSummary s = q->summary();
+    const std::pair<const char*, double> cuts[] = {
+        {"0.5", s.p50}, {"0.95", s.p95}, {"0.99", s.p99}, {"0.999", s.p999}};
+    for (const auto& [label, value] : cuts) {
+      out += join_labels(base, labels,
+                         std::string("quantile=\"") + label + "\"") +
+             " " + format_double(value) + "\n";
+    }
+    out += join_labels(base + "_sum", labels) + " " + format_double(s.sum) + "\n";
+    out += join_labels(base + "_count", labels) + " " + std::to_string(s.count) +
            "\n";
   }
   return out;

@@ -29,6 +29,7 @@
 
 #include "common/json.hpp"
 #include "common/ordered_mutex.hpp"
+#include "obs/quantile_histogram.hpp"
 
 namespace faasbatch::obs {
 
@@ -133,6 +134,10 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  /// HDR-style log-bucketed histogram with p50/p95/p99/p999 extraction;
+  /// exposed as a Prometheus summary (quantile labels) rather than
+  /// cumulative le-buckets.
+  QuantileHistogram& quantile(const std::string& name);
 
   /// Zeroes every instrument's value (instruments stay registered).
   void reset();
@@ -149,6 +154,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileHistogram>> quantiles_;
 };
 
 /// Shorthand for MetricsRegistry::global().

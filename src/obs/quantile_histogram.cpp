@@ -1,0 +1,98 @@
+#include "obs/quantile_histogram.hpp"
+
+#include <cmath>
+
+namespace faasbatch::obs {
+
+namespace {
+
+// Buckets: [0] = zero/negative, [1 .. kBuckets-2] = log buckets, the
+// last one doubles as overflow for values at or beyond 2^kMaxExponent.
+constexpr std::size_t kZeroBucket = 0;
+
+}  // namespace
+
+std::size_t QuantileHistogram::bucket_index(double v) {
+  if (!(v > 0.0)) return kZeroBucket;  // negatives, zeros, and NaN
+  int exponent = 0;
+  // frac in [0.5, 1): the position inside the octave, linearly split
+  // into kSubBuckets slices.
+  const double frac = std::frexp(v, &exponent);
+  if (exponent <= kMinExponent) return 1;
+  if (exponent > kMaxExponent) return kBuckets - 1;
+  const auto sub = static_cast<std::size_t>((frac - 0.5) * 2.0 * kSubBuckets);
+  const auto octave = static_cast<std::size_t>(exponent - kMinExponent - 1);
+  const std::size_t index = 1 + octave * kSubBuckets +
+                            (sub < kSubBuckets ? sub : kSubBuckets - 1);
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+double QuantileHistogram::bucket_value(std::size_t i) {
+  if (i == kZeroBucket) return 0.0;
+  const std::size_t octave = (i - 1) / kSubBuckets;
+  const std::size_t sub = (i - 1) % kSubBuckets;
+  // Bucket spans [lo, hi) inside octave 2^(kMinExponent+octave) ..
+  // 2^(kMinExponent+octave+1); report the geometric midpoint so the
+  // worst-case relative error is symmetric.
+  const double base = std::ldexp(1.0, kMinExponent + static_cast<int>(octave));
+  const double lo = base * (1.0 + static_cast<double>(sub) / kSubBuckets);
+  const double hi = base * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+  return std::sqrt(lo * hi);
+}
+
+double QuantileHistogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The ceil(q * total) ranked observation, 1-based; q=0 means rank 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return bucket_value(i);
+  }
+  // Writers raced the walk (count_ ahead of the bucket array): report
+  // the highest populated bucket.
+  for (std::size_t i = kBuckets; i-- > 0;) {
+    if (counts_[i].load(std::memory_order_relaxed) > 0) return bucket_value(i);
+  }
+  return 0.0;
+}
+
+QuantileSummary QuantileHistogram::summary() const {
+  QuantileSummary out;
+  out.count = count();
+  out.sum = sum();
+  if (out.count == 0) return out;
+  // One walk for all four quantiles: precompute the target ranks, then
+  // sweep the bucket array once.
+  const double qs[4] = {0.5, 0.95, 0.99, 0.999};
+  double* fields[4] = {&out.p50, &out.p95, &out.p99, &out.p999};
+  std::uint64_t ranks[4];
+  for (int k = 0; k < 4; ++k) {
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(qs[k] * static_cast<double>(out.count)));
+    ranks[k] = rank == 0 ? 1 : rank;
+  }
+  std::uint64_t cumulative = 0;
+  int next = 0;
+  for (std::size_t i = 0; i < kBuckets && next < 4; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    while (next < 4 && cumulative >= ranks[next]) {
+      *fields[next] = bucket_value(i);
+      ++next;
+    }
+  }
+  for (; next < 4; ++next) *fields[next] = quantile(qs[next]);
+  return out;
+}
+
+void QuantileHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace faasbatch::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 
 namespace faasbatch::obs {
@@ -20,6 +21,13 @@ struct TlsSlot {
 thread_local TlsSlot tls_slot;
 
 }  // namespace
+
+std::string span_hex(std::uint64_t span) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(span));
+  return buffer;
+}
 
 Json TraceEvent::to_json() const {
   Json out;

@@ -46,6 +46,34 @@ inline constexpr std::uint64_t kContainerTrackBase = 1'000'000;
 /// dispatch pipeline), clear of container and invocation tracks.
 inline constexpr std::uint64_t kDispatchTrackBase = 2'000'000;
 
+/// splitmix64 finaliser: the standard bijective 64-bit mixer. Span ids
+/// below are *derived* (id/attempt -> span) rather than drawn, so every
+/// run of a seeded workload produces identical span trees — the property
+/// the flight-recorder dump-determinism tests pin down.
+inline constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Root span id for one logical invocation: the node all attempt spans
+/// (first dispatch, chaos retries, blast-radius re-dispatch) chain under.
+inline constexpr std::uint64_t invocation_root_span(std::uint64_t invocation_id) {
+  return mix64(invocation_id ^ 0xf1a9'0000'0000'0001ull);
+}
+
+/// Span id of attempt `attempt` (1-based) under a root span. Attempt 0
+/// is reserved for "no attempt yet" (admission-time events).
+inline constexpr std::uint64_t attempt_span(std::uint64_t root_span,
+                                            std::uint32_t attempt) {
+  return mix64(root_span ^ (0x5ee0'0000'0000'0000ull + attempt));
+}
+
+/// Canonical textual span id ("0x0123456789abcdef"): used identically in
+/// trace args and flight-recorder dumps so one grep correlates the two.
+std::string span_hex(std::uint64_t span);
+
 struct TraceArg {
   std::string key;
   Json value;

@@ -1,0 +1,92 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+
+namespace faasbatch::obs {
+
+Json WatchdogReport::to_json() const {
+  Json out;
+  out["healthy"] = healthy;
+  out["now_ns"] = now_ns;
+  out["stall_threshold_ns"] = threshold_ns;
+  JsonArray stalled_names;
+  for (const std::string& name : stalled) stalled_names.push_back(name);
+  out["stalled"] = std::move(stalled_names);
+  JsonArray source_entries;
+  for (const Source& s : sources) {
+    Json entry;
+    entry["name"] = s.name;
+    entry["beats"] = static_cast<std::int64_t>(s.beats);
+    if (s.last_beat_ns != kNeverBeat) entry["last_beat_ns"] = s.last_beat_ns;
+    entry["depth"] = s.depth;
+    entry["stalled"] = s.stalled;
+    source_entries.push_back(std::move(entry));
+  }
+  out["sources"] = std::move(source_entries);
+  return out;
+}
+
+Watchdog::Watchdog(std::int64_t stall_threshold_ns)
+    : threshold_ns_(stall_threshold_ns) {
+  set_mutex_name(mutex_, "watchdog.sources");
+}
+
+std::shared_ptr<HeartbeatSource> Watchdog::register_source(
+    std::string name, std::function<double()> depth_fn, std::int64_t now_ns) {
+  // HeartbeatSource's constructor is watchdog-private; make_shared cannot
+  // reach it.
+  std::shared_ptr<HeartbeatSource> source(
+      new HeartbeatSource(std::move(name), std::move(depth_fn),  // fb-lint-allow(naked-new)
+                          now_ns));
+  std::lock_guard<Mutex> lock(mutex_);
+  sources_.push_back(source);
+  return source;
+}
+
+void Watchdog::unregister(const std::shared_ptr<HeartbeatSource>& source) {
+  std::lock_guard<Mutex> lock(mutex_);
+  sources_.erase(std::remove(sources_.begin(), sources_.end(), source),
+                 sources_.end());
+}
+
+void Watchdog::set_stall_threshold_ns(std::int64_t threshold_ns) {
+  threshold_ns_.store(threshold_ns, std::memory_order_relaxed);
+}
+
+std::int64_t Watchdog::stall_threshold_ns() const {
+  return threshold_ns_.load(std::memory_order_relaxed);
+}
+
+WatchdogReport Watchdog::scan(std::int64_t now_ns) const {
+  std::vector<std::shared_ptr<HeartbeatSource>> sources;
+  {
+    std::lock_guard<Mutex> lock(mutex_);
+    sources = sources_;
+  }
+  WatchdogReport report;
+  report.now_ns = now_ns;
+  report.threshold_ns = stall_threshold_ns();
+  for (const auto& source : sources) {
+    WatchdogReport::Source entry;
+    entry.name = source->name();
+    entry.beats = source->beats();
+    entry.last_beat_ns = source->last_beat_ns();
+    entry.depth = source->depth_fn_ ? source->depth_fn_() : 0.0;
+    // A loop that has never beaten is judged from its registration time:
+    // work arrived, the threshold elapsed, and it still shows no
+    // progress — that is exactly the wedge we're here to catch.
+    const std::int64_t baseline = entry.last_beat_ns == kNeverBeat
+                                      ? source->registered_ns_
+                                      : entry.last_beat_ns;
+    entry.stalled =
+        entry.depth > 0.0 && now_ns - baseline > report.threshold_ns;
+    if (entry.stalled) {
+      report.healthy = false;
+      report.stalled.push_back(entry.name);
+    }
+    report.sources.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace faasbatch::obs

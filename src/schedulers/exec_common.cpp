@@ -4,6 +4,8 @@
 #include <cassert>
 #include <memory>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
 
 namespace faasbatch::schedulers {
@@ -13,6 +15,20 @@ namespace {
 std::shared_ptr<void> make_client_marker() { return std::make_shared<int>(1); }
 
 constexpr std::string_view kClientKind = "s3_client";
+
+// Simulator-side latency quantiles, shared by all four schedulers:
+// every policy funnels execution through this file, so one record site
+// covers Vanilla, FaaSBatch, Kraken, and SFS identically.
+obs::QuantileHistogram& sim_wait_quantiles() {
+  static obs::QuantileHistogram& q =
+      obs::metrics().quantile("fb_sim_wait_ms_quantiles");
+  return q;
+}
+obs::QuantileHistogram& sim_exec_quantiles() {
+  static obs::QuantileHistogram& q =
+      obs::metrics().quantile("fb_sim_exec_ms_quantiles");
+  return q;
+}
 
 }  // namespace
 
@@ -48,9 +64,13 @@ bool admit_invocation(SchedulerContext& ctx, InvocationId id) {
   core::InvocationRecord& record = ctx.records.at(id);
   record.outcome = core::Outcome::kShed;
   record.returned = ctx.sim.now();
+  obs::flight().record(obs::FlightEventKind::kShed, obs::kNoShard, ctx.sim.now(),
+                       id, obs::invocation_root_span(id));
   if (obs::tracer().enabled()) {
-    obs::tracer().instant("chaos", "shed", static_cast<double>(ctx.sim.now()), id,
-                          {{"function", Json(static_cast<std::int64_t>(record.function))}});
+    obs::tracer().instant(
+        "chaos", "shed", static_cast<double>(ctx.sim.now()), id,
+        {{"function", Json(static_cast<std::int64_t>(record.function))},
+         {"span", Json(obs::span_hex(obs::invocation_root_span(id)))}});
   }
   if (ctx.notify_complete) ctx.notify_complete(id);
   return false;
@@ -59,25 +79,43 @@ bool admit_invocation(SchedulerContext& ctx, InvocationId id) {
 bool retry_or_fail(SchedulerContext& ctx, InvocationId id,
                    std::function<void()> redispatch) {
   core::InvocationRecord& record = ctx.records.at(id);
+  // Attempt-linked trace context: every attempt of this invocation is a
+  // child span of one root, so retries and blast-radius re-dispatches
+  // chain into a single tree instead of appearing as unrelated events.
+  const std::uint64_t root = obs::invocation_root_span(id);
   SimDuration backoff = 0;
   if (ctx.chaos != nullptr &&
       ctx.chaos->plan_retry(id, record.attempts, record.arrival, ctx.sim.now(),
                             &backoff)) {
+    obs::flight().record(obs::FlightEventKind::kRetry, obs::kNoShard,
+                         ctx.sim.now(), id,
+                         obs::attempt_span(root, record.attempts),
+                         record.attempts);
     if (obs::tracer().enabled()) {
       obs::tracer().instant(
           "chaos", "retry", static_cast<double>(ctx.sim.now()), id,
           {{"attempt", Json(static_cast<std::int64_t>(record.attempts))},
-           {"backoff_ms", Json(to_millis(backoff))}});
+           {"backoff_ms", Json(to_millis(backoff))},
+           {"span", Json(obs::span_hex(obs::attempt_span(root, record.attempts)))},
+           {"root_span", Json(obs::span_hex(root))},
+           {"next_span",
+            Json(obs::span_hex(obs::attempt_span(root, record.attempts + 1)))}});
     }
     ctx.sim.schedule_after(backoff, std::move(redispatch));
     return true;
   }
   record.outcome = core::Outcome::kFailed;
   record.returned = ctx.sim.now();
+  obs::flight().record(obs::FlightEventKind::kFault, obs::kNoShard,
+                       ctx.sim.now(), id,
+                       obs::attempt_span(root, record.attempts),
+                       record.attempts);
+  obs::flight().incident("terminal_failure", ctx.sim.now(), id, root);
   if (obs::tracer().enabled()) {
     obs::tracer().instant(
         "chaos", "terminal_failure", static_cast<double>(ctx.sim.now()), id,
-        {{"attempts", Json(static_cast<std::int64_t>(record.attempts))}});
+        {{"attempts", Json(static_cast<std::int64_t>(record.attempts))},
+         {"span", Json(obs::span_hex(root))}});
   }
   if (ctx.notify_complete) ctx.notify_complete(id);
   return false;
@@ -95,6 +133,10 @@ bool maybe_crash_dispatch(SchedulerContext& ctx, runtime::Container& container,
         obs::kContainerTrackBase + container.id(),
         {{"members", Json(static_cast<std::int64_t>(members.size()))}});
   }
+  // A crash is a dump trigger: the black box shows every enqueue/exec
+  // leading up to the batch that went down together.
+  obs::flight().incident("container_crash", ctx.sim.now(), members.front(),
+                         obs::invocation_root_span(members.front()));
   const SimDuration detect = ctx.chaos->injector().plan().crash_detection_latency;
   ctx.sim.schedule_after(
       detect, [&ctx, crashed, members = std::move(members),
@@ -106,6 +148,10 @@ bool maybe_crash_dispatch(SchedulerContext& ctx, runtime::Container& container,
           core::InvocationRecord& record = ctx.records.at(id);
           ++record.attempts;
           ++record.faults;
+          obs::flight().record(
+              obs::FlightEventKind::kFault, obs::kNoShard, ctx.sim.now(), id,
+              obs::attempt_span(obs::invocation_root_span(id), record.attempts),
+              record.attempts);
           // Copy redispatch: the retry fires after a backoff, when this
           // crash-detection callback is long destroyed.
           retry_or_fail(ctx, id, [redispatch, id] { redispatch(id); });
@@ -122,6 +168,18 @@ void execute_invocation(SchedulerContext& ctx, runtime::Container& container,
   record.exec_start = ctx.sim.now();
   ++record.attempts;
   container.begin_invocation();
+  const std::uint64_t root = obs::invocation_root_span(id);
+  const std::uint64_t attempt = obs::attempt_span(root, record.attempts);
+  obs::flight().record(obs::FlightEventKind::kExec, obs::kNoShard, ctx.sim.now(),
+                       id, attempt, record.attempts);
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant(
+        "exec", "attempt", static_cast<double>(ctx.sim.now()), id,
+        {{"attempt", Json(static_cast<std::int64_t>(record.attempts))},
+         {"span", Json(obs::span_hex(attempt))},
+         {"root_span", Json(obs::span_hex(root))},
+         {"container", Json(static_cast<std::int64_t>(container.id()))}});
+  }
 
   // Per-attempt fault draws, in a fixed order per class stream.
   bool exec_fault = false;
@@ -141,6 +199,8 @@ void execute_invocation(SchedulerContext& ctx, runtime::Container& container,
     if (ok) {
       r.completed = true;
       r.outcome = core::Outcome::kCompleted;
+      sim_wait_quantiles().record(to_millis(r.exec_start - r.arrival));
+      sim_exec_quantiles().record(to_millis(r.exec_end - r.exec_start));
     }
     container.end_invocation();
     if (on_done) on_done(ok);

@@ -54,7 +54,95 @@ TEST_F(GatewayFixture, HealthCheck) {
   http::Client client(gateway_.port());
   const auto response = client.get("/healthz");
   EXPECT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "ok");
+  const Json body = Json::parse(response.body);
+  EXPECT_EQ(body.at("status").as_string(), "ok");
+  EXPECT_TRUE(body.at("healthy").as_bool());
+  EXPECT_TRUE(body.at("stalled").as_array().empty());
+  // Every dispatch loop reports: the shards, the worker pool, and the
+  // gateway's own accept loop.
+  bool saw_gateway = false;
+  for (const Json& source : body.at("sources").as_array()) {
+    if (source.at("name").as_string() == "gateway") saw_gateway = true;
+  }
+  EXPECT_TRUE(saw_gateway);
+}
+
+TEST(GatewayHealthTest, WedgedShardTurnsHealthz503NamingTheShard) {
+  // Same wedge as watchdog_test, observed through the HTTP surface: a
+  // 10 s window with a 100 ms stall threshold, one request parked in a
+  // shard, virtual time advanced past the threshold but short of the
+  // window. /healthz must flip to 503 and name the stalled shard.
+  VirtualClock clock;
+  LivePlatformOptions options;
+  options.policy = LivePolicy::kFaasBatch;
+  options.clock = &clock;
+  options.dispatch = DispatchMode::kSharded;
+  options.shards = 4;
+  options.window = std::chrono::milliseconds(10'000);
+  options.stall_threshold = std::chrono::milliseconds(100);
+  LivePlatform platform(options);
+  HttpGateway gateway(platform, 0);
+  platform.register_function("f", [](FunctionContext&) {});
+
+  http::Client client(gateway.port());
+  ASSERT_EQ(client.get("/healthz").status, 200);
+
+  auto future = platform.invoke("f");
+  std::string wedged;
+  for (const auto& snap : platform.dispatch_stats().shard_stats) {
+    if (snap.depth > 0) wedged = "shard/" + std::to_string(snap.shard);
+  }
+  ASSERT_FALSE(wedged.empty());
+
+  clock.advance(std::chrono::milliseconds(200));
+  const auto response = client.get("/healthz");
+  EXPECT_EQ(response.status, 503);
+  const Json body = Json::parse(response.body);
+  EXPECT_EQ(body.at("status").as_string(), "stalled");
+  EXPECT_FALSE(body.at("healthy").as_bool());
+  ASSERT_EQ(body.at("stalled").as_array().size(), 1u);
+  EXPECT_EQ(body.at("stalled").as_array()[0].as_string(), wedged);
+
+  // While wedged, /stats reports the pending entry's age on that shard.
+  const Json stats = Json::parse(client.get("/stats").body);
+  bool saw_aged_shard = false;
+  for (const Json& shard : stats.at("dispatch").at("shard_stats").as_array()) {
+    if ("shard/" + std::to_string(shard.at("shard").as_int()) != wedged)
+      continue;
+    saw_aged_shard = true;
+    EXPECT_EQ(shard.at("depth").as_int(), 1);
+    EXPECT_NEAR(shard.at("oldest_age_ms").as_double(), 200.0, 1e-6);
+  }
+  EXPECT_TRUE(saw_aged_shard);
+
+  // Liveness pacing, not a timing assumption: advance until the flush
+  // thread has woken, drained the window, and resolved the future.
+  for (int i = 0; i < 10000; ++i) {
+    if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready)
+      break;
+    clock.advance(std::chrono::milliseconds(1000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // fb-lint-allow(raw-clock)
+  }
+  future.get();
+  EXPECT_EQ(client.get("/healthz").status, 200);
+  platform.shutdown();
+  platform.drain();
+}
+
+TEST_F(GatewayFixture, DebugVarsServesOneDiagnosticsPage) {
+  http::Client client(gateway_.port());
+  client.post("/functions/fib?type=fib&n=10", "");
+  client.post("/invoke/fib", "");
+  const auto response = client.get("/debug/vars");
+  EXPECT_EQ(response.status, 200);
+  const Json body = Json::parse(response.body);
+  // One page, three subsystems: metrics snapshot, watchdog report,
+  // flight-recorder status.
+  EXPECT_TRUE(body.at("metrics").contains("counters"));
+  EXPECT_TRUE(body.at("metrics").contains("quantiles"));
+  EXPECT_TRUE(body.at("watchdog").at("healthy").as_bool());
+  EXPECT_TRUE(body.at("flight").at("enabled").as_bool());
+  EXPECT_GE(body.at("flight").at("incidents").as_int(), 0);
 }
 
 TEST_F(GatewayFixture, RegisterAndInvokeFib) {
@@ -289,6 +377,21 @@ TEST_F(GatewayFixture, MetricsEndpointServesPrometheusText) {
   // Pre-registered series appear even before their code paths run.
   EXPECT_NE(response.body.find("fb_mux_hits_total"), std::string::npos);
   EXPECT_NE(response.body.find("fb_mux_misses_total"), std::string::npos);
+  // Latency quantiles: the platform-wide summaries and the per-function
+  // series labelled with the invoked function.
+  EXPECT_NE(response.body.find("# TYPE fb_live_exec_ms_quantiles summary"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("fb_live_exec_ms_quantiles{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("fb_live_queue_ms_quantiles{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(response.body.find(
+                "fb_live_exec_ms_quantiles{function=\"fib\",quantile=\"0.5\"}"),
+            std::string::npos);
+  // Per-shard pipeline gauges refreshed at scrape time.
+  EXPECT_NE(response.body.find("fb_dispatch_shard_depth"), std::string::npos);
+  EXPECT_NE(response.body.find("fb_dispatch_shard_oldest_age_ms"),
+            std::string::npos);
 }
 
 TEST_F(GatewayFixture, TraceEndpointTogglesAndDrainsChromeJson) {

@@ -1,0 +1,207 @@
+// QuantileHistogram accuracy and contract tests: extracted quantiles
+// must match an exact sorted reference within the documented bucket
+// tolerance (half a sub-bucket, ~6.7% relative), across scales and
+// distributions; values without a logarithm land in the zero bucket.
+//
+// fb-lint-allow-file(raw-rng): the stdlib distributions only generate
+// test data; every assertion compares the histogram against the exact
+// sorted reference of the SAME samples, so the sequence's
+// implementation-dependence cannot affect the outcome.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/quantile_histogram.hpp"
+
+namespace faasbatch::obs {
+namespace {
+
+// Documented worst-case relative error is 1/16 ≈ 6.7%; allow a little
+// slack for the rank discretisation between the estimator and the
+// reference on small samples.
+constexpr double kRelTolerance = 0.09;
+
+/// Exact reference: the ceil(q*n) ranked observation of the sorted data
+/// (the same rank convention the histogram documents).
+double exact_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+void expect_close(double got, double want, const char* label) {
+  if (want == 0.0) {
+    EXPECT_EQ(got, 0.0) << label;
+    return;
+  }
+  EXPECT_NEAR(got / want, 1.0, kRelTolerance)
+      << label << ": got " << got << " want " << want;
+}
+
+class QuantileHistogramTest : public ::testing::Test {
+ protected:
+  QuantileHistogramTest() { registry_.set_enabled(true); }
+  QuantileHistogram& histogram(const char* name = "test_quantiles") {
+    return registry_.quantile(name);
+  }
+  MetricsRegistry registry_;
+};
+
+TEST_F(QuantileHistogramTest, DisabledRecordIsNoOp) {
+  registry_.set_enabled(false);
+  QuantileHistogram& q = histogram();
+  q.record(1.0);
+  q.record(100.0);
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST_F(QuantileHistogramTest, EmptyHistogramReportsZero) {
+  QuantileHistogram& q = histogram();
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+  const QuantileSummary s = q.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p999, 0.0);
+}
+
+TEST_F(QuantileHistogramTest, SingleValueEveryQuantile) {
+  QuantileHistogram& q = histogram();
+  q.record(42.0);
+  for (const double quant : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    expect_close(q.quantile(quant), 42.0, "single value");
+  }
+}
+
+TEST_F(QuantileHistogramTest, UniformMatchesSortedReference) {
+  QuantileHistogram& q = histogram();
+  std::vector<double> values;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.1, 500.0);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = dist(rng);
+    values.push_back(v);
+    q.record(v);
+  }
+  for (const double quant : {0.5, 0.95, 0.99, 0.999}) {
+    expect_close(q.quantile(quant), exact_quantile(values, quant), "uniform");
+  }
+}
+
+TEST_F(QuantileHistogramTest, LogNormalTailMatchesSortedReference) {
+  // Latency-shaped data: heavy right tail across several octaves.
+  QuantileHistogram& q = histogram();
+  std::vector<double> values;
+  std::mt19937_64 rng(11);
+  std::lognormal_distribution<double> dist(1.5, 1.2);
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = dist(rng);
+    values.push_back(v);
+    q.record(v);
+  }
+  const QuantileSummary s = q.summary();
+  EXPECT_EQ(s.count, values.size());
+  expect_close(s.p50, exact_quantile(values, 0.5), "lognormal p50");
+  expect_close(s.p95, exact_quantile(values, 0.95), "lognormal p95");
+  expect_close(s.p99, exact_quantile(values, 0.99), "lognormal p99");
+  expect_close(s.p999, exact_quantile(values, 0.999), "lognormal p999");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  EXPECT_NEAR(s.sum, sum, sum * 1e-9);
+}
+
+TEST_F(QuantileHistogramTest, BimodalAcrossScales) {
+  // Two clusters five orders of magnitude apart — the case fixed-bucket
+  // layouts mangle. p50 must sit in the low cluster, p99 in the high.
+  QuantileHistogram& q = histogram();
+  std::vector<double> values;
+  for (int i = 0; i < 960; ++i) {
+    const double v = 0.05 + 0.0001 * i;
+    values.push_back(v);
+    q.record(v);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const double v = 3000.0 + static_cast<double>(i);
+    values.push_back(v);
+    q.record(v);
+  }
+  expect_close(q.quantile(0.5), exact_quantile(values, 0.5), "bimodal p50");
+  expect_close(q.quantile(0.99), exact_quantile(values, 0.99), "bimodal p99");
+}
+
+TEST_F(QuantileHistogramTest, ZeroAndNegativeLandInZeroBucket) {
+  QuantileHistogram& q = histogram();
+  q.record(0.0);
+  q.record(-3.5);
+  q.record(std::nan(""));
+  EXPECT_EQ(q.count(), 3u);
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+  // A real value above them keeps its place at the top rank.
+  q.record(10.0);
+  expect_close(q.quantile(1.0), 10.0, "top rank after zeros");
+}
+
+TEST_F(QuantileHistogramTest, ExtremeValuesClampToEdgeBuckets) {
+  QuantileHistogram& q = histogram();
+  q.record(1e-12);  // below 2^kMinExponent
+  q.record(1e15);   // above 2^kMaxExponent
+  EXPECT_EQ(q.count(), 2u);
+  // Clamped, not dropped: the tiny value reports within the smallest
+  // representable bucket (its representative is the geometric midpoint,
+  // up to one sub-bucket above the 2^kMinExponent bound), the huge one
+  // at least the largest bound.
+  EXPECT_GT(q.quantile(0.25), 0.0);
+  EXPECT_LE(q.quantile(0.25),
+            std::ldexp(1.0, QuantileHistogram::kMinExponent) *
+                (1.0 + 1.0 / QuantileHistogram::kSubBuckets));
+  EXPECT_GE(q.quantile(1.0), std::ldexp(1.0, QuantileHistogram::kMaxExponent));
+}
+
+TEST_F(QuantileHistogramTest, BucketIndexMonotoneAndValueConsistent) {
+  // bucket_value(bucket_index(v)) must stay within half a sub-bucket of
+  // v, and indices must be monotone in v — the invariants the quantile
+  // walk relies on.
+  std::size_t last_index = 0;
+  for (double v = 1e-5; v < 1e8; v *= 1.37) {
+    const std::size_t index = QuantileHistogram::bucket_index(v);
+    EXPECT_GE(index, last_index) << "index not monotone at " << v;
+    EXPECT_LT(index, QuantileHistogram::kBuckets);
+    last_index = index;
+    const double rep = QuantileHistogram::bucket_value(index);
+    EXPECT_NEAR(rep / v, 1.0, 1.0 / 16.0 + 1e-9)
+        << "representative " << rep << " too far from " << v;
+  }
+}
+
+TEST_F(QuantileHistogramTest, RegistryResetClearsQuantiles) {
+  QuantileHistogram& q = histogram();
+  q.record(5.0);
+  EXPECT_EQ(q.count(), 1u);
+  registry_.reset();
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST_F(QuantileHistogramTest, SnapshotAndPrometheusExposeQuantiles) {
+  QuantileHistogram& q = histogram("page_ms_quantiles");
+  for (int i = 1; i <= 100; ++i) q.record(static_cast<double>(i));
+  const Json snapshot = registry_.snapshot();
+  ASSERT_TRUE(snapshot.contains("quantiles"));
+  const Json& entry = snapshot.at("quantiles").at("page_ms_quantiles");
+  EXPECT_EQ(entry.at("count").as_int(), 100);
+  expect_close(entry.at("p50").as_double(), 50.0, "snapshot p50");
+  const std::string page = registry_.prometheus_text();
+  EXPECT_NE(page.find("page_ms_quantiles{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(page.find("page_ms_quantiles_count 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faasbatch::obs

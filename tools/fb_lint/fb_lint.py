@@ -208,7 +208,9 @@ def check_tokens(src: SourceFile, rule: str, tokens) -> list[Violation]:
 def _module_lookup(segments: list[str], layering: dict[str, list[str]]) -> str:
     """Most specific declared module for a path: the longest declared
     prefix of `segments` joined with '/', e.g. src/live/dispatch/ resolves
-    to "live/dispatch" when declared, else to its parent "live"."""
+    to "live/dispatch" when declared, else to its parent "live". The last
+    segment may be a file stem, so a declared "obs/flight_recorder" carves
+    the flight_recorder.{hpp,cpp} pair out of obs/ as its own module."""
     for k in range(len(segments), 0, -1):
         name = "/".join(segments[:k])
         if name in layering:
@@ -216,11 +218,17 @@ def _module_lookup(segments: list[str], layering: dict[str, list[str]]) -> str:
     return segments[0] if segments else ""
 
 
+def _path_segments(parts: list[str]) -> list[str]:
+    """Directory segments plus the final file stem ("a/b/c.hpp" ->
+    ["a", "b", "c"]), the unit _module_lookup resolves over."""
+    return parts[:-1] + [Path(parts[-1]).stem] if parts else []
+
+
 def check_layering(src: SourceFile, layering: dict[str, list[str]]) -> list[Violation]:
     parts = Path(src.rel_path).parts
     if len(parts) < 3 or parts[0] != "src":
         return []  # only src/<module>/ files are constrained
-    module = _module_lookup(list(parts[1:-1]), layering)
+    module = _module_lookup(_path_segments(list(parts[1:])), layering)
     out = []
     if module not in layering:
         out.append(
@@ -240,7 +248,7 @@ def check_layering(src: SourceFile, layering: dict[str, list[str]]) -> list[Viol
         m = INCLUDE_RE.match(line)
         if not m or "/" not in m.group(1):
             continue
-        target = _module_lookup(m.group(1).split("/")[:-1], layering)
+        target = _module_lookup(_path_segments(m.group(1).split("/")), layering)
         if target in allowed:
             continue
         if target in layering:

@@ -32,6 +32,8 @@ EXPECTED = {
     ("src/core/raw_rng.cpp", 9, "raw-rng"),
     ("src/core/layering_violation.cpp", 4, "layering"),
     ("src/obs/observer_reaches_back.cpp", 3, "layering"),
+    ("src/obs/ring.cpp", 5, "layering"),
+    ("src/core/uses_ring.cpp", 3, "layering"),
     ("src/core/naked_new.cpp", 11, "naked-new"),
     ("src/core/naked_new.cpp", 15, "naked-new"),
     ("src/live/span_unbalanced.cpp", 8, "span-balance"),
@@ -44,6 +46,7 @@ MUST_BE_CLEAN = {
     "src/common/arena.cpp",
     "src/live/suppressed.cpp",
     "src/live/file_allow.cpp",
+    "src/live/uses_ring.cpp",
     "tests/clean_test.cpp",
 }
 
@@ -101,6 +104,15 @@ class FixtureTreeTest(unittest.TestCase):
     def test_deleted_functions_do_not_count_as_naked_new(self):
         hits = {l for p, l, r in self.found if p == "src/core/naked_new.cpp"}
         self.assertEqual(hits, {11, 15})
+
+    def test_file_granular_modules_resolve_by_stem(self):
+        # "obs/ring" is a declared file-module: its own file is bound by
+        # its (empty) dependency list, including it requires the file
+        # module itself to be listed, and a module that lists it is clean.
+        self.assertIn(("src/obs/ring.cpp", 5, "layering"), self.found)
+        self.assertIn(("src/core/uses_ring.cpp", 3, "layering"), self.found)
+        self.assertNotIn("src/live/uses_ring.cpp",
+                         {p for p, _, _ in self.found})
 
 
 class CliTest(unittest.TestCase):

@@ -1,0 +1,7 @@
+// core declares ["common", "obs"] — which no longer covers the
+// file-granular "obs/ring" module: this include must fire layering.
+#include "obs/ring.hpp"
+
+namespace mini {
+int core_uses_ring() { return 1; }
+}  // namespace mini

@@ -1,0 +1,6 @@
+// live lists "obs/ring" explicitly, so the same include is clean here.
+#include "obs/ring.hpp"
+
+namespace mini {
+int live_uses_ring() { return 2; }
+}  // namespace mini

@@ -1,0 +1,9 @@
+// File-granular module "obs/ring": declared with no dependencies, so
+// its self-include is fine but reaching into common/ is a layering
+// violation even though the surrounding obs/ module allows common.
+#include "obs/ring.hpp"
+#include "common/clock.hpp"
+
+namespace mini {
+int ring_size() { return 64; }
+}  // namespace mini
