@@ -4,15 +4,22 @@
 #   scripts/check_format.sh          report violations (exit 1 if any)
 #   scripts/check_format.sh --fix    rewrite files in place
 #
-# Skips gracefully when clang-format is not installed (the dev container
-# ships only g++; CI installs clang-format via apt). Bulk-reformat
-# commits belong in .git-blame-ignore-revs.
+# A missing clang-format is a hard error (exit 2, tool named), never a
+# silent pass — a formatter that "skips" green is a formatter that rots.
+# Set FB_FORMAT_ALLOW_MISSING=1 for dev containers that ship only g++;
+# CI pins and installs clang-format explicitly and must never set it.
+# Bulk-reformat commits belong in .git-blame-ignore-revs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if ! command -v clang-format >/dev/null 2>&1; then
-  echo "check_format: clang-format not found; skipping (install via apt to enable)" >&2
-  exit 0
+  if [[ "${FB_FORMAT_ALLOW_MISSING:-0}" == "1" ]]; then
+    echo "check_format: clang-format not found; FB_FORMAT_ALLOW_MISSING=1 set, skipping" >&2
+    exit 0
+  fi
+  echo "check_format: ERROR: required tool 'clang-format' not found on PATH" >&2
+  echo "check_format: install it (apt-get install clang-format) or set FB_FORMAT_ALLOW_MISSING=1" >&2
+  exit 2
 fi
 
 mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' 'src/**/*.h' \

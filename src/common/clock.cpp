@@ -14,24 +14,24 @@ ClockTime SystemClock::now() const {
       std::chrono::steady_clock::now().time_since_epoch());
 }
 
-bool SystemClock::wait_until(std::unique_lock<Mutex>& lock, CondVar& cv,
+bool SystemClock::wait_until(UniqueLock& lock, CondVar& cv,
                              ClockTime deadline, std::function<bool()> pred) {
   const auto when = std::chrono::steady_clock::time_point(
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(deadline));
   return cv.wait_until(lock, when, std::move(pred));
 }
 
-bool VirtualClock::wait_until(std::unique_lock<Mutex>& lock, CondVar& cv,
+bool VirtualClock::wait_until(UniqueLock& lock, CondVar& cv,
                               ClockTime deadline, std::function<bool()> pred) {
   {
-    std::lock_guard<Mutex> guard(waiters_mutex_);
-    waiters_.push_back(Waiter{lock.mutex(), &cv});
+    MutexLock guard(waiters_mutex_);
+    waiters_.push_back(Waiter{&lock.mutex(), &cv});
   }
   cv.wait(lock, [&] { return pred() || now() >= deadline; });
   {
-    std::lock_guard<Mutex> guard(waiters_mutex_);
+    MutexLock guard(waiters_mutex_);
     const auto it = std::find_if(waiters_.begin(), waiters_.end(), [&](const Waiter& w) {
-      return w.mutex == lock.mutex() && w.cv == &cv;
+      return w.mutex == &lock.mutex() && w.cv == &cv;
     });
     if (it != waiters_.end()) waiters_.erase(it);
   }
@@ -40,22 +40,22 @@ bool VirtualClock::wait_until(std::unique_lock<Mutex>& lock, CondVar& cv,
 
 void VirtualClock::advance(ClockTime delta) {
   if (delta.count() <= 0) return;
-  now_ns_.fetch_add(delta.count());
+  now_ns_.fetch_add(delta.count(), std::memory_order_relaxed);
   std::vector<Waiter> snapshot;
   {
-    std::lock_guard<Mutex> guard(waiters_mutex_);
+    MutexLock guard(waiters_mutex_);
     snapshot = waiters_;
   }
   for (const Waiter& waiter : snapshot) {
     // Lock/unlock the waiter's mutex so the notify cannot slip between a
     // waiter's predicate check and its block (classic lost wakeup).
-    { std::lock_guard<Mutex> fence(*waiter.mutex); }
+    { MutexLock fence(*waiter.mutex); }
     waiter.cv->notify_all();
   }
 }
 
 void VirtualClock::advance_to(ClockTime t) {
-  const std::int64_t current = now_ns_.load();
+  const std::int64_t current = now_ns_.load(std::memory_order_relaxed);
   if (t.count() > current) advance(ClockTime{t.count() - current});
 }
 

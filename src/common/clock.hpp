@@ -13,7 +13,9 @@
 //
 // wait_until() takes the caller's own lock/cv pair (the platform mutex),
 // mirroring std::condition_variable::wait_until, so predicate evaluation
-// stays under the caller's mutex with either implementation.
+// stays under the caller's mutex with either implementation. The lock is
+// the annotation-aware faasbatch::UniqueLock; the caller holds it on
+// entry and on return (waits release/reacquire internally).
 #pragma once
 
 #include <atomic>
@@ -40,10 +42,10 @@ class Clock {
   /// Waits on `cv` (guarded by `lock`, which must be held) until `pred`
   /// returns true or the clock reaches `deadline`. Returns pred() at
   /// exit, exactly like std::condition_variable::wait_until. Spurious
-  /// wakeups are absorbed. The lock/cv types are the faasbatch::Mutex /
-  /// CondVar aliases so FB_DEADLOCK_DETECT builds order-check waits too.
-  virtual bool wait_until(std::unique_lock<Mutex>& lock, CondVar& cv,
-                          ClockTime deadline, std::function<bool()> pred) = 0;
+  /// wakeups are absorbed. The lock/cv types are faasbatch::UniqueLock /
+  /// CondVar so FB_DEADLOCK_DETECT builds order-check waits too.
+  virtual bool wait_until(UniqueLock& lock, CondVar& cv, ClockTime deadline,
+                          std::function<bool()> pred) = 0;
 
   /// Process-wide monotonic wall clock (the production default).
   static Clock& system();
@@ -53,7 +55,7 @@ class Clock {
 class SystemClock final : public Clock {
  public:
   ClockTime now() const override;
-  bool wait_until(std::unique_lock<Mutex>& lock, CondVar& cv, ClockTime deadline,
+  bool wait_until(UniqueLock& lock, CondVar& cv, ClockTime deadline,
                   std::function<bool()> pred) override;
 };
 
@@ -68,9 +70,11 @@ class VirtualClock final : public Clock {
  public:
   explicit VirtualClock(ClockTime start = ClockTime{0}) : now_ns_(start.count()) {}
 
-  ClockTime now() const override { return ClockTime{now_ns_.load()}; }
+  ClockTime now() const override {
+    return ClockTime{now_ns_.load(std::memory_order_relaxed)};
+  }
 
-  bool wait_until(std::unique_lock<Mutex>& lock, CondVar& cv, ClockTime deadline,
+  bool wait_until(UniqueLock& lock, CondVar& cv, ClockTime deadline,
                   std::function<bool()> pred) override;
 
   /// Moves time forward by `delta` and wakes all waiters.
@@ -85,9 +89,11 @@ class VirtualClock final : public Clock {
     CondVar* cv;
   };
 
+  // Monotonic virtual-time counter; publication to woken waiters rides
+  // on the per-waiter mutex fence in advance(). fb-atomic-counter
   std::atomic<std::int64_t> now_ns_;
   Mutex waiters_mutex_;
-  std::vector<Waiter> waiters_;
+  std::vector<Waiter> waiters_ FB_GUARDED_BY(waiters_mutex_);
 };
 
 }  // namespace faasbatch

@@ -11,6 +11,8 @@
 namespace faasbatch {
 namespace {
 
+// Config flag read racily by design: no data is published through it,
+// so relaxed loads/stores suffice. fb-atomic-counter
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 Mutex g_emit_mutex{};
 
@@ -53,7 +55,7 @@ void set_log_level_from_env() {
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  std::lock_guard<Mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

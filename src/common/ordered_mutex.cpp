@@ -184,19 +184,23 @@ void pop_held(const OrderedMutex* mutex) {
 
 OrderedMutex::~OrderedMutex() { LockOrderGraph::instance().erase(this); }
 
-void OrderedMutex::lock() {
+// The three primitive bodies are excluded from thread-safety analysis:
+// they *implement* the capability over an unannotated std::mutex, so the
+// analysis would see a declared acquire/release with no tracked effect.
+// The declarations in the header carry the caller-facing contract.
+void OrderedMutex::lock() FB_NO_THREAD_SAFETY_ANALYSIS {
   LockOrderGraph::instance().check_and_record(this, t_held);
   mutex_.lock();
   t_held.push_back(this);
 }
 
-bool OrderedMutex::try_lock() {
+bool OrderedMutex::try_lock() FB_NO_THREAD_SAFETY_ANALYSIS {
   if (!mutex_.try_lock()) return false;
   t_held.push_back(this);
   return true;
 }
 
-void OrderedMutex::unlock() {
+void OrderedMutex::unlock() FB_NO_THREAD_SAFETY_ANALYSIS {
   pop_held(this);
   mutex_.unlock();
 }
@@ -206,6 +210,22 @@ namespace lockorder {
 std::size_t edge_count() { return LockOrderGraph::instance().edge_count(); }
 
 void reset_for_testing() { LockOrderGraph::instance().reset(); }
+
+bool held_by_current_thread(const OrderedMutex* mutex) {
+  for (const OrderedMutex* held : t_held) {
+    if (held == mutex) return true;
+  }
+  return false;
+}
+
+void abort_if_not_held(const OrderedMutex* mutex) {
+  if (held_by_current_thread(mutex)) return;
+  std::fprintf(stderr,
+               "fb: assert_held failed: thread %s does not hold "
+               "OrderedMutex \"%s\"\n",
+               thread_desc().c_str(), mutex->name());
+  std::abort();
+}
 
 void set_lock_cycle_hook(CycleHook hook) {
   g_cycle_hook.store(hook, std::memory_order_release);

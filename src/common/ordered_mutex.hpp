@@ -1,21 +1,33 @@
-// OrderedMutex: a mutex wrapper that detects lock-order inversions.
+// OrderedMutex: a mutex wrapper that detects lock-order inversions,
+// plus the annotation-aware locking vocabulary (`Mutex`, `MutexLock`,
+// `UniqueLock`, `CondVar`) the rest of the platform builds on.
 //
-// Every acquisition records "held -> acquired" edges in a process-wide
-// lock-order graph. If acquiring a mutex would close a cycle (thread 1
-// locks A then B while thread 2 locks B then A — a potential deadlock
-// even when the interleaving never actually deadlocks), the process
-// prints both acquisition chains and aborts. Detection is keyed by
-// mutex instance; destroying a mutex removes its node from the graph.
+// Every OrderedMutex acquisition records "held -> acquired" edges in a
+// process-wide lock-order graph. If acquiring a mutex would close a
+// cycle (thread 1 locks A then B while thread 2 locks B then A — a
+// potential deadlock even when the interleaving never actually
+// deadlocks), the process prints both acquisition chains and aborts.
+// Detection is keyed by mutex instance; destroying a mutex removes its
+// node from the graph.
 //
 // Cost model: every lock()/unlock() takes a global registry mutex and
 // walks a small graph, so OrderedMutex is a *debug* tool. Production
-// code uses the `Mutex`/`CondVar` aliases below, which are plain
-// std::mutex/std::condition_variable unless the build defines
-// FB_DEADLOCK_DETECT (cmake -DFB_DEADLOCK_DETECT=ON), making adoption a
-// zero-cost drop-in for release builds. The lock-heavy paths (live
-// platform, live containers, HTTP server, resource multiplexer,
-// observability buffers, storage) all route through the aliases, so one
-// CI configuration exercises the whole tree with detection on.
+// code uses `Mutex`, which wraps a plain std::mutex unless the build
+// defines FB_DEADLOCK_DETECT (cmake -DFB_DEADLOCK_DETECT=ON), making
+// adoption a zero-cost drop-in for release builds. The lock-heavy paths
+// (live platform, dispatch shards, worker pool, HTTP server, resource
+// multiplexer, observability buffers, storage) all route through
+// `Mutex`, so one CI configuration exercises the whole tree with
+// detection on.
+//
+// `Mutex` and `OrderedMutex` are Clang thread-safety capabilities (see
+// common/thread_annotations.hpp): fields carry FB_GUARDED_BY, methods
+// carry FB_REQUIRES/FB_EXCLUDES, and the thread-safety CI job compiles
+// the tree with -Wthread-safety -Werror. The static analysis and the
+// runtime lock-order graph are complements, not alternatives: the
+// compiler proves "right lock held at every access" on all paths, while
+// OrderedMutex catches cross-mutex acquisition-order cycles that the
+// per-capability analysis cannot see.
 //
 // try_lock() cannot deadlock and therefore does not cycle-check, but a
 // successfully try-locked mutex still joins the holder's chain so later
@@ -25,10 +37,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.hpp"
 
 namespace faasbatch {
 
-class OrderedMutex {
+class FB_CAPABILITY("mutex") OrderedMutex {
  public:
   OrderedMutex() = default;
   explicit OrderedMutex(const char* name) : name_(name) {}
@@ -39,13 +54,13 @@ class OrderedMutex {
 
   /// Blocks like std::mutex::lock(); aborts with both lock chains if the
   /// acquisition order contradicts an order recorded earlier.
-  void lock();
+  void lock() FB_ACQUIRE();
 
   /// Non-blocking; records the hold (but no ordering constraint) on
   /// success.
-  bool try_lock();
+  bool try_lock() FB_TRY_ACQUIRE(true);
 
-  void unlock();
+  void unlock() FB_RELEASE();
 
   /// Diagnostic name shown in deadlock reports.
   const char* name() const { return name_; }
@@ -66,6 +81,14 @@ std::size_t edge_count();
 /// OrderedMutex and run no concurrent OrderedMutex users.
 void reset_for_testing();
 
+/// True iff the calling thread currently holds `mutex` (scans the
+/// thread-local held stack; no registry lock taken).
+bool held_by_current_thread(const OrderedMutex* mutex);
+
+/// Aborts with a diagnostic if the calling thread does not hold `mutex`.
+/// Backs Mutex::assert_held() in FB_DEADLOCK_DETECT builds.
+void abort_if_not_held(const OrderedMutex* mutex);
+
 /// Called once, just before the process aborts on a detected self-lock
 /// or lock-order cycle, with the names of the mutex being acquired and
 /// the mutex it conflicts with. Lets a diagnostics layer (the obs flight
@@ -81,22 +104,197 @@ void set_lock_cycle_hook(CycleHook hook);
 
 }  // namespace lockorder
 
-// Aliases adopted by the platform's lock-heavy paths. Release builds get
-// the exact std types (zero overhead, std::condition_variable
-// notify/wait); FB_DEADLOCK_DETECT builds route every acquisition
-// through the lock-order graph. std::condition_variable_any is required
-// in detect builds because std::condition_variable only accepts
-// std::unique_lock<std::mutex>.
+/// The platform mutex: a thin capability wrapper so Clang thread-safety
+/// annotations attach in *every* build. Release builds wrap std::mutex
+/// (the wrapper methods inline away); FB_DEADLOCK_DETECT builds wrap
+/// OrderedMutex and route every acquisition through the lock-order
+/// graph.
+class FB_CAPABILITY("mutex") Mutex {
+ public:
 #ifdef FB_DEADLOCK_DETECT
-using Mutex = OrderedMutex;
-using CondVar = std::condition_variable_any;
+  using Impl = OrderedMutex;
+#else
+  using Impl = std::mutex;
+#endif
+
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The three forwarding bodies are excluded from analysis: in detect
+  // builds impl_ is itself an annotated capability (OrderedMutex), and
+  // the wrapper re-exports impl_'s acquisition as `this` — analysing the
+  // body would double-count the acquire. The declarations still carry
+  // the caller-facing contract.
+  void lock() FB_ACQUIRE() FB_NO_THREAD_SAFETY_ANALYSIS { impl_.lock(); }
+  bool try_lock() FB_TRY_ACQUIRE(true) FB_NO_THREAD_SAFETY_ANALYSIS {
+    return impl_.try_lock();
+  }
+  void unlock() FB_RELEASE() FB_NO_THREAD_SAFETY_ANALYSIS { impl_.unlock(); }
+
+  /// Declares to the analysis that this thread holds the mutex. Needed
+  /// inside condition-variable predicate lambdas, which Clang analyses
+  /// as unrelated functions that inherit no capabilities from the
+  /// enclosing scope. FB_DEADLOCK_DETECT builds make this a real runtime
+  /// check (abort when the claim is false); release builds compile it
+  /// to nothing.
+  void assert_held() const FB_ASSERT_CAPABILITY(this) {
+#ifdef FB_DEADLOCK_DETECT
+    lockorder::abort_if_not_held(&impl_);
+#endif
+  }
+
+  /// Diagnostic name forwarded to deadlock reports in detect builds.
+  void set_name(const char* name) {
+#ifdef FB_DEADLOCK_DETECT
+    impl_.set_name(name);
+#else
+    (void)name;
+#endif
+  }
+
+  /// Underlying implementation handle, used by CondVar to adopt the
+  /// lock in release builds. Not a tracked capability — never lock it
+  /// directly.
+  Impl& native() { return impl_; }
+
+ private:
+  Impl impl_;
+};
+
+inline void set_mutex_name(Mutex& mutex, const char* name) {
+  mutex.set_name(name);
+}
 inline void set_mutex_name(OrderedMutex& mutex, const char* name) {
   mutex.set_name(name);
 }
+
+/// RAII lock for the common lock-at-top-of-scope pattern (replaces
+/// std::lock_guard<Mutex>, which the analysis cannot see through).
+class FB_SCOPED_CAPABILITY MutexLock {
+ public:
+  // Scoped-capability bodies are excluded from analysis: the ctor/dtor
+  // *implement* the scope's acquire/release by toggling the managed
+  // Mutex, which the analysis would double-count against the scoped
+  // contract declared on the signatures.
+  explicit MutexLock(Mutex& mutex) FB_ACQUIRE(mutex)
+      FB_NO_THREAD_SAFETY_ANALYSIS : mutex_(mutex) {
+    mutex.lock();
+  }
+  ~MutexLock() FB_RELEASE() FB_NO_THREAD_SAFETY_ANALYSIS { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Relockable RAII lock for condition-variable waits and
+/// unlock-around-callback sections (replaces std::unique_lock<Mutex>).
+/// The analysis tracks lock()/unlock() pairs on *locally declared*
+/// instances; passing a UniqueLock by reference and toggling it in the
+/// callee is outside the analysis — restructure so the toggle happens in
+/// the frame that declared the lock.
+class FB_SCOPED_CAPABILITY UniqueLock {
+ public:
+  // Bodies excluded from analysis as in MutexLock; additionally the
+  // destructor's release is conditional on the runtime held_ flag, which
+  // the static analysis cannot model. The scoped contract on the
+  // signatures is what callers are checked against.
+  explicit UniqueLock(Mutex& mutex) FB_ACQUIRE(mutex)
+      FB_NO_THREAD_SAFETY_ANALYSIS : mutex_(mutex), held_(true) {
+    mutex.lock();
+  }
+  ~UniqueLock() FB_RELEASE() FB_NO_THREAD_SAFETY_ANALYSIS {
+    if (held_) mutex_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() FB_ACQUIRE() FB_NO_THREAD_SAFETY_ANALYSIS {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() FB_RELEASE() FB_NO_THREAD_SAFETY_ANALYSIS {
+    held_ = false;
+    mutex_.unlock();
+  }
+
+  bool owns_lock() const { return held_; }
+  Mutex& mutex() FB_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+ private:
+  Mutex& mutex_;
+  bool held_;
+};
+
+/// Condition variable bound to faasbatch::Mutex via UniqueLock. Release
+/// builds adopt the wrapper's native std::mutex into a temporary
+/// std::unique_lock (zero overhead — std::condition_variable requires
+/// that exact type); FB_DEADLOCK_DETECT builds use
+/// std::condition_variable_any driving UniqueLock's own lock()/unlock(),
+/// so waits correctly pop and re-push the holder's lock-order chain.
+///
+/// Waits release and reacquire the mutex, but from the analysis's view
+/// the caller holds it throughout — which is exactly the contract at
+/// function boundaries. Predicates run with the lock held; predicates
+/// that touch guarded fields must open with `mutex.assert_held()`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) {
+#ifdef FB_DEADLOCK_DETECT
+    cv_.wait(lock);
 #else
-using Mutex = std::mutex;
-using CondVar = std::condition_variable;
-inline void set_mutex_name(std::mutex&, const char*) {}
+    std::unique_lock<std::mutex> native(lock.mutex().native(),
+                                        std::adopt_lock);
+    cv_.wait(native);
+    native.release();
 #endif
+  }
+
+  template <typename Pred>
+  void wait(UniqueLock& lock, Pred pred) {
+    while (!pred()) wait(lock);
+  }
+
+  template <typename TimePoint>
+  std::cv_status wait_until(UniqueLock& lock, const TimePoint& deadline) {
+#ifdef FB_DEADLOCK_DETECT
+    return cv_.wait_until(lock, deadline);
+#else
+    std::unique_lock<std::mutex> native(lock.mutex().native(),
+                                        std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+#endif
+  }
+
+  template <typename TimePoint, typename Pred>
+  bool wait_until(UniqueLock& lock, const TimePoint& deadline, Pred pred) {
+    while (!pred()) {
+      if (wait_until(lock, deadline) == std::cv_status::timeout) {
+        return pred();
+      }
+    }
+    return true;
+  }
+
+ private:
+#ifdef FB_DEADLOCK_DETECT
+  std::condition_variable_any cv_;
+#else
+  std::condition_variable cv_;
+#endif
+};
 
 }  // namespace faasbatch

@@ -1,0 +1,71 @@
+// Clang Thread Safety Analysis macros (FB_-prefixed).
+//
+// These wrap the `capability` attribute family so lock contracts live in
+// the type system: `FB_GUARDED_BY(mutex_)` on a field makes every
+// unlocked access a compile error under Clang's -Wthread-safety, and
+// `FB_REQUIRES(mutex_)` on a method makes "caller holds mutex_" a checked
+// precondition instead of a comment. GCC (and any compiler without the
+// attributes) sees empty macros, so annotations cost nothing outside the
+// dedicated thread-safety CI job, which compiles with
+// `-Wthread-safety -Wthread-safety-beta -Werror`.
+//
+// Conventions (see README "Static analysis & sanitizers"):
+//  - Every field written under a held faasbatch::Mutex/OrderedMutex in
+//    its own class carries FB_GUARDED_BY (enforced by fb_lint's
+//    guarded-by rule).
+//  - Methods documented "caller holds X" carry FB_REQUIRES(X); methods
+//    that must NOT be entered with X held carry FB_EXCLUDES(X).
+//  - FB_NO_THREAD_SAFETY_ANALYSIS is an escape of last resort and every
+//    use carries a one-line justification comment.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FB_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define FB_CAPABILITY(name) FB_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define FB_SCOPED_CAPABILITY FB_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding the named capability.
+#define FB_GUARDED_BY(x) FB_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding the
+/// named capability (the pointer itself is unguarded).
+#define FB_PT_GUARDED_BY(x) FB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (held on return, not on entry).
+#define FB_ACQUIRE(...) FB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define FB_RELEASE(...) FB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define FB_TRY_ACQUIRE(ret, ...) \
+  FB_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Checked precondition: caller must hold the capability.
+#define FB_REQUIRES(...) FB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Checked precondition: caller must NOT hold the capability (guards
+/// against self-deadlock on non-reentrant locks).
+#define FB_EXCLUDES(...) FB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares (without acquiring) that the capability is held — used by
+/// runtime assertions and to teach the analysis about lambdas, which it
+/// otherwise treats as unrelated functions.
+#define FB_ASSERT_CAPABILITY(x) FB_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define FB_RETURN_CAPABILITY(x) FB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: function body is not analysed. Every use must carry a
+/// one-line justification (fb_lint's guarded-by rule still applies to
+/// the fields such a function touches).
+#define FB_NO_THREAD_SAFETY_ANALYSIS \
+  FB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -36,7 +36,7 @@ ResourceMultiplexer::Acquire ResourceMultiplexer::acquire(std::string_view kind,
                                                           ReadyCallback on_ready,
                                                           ResourcePtr* instance) {
   const std::uint64_t key = key_of(kind, args_hash);
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = entries_.try_emplace(key);
   if (inserted) {
     ++stats_.misses;
@@ -62,7 +62,7 @@ void ResourceMultiplexer::complete(std::string_view kind, std::uint64_t args_has
   std::vector<ReadyCallback> waiters;
   ResourcePtr published;
   {
-    std::lock_guard<Mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     assert(it != entries_.end() && "complete() without acquire() miss");
     Entry& entry = it->second;
@@ -82,7 +82,7 @@ void ResourceMultiplexer::fail(std::string_view kind, std::uint64_t args_hash) {
   const std::uint64_t key = key_of(kind, args_hash);
   std::vector<ReadyCallback> waiters;
   {
-    std::lock_guard<Mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it == entries_.end() || it->second.ready) return;
     waiters.swap(it->second.waiters);
@@ -98,7 +98,7 @@ ResourceMultiplexer::ResourcePtr ResourceMultiplexer::get_or_create_erased(
     std::string_view kind, std::uint64_t args_hash,
     const std::function<ResourcePtr()>& factory) {
   const std::uint64_t key = key_of(kind, args_hash);
-  std::unique_lock<Mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   while (true) {
     auto [it, inserted] = entries_.try_emplace(key);
     if (inserted) {
@@ -138,6 +138,7 @@ ResourceMultiplexer::ResourcePtr ResourceMultiplexer::get_or_create_erased(
     ++stats_.pending_waits;
     mux_pending_waits_total().inc();
     ready_cv_.wait(lock, [this, key] {
+      mutex_.assert_held();  // predicates run with the caller's lock held
       const auto eit = entries_.find(key);
       return eit == entries_.end() || eit->second.ready;
     });
@@ -148,14 +149,14 @@ ResourceMultiplexer::ResourcePtr ResourceMultiplexer::get_or_create_erased(
 }
 
 ResourceMultiplexer::Stats ResourceMultiplexer::stats() const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats = stats_;
   stats.cached = entries_.size();
   return stats;
 }
 
 void ResourceMultiplexer::clear() {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
 }
 

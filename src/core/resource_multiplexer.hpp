@@ -51,15 +51,17 @@ class ResourceMultiplexer {
   /// once the in-flight creation finishes. On kMiss, the caller owns the
   /// creation and must call complete() (or fail()).
   Acquire acquire(std::string_view kind, std::uint64_t args_hash,
-                  ReadyCallback on_ready, ResourcePtr* instance);
+                  ReadyCallback on_ready, ResourcePtr* instance)
+      FB_EXCLUDES(mutex_);
 
   /// Publishes a built resource; fires all pending callbacks.
-  void complete(std::string_view kind, std::uint64_t args_hash, ResourcePtr instance);
+  void complete(std::string_view kind, std::uint64_t args_hash,
+                ResourcePtr instance) FB_EXCLUDES(mutex_);
 
   /// Abandons an in-flight creation: pending waiters are re-issued as
   /// misses — the first waiter's callback receives nullptr and must
   /// retry acquire() (becoming the new creator).
-  void fail(std::string_view kind, std::uint64_t args_hash);
+  void fail(std::string_view kind, std::uint64_t args_hash) FB_EXCLUDES(mutex_);
 
   /// Synchronous lookup for live thread pools: returns the cached
   /// instance or invokes `factory` exactly once per (kind, args),
@@ -77,10 +79,10 @@ class ResourceMultiplexer {
     std::uint64_t pending_waits = 0;  ///< waited behind an in-flight creation
     std::size_t cached = 0;           ///< entries currently resident
   };
-  Stats stats() const;
+  Stats stats() const FB_EXCLUDES(mutex_);
 
   /// Drops every cached entry (e.g. container teardown).
-  void clear();
+  void clear() FB_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -91,12 +93,13 @@ class ResourceMultiplexer {
 
   static std::uint64_t key_of(std::string_view kind, std::uint64_t args_hash);
   ResourcePtr get_or_create_erased(std::string_view kind, std::uint64_t args_hash,
-                                   const std::function<ResourcePtr()>& factory);
+                                   const std::function<ResourcePtr()>& factory)
+      FB_EXCLUDES(mutex_);
 
   mutable Mutex mutex_;
   CondVar ready_cv_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  Stats stats_;
+  std::unordered_map<std::uint64_t, Entry> entries_ FB_GUARDED_BY(mutex_);
+  Stats stats_ FB_GUARDED_BY(mutex_);
 };
 
 }  // namespace faasbatch::core

@@ -36,14 +36,14 @@ Server::Server(std::uint16_t port, Handler handler) : handler_(std::move(handler
     ::close(fd);
     throw std::runtime_error("http::Server: listen() failed");
   }
-  listen_fd_.store(fd);
+  listen_fd_.store(fd, std::memory_order_release);
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 Server::~Server() {
   stop();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<Mutex> lock(workers_mutex_);
+  MutexLock lock(workers_mutex_);
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -51,9 +51,12 @@ Server::~Server() {
 
 void Server::stop() {
   bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  if (!stopping_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return;
+  }
   // Closing the listener unblocks accept().
-  const int fd = listen_fd_.exchange(-1);
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
   if (fd >= 0) {
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
@@ -61,16 +64,16 @@ void Server::stop() {
 }
 
 void Server::accept_loop() {
-  while (!stopping_.load()) {
-    const int listen_fd = listen_fd_.load();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
     if (listen_fd < 0) return;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (stopping_.load()) return;
+      if (stopping_.load(std::memory_order_acquire)) return;
       if (errno == EINTR) continue;
       return;  // listener closed
     }
-    std::lock_guard<Mutex> lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     workers_.emplace_back([this, fd] { serve_connection(fd); });
   }
 }
@@ -78,7 +81,7 @@ void Server::accept_loop() {
 void Server::serve_connection(int fd) {
   Parser parser;
   char chunk[4096];
-  while (!stopping_.load()) {
+  while (!stopping_.load(std::memory_order_acquire)) {
     // Drain already-buffered requests first (pipelined/keep-alive).
     try {
       while (auto request = parser.next_request()) {
@@ -94,7 +97,7 @@ void Server::serve_connection(int fd) {
         const std::string wire = response.serialize();
         // Count before the reply hits the wire: a client that has read
         // the full response must observe requests_served() >= its own.
-        ++served_;
+        served_.fetch_add(1, std::memory_order_release);  // counted before the reply is written
         std::size_t sent = 0;
         while (sent < wire.size()) {
           const ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, 0);

@@ -37,7 +37,11 @@ class Server {
   std::uint16_t port() const { return port_; }
 
   /// Requests served so far.
-  std::uint64_t requests_served() const { return served_.load(); }
+  std::uint64_t requests_served() const {
+    // Acquire pairs with the release increment in serve_connection(): a
+    // caller that has read a reply observes that request as counted.
+    return served_.load(std::memory_order_acquire);
+  }
 
   /// Initiates shutdown (also called by the destructor).
   void stop();
@@ -53,7 +57,7 @@ class Server {
   std::atomic<std::uint64_t> served_{0};
   std::thread accept_thread_;
   Mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_ FB_GUARDED_BY(workers_mutex_);
 };
 
 }  // namespace faasbatch::http

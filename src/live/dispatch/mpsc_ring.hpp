@@ -101,6 +101,9 @@ class MpscRing {
 
  private:
   struct Cell {
+    // Slot sequence number (Vyukov): release-published after the value,
+    // acquire-read before it; relaxed elsewhere by design.
+    // fb-atomic-counter
     std::atomic<std::size_t> seq{0};
     T value{};
   };
@@ -108,7 +111,9 @@ class MpscRing {
   std::size_t capacity_;
   std::size_t mask_;
   std::unique_ptr<Cell[]> cells_;
-  // Producers and the consumer advance independent cache lines.
+  // Producers and the consumer advance independent cache lines. The
+  // cursors are relaxed by design: item publication rides entirely on
+  // each cell's seq word, never on the cursors. fb-atomic-counter
   alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
   alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
 };

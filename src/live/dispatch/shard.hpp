@@ -135,7 +135,7 @@ class Shard {
       // Unbounded platform but the ring is momentarily full: spill to
       // the mutex-guarded side queue rather than shedding.
       {
-        std::lock_guard<Mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         overflow_.push_back(std::move(item));
       }
       overflow_count_.fetch_add(1, std::memory_order_relaxed);
@@ -163,7 +163,7 @@ class Shard {
     // published_/sleeping_ pair guarantees either we see sleeping_ and
     // notify, or the loop's wait predicate sees our publish.
     if (sleeping_.load(std::memory_order_seq_cst)) {
-      { std::lock_guard<Mutex> lock(mutex_); }
+      { MutexLock lock(mutex_); }
       cv_.notify_one();
     }
     return Admit::kOk;
@@ -173,7 +173,7 @@ class Shard {
   /// Every item accepted before the close is still flushed.
   void close() {
     closed_.store(true, std::memory_order_seq_cst);
-    { std::lock_guard<Mutex> lock(mutex_); }
+    { MutexLock lock(mutex_); }
     cv_.notify_all();
   }
 
@@ -198,14 +198,16 @@ class Shard {
 
  private:
   std::size_t depth() const {
+    // Racy gauge read of the handshake word; the seq_cst ops in
+    // try_enqueue/flush_loop carry the ordering. fb-lint-allow(atomic-order)
     const std::uint64_t published = published_.load(std::memory_order_relaxed);
     const std::uint64_t consumed = consumed_public_.load(std::memory_order_relaxed);
     return published >= consumed ? static_cast<std::size_t>(published - consumed) : 0;
   }
 
   /// Drains ring + overflow into `out`. Called on the shard thread with
-  /// `lock` held; the ring itself needs no lock (single consumer).
-  void drain_pending(std::vector<Item>& out) {
+  /// mutex_ held; the ring itself needs no lock (single consumer).
+  void drain_pending(std::vector<Item>& out) FB_REQUIRES(mutex_) {
     Item item;
     while (ring_.try_pop(item)) out.push_back(std::move(item));
     while (!overflow_.empty()) {
@@ -214,14 +216,18 @@ class Shard {
     }
   }
 
-  void flush_loop() {
-    std::unique_lock<Mutex> lock(mutex_);
+  void flush_loop() FB_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     for (;;) {
       sleeping_.store(true, std::memory_order_seq_cst);
       cv_.wait(lock, [this] {
+        mutex_.assert_held();  // predicates run with the shard lock held
         return closed_.load(std::memory_order_acquire) ||
                published_.load(std::memory_order_seq_cst) != consumed_;
       });
+      // Clearing the nap flag needs no ordering: only the seq_cst
+      // store(true) above fences against lost wakeups.
+      // fb-lint-allow(atomic-order)
       sleeping_.store(false, std::memory_order_relaxed);
       const bool draining = closed_.load(std::memory_order_acquire);
       const ClockTime window_open = options_.clock->now();
@@ -234,7 +240,16 @@ class Shard {
           return closed_.load(std::memory_order_acquire);
         });
       }
-      flush_once(lock, window_open);
+      // One drain + flush-callback round. The unlock/relock around the
+      // callback stays in this frame, on the locally declared lock: the
+      // thread-safety analysis only tracks scoped locks it can see being
+      // toggled, not ones passed by reference.
+      if (std::vector<Item> items = collect_window(); !items.empty()) {
+        const ClockTime window_close = options_.clock->now();
+        lock.unlock();
+        flush_(options_.index, std::move(items), window_open, window_close);
+        lock.lock();
+      }
       if (closed_.load(std::memory_order_acquire)) {
         // Final sweep: admission is closed; wait out in-flight pushes so
         // every accepted item is visible, then drain one last time.
@@ -243,15 +258,21 @@ class Shard {
           std::this_thread::yield();
         }
         lock.lock();
-        flush_once(lock, options_.clock->now());
+        if (std::vector<Item> items = collect_window(); !items.empty()) {
+          const ClockTime window_close = options_.clock->now();
+          lock.unlock();
+          flush_(options_.index, std::move(items),
+                 /*window_open=*/window_close, window_close);
+          lock.lock();
+        }
         return;
       }
     }
   }
 
-  /// One drain + flush callback round. Drops the lock for the callback so
-  /// the flush function may take platform locks freely.
-  void flush_once(std::unique_lock<Mutex>& lock, ClockTime window_open) {
+  /// Drains one round's items and advances cursors/instruments/heartbeat.
+  /// Returns the batch for the flush callback (empty = idle round).
+  std::vector<Item> collect_window() FB_REQUIRES(mutex_) {
     std::vector<Item> items;
     drain_pending(items);
     consumed_ += items.size();
@@ -266,13 +287,11 @@ class Shard {
     // wedged inside its window wait never reaches this line, which is
     // exactly the signal the watchdog's stall test pins down.
     if (heartbeat_ != nullptr) heartbeat_->beat(now.count());
-    if (items.empty()) return;
-    windows_count_.fetch_add(1, std::memory_order_relaxed);
-    instruments_.windows.inc();
-    const ClockTime window_close = options_.clock->now();
-    lock.unlock();
-    flush_(options_.index, std::move(items), window_open, window_close);
-    lock.lock();
+    if (!items.empty()) {
+      windows_count_.fetch_add(1, std::memory_order_relaxed);
+      instruments_.windows.inc();
+    }
+    return items;
   }
 
   Options options_;
@@ -282,15 +301,21 @@ class Shard {
 
   mutable Mutex mutex_;
   CondVar cv_;
-  std::deque<Item> overflow_;  // guarded by mutex_
+  std::deque<Item> overflow_ FB_GUARDED_BY(mutex_);
 
+  // Admission/shutdown handshake words: seq_cst where the handshake
+  // proof needs a total order (see the class comment), acquire/release
+  // elsewhere — all orders explicit at the call sites.
   std::atomic<bool> closed_{false};
   std::atomic<bool> sleeping_{false};
   std::atomic<int> admitting_{0};
   std::atomic<std::uint64_t> published_{0};
-  std::uint64_t consumed_ = 0;  // shard-thread only
+  // Shard-thread only, and that thread holds mutex_ at every touch.
+  std::uint64_t consumed_ FB_GUARDED_BY(mutex_) = 0;
+  // Racy mirror of consumed_ for depth gauges. fb-atomic-counter
   std::atomic<std::uint64_t> consumed_public_{0};
 
+  // Statistics and staleness gauges; relaxed by design. fb-atomic-counter
   std::atomic<std::uint64_t> enqueued_count_{0};
   std::atomic<std::uint64_t> shed_count_{0};
   std::atomic<std::uint64_t> overflow_count_{0};

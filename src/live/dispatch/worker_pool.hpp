@@ -60,18 +60,18 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Hands one flushed batch to the pool: one lock, one wakeup.
-  void push(Batch&& batch) {
+  void push(Batch&& batch) FB_EXCLUDES(mutex_) {
     {
-      std::lock_guard<Mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.push_back(std::move(batch));
     }
     cv_.notify_one();
   }
 
   /// Stops accepting work and joins; queued batches still execute.
-  void stop() {
+  void stop() FB_EXCLUDES(mutex_) {
     {
-      std::lock_guard<Mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) return;
       stopping_ = true;
     }
@@ -84,16 +84,19 @@ class WorkerPool {
   std::size_t workers() const { return threads_.size(); }
 
   /// Batches waiting for a worker right now (watchdog depth input).
-  std::size_t queued() const {
-    std::lock_guard<Mutex> lock(mutex_);
+  std::size_t queued() const FB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return queue_.size();
   }
 
  private:
-  void worker_loop() {
-    std::unique_lock<Mutex> lock(mutex_);
+  void worker_loop() FB_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     for (;;) {
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_.wait(lock, [this] {
+        mutex_.assert_held();  // predicates run with the pool lock held
+        return stopping_ || !queue_.empty();
+      });
       if (!queue_.empty()) {
         Batch batch = std::move(queue_.front());
         queue_.pop_front();
@@ -114,8 +117,8 @@ class WorkerPool {
   std::shared_ptr<obs::HeartbeatSource> heartbeat_;
   mutable Mutex mutex_;
   CondVar cv_;
-  std::deque<Batch> queue_;  // guarded by mutex_
-  bool stopping_ = false;    // guarded by mutex_
+  std::deque<Batch> queue_ FB_GUARDED_BY(mutex_);
+  bool stopping_ FB_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -38,7 +38,7 @@ LiveContainer::LiveContainer(std::string function, const LiveContainerOptions& o
 
 LiveContainer::~LiveContainer() {
   {
-    std::lock_guard<Mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -47,28 +47,34 @@ LiveContainer::~LiveContainer() {
 
 void LiveContainer::submit(std::function<void()> task) {
   {
-    std::lock_guard<Mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
 std::size_t LiveContainer::load() const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size() + in_flight_;
 }
 
 void LiveContainer::drain() {
-  std::unique_lock<Mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  UniqueLock lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    mutex_.assert_held();  // predicates run with the caller's lock held
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 void LiveContainer::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<Mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        mutex_.assert_held();  // predicates run with the caller's lock held
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -78,9 +84,9 @@ void LiveContainer::worker_loop() {
       ++in_flight_;
     }
     task();
-    ++executed_;
+    executed_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<Mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

@@ -54,16 +54,18 @@ class LiveContainer {
 
   /// Enqueues one task; returns immediately. Tasks run concurrently on
   /// the container's worker threads (the paper's inline parallelism).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) FB_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void drain();
+  void drain() FB_EXCLUDES(mutex_);
 
   /// Tasks executed so far.
-  std::uint64_t executed() const { return executed_.load(); }
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
 
   /// Tasks queued or running right now (0 = container is idle).
-  std::size_t load() const;
+  std::size_t load() const FB_EXCLUDES(mutex_);
 
   /// The container's Resource Multiplexer (paper §III-D): handlers route
   /// client creation through it.
@@ -80,12 +82,13 @@ class LiveContainer {
   std::string function_;
   Clock* clock_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
   mutable Mutex mutex_;
+  std::deque<std::function<void()>> queue_ FB_GUARDED_BY(mutex_);
   CondVar work_cv_;
   CondVar idle_cv_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::size_t in_flight_ FB_GUARDED_BY(mutex_) = 0;
+  bool stopping_ FB_GUARDED_BY(mutex_) = false;
+  // Pure statistic: nothing is published through it. fb-atomic-counter
   std::atomic<std::uint64_t> executed_{0};
   core::ResourceMultiplexer mux_;
   std::string base_buffer_;

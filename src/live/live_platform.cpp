@@ -149,7 +149,7 @@ LivePlatform::LivePlatform(LivePlatformOptions options)
     queue_heartbeat_ = watchdog_.register_source(
         "dispatcher",
         [this] {
-          std::lock_guard<Mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           return static_cast<double>(queue_.size());
         },
         clock_->now().count());
@@ -170,7 +170,7 @@ LivePlatform::~LivePlatform() {
   }
   if (dispatcher_.joinable()) {
     {
-      std::lock_guard<Mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
     }
     queue_cv_.notify_all();
@@ -192,16 +192,18 @@ void LivePlatform::shutdown() {
     sharded_->close();
   }
   {
-    std::lock_guard<Mutex> lock(mutex_);
+    MutexLock lock(mutex_);
   }
   queue_cv_.notify_all();
 }
 
 void LivePlatform::register_function(const std::string& name, FunctionHandler handler) {
-  std::lock_guard<Mutex> lock(mutex_);
-  auto next = std::make_shared<FunctionMap>(*functions_.load());
+  MutexLock lock(mutex_);
+  auto next = std::make_shared<FunctionMap>(
+      *functions_.load(std::memory_order_acquire));
   (*next)[name] = std::move(handler);
-  functions_.store(std::shared_ptr<const FunctionMap>(std::move(next)));
+  functions_.store(std::shared_ptr<const FunctionMap>(std::move(next)),
+                   std::memory_order_release);
 }
 
 std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
@@ -218,7 +220,7 @@ std::future<InvocationReport> LivePlatform::invoke(const std::string& name,
   {
     // Resolve the handler once, lock-free, from the registration
     // snapshot; dispatch and execution never consult the map again.
-    const auto functions = functions_.load();
+    const auto functions = functions_.load(std::memory_order_acquire);
     const auto it = functions->find(name);
     if (it == functions->end()) {
       throw std::invalid_argument("LivePlatform::invoke: unknown function " + name);
@@ -304,7 +306,7 @@ void LivePlatform::unadmit(const RequestPtr& request) {
 
 InvocationStatus LivePlatform::admit_single_queue(const RequestPtr& request) {
   {
-    std::lock_guard<Mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (draining_.load(std::memory_order_acquire)) {
       return InvocationStatus::kCancelled;
     }
@@ -322,7 +324,7 @@ InvocationStatus LivePlatform::admit_single_queue(const RequestPtr& request) {
 }
 
 void LivePlatform::drain() {
-  std::unique_lock<Mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   drain_cv_.wait(lock, [this] {
     return outstanding_.load(std::memory_order_acquire) == 0;
   });
@@ -333,14 +335,14 @@ void LivePlatform::finish_one() {
     // Pulse the mutex so a drain() between its predicate check and its
     // cv wait cannot miss the notify.
     {
-      std::lock_guard<Mutex> lock(mutex_);
+      MutexLock lock(mutex_);
     }
     drain_cv_.notify_all();
   }
 }
 
 std::uint64_t LivePlatform::containers_created() const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return containers_created_;
 }
 
@@ -435,7 +437,7 @@ void LivePlatform::run_request(LiveContainer& container, RequestPtr request) {
       // in this container. Return the container (Vanilla reuse) and
       // settle without running the handler.
       {
-        std::lock_guard<Mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (options_.policy == LivePolicy::kVanilla) {
           warm_[request->function].push_back(&container);
         }
@@ -480,7 +482,7 @@ void LivePlatform::run_request(LiveContainer& container, RequestPtr request) {
     // worker thread (the old wall-clock flake in VanillaReusesIdle-
     // Containers).
     {
-      std::lock_guard<Mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (options_.policy == LivePolicy::kVanilla) {
         warm_[request->function].push_back(&container);
       }
@@ -544,7 +546,7 @@ void LivePlatform::execute_batch(FlushedBatch&& batch) {
       for (auto& request : requests) {
         LiveContainer* container = nullptr;
         {
-          std::lock_guard<Mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           container = &container_for(request->function);
         }
         run_request(*container, std::move(request));
@@ -553,7 +555,7 @@ void LivePlatform::execute_batch(FlushedBatch&& batch) {
     }
     LiveContainer* chosen = nullptr;
     {
-      std::lock_guard<Mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       chosen = &batch_container_for(function);
     }
     for (auto& request : requests) {
@@ -567,8 +569,11 @@ void LivePlatform::dispatcher_loop() {
     // Requests whose deadline passed before dispatch; settled after the
     // lock drops (promise resolution never runs under mutex_).
     std::vector<RequestPtr> expired;
-    std::unique_lock<Mutex> lock(mutex_);
-    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    UniqueLock lock(mutex_);
+    queue_cv_.wait(lock, [this] {
+      mutex_.assert_held();  // predicates run with the caller's lock held
+      return stopping_ || !queue_.empty();
+    });
     if (stopping_ && queue_.empty()) return;
 
     if (options_.policy == LivePolicy::kVanilla) {
@@ -605,6 +610,7 @@ void LivePlatform::dispatcher_loop() {
     const ClockTime window_deadline =
         window_open + std::chrono::duration_cast<ClockTime>(options_.window);
     clock_->wait_until(lock, queue_cv_, window_deadline, [this] {
+      mutex_.assert_held();  // predicates run with the caller's lock held
       return stopping_ || draining_.load(std::memory_order_acquire);
     });
     const ClockTime window_close = clock_->now();

@@ -153,7 +153,8 @@ class LivePlatform {
   LivePlatform& operator=(const LivePlatform&) = delete;
 
   /// Registers (or replaces) a function.
-  void register_function(const std::string& name, FunctionHandler handler);
+  void register_function(const std::string& name, FunctionHandler handler)
+      FB_EXCLUDES(mutex_);
 
   /// Submits one invocation; the future resolves when it reaches a
   /// terminal outcome (see InvocationStatus — not necessarily success).
@@ -173,13 +174,13 @@ class LivePlatform {
   /// drain — an invoke() racing shutdown() either lands before the
   /// shards' final sweep (and executes) or resolves kCancelled; accepted
   /// work is never stranded. Idempotent; the destructor calls it.
-  void shutdown();
+  void shutdown() FB_EXCLUDES(mutex_);
 
   /// Blocks until every submitted invocation has completed.
-  void drain();
+  void drain() FB_EXCLUDES(mutex_);
 
   /// Containers created since construction.
-  std::uint64_t containers_created() const;
+  std::uint64_t containers_created() const FB_EXCLUDES(mutex_);
 
   /// Storage clients actually constructed (misses; hits are reuse).
   std::uint64_t client_creations() const { return clients_.creations(); }
@@ -225,32 +226,37 @@ class LivePlatform {
 
   // -- admission -----------------------------------------------------
   InvocationStatus admit_sharded(const RequestPtr& request);
-  InvocationStatus admit_single_queue(const RequestPtr& request);
+  InvocationStatus admit_single_queue(const RequestPtr& request)
+      FB_EXCLUDES(mutex_);
   /// Unwinds a failed sharded admission (span + outstanding count).
   void unadmit(const RequestPtr& request);
 
   // -- dispatch ------------------------------------------------------
-  void dispatcher_loop();  // kSingleQueue thread body
+  void dispatcher_loop() FB_EXCLUDES(mutex_);  // kSingleQueue thread body
   /// Shard flush callback: expire deadlines, group by function, hand one
   /// batch to the worker pool. Runs on the shard's flush thread.
   void flush_shard(std::size_t shard, std::vector<RequestPtr> items,
                    ClockTime window_open, ClockTime window_close);
   /// Worker-pool callback: route each group to a container.
-  void execute_batch(FlushedBatch&& batch);
+  void execute_batch(FlushedBatch&& batch) FB_EXCLUDES(mutex_);
 
   // -- execution -----------------------------------------------------
   void run_request(LiveContainer& container, RequestPtr request);
-  LiveContainer& container_for(const std::string& function);
+  LiveContainer& container_for(const std::string& function)
+      FB_REQUIRES(mutex_);
   /// FaaSBatch group placement: an *idle* warm container of the function
   /// or a fresh one (a busy container still runs a previous window's
-  /// group). Caller holds mutex_.
-  LiveContainer& batch_container_for(const std::string& function);
+  /// group). Caller holds mutex_ (compiler-checked).
+  LiveContainer& batch_container_for(const std::string& function)
+      FB_REQUIRES(mutex_);
   /// Resolves a queued request's future without running its handler
-  /// (deadline expiry) and settles drain bookkeeping. Call WITHOUT
-  /// holding mutex_.
-  void settle_unexecuted(const RequestPtr& request, InvocationStatus status);
+  /// (deadline expiry) and settles drain bookkeeping. Must be called
+  /// WITHOUT holding mutex_ (compiler-checked): it resolves promises,
+  /// and promise continuations never run under the platform lock.
+  void settle_unexecuted(const RequestPtr& request, InvocationStatus status)
+      FB_EXCLUDES(mutex_);
   /// Retires one outstanding invocation and wakes drain() at zero.
-  void finish_one();
+  void finish_one() FB_EXCLUDES(mutex_);
 
   LivePlatformOptions options_;
   Clock* clock_;
@@ -260,25 +266,30 @@ class LivePlatform {
   mutable Mutex mutex_;
   CondVar queue_cv_;
   CondVar drain_cv_;
-  std::deque<RequestPtr> queue_;  // kSingleQueue only; guarded by mutex_
+  std::deque<RequestPtr> queue_ FB_GUARDED_BY(mutex_);  // kSingleQueue only
   /// Copy-on-write registration snapshot: invoke() resolves handlers
-  /// lock-free; register_function swaps in a new map under mutex_.
+  /// lock-free (acquire load); register_function swaps in a new map
+  /// (release store) under mutex_.
   std::atomic<std::shared_ptr<const FunctionMap>> functions_;
   /// All containers ever created; owned for the platform's lifetime
   /// (keep-alive never expires within a process run).
-  std::vector<std::unique_ptr<LiveContainer>> all_containers_;
+  std::vector<std::unique_ptr<LiveContainer>> all_containers_
+      FB_GUARDED_BY(mutex_);
   /// Warm pool: idle containers by function (pointers into
   /// all_containers_). Vanilla returns containers here after each
   /// invocation; FaaSBatch keeps one shared container per function.
-  std::map<std::string, std::vector<LiveContainer*>> warm_;
-  std::uint64_t containers_created_ = 0;
+  std::map<std::string, std::vector<LiveContainer*>> warm_
+      FB_GUARDED_BY(mutex_);
+  std::uint64_t containers_created_ FB_GUARDED_BY(mutex_) = 0;
+  // Id source; pure counter. fb-atomic-counter
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<bool> draining_{false};
   /// Consecutive sheds with no successful admission in between; crossing
   /// kShedBurstIncident triggers one flight-recorder incident per burst.
+  /// fb-atomic-counter
   std::atomic<std::uint32_t> shed_streak_{0};
-  bool stopping_ = false;  // kSingleQueue only; guarded by mutex_
+  bool stopping_ FB_GUARDED_BY(mutex_) = false;  // kSingleQueue only
   /// Declared before the pipelines: shards, the worker pool, and the
   /// single-queue heartbeat all unregister their sources on teardown and
   /// must do so into a still-alive watchdog.

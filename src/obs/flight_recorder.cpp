@@ -12,6 +12,7 @@ namespace faasbatch::obs {
 namespace {
 
 std::uint64_t next_epoch() {
+  // Epoch source; pure counter. fb-atomic-counter
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }

@@ -126,9 +126,12 @@ class FlightRecorder {
   // (0 = empty slot), stored release *after* the payload words so a
   // racing dump never assembles half-written events.
   struct Slot {
+    // Payload words are relaxed; only words[0] (the sequence) carries
+    // release/acquire to frame them. fb-atomic-counter
     std::atomic<std::uint64_t> words[6];
   };
   struct Ring {
+    // Slot cursor, owner-thread-incremented. fb-atomic-counter
     std::atomic<std::uint64_t> head{0};  // next logical slot index
     std::vector<Slot> slots{kRingCapacity};
   };
@@ -139,6 +142,8 @@ class FlightRecorder {
   std::string dump_destination() const;
 
   const std::uint64_t epoch_;  // distinguishes recorder instances in TLS
+  // Flag + sequence/incident counters; relaxed by design (slot framing
+  // carries the only ordering that matters). fb-atomic-counter
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> seq_{1};  // 0 means "empty slot"
   std::atomic<std::uint64_t> incident_count_{0};

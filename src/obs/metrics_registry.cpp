@@ -85,7 +85,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     // Instrument constructors are registry-private; make_unique cannot
@@ -99,7 +99,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -112,7 +112,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -125,7 +125,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 QuantileHistogram& MetricsRegistry::quantile(const std::string& name) {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = quantiles_.find(name);
   if (it == quantiles_.end()) {
     it = quantiles_
@@ -138,7 +138,7 @@ QuantileHistogram& MetricsRegistry::quantile(const std::string& name) {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -154,7 +154,7 @@ void MetricsRegistry::reset() {
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #endif
 Json MetricsRegistry::snapshot() const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Json counters;
   for (const auto& [name, c] : counters_) {
     counters[name] = static_cast<std::int64_t>(c->value());
@@ -201,7 +201,7 @@ Json MetricsRegistry::snapshot() const {
 #endif
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   std::string last_typed;  // one TYPE line per base name
   const auto type_line = [&](const std::string& base, const char* type) {

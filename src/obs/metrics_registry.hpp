@@ -47,6 +47,8 @@ class Counter {
   explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
+  // Metric words: relaxed by design, nothing else rides on them.
+  // fb-atomic-counter
   const std::atomic<bool>* enabled_;
   std::atomic<std::uint64_t> value_{0};
 };
@@ -72,6 +74,8 @@ class Gauge {
   explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
+  // Metric words: relaxed by design, nothing else rides on them.
+  // fb-atomic-counter
   const std::atomic<bool>* enabled_;
   std::atomic<double> value_{0.0};
 };
@@ -106,10 +110,12 @@ class Histogram {
   Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
   void reset();
 
+  // Metric words: relaxed by design, nothing else rides on them.
+  // fb-atomic-counter
   const std::atomic<bool>* enabled_;
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> counts_;  // bounds + overflow
-  std::atomic<double> sum_{0.0};
+  std::atomic<double> sum_{0.0};  // running sum; fb-atomic-counter
 };
 
 /// Common bucket layouts.
@@ -149,12 +155,16 @@ class MetricsRegistry {
   std::string prometheus_text() const;
 
  private:
+  // Enablement flag checked before every instrument touch; relaxed by
+  // design (worst case: one sample recorded/skipped around the flip).
+  // fb-atomic-counter
   std::atomic<bool> enabled_{false};
   mutable Mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<QuantileHistogram>> quantiles_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ FB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ FB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ FB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<QuantileHistogram>> quantiles_
+      FB_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for MetricsRegistry::global().

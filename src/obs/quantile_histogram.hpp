@@ -95,6 +95,8 @@ class QuantileHistogram {
       : enabled_(enabled), counts_(kBuckets) {}
   void reset();
 
+  // Metric words: relaxed by design, nothing else rides on them.
+  // fb-atomic-counter
   const std::atomic<bool>* enabled_;
   std::vector<std::atomic<std::uint64_t>> counts_;
   std::atomic<std::uint64_t> count_{0};

@@ -8,6 +8,7 @@ namespace faasbatch::obs {
 namespace {
 
 std::uint64_t next_epoch() {
+  // Epoch source; pure counter. fb-atomic-counter
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
@@ -58,7 +59,7 @@ TraceRecorder& TraceRecorder::global() {
 
 TraceRecorder::Buffer& TraceRecorder::local_buffer() {
   if (tls_slot.epoch != epoch_) {
-    std::lock_guard<Mutex> lock(buffers_mutex_);
+    MutexLock lock(buffers_mutex_);
     const auto me = std::this_thread::get_id();
     std::shared_ptr<Buffer> mine;
     for (const auto& buffer : buffers_) {
@@ -83,7 +84,7 @@ void TraceRecorder::record(TraceEvent event) {
   event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   if (event.pid == 0) event.pid = current_pid_.load(std::memory_order_relaxed);
   Buffer& buffer = local_buffer();
-  std::lock_guard<Mutex> lock(buffer.mutex);
+  MutexLock lock(buffer.mutex);
   buffer.events.push_back(std::move(event));
 }
 
@@ -184,12 +185,12 @@ void TraceRecorder::counter(std::string_view name, double ts_us, double value) {
 std::vector<TraceEvent> TraceRecorder::drain() {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
-    std::lock_guard<Mutex> lock(buffers_mutex_);
+    MutexLock lock(buffers_mutex_);
     buffers = buffers_;
   }
   std::vector<TraceEvent> out;
   for (const auto& buffer : buffers) {
-    std::lock_guard<Mutex> lock(buffer->mutex);
+    MutexLock lock(buffer->mutex);
     out.insert(out.end(), std::make_move_iterator(buffer->events.begin()),
                std::make_move_iterator(buffer->events.end()));
     buffer->events.clear();
@@ -220,10 +221,10 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) {
 }
 
 std::size_t TraceRecorder::pending() const {
-  std::lock_guard<Mutex> lock(buffers_mutex_);
+  MutexLock lock(buffers_mutex_);
   std::size_t total = 0;
   for (const auto& buffer : buffers_) {
-    std::lock_guard<Mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     total += buffer->events.size();
   }
   return total;

@@ -152,21 +152,23 @@ class TraceRecorder {
 
  private:
   struct Buffer {
-    std::thread::id owner;
+    std::thread::id owner;  // immutable after creation
     Mutex mutex;
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events FB_GUARDED_BY(mutex);
   };
 
   void record(TraceEvent event);
   Buffer& local_buffer();
 
   const std::uint64_t epoch_;  // distinguishes recorder instances in TLS
+  // All four are flags/sequence counters: no data is published through
+  // them, so relaxed ops are deliberate. fb-atomic-counter
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint32_t> next_pid_{2};
   std::atomic<std::uint32_t> current_pid_{1};
   mutable Mutex buffers_mutex_;
-  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::vector<std::shared_ptr<Buffer>> buffers_ FB_GUARDED_BY(buffers_mutex_);
 };
 
 /// Shorthand for TraceRecorder::global().

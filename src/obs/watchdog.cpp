@@ -38,13 +38,13 @@ std::shared_ptr<HeartbeatSource> Watchdog::register_source(
   std::shared_ptr<HeartbeatSource> source(
       new HeartbeatSource(std::move(name), std::move(depth_fn),  // fb-lint-allow(naked-new)
                           now_ns));
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sources_.push_back(source);
   return source;
 }
 
 void Watchdog::unregister(const std::shared_ptr<HeartbeatSource>& source) {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sources_.erase(std::remove(sources_.begin(), sources_.end(), source),
                  sources_.end());
 }
@@ -60,7 +60,7 @@ std::int64_t Watchdog::stall_threshold_ns() const {
 WatchdogReport Watchdog::scan(std::int64_t now_ns) const {
   std::vector<std::shared_ptr<HeartbeatSource>> sources;
   {
-    std::lock_guard<Mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     sources = sources_;
   }
   WatchdogReport report;

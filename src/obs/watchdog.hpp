@@ -72,6 +72,8 @@ class HeartbeatSource {
   std::string name_;
   std::function<double()> depth_fn_;  ///< pending work right now; may be null
   std::int64_t registered_ns_;
+  // Monitoring statistics read racily by scans; no data is published
+  // through them. fb-atomic-counter
   std::atomic<std::uint64_t> beats_{0};
   std::atomic<std::int64_t> last_beat_ns_{kNeverBeat};
 };
@@ -120,9 +122,10 @@ class Watchdog {
   WatchdogReport scan(std::int64_t now_ns) const;
 
  private:
+  // Tunable read per scan; racy update is harmless. fb-atomic-counter
   std::atomic<std::int64_t> threshold_ns_;
   mutable Mutex mutex_;
-  std::vector<std::shared_ptr<HeartbeatSource>> sources_;
+  std::vector<std::shared_ptr<HeartbeatSource>> sources_ FB_GUARDED_BY(mutex_);
 };
 
 }  // namespace faasbatch::obs

@@ -57,8 +57,13 @@ class OverloadGuard {
 
  private:
   Options options_{};
+  // Admission slot count: relaxed by design — the guard bounds
+  // concurrency, it publishes no data through these words.
+  // fb-atomic-counter
   std::atomic<std::size_t> inflight_{0};
+  // Pure statistics. fb-atomic-counter
   std::atomic<std::uint64_t> admitted_{0};
+  // fb-atomic-counter
   std::atomic<std::uint64_t> shed_{0};
 };
 

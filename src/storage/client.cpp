@@ -47,7 +47,7 @@ ClientFactory::ClientFactory(ObjectStore& store, Options options)
 std::shared_ptr<StorageClient> ClientFactory::create(std::uint64_t args_hash) {
   // The creation lock models the runtime-level serialisation the paper
   // observed: concurrent creations in one process queue behind each other.
-  std::lock_guard<Mutex> lock(creation_lock_);
+  MutexLock lock(creation_lock_);
   // Calibrated busy work standing in for TLS setup and SDK imports: real
   // CPU burn, so it reads the real clock (not the injectable one).
   const auto deadline = std::chrono::steady_clock::now() +  // fb-lint-allow(raw-clock)
@@ -57,7 +57,7 @@ std::shared_ptr<StorageClient> ClientFactory::create(std::uint64_t args_hash) {
   while (std::chrono::steady_clock::now() < deadline) {  // fb-lint-allow(raw-clock)
     for (int i = 0; i < 256; ++i) sink = sink * 6364136223846793005ULL + 1442695040888963407ULL;
   }
-  ++creations_;
+  creations_.fetch_add(1, std::memory_order_relaxed);
   // StorageClient's constructor is factory-private, so make_shared
   // cannot reach it.
   return std::shared_ptr<StorageClient>(

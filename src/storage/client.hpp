@@ -119,7 +119,9 @@ class ClientFactory {
   std::shared_ptr<StorageClient> create(std::uint64_t args_hash);
 
   /// Number of clients ever created.
-  std::uint64_t creations() const { return creations_.load(); }
+  std::uint64_t creations() const {
+    return creations_.load(std::memory_order_relaxed);
+  }
 
   const Options& options() const { return options_; }
 
@@ -127,6 +129,7 @@ class ClientFactory {
   ObjectStore& store_;
   Options options_;
   Mutex creation_lock_;
+  // Pure statistic: nothing is published through it. fb-atomic-counter
   std::atomic<std::uint64_t> creations_{0};
 };
 

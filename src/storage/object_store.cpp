@@ -3,7 +3,7 @@
 namespace faasbatch::storage {
 
 void ObjectStore::put(const std::string& key, std::string data) {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = objects_.find(key);
   if (it != objects_.end()) {
     total_bytes_ -= static_cast<Bytes>(it->second.size());
@@ -17,7 +17,7 @@ void ObjectStore::put(const std::string& key, std::string data) {
 }
 
 std::optional<std::string> ObjectStore::get(const std::string& key) {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.gets;
   const auto it = objects_.find(key);
   if (it == objects_.end()) {
@@ -28,7 +28,7 @@ std::optional<std::string> ObjectStore::get(const std::string& key) {
 }
 
 bool ObjectStore::remove(const std::string& key) {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.deletes;
   const auto it = objects_.find(key);
   if (it == objects_.end()) {
@@ -41,22 +41,22 @@ bool ObjectStore::remove(const std::string& key) {
 }
 
 bool ObjectStore::exists(const std::string& key) const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return objects_.find(key) != objects_.end();
 }
 
 std::size_t ObjectStore::object_count() const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return objects_.size();
 }
 
 Bytes ObjectStore::total_bytes() const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_bytes_;
 }
 
 StoreStats ObjectStore::stats() const {
-  std::lock_guard<Mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

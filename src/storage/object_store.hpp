@@ -68,9 +68,9 @@ class ObjectStore {
  private:
   OpLatencyModel latency_;
   mutable Mutex mutex_;
-  std::unordered_map<std::string, std::string> objects_;
-  StoreStats stats_;
-  Bytes total_bytes_ = 0;
+  std::unordered_map<std::string, std::string> objects_ FB_GUARDED_BY(mutex_);
+  StoreStats stats_ FB_GUARDED_BY(mutex_);
+  Bytes total_bytes_ FB_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace faasbatch::storage

@@ -231,7 +231,7 @@ TEST(VirtualClockTest, WaitUntilReturnsImmediatelyWhenDeadlinePassed) {
   clock.advance(std::chrono::seconds(1));
   Mutex mutex;
   CondVar cv;
-  std::unique_lock lock(mutex);
+  UniqueLock lock(mutex);
   const bool pred_held = clock.wait_until(lock, cv, ClockTime(std::chrono::milliseconds(500)),
                                           [] { return false; });
   EXPECT_FALSE(pred_held);  // timed out (deadline already in the past)
@@ -243,7 +243,7 @@ TEST(VirtualClockTest, AdvanceWakesBlockedWaiter) {
   CondVar cv;
   std::atomic<bool> woke{false};
   std::thread waiter([&] {
-    std::unique_lock lock(mutex);
+    UniqueLock lock(mutex);
     clock.wait_until(lock, cv, ClockTime(std::chrono::milliseconds(100)),
                      [] { return false; });
     woke = true;
@@ -267,12 +267,12 @@ TEST(VirtualClockTest, PredicateWinsOverDeadline) {
   std::atomic<bool> stop{false};
   std::atomic<bool> pred_result{false};
   std::thread waiter([&] {
-    std::unique_lock lock(mutex);
+    UniqueLock lock(mutex);
     pred_result = clock.wait_until(lock, cv, ClockTime(std::chrono::hours(1)),
                                    [&] { return stop.load(); });
   });
   {
-    std::lock_guard guard(mutex);
+    MutexLock guard(mutex);
     stop = true;
   }
   cv.notify_all();

@@ -1,0 +1,38 @@
+// Positive control: correct lock discipline over the same class shape
+// the *_fail.cpp cases break. Must compile clean under -Wthread-safety
+// -Werror, proving harness failures below come from the annotations and
+// not from include paths or header errors.
+#include <vector>
+
+#include "common/ordered_mutex.hpp"
+
+namespace faasbatch {
+
+class Queue {
+ public:
+  void push(int v) FB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    items_.push_back(v);
+  }
+
+  std::size_t locked_size() const FB_REQUIRES(mutex_) {
+    return items_.size();
+  }
+
+  std::size_t size() FB_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return locked_size();
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<int> items_ FB_GUARDED_BY(mutex_);
+};
+
+void drive() {
+  Queue q;
+  q.push(1);
+  (void)q.size();
+}
+
+}  // namespace faasbatch

@@ -1,0 +1,21 @@
+// Must NOT compile: enters an FB_EXCLUDES(mutex_) method while already
+// holding the mutex — the self-deadlock shape OrderedMutex catches at
+// runtime, rejected at compile time.
+#include "common/ordered_mutex.hpp"
+
+namespace faasbatch {
+
+class Platform {
+ public:
+  void settle() FB_EXCLUDES(mutex_) {}
+
+  void bad_reentry() {
+    MutexLock lock(mutex_);
+    settle();  // would self-deadlock on a non-reentrant mutex
+  }
+
+ private:
+  Mutex mutex_;
+};
+
+}  // namespace faasbatch

@@ -1,0 +1,20 @@
+// Must NOT compile: writes an FB_GUARDED_BY field without holding the
+// mutex. -Wthread-safety rejects the access in bad_push().
+#include <vector>
+
+#include "common/ordered_mutex.hpp"
+
+namespace faasbatch {
+
+class Queue {
+ public:
+  void bad_push(int v) {
+    items_.push_back(v);  // guarded field, no lock held
+  }
+
+ private:
+  Mutex mutex_;
+  std::vector<int> items_ FB_GUARDED_BY(mutex_);
+};
+
+}  // namespace faasbatch

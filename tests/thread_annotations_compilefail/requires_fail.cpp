@@ -1,0 +1,24 @@
+// Must NOT compile: calls an FB_REQUIRES(mutex_) method without holding
+// the mutex — the "caller holds mutex_" comment contract, now checked.
+#include <vector>
+
+#include "common/ordered_mutex.hpp"
+
+namespace faasbatch {
+
+class Queue {
+ public:
+  std::size_t locked_size() const FB_REQUIRES(mutex_) {
+    return items_.size();
+  }
+
+  std::size_t bad_size() const {
+    return locked_size();  // precondition not established
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<int> items_ FB_GUARDED_BY(mutex_);
+};
+
+}  // namespace faasbatch

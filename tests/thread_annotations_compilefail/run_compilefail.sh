@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Compile-fail harness for the Clang thread-safety annotations: proves
+# the FB_ macros actually reject bad locking, not just decorate it.
+#
+# Each *_fail.cpp here contains one deliberate lock-discipline hole and
+# MUST fail to compile under -Wthread-safety -Werror; control_ok.cpp
+# uses the same classes correctly and MUST compile, so a broken include
+# path or header error cannot masquerade as "annotations work".
+#
+# Exits 77 (ctest SKIP_RETURN_CODE) when no clang++ is available — the
+# analysis only exists in Clang; the dev container ships g++ only and
+# the thread-safety CI job provides clang.
+set -u
+cd "$(dirname "$0")"
+
+CLANGXX="${CLANGXX:-clang++}"
+SRC_DIR="${FB_SRC_DIR:-../../src}"
+
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "compilefail: $CLANGXX not found; skipping (Clang-only analysis)" >&2
+  exit 77
+fi
+
+FLAGS=(-std=c++17 -fsyntax-only -Wthread-safety -Wthread-safety-beta
+       -Werror -I "$SRC_DIR")
+
+if ! "$CLANGXX" "${FLAGS[@]}" control_ok.cpp; then
+  echo "compilefail: FAIL: control_ok.cpp must compile clean (harness or" \
+       "header breakage, not an annotation catch)" >&2
+  exit 1
+fi
+echo "compilefail: control_ok.cpp compiles clean"
+
+status=0
+for f in *_fail.cpp; do
+  if "$CLANGXX" "${FLAGS[@]}" "$f" 2>/dev/null; then
+    echo "compilefail: FAIL: $f compiled but must be rejected by" \
+         "-Wthread-safety" >&2
+    status=1
+  else
+    echo "compilefail: $f correctly rejected"
+  fi
+done
+exit $status

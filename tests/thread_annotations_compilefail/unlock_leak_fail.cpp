@@ -1,0 +1,24 @@
+// Must NOT compile: returns from a scope that manually unlocked a
+// UniqueLock on one path but not the other — unbalanced capability
+// state at the join point.
+#include "common/ordered_mutex.hpp"
+
+namespace faasbatch {
+
+class Shard {
+ public:
+  void bad_flush(bool flush) FB_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    if (flush) {
+      lock.unlock();
+      // callback would run here
+    }
+    ++generation_;  // lock not held on the flush path
+  }
+
+ private:
+  Mutex mutex_;
+  unsigned generation_ FB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace faasbatch

@@ -23,6 +23,24 @@ and a CI job:
   span-balance  Every TraceRecorder::begin_span() in a translation unit
                 is matched by an end_span() in the same unit, so traces
                 cannot leak open 'B' events.
+  atomic-order  Every std::atomic load/store/RMW names an explicit
+                std::memory_order — implicit seq_cst defaults (including
+                ++/--/+=/plain assignment on atomics) are flagged, and
+                memory_order_relaxed is only accepted on atomics whose
+                declaration carries the `fb-atomic-counter` tag (pure
+                counters/flags that publish no other data).
+  guarded-by    Any member field written inside a MutexLock/UniqueLock
+                region in the same file pair must carry FB_GUARDED_BY on
+                its declaration (std::atomic members are exempt), so new
+                code cannot silently skip the thread-safety annotations.
+  hot-path-blocking
+                Functions listed in [rules.hot-path-blocking].functions
+                (shard flush loops, worker pull loops) must not sleep,
+                do stdio/file I/O, or call the heavyweight allocators.
+
+An optional libclang-backed AST pass (fb_lint_ast.py, --ast=auto|require)
+re-checks the atomics and hot-path families with real token streams; it
+skips gracefully when python-clang is absent.
 
 Rules, allowlists, and the layering table live in fb_lint.toml at the
 repo root. Inline escapes:
@@ -321,6 +339,321 @@ def check_span_balance(src: SourceFile) -> list[Violation]:
     ]
 
 
+
+# --------------------------------------------------------------------------
+# atomic-order / guarded-by / hot-path-blocking (concurrency families)
+# --------------------------------------------------------------------------
+
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic\s*[<_]")
+COUNTER_TAG = "fb-atomic-counter"
+# Atomic member operations that take an optional std::memory_order.
+ATOMIC_OPS = (
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong", "wait", "notify_one", "notify_all",
+)
+ATOMIC_OP_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|"
+    r"fetch_or|fetch_and|fetch_xor|compare_exchange_weak|"
+    r"compare_exchange_strong)\s*\(")
+# ++x / x++ / x-- / --x / x += / x -= / x |= / x &= / x = (not ==)
+ATOMIC_IMPLICIT_RES = [
+    (re.compile(r"(?:\+\+|--)\s*(\w+)\b"), "prefix ++/--"),
+    (re.compile(r"\b(\w+)\s*(?:\+\+|--)"), "postfix ++/--"),
+    (re.compile(r"\b(\w+)\s*(?:\+=|-=|\|=|&=|\^=)"), "compound assignment"),
+    (re.compile(r"\b(\w+)\s*=(?![=])"), "plain assignment"),
+]
+
+
+def _statements(text: str):
+    """Yields (start_offset, statement_text) split on ';'."""
+    start = 0
+    for i, c in enumerate(text):
+        if c == ";":
+            yield start, text[start:i]
+            start = i + 1
+    if start < len(text):
+        yield start, text[start:]
+
+
+def _decl_name(stmt: str) -> str | None:
+    """Declared identifier of a member/variable declaration statement:
+    the last identifier before the initializer / array bound / end."""
+    # Drop a trailing brace or '=' initializer, then take the final word.
+    body = re.split(r"=(?![=])", stmt, maxsplit=1)[0]
+    body = re.sub(r"\{[^{}]*\}\s*$", "", body)
+    m = re.search(r"(\w+)\s*(?:\[[^\]]*\])?\s*$", body)
+    return m.group(1) if m else None
+
+
+def _line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+class AtomicRegistry:
+    """Atomic declarations in a file pair: name -> counter-tagged?"""
+
+    def __init__(self, texts: list[str]):
+        self.tagged: dict[str, bool] = {}
+        for raw in texts:
+            lines = raw.splitlines()
+            for off, stmt in _statements(raw):
+                m = ATOMIC_DECL_RE.search(stmt)
+                if not m:
+                    continue
+                # `std::atomic` inside an open paren group is a function
+                # parameter (or alignas operand), not a declaration this
+                # statement introduces.
+                if stmt.count("(", 0, m.start()) > stmt.count(")", 0, m.start()):
+                    continue
+                name = _decl_name(stmt)
+                if name is None:
+                    continue
+                tagged = COUNTER_TAG in stmt
+                if not tagged:
+                    # Trailing same-line comment: `... sum_{0};  // tag`
+                    # falls after the ';' and thus into the next statement.
+                    end_line = _line_of(raw, off + len(stmt)) - 1
+                    if end_line < len(lines) and COUNTER_TAG in lines[end_line]:
+                        tagged = True
+                if not tagged:
+                    # The tag may sit in a comment block above the
+                    # declaration — or above a contiguous *group* of
+                    # declarations it covers (cursor pairs and the like),
+                    # so the upward scan also steps over sibling
+                    # declaration lines.
+                    first = _line_of(raw, off + len(stmt) - len(stmt.lstrip())) - 1
+                    j = first - 1
+                    while j >= 0:
+                        s = lines[j].strip()
+                        if s.startswith("//") or s.startswith("*") \
+                                or s.startswith("/*"):
+                            if COUNTER_TAG in lines[j]:
+                                tagged = True
+                                break
+                            j -= 1
+                        elif "std::atomic" in s:
+                            j -= 1  # sibling of a shared comment block
+                        else:
+                            break
+                self.tagged[name] = self.tagged.get(name, False) or tagged
+
+    def knows(self, name: str) -> bool:
+        return name in self.tagged
+
+    def is_counter(self, name: str) -> bool:
+        return self.tagged.get(name, False)
+
+
+def _matching_paren(text: str, open_idx: int) -> int:
+    """Offset of the ')' matching text[open_idx] == '(' (or len(text))."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def check_atomic_order(src: SourceFile, registry: AtomicRegistry) -> list[Violation]:
+    text = "\n".join(src.clean_lines)
+    out = []
+    for m in ATOMIC_OP_RE.finditer(text):
+        var, op = m.group(1), m.group(2)
+        if not registry.knows(var):
+            continue  # load()/store() on a non-atomic (e.g. ObjectStore)
+        close = _matching_paren(text, m.end() - 1)
+        args = text[m.end():close]
+        line = _line_of(text, m.start())
+        if op in ("wait", "notify_one", "notify_all"):
+            continue  # futex-style members; no order parameter convention
+        if "memory_order" not in args:
+            out.append(Violation(
+                src.rel_path, line, "atomic-order",
+                f"std::atomic {op}() on '{var}' names no memory order "
+                f"(implicit seq_cst); spell the order explicitly"))
+        elif "memory_order_relaxed" in args and not registry.is_counter(var):
+            out.append(Violation(
+                src.rel_path, line, "atomic-order",
+                f"memory_order_relaxed on '{var}', which is not tagged "
+                f"fb-atomic-counter; tag the declaration if it is a pure "
+                f"counter, or use acquire/release"))
+    # Operator forms (++ / -- / += / =) are always implicit seq_cst.
+    for off, stmt in _statements(text):
+        if ATOMIC_DECL_RE.search(stmt):
+            continue  # declaration initializers are not atomic RMWs
+        for pattern, what in ATOMIC_IMPLICIT_RES:
+            for m in pattern.finditer(stmt):
+                var = m.group(1)
+                if not registry.knows(var):
+                    continue
+                if what == "plain assignment":
+                    # `std::size_t seq = ...` declares a *local* that
+                    # shadows an atomic member name: a type token directly
+                    # precedes the name.
+                    before = stmt[:m.start(1)].rstrip()
+                    if before and (before[-1].isalnum()
+                                   or before[-1] in "_>&*"):
+                        continue
+                out.append(Violation(
+                    src.rel_path, _line_of(text, off + m.start(1)),
+                    "atomic-order",
+                    f"{what} on std::atomic '{var}' is an implicit seq_cst "
+                    f"operation; use an explicit fetch_/store with a named "
+                    f"order"))
+    return out
+
+
+LOCK_REGION_RE = re.compile(r"\b(?:MutexLock|UniqueLock)\s+\w+\s*\(\s*(\w+)")
+MUTATOR_METHODS = (
+    "push_back|pop_back|pop_front|push_front|emplace|emplace_back|"
+    "emplace_front|clear|erase|insert|swap|assign|resize|reserve")
+WRITE_RES = [
+    re.compile(r"(?:\+\+|--)\s*(\w+_)\b"),
+    re.compile(r"\b(\w+_)\s*(?:\+\+|--)"),
+    re.compile(r"\b(\w+_)\s*(?:=(?![=])|\+=|-=|\|=|&=)"),
+    re.compile(r"\b(\w+_)\s*\.\s*(?:" + MUTATOR_METHODS + r")\s*\("),
+    re.compile(r"\b(\w+_)\s*\.\s*\w+\s*(?:=(?![=])|\+=|-=|\+\+|--)"),
+]
+
+
+def _block_end(text: str, start: int) -> int:
+    """End offset of the brace block containing `start` (the offset just
+    after the lock declaration): scans until depth drops below zero."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth < 0:
+                return i
+    return len(text)
+
+
+def check_guarded_by(src: SourceFile, pair_raw: str,
+                     registry: AtomicRegistry) -> list[Violation]:
+    text = "\n".join(src.clean_lines)
+    out = []
+    seen: set[tuple[str, int]] = set()
+    for lock in LOCK_REGION_RE.finditer(text):
+        mutex = lock.group(1)
+        region = text[lock.end():_block_end(text, lock.end())]
+        base = lock.end()
+        for pattern in WRITE_RES:
+            for m in pattern.finditer(region):
+                name = m.group(1)
+                if name == mutex or name.endswith("cv_"):
+                    continue
+                if registry.knows(name):
+                    continue  # atomics are the other synchronisation story
+                # Declared in this file pair at all? (Locals and members of
+                # other objects are out of scope for a textual pass.)
+                decl = re.search(
+                    r"\b" + re.escape(name) + r"\s*(?:\[[^\]]*\])?\s*"
+                    r"FB_GUARDED_BY\s*\(", pair_raw)
+                if decl:
+                    continue
+                declared = re.search(
+                    r"^[^\S\n]*(?:mutable\s+)?[A-Za-z_][\w:<>,\s\*&]*"
+                    r"[\s&\*>]" + re.escape(name) +
+                    r"\s*(?:\[[^\]]*\])?\s*(?:=(?![=])|\{|;)",
+                    pair_raw, re.M)
+                if not declared:
+                    continue
+                line = _line_of(text, base + m.start(1))
+                if (name, line) in seen:
+                    continue
+                seen.add((name, line))
+                out.append(Violation(
+                    src.rel_path, line, "guarded-by",
+                    f"'{name}' is written under {mutex} but its declaration "
+                    f"carries no FB_GUARDED_BY({mutex}) annotation"))
+    return out
+
+
+# Calls that block or hit the allocator hard; banned inside declared
+# hot-path functions (shard flush loops, worker pull loops).
+HOT_PATH_TOKENS = [
+    (re.compile(r"\bsleep_for\b"), "sleep_for"),
+    (re.compile(r"\bsleep_until\b"), "sleep_until"),
+    (re.compile(r"\busleep\s*\("), "usleep()"),
+    (re.compile(r"\bnanosleep\s*\("), "nanosleep()"),
+    (re.compile(r"\b(?:printf|fprintf|puts|fputs|fwrite|fread|fopen|fsync)\s*\("), "stdio call"),
+    (re.compile(r"\bstd::(?:cout|cerr|clog)\b"), "iostream write"),
+    (re.compile(r"\bstd::[io]?fstream\b"), "file stream"),
+    (re.compile(r"\bsystem\s*\("), "system()"),
+    (re.compile(r"\b(?:malloc|calloc|realloc)\s*\("), "raw allocator call"),
+    (re.compile(r"\bstd::ostringstream\b"), "ostringstream (allocates)"),
+]
+IDENT_CHARS = re.compile(r"[\w:]")
+
+
+def _function_body(text: str, name: str):
+    """Yields (body_start, body_end) for each *definition* of `name`."""
+    for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", text):
+        close = _matching_paren(text, m.end() - 1)
+        i = close + 1
+        # Skip trailing specifiers/attributes: `const noexcept override
+        # FB_EXCLUDES(mutex_)` etc., until '{' (definition) or anything
+        # else (call site / declaration).
+        while i < len(text):
+            if text[i].isspace():
+                i += 1
+            elif IDENT_CHARS.match(text[i]):
+                while i < len(text) and IDENT_CHARS.match(text[i]):
+                    i += 1
+            elif text[i] == "(":
+                i = _matching_paren(text, i) + 1
+            else:
+                break
+        if i >= len(text) or text[i] != "{":
+            continue
+        depth = 0
+        for j in range(i, len(text)):
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield i, j
+                    break
+
+
+def check_hot_path(src: SourceFile, functions: list[str]) -> list[Violation]:
+    text = "\n".join(src.clean_lines)
+    out = []
+    for fn in functions:
+        for start, end in _function_body(text, fn):
+            body = text[start:end]
+            for pattern, label in HOT_PATH_TOKENS:
+                for m in pattern.finditer(body):
+                    out.append(Violation(
+                        src.rel_path, _line_of(text, start + m.start()),
+                        "hot-path-blocking",
+                        f"{label} inside hot-path function {fn}() — no "
+                        f"sleeps, blocking I/O, or heavyweight allocation "
+                        f"in flush/pull loops"))
+    return out
+
+
+def _companion_texts(root: Path, rel_path: str) -> list[str]:
+    """Raw text of the file plus its header/source companion (atomics and
+    annotations are declared in the .hpp, used in the .cpp)."""
+    texts = [(root / rel_path).read_text(encoding="utf-8", errors="replace")]
+    p = Path(rel_path)
+    mates = {".cpp": [".hpp", ".h"], ".cc": [".hpp", ".h"],
+             ".hpp": [".cpp", ".cc"], ".h": [".cpp", ".cc"]}.get(p.suffix, [])
+    for ext in mates:
+        mate = root / p.with_suffix(ext)
+        if mate.is_file():
+            texts.append(mate.read_text(encoding="utf-8", errors="replace"))
+    return texts
+
+
 # --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
@@ -328,6 +661,17 @@ def check_span_balance(src: SourceFile) -> list[Violation]:
 
 def rule_allowed_paths(config: dict, rule: str) -> list[str]:
     return config.get("rules", {}).get(rule, {}).get("allow", [])
+
+
+def rule_applies(config: dict, rule: str, rel_path: str) -> bool:
+    """Enabled, rel_path inside the rule's include globs (default:
+    everywhere), and not allow-listed."""
+    if not rule_enabled(config, rule):
+        return False
+    include = config.get("rules", {}).get(rule, {}).get("include", [])
+    if include and not path_matches(rel_path, include):
+        return False
+    return not path_matches(rel_path, rule_allowed_paths(config, rule))
 
 
 def rule_enabled(config: dict, rule: str) -> bool:
@@ -358,6 +702,19 @@ def lint_file(root: Path, rel_path: str, config: dict) -> list[Violation]:
         violations += check_naked_new(src)
     if rule_enabled(config, "span-balance"):
         violations += check_span_balance(src)
+    needs_pair = (rule_applies(config, "atomic-order", rel_path)
+                  or rule_applies(config, "guarded-by", rel_path))
+    if needs_pair:
+        pair = _companion_texts(root, rel_path)
+        registry = AtomicRegistry(pair)
+        if rule_applies(config, "atomic-order", rel_path):
+            violations += check_atomic_order(src, registry)
+        if rule_applies(config, "guarded-by", rel_path):
+            violations += check_guarded_by(src, "\n".join(pair), registry)
+    if rule_applies(config, "hot-path-blocking", rel_path):
+        functions = config.get("rules", {}).get("hot-path-blocking", {}).get(
+            "functions", [])
+        violations += check_hot_path(src, functions)
     return [v for v in violations if not src.allowed(v.rule, v.line - 1)]
 
 
@@ -396,6 +753,11 @@ def main(argv: list[str]) -> int:
                         help="lint only these paths (relative to --root)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the summary line")
+    parser.add_argument("--ast", choices=["off", "auto", "require"],
+                        default="off",
+                        help="run the libclang AST pass after the textual "
+                             "rules: 'auto' skips gracefully when "
+                             "python-clang is absent, 'require' fails")
     args = parser.parse_args(argv)
 
     root = Path(args.root).resolve()
@@ -408,6 +770,19 @@ def main(argv: list[str]) -> int:
             print(f"fb_lint: no such file: {rel_path}", file=sys.stderr)
             return 2
         violations += lint_file(root, rel_path, config)
+
+    if args.ast != "off":
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import fb_lint_ast
+        ast_violations, skip_reason = fb_lint_ast.run(
+            root, files, config, violation_cls=Violation)
+        if skip_reason is not None:
+            print(f"fb_lint: AST pass skipped: {skip_reason}", file=sys.stderr)
+            if args.ast == "require":
+                print("fb_lint: --ast=require but libclang is unavailable",
+                      file=sys.stderr)
+                return 2
+        violations += ast_violations
 
     for v in violations:
         print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")

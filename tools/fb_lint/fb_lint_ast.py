@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""fb_lint AST pass — libclang-backed concurrency checks.
+
+Re-checks two of fb_lint's textual rule families against real token
+streams and cursor types, catching what line-oriented regexes cannot:
+
+  atomic-order       member calls and overloaded operators (++ / -- /
+                     += / plain assignment) resolved on a genuine
+                     std::atomic<T> receiver, not a name that happens to
+                     be called `load`; implicit seq_cst flagged even when
+                     the call spans lines or hides behind `this->`.
+  hot-path-blocking  banned calls located inside the *definition* extent
+                     of declared hot-path functions, so a same-named
+                     local lambda or shadowing call site cannot confuse
+                     the region detection.
+
+The pass is optional tooling: when python-clang / libclang is absent
+(`import clang.cindex` fails or the shared library cannot load), run()
+reports a skip reason instead of failing, and fb_lint --ast=auto carries
+on with the textual verdict. CI installs libclang and runs with
+--ast=require so the deep pass cannot silently rot.
+
+Per-file parse errors are downgraded to warnings: an AST pass that dies
+on one translation unit must not mask textual findings on the rest.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+ATOMIC_ORDER_OPS = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong",
+}
+ATOMIC_OPERATORS = {
+    "operator++", "operator--", "operator+=", "operator-=", "operator|=",
+    "operator&=", "operator^=", "operator=",
+}
+ALLOW_RE = re.compile(r"fb-lint-allow\(([^)]*)\)")
+
+# Mirrors fb_lint.HOT_PATH_TOKENS (kept in sync by the selftest).
+HOT_PATH_CALLS = {
+    "sleep_for", "sleep_until", "usleep", "nanosleep", "printf", "fprintf",
+    "puts", "fputs", "fwrite", "fread", "fopen", "fsync", "system",
+    "malloc", "calloc", "realloc",
+}
+
+
+def _load_clang():
+    """Returns the clang.cindex module with a working libclang, or None."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:  # library file missing or ABI mismatch
+        candidates = []
+        for pattern in ("libclang-*.so*", "libclang.so*"):
+            for base in ("/usr/lib/llvm-14/lib", "/usr/lib/llvm-15/lib",
+                         "/usr/lib/llvm-16/lib", "/usr/lib/llvm-17/lib",
+                         "/usr/lib/llvm-18/lib", "/usr/lib/x86_64-linux-gnu",
+                         "/usr/lib"):
+                candidates += sorted(Path(base).glob(pattern))
+        for lib in candidates:
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(str(lib))
+                cindex.Index.create()
+                return cindex
+            except Exception:
+                continue
+        return None
+
+
+def _is_atomic_type(type_obj) -> bool:
+    spelling = type_obj.get_canonical().spelling
+    return "std::atomic" in spelling or spelling.startswith("_Atomic")
+
+
+def _tokens_text(cindex, tu, extent) -> str:
+    return " ".join(t.spelling for t in tu.get_tokens(extent=extent))
+
+
+def _line_allows(path: Path) -> dict[int, set[str]]:
+    """1-based line -> suppressed rules, honouring fb_lint's convention
+    that a comment-only allow line shields the line below it."""
+    allows: dict[int, set[str]] = {}
+    try:
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    except OSError:
+        return allows
+    for i, raw in enumerate(lines, start=1):
+        rules = set()
+        for m in ALLOW_RE.finditer(raw):
+            rules.update(r.strip() for r in m.group(1).split(",") if r.strip())
+        if not rules:
+            continue
+        allows.setdefault(i, set()).update(rules)
+        if raw.strip().startswith("//"):
+            allows.setdefault(i + 1, set()).update(rules)
+    return allows
+
+
+def _walk(cursor):
+    yield cursor
+    for child in cursor.get_children():
+        yield from _walk(child)
+
+
+def _check_tu(cindex, tu, rel_path: str, hot_functions: set[str],
+              violation_cls) -> list:
+    out = []
+    main_file = str(tu.spelling)
+    allows = _line_allows(Path(main_file))
+
+    def emit(rule, line, message):
+        if rule in allows.get(line, set()):
+            return
+        out.append(violation_cls(rel_path, line, rule, message))
+
+    for cursor in _walk(tu.cursor):
+        loc = cursor.location
+        if loc.file is None or str(loc.file) != main_file:
+            continue
+
+        # -- atomic-order -------------------------------------------------
+        if cursor.kind == cindex.CursorKind.CALL_EXPR:
+            name = cursor.spelling
+            children = list(cursor.get_children())
+            receiver = children[0] if children else None
+            receiver_atomic = (receiver is not None
+                               and _is_atomic_type(receiver.type))
+            if name in ATOMIC_ORDER_OPS and receiver_atomic:
+                text = _tokens_text(cindex, tu, cursor.extent)
+                if "memory_order" not in text:
+                    emit("atomic-order", loc.line,
+                         f"std::atomic {name}() names no memory order "
+                         f"(implicit seq_cst)")
+            elif name in ATOMIC_OPERATORS and receiver_atomic:
+                emit("atomic-order", loc.line,
+                     f"{name} on a std::atomic is an implicit seq_cst "
+                     f"operation; use an explicit fetch_/store")
+
+        # -- hot-path-blocking -------------------------------------------
+        if (cursor.kind in (cindex.CursorKind.CXX_METHOD,
+                            cindex.CursorKind.FUNCTION_DECL)
+                and cursor.spelling in hot_functions
+                and cursor.is_definition()):
+            for node in _walk(cursor):
+                if node.kind != cindex.CursorKind.CALL_EXPR:
+                    continue
+                callee = node.spelling
+                if callee in HOT_PATH_CALLS:
+                    emit("hot-path-blocking", node.location.line,
+                         f"{callee}() inside hot-path function "
+                         f"{cursor.spelling}() — no sleeps, blocking I/O, "
+                         f"or heavyweight allocation in flush/pull loops")
+    return out
+
+
+def run(root: Path, files: list[str], config: dict,
+        violation_cls) -> tuple[list, str | None]:
+    """Runs the AST checks over `files`. Returns (violations, skip_reason);
+    skip_reason is non-None when libclang is unavailable (pass skipped)."""
+    cindex = _load_clang()
+    if cindex is None:
+        return [], "python3-clang / libclang not installed"
+
+    hot = set(config.get("rules", {}).get("hot-path-blocking", {})
+              .get("functions", []))
+    compile_args = ["-x", "c++", "-std=c++17", f"-I{root / 'src'}",
+                    f"-I{root}"]
+    index = cindex.Index.create()
+    violations = []
+    for rel_path in files:
+        if Path(rel_path).suffix not in (".cpp", ".cc", ".hpp", ".h"):
+            continue
+        ast_cfg = config.get("rules", {})
+        for rule in ("atomic-order", "hot-path-blocking"):
+            cfg = ast_cfg.get(rule, {})
+            include = cfg.get("include", [])
+            if cfg.get("enabled", True) and (
+                    not include or _matches(rel_path, include)):
+                break
+        else:
+            continue  # neither AST-backed rule applies to this file
+        try:
+            tu = index.parse(str(root / rel_path), args=compile_args)
+            violations += _check_tu(cindex, tu, rel_path, hot, violation_cls)
+        except Exception as e:  # one bad TU must not sink the pass
+            import sys
+            print(f"fb_lint_ast: warning: failed to parse {rel_path}: {e}",
+                  file=sys.stderr)
+    return violations, None
+
+
+def _matches(rel_path: str, globs: list[str]) -> bool:
+    import fnmatch
+    return any(fnmatch.fnmatch(rel_path, g) for g in globs)

@@ -1,0 +1,30 @@
+// Negative cases for atomic-order: everything here must stay clean.
+#include <atomic>
+
+class Stats {
+ public:
+  void hit() {
+    // Tagged counters may use relaxed.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    // Explicit non-relaxed orders are always fine.
+    ready_.store(true, std::memory_order_release);
+    (void)ready_.load(std::memory_order_acquire);
+    // A local declaration that shadows an atomic member name is not an
+    // atomic op.
+    const unsigned ready = ready_.load(std::memory_order_acquire);
+    (void)ready;
+    // Deliberate escape with justification.
+    // fb-lint-allow(atomic-order)
+    ready_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  // Shared tag comment covers the contiguous declaration group.
+  // fb-atomic-counter
+  std::atomic<unsigned> hits_{0};
+  std::atomic<unsigned> misses_{0};
+  std::atomic<unsigned> total_{0};  // trailing tag form: fb-atomic-counter
+  std::atomic<bool> ready_{false};
+};

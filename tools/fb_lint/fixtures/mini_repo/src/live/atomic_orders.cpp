@@ -1,0 +1,20 @@
+// Positive cases for the atomic-order family: implicit seq_cst defaults
+// and relaxed on an untagged atomic must all fire.
+#include <atomic>
+
+class Pipeline {
+ public:
+  void tick() {
+    seq_.store(1);
+    (void)seq_.load();
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    ++seq_;
+    seq_ = 7;
+    pending_.compare_exchange_weak(expected_, 2);
+  }
+
+ private:
+  std::atomic<unsigned> seq_{0};
+  std::atomic<unsigned> pending_{0};
+  unsigned expected_ = 0;
+};

@@ -1,0 +1,28 @@
+// Positive cases for guarded-by: members written under a held lock
+// whose declarations carry no FB_GUARDED_BY must fire.
+#include <deque>
+
+#include "common/ordered_mutex.hpp"
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void record(int v) {
+    MutexLock lock(mutex_);
+    ++count_;
+    entries_.push_back(v);
+    totals_.net = v;
+  }
+
+ private:
+  Mutex mutex_;
+  long count_ = 0;
+  std::deque<int> entries_;
+  struct Totals {
+    int net = 0;
+  };
+  Totals totals_;
+};
+
+}  // namespace fixture

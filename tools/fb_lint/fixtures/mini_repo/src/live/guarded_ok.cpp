@@ -1,0 +1,34 @@
+// Negative cases for guarded-by: annotated fields, atomics, and locals
+// must all stay clean.
+#include <atomic>
+#include <vector>
+
+#include "common/ordered_mutex.hpp"
+
+namespace fixture {
+
+class Pool {
+ public:
+  void push(int v) {
+    UniqueLock lock(mutex_);
+    items_.push_back(v);
+    depth_ = items_.size();
+    // Atomics synchronise themselves; the lock is incidental.
+    peak_.store(depth_, std::memory_order_release);
+    // Locals (no trailing underscore / not declared in this pair) are
+    // out of scope for the rule.
+    int scratch = v;
+    scratch += 1;
+    (void)scratch;
+  }
+
+ private:
+  Mutex mutex_;
+  std::vector<int> items_ FB_GUARDED_BY(mutex_);
+  // The annotation may sit on a continuation line.
+  std::size_t depth_
+      FB_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Positive + negative cases for hot-path-blocking. flush_loop and
+// worker_loop are declared hot in the fixture fb_lint.toml; cold_path
+// is not and may do whatever it likes. The sleep also trips raw-clock —
+// the families compose.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+struct Shard {
+  void flush_loop() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::fprintf(stderr, "tick\n");
+    void* scratch = malloc(64);
+    (void)scratch;
+  }
+
+  void worker_loop() {
+    // Pull loop stays tight: no banned tokens here.
+    for (int i = 0; i < 8; ++i) {
+      work_ += i;
+    }
+  }
+
+  void cold_path() {
+    std::fprintf(stderr, "cold paths may log\n");
+  }
+
+  int work_ = 0;
+};
