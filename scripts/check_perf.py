@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Perf guard for bench reports (dispatch pipeline, obs primitives).
 
-Reads a bench JSON report (bench_dispatch quick=1 out=<file>, or
-bench_obs quick=1 out=<file>) and compares it against the checked-in
+Reads a bench JSON report (bench_dispatch, bench_obs, or bench_cluster
+with quick=1 out=<file>) and compares it against the checked-in
 baseline (bench/bench_baseline.json by default):
 
   * throughput_ips may not drop below baseline / FACTOR
@@ -20,7 +20,8 @@ Usage:
                 [--prefix P ...] [--update]
 
 Several benches share one baseline file, each owning a name prefix
-(bench_dispatch: e2e/ and invoke_path/; bench_obs: obs/). --prefix
+(bench_dispatch: e2e/ and invoke_path/; bench_obs: obs/; bench_cluster:
+cluster/). --prefix
 restricts both checking and updating to cells whose name starts with
 one of the given prefixes, so one bench's report is never held against
 (or allowed to clobber) another bench's floors. Without --prefix every
@@ -60,9 +61,11 @@ def update_baseline(report, cells, path, prefixes):
     baseline = {
         "comment": "perf floors for scripts/check_perf.py; regenerate with "
                    "bench_dispatch quick=1 out=d.json && check_perf.py d.json "
-                   "--update --prefix e2e/ --prefix invoke_path/, and "
+                   "--update --prefix e2e/ --prefix invoke_path/, "
                    "bench_obs quick=1 out=o.json && check_perf.py o.json "
-                   "--update --prefix obs/",
+                   "--update --prefix obs/, and "
+                   "bench_cluster quick=1 out=c.json && check_perf.py c.json "
+                   "--update --prefix cluster/",
         "hardware_concurrency": report.get("hardware_concurrency", 0),
         "benchmarks": {},
     }

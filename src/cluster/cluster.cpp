@@ -1,11 +1,8 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
-#include "common/hash.hpp"
-#include "runtime/container_pool.hpp"
-#include "runtime/machine.hpp"
+#include "cluster/dispatch_plane.hpp"
 #include "sim/simulator.hpp"
 
 namespace faasbatch::cluster {
@@ -38,114 +35,11 @@ double ClusterResult::routing_imbalance() const {
 
 ClusterResult run_cluster_experiment(const ClusterSpec& spec,
                                      const trace::Workload& workload) {
-  if (spec.workers == 0) {
-    throw std::invalid_argument("run_cluster_experiment: zero workers");
-  }
-
   sim::Simulator simulator;
-
-  // One worker = machine + pool + scheduler, all on the shared clock.
-  struct Worker {
-    std::unique_ptr<runtime::Machine> machine;
-    std::unique_ptr<runtime::ContainerPool> pool;
-    std::unique_ptr<schedulers::Scheduler> scheduler;
-    std::size_t routed = 0;
-    std::size_t outstanding = 0;
-  };
-  std::vector<Worker> workers(spec.workers);
-
-  std::vector<core::InvocationRecord> records(workload.events.size());
-  for (std::size_t i = 0; i < workload.events.size(); ++i) {
-    records[i].id = static_cast<InvocationId>(i);
-    records[i].function = workload.events[i].function;
-    records[i].arrival = workload.events[i].arrival;
-  }
-  // Which worker handles each invocation (for outstanding bookkeeping).
-  std::vector<std::size_t> worker_of(workload.events.size(), 0);
-
-  std::size_t completed = 0;
-  SimTime makespan = 0;
-  auto notify = [&](InvocationId id) {
-    --workers[worker_of[id]].outstanding;
-    if (++completed == records.size()) {
-      makespan = simulator.now();
-      simulator.stop();
-    }
-  };
-
-  for (std::size_t w = 0; w < spec.workers; ++w) {
-    workers[w].machine =
-        std::make_unique<runtime::Machine>(simulator, spec.worker_spec.runtime);
-    workers[w].pool = std::make_unique<runtime::ContainerPool>(*workers[w].machine);
-    if (spec.worker_spec.keepalive == eval::KeepAliveKind::kHistogram) {
-      workers[w].pool->set_keepalive_policy(std::make_unique<runtime::HistogramKeepAlive>(
-          spec.worker_spec.keepalive_histogram));
-    }
-    schedulers::SchedulerContext context{
-        simulator,          *workers[w].machine,          *workers[w].pool,
-        workload,           spec.worker_spec.client_model, records,
-        notify,
-    };
-    workers[w].scheduler = schedulers::make_scheduler(
-        spec.worker_spec.scheduler, context, spec.worker_spec.scheduler_options);
-  }
-
-  // The balancer routes at arrival time.
-  std::size_t rr_cursor = 0;
-  auto route = [&](FunctionId function) -> std::size_t {
-    switch (spec.balancer) {
-      case BalancerKind::kRoundRobin:
-        return rr_cursor++ % spec.workers;
-      case BalancerKind::kLeastOutstanding: {
-        std::size_t best = 0;
-        for (std::size_t w = 1; w < spec.workers; ++w) {
-          if (workers[w].outstanding < workers[best].outstanding) best = w;
-        }
-        return best;
-      }
-      case BalancerKind::kFunctionAffinity:
-        return static_cast<std::size_t>(fnv1a_u64(function) % spec.workers);
-    }
-    return 0;
-  };
-
-  for (std::size_t i = 0; i < workload.events.size(); ++i) {
-    const InvocationId id = static_cast<InvocationId>(i);
-    const FunctionId function = workload.events[i].function;
-    simulator.schedule_at(workload.events[i].arrival, [&, id, function] {
-      const std::size_t w = route(function);
-      worker_of[id] = w;
-      ++workers[w].routed;
-      ++workers[w].outstanding;
-      workers[w].pool->note_arrival(function);
-      workers[w].scheduler->on_arrival(id);
-    });
-  }
-
+  DispatchPlane plane(simulator, spec, workload);
+  plane.start();
   simulator.run();
-  if (completed != records.size()) {
-    throw std::runtime_error("run_cluster_experiment: " +
-                             std::to_string(records.size() - completed) +
-                             " invocations never completed");
-  }
-
-  ClusterResult result;
-  result.completed = completed;
-  result.makespan = makespan;
-  for (const core::InvocationRecord& record : records) {
-    result.latency.add(record.breakdown());
-  }
-  result.workers.reserve(spec.workers);
-  for (Worker& worker : workers) {
-    WorkerResult worker_result;
-    worker_result.routed = worker.routed;
-    worker_result.containers_provisioned = worker.pool->stats().total_provisioned;
-    worker_result.memory_avg_mib = to_mib(static_cast<Bytes>(
-        worker.machine->memory_gauge().time_average(makespan)));
-    worker_result.cpu_utilization = worker.machine->cpu_utilization(makespan);
-    result.workers.push_back(worker_result);
-  }
-  return result;
+  return plane.finish();
 }
 
 }  // namespace faasbatch::cluster

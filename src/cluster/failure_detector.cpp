@@ -1,0 +1,49 @@
+#include "cluster/failure_detector.hpp"
+
+#include <algorithm>
+
+namespace faasbatch::cluster {
+
+FailureDetector::FailureDetector(FailureDetectorOptions options,
+                                 std::size_t workers)
+    : options_(options), workers_(workers) {}
+
+void FailureDetector::beat(std::size_t worker, SimTime now) {
+  PerWorker& w = workers_.at(worker);
+  w.last_beat = now;
+  w.suspect_since = -1;
+}
+
+void FailureDetector::note_dispatch(std::size_t worker, SimTime now,
+                                    std::size_t outstanding_before) {
+  if (outstanding_before == 0) workers_.at(worker).busy_since = now;
+}
+
+void FailureDetector::reset(std::size_t worker, SimTime now) {
+  PerWorker& w = workers_.at(worker);
+  w.last_beat = now;
+  w.busy_since = now;
+  w.suspect_since = -1;
+}
+
+HealthVerdict FailureDetector::assess(std::size_t worker, SimTime now,
+                                      std::size_t outstanding) {
+  PerWorker& w = workers_.at(worker);
+  if (outstanding == 0) {
+    // Idle workers owe no progress; silence is not a symptom.
+    w.suspect_since = -1;
+    return HealthVerdict::kHealthy;
+  }
+  const SimTime anchor = std::max(w.last_beat, w.busy_since);
+  if (now - anchor <= options_.suspect_after) {
+    w.suspect_since = -1;
+    return HealthVerdict::kHealthy;
+  }
+  if (w.suspect_since < 0) w.suspect_since = now;
+  if (now - w.suspect_since >= options_.confirm_window) {
+    return HealthVerdict::kDead;
+  }
+  return HealthVerdict::kSuspect;
+}
+
+}  // namespace faasbatch::cluster

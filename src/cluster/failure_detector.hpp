@@ -1,0 +1,84 @@
+// Deterministic heartbeat-style failure detection on the virtual clock.
+//
+// Real failure detectors watch wall-clock heartbeats; inside the
+// discrete-event simulator there is no wall clock and no background
+// thread, so the detector is *pull-based* (the Watchdog idiom from the
+// observability layer): the dispatch plane feeds it progress signals —
+// a beat per completion merged from a worker, a busy-period start per
+// dispatch to an idle worker — and periodically asks it to assess each
+// worker against `now`. A worker is healthy while it is idle or has
+// shown progress within `suspect_after`; a busy-but-silent worker turns
+// suspect, and suspicion sustained for `confirm_window` confirms death.
+//
+// The busy-period anchor matters: a stalled worker that keeps *accepting*
+// dispatches must not look alive, so dispatches only refresh the anchor
+// when they start a busy period (outstanding 0 -> 1). Continuous routing
+// into a wedged worker therefore still trips detection.
+//
+// Everything here is plain state arithmetic — no sleeps, no threads, no
+// randomness — so two runs over the same event sequence produce the same
+// suspect/dead declarations at the same virtual times.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace faasbatch::cluster {
+
+struct FailureDetectorOptions {
+  /// How often the plane scans worker health (and draws worker faults).
+  SimDuration scan_interval = 100 * kMillisecond;
+  /// A busy worker silent for longer than this becomes suspect.
+  SimDuration suspect_after = 2 * kSecond;
+  /// Suspicion sustained this long past its onset confirms death.
+  SimDuration confirm_window = 1 * kSecond;
+};
+
+/// Verdict of one assessment; the plane maps these onto WorkerState.
+enum class HealthVerdict { kHealthy, kSuspect, kDead };
+
+class FailureDetector {
+ public:
+  FailureDetector(FailureDetectorOptions options, std::size_t workers);
+
+  const FailureDetectorOptions& options() const { return options_; }
+
+  /// Progress heartbeat: a completion from `worker` was merged at `now`.
+  void beat(std::size_t worker, SimTime now);
+
+  /// A dispatch landed on `worker` at `now`; `outstanding_before` is its
+  /// in-flight count *before* this dispatch (0 starts a busy period and
+  /// re-anchors the silence window; a dispatch into an already-busy
+  /// worker deliberately does not).
+  void note_dispatch(std::size_t worker, SimTime now,
+                     std::size_t outstanding_before);
+
+  /// Worker (re)joined at `now`: full grace period, suspicion cleared.
+  void reset(std::size_t worker, SimTime now);
+
+  /// Assesses `worker` at `now` given its current in-flight count. Idle
+  /// workers are always healthy (nothing owed, nothing to miss). May
+  /// set or clear suspicion; kDead is returned every scan past the
+  /// confirmation window — the caller latches the first one.
+  HealthVerdict assess(std::size_t worker, SimTime now,
+                       std::size_t outstanding);
+
+  /// When the worker turned suspect, or -1 while unsuspected (tests).
+  SimTime suspect_since(std::size_t worker) const {
+    return workers_.at(worker).suspect_since;
+  }
+
+ private:
+  struct PerWorker {
+    SimTime last_beat = 0;      // last merged completion
+    SimTime busy_since = 0;     // last idle->busy transition (or join)
+    SimTime suspect_since = -1; // -1 = not suspect
+  };
+
+  FailureDetectorOptions options_;
+  std::vector<PerWorker> workers_;
+};
+
+}  // namespace faasbatch::cluster

@@ -1,0 +1,30 @@
+#include "cluster/rendezvous.hpp"
+
+#include <cassert>
+
+#include "common/hash.hpp"
+
+namespace faasbatch::cluster {
+
+std::uint64_t rendezvous_score(FunctionId function, std::size_t worker) {
+  return hash_combine(fnv1a_u64(function),
+                      fnv1a_u64(static_cast<std::uint64_t>(worker)));
+}
+
+std::size_t rendezvous_pick(FunctionId function,
+                            const std::vector<std::size_t>& candidates) {
+  assert(!candidates.empty() && "rendezvous over an empty worker set");
+  std::size_t best = candidates.front();
+  std::uint64_t best_score = rendezvous_score(function, best);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const std::size_t worker = candidates[i];
+    const std::uint64_t score = rendezvous_score(function, worker);
+    if (score > best_score || (score == best_score && worker < best)) {
+      best = worker;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace faasbatch::cluster

@@ -1,0 +1,16 @@
+#include "cluster/worker_state.hpp"
+
+namespace faasbatch::cluster {
+
+std::string_view worker_state_name(WorkerState state) {
+  switch (state) {
+    case WorkerState::kUp: return "up";
+    case WorkerState::kSuspect: return "suspect";
+    case WorkerState::kDraining: return "draining";
+    case WorkerState::kDead: return "dead";
+    case WorkerState::kDrained: return "drained";
+  }
+  return "?";
+}
+
+}  // namespace faasbatch::cluster

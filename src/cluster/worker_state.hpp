@@ -1,0 +1,36 @@
+// Worker lifecycle states of the cluster dispatch plane.
+//
+// The plane's failure detector and the operator's drain/rejoin actions
+// drive each worker through this machine:
+//
+//   kUp --(silent past suspect_after)--> kSuspect --(confirmed)--> kDead
+//    ^  <--(heartbeat)------------------/                           |
+//    |                                                              |
+//    +--(restart_latency elapsed, rejoins cold)---------------------+
+//
+//   kUp/kSuspect --(drain)--> kDraining --(outstanding hits 0)--> kDrained
+//
+// kDead and kDrained are the two "removed from routing" states; they
+// differ in how they end (restart vs operator rejoin) and in whether the
+// worker's in-flight invocations were failed over (dead) or allowed to
+// finish (drained).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace faasbatch::cluster {
+
+enum class WorkerState : std::uint8_t {
+  kUp = 0,        ///< healthy, routable
+  kSuspect = 1,   ///< missed heartbeats; routable only as a fallback
+  kDraining = 2,  ///< operator drain: no new routing, in-flight finishes
+  kDead = 3,      ///< declared dead; in-flight failed over to survivors
+  kDrained = 4,   ///< drain finished (or a draining worker died); removed
+};
+
+/// Stable lowercase name ("up", "suspect", "draining", "dead", "drained");
+/// also the value of the fb_cluster_worker_state gauge (the enum code).
+std::string_view worker_state_name(WorkerState state);
+
+}  // namespace faasbatch::cluster

@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/hash.hpp"
 #include "core/invocation.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
@@ -54,6 +55,38 @@ void emit_invocation_spans(const std::vector<core::InvocationRecord>& records) {
 }
 
 }  // namespace
+
+void OutcomeCounts::count(core::Outcome outcome) {
+  switch (outcome) {
+    case core::Outcome::kCompleted:
+      ++completed;
+      break;
+    case core::Outcome::kFailed:
+      ++failed;
+      break;
+    case core::Outcome::kShed:
+      ++shed;
+      break;
+    case core::Outcome::kPending:
+      break;
+  }
+}
+
+OutcomeCounts& OutcomeCounts::operator+=(const OutcomeCounts& other) {
+  completed += other.completed;
+  failed += other.failed;
+  shed += other.shed;
+  re_dispatched += other.re_dispatched;
+  return *this;
+}
+
+std::uint64_t OutcomeCounts::fingerprint() const {
+  std::uint64_t h = fnv1a_u64(completed);
+  h = fnv1a_u64(failed, h);
+  h = fnv1a_u64(shed, h);
+  h = fnv1a_u64(re_dispatched, h);
+  return h;
+}
 
 ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const trace::Workload& workload) {
@@ -145,17 +178,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   result.accounted = accounted;
   std::size_t slo_violations = 0;
   std::size_t slo_checked = 0;
+  OutcomeCounts outcomes;
   for (const core::InvocationRecord& record : records) {
+    outcomes.count(record.outcome);
     switch (record.outcome) {
       case core::Outcome::kCompleted:
-        ++result.completed;
         break;
       case core::Outcome::kFailed:
-        ++result.failed;
-        continue;  // failed/shed stamps are not meaningful latencies
       case core::Outcome::kShed:
-        ++result.shed;
-        continue;
+        continue;  // failed/shed stamps are not meaningful latencies
       case core::Outcome::kPending:
         continue;  // unreachable after the accounted check above
     }
@@ -167,6 +198,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       if (to_millis(record.breakdown().total()) > slo_it->second) ++slo_violations;
     }
   }
+  result.completed = outcomes.completed;
+  result.failed = outcomes.failed;
+  result.shed = outcomes.shed;
   result.fault_stats = chaos.injector().stats();
   result.chaos_counters = chaos.counters();
   result.chaos_fingerprint = chaos.fingerprint();

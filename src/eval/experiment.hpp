@@ -45,6 +45,32 @@ struct ExperimentSpec {
   resilience::OverloadGuard::Options overload;
 };
 
+/// Terminal-outcome tally over a set of invocations. The single-node
+/// harness folds one per run; the cluster dispatch plane keeps one per
+/// worker so chaos runs report per-fault-domain accounting instead of
+/// aborting on the first failure.
+struct OutcomeCounts {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  /// Invocations re-dispatched away from a worker declared dead (cluster
+  /// runs only; always 0 for single-node experiments). Not a terminal
+  /// outcome — a re-dispatched invocation still lands in one of the
+  /// three buckets above.
+  std::uint64_t re_dispatched = 0;
+
+  /// Terminally-accounted invocations.
+  std::uint64_t accounted() const { return completed + failed + shed; }
+
+  /// Tallies one terminal outcome (kPending is ignored).
+  void count(core::Outcome outcome);
+
+  OutcomeCounts& operator+=(const OutcomeCounts& other);
+
+  /// Stable FNV-1a fold over every counter (determinism checks).
+  std::uint64_t fingerprint() const;
+};
+
 struct ExperimentResult {
   std::string scheduler_name;
   std::size_t invocations = 0;

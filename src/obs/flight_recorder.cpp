@@ -64,6 +64,8 @@ const char* flight_event_kind_name(FlightEventKind kind) {
       return "retry";
     case FlightEventKind::kIncident:
       return "incident";
+    case FlightEventKind::kWorkerState:
+      return "worker_state";
   }
   return "unknown";
 }

@@ -54,8 +54,9 @@ enum class FlightEventKind : std::uint8_t {
   kExec = 3,      ///< attempt started executing (arg: attempt number)
   kFault = 4,     ///< injected/observed fault on an attempt (arg: attempt)
   kShed = 5,      ///< admission rejected the request (arg: shed streak)
-  kRetry = 6,     ///< retry scheduled (arg: backoff, unit per caller)
-  kIncident = 7,  ///< dump trigger itself (arg: incident sequence)
+  kRetry = 6,        ///< retry scheduled (arg: backoff, unit per caller)
+  kIncident = 7,     ///< dump trigger itself (arg: incident sequence)
+  kWorkerState = 8,  ///< cluster worker state change (shard: worker, arg: state)
 };
 
 /// Stable lowercase name used in dumps ("enqueue", "flush", ...).

@@ -34,6 +34,14 @@ obs::Counter& straggler_faults_total() {
   static obs::Counter& c = fault_counter("straggler");
   return c;
 }
+obs::Counter& worker_crash_faults_total() {
+  static obs::Counter& c = fault_counter("worker_crash");
+  return c;
+}
+obs::Counter& worker_stall_faults_total() {
+  static obs::Counter& c = fault_counter("worker_stall");
+  return c;
+}
 
 }  // namespace
 
@@ -43,6 +51,8 @@ std::uint64_t FaultStats::fingerprint() const {
   h = fnv1a_u64(exec_errors, h);
   h = fnv1a_u64(storage_failures, h);
   h = fnv1a_u64(stragglers, h);
+  h = fnv1a_u64(worker_crashes, h);
+  h = fnv1a_u64(worker_stalls, h);
   return h;
 }
 
@@ -61,6 +71,10 @@ std::uint64_t FaultPlan::fingerprint() const {
   h = fold_double(straggler_rate, h);
   h = fold_double(straggler_multiplier, h);
   h = fnv1a_u64(static_cast<std::uint64_t>(crash_detection_latency), h);
+  h = fold_double(worker_crash_rate, h);
+  h = fold_double(worker_stall_rate, h);
+  h = fold_double(worker_stall_multiplier, h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(worker_restart_latency), h);
   return h;
 }
 
@@ -70,15 +84,21 @@ FaultInjector::FaultInjector(FaultPlan plan)
       crash_rng_(0),
       exec_rng_(0),
       storage_rng_(0),
-      straggler_rng_(0) {
+      straggler_rng_(0),
+      worker_crash_rng_(0),
+      worker_stall_rng_(0) {
   // Fork one independent stream per fault class off a root seeded from
   // the plan, so draws in one class never shift another class's sequence.
+  // Order matters: new classes fork LAST so pre-existing streams keep
+  // their historical sequences for any given seed.
   Rng root(plan_.seed);
   cold_start_rng_ = root.fork();
   crash_rng_ = root.fork();
   exec_rng_ = root.fork();
   storage_rng_ = root.fork();
   straggler_rng_ = root.fork();
+  worker_crash_rng_ = root.fork();
+  worker_stall_rng_ = root.fork();
 }
 
 bool FaultInjector::draw(Rng& rng, double rate) {
@@ -119,6 +139,20 @@ double FaultInjector::straggler_multiplier() {
   ++stats_.stragglers;
   straggler_faults_total().inc();
   return plan_.straggler_multiplier;
+}
+
+bool FaultInjector::inject_worker_crash() {
+  if (!draw(worker_crash_rng_, plan_.worker_crash_rate)) return false;
+  ++stats_.worker_crashes;
+  worker_crash_faults_total().inc();
+  return true;
+}
+
+bool FaultInjector::inject_worker_stall() {
+  if (!draw(worker_stall_rng_, plan_.worker_stall_rate)) return false;
+  ++stats_.worker_stalls;
+  worker_stall_faults_total().inc();
+  return true;
 }
 
 }  // namespace faasbatch::resilience

@@ -25,10 +25,12 @@ struct FaultStats {
   std::uint64_t exec_errors = 0;
   std::uint64_t storage_failures = 0;
   std::uint64_t stragglers = 0;
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t worker_stalls = 0;
 
   std::uint64_t total() const {
     return cold_start_failures + container_crashes + exec_errors +
-           storage_failures + stragglers;
+           storage_failures + stragglers + worker_crashes + worker_stalls;
   }
 
   /// Stable FNV-1a fold over every counter.
@@ -61,6 +63,17 @@ class FaultInjector {
   /// lands on a degraded container).
   double straggler_multiplier();
 
+  /// One decision per live worker per detector scan: true = the worker VM
+  /// dies silently, stranding its in-flight work and warm pool. Drawn
+  /// only by the cluster dispatch plane.
+  bool inject_worker_crash();
+
+  /// One decision per live worker per detector scan: true = the worker
+  /// wedges (stops completing but keeps accepting) for
+  /// plan.worker_stall_multiplier times the detector's suspicion
+  /// threshold. Drawn only by the cluster dispatch plane.
+  bool inject_worker_stall();
+
  private:
   /// Draws from `rng` only when rate > 0 (stream isolation).
   static bool draw(Rng& rng, double rate);
@@ -71,6 +84,8 @@ class FaultInjector {
   Rng exec_rng_;
   Rng storage_rng_;
   Rng straggler_rng_;
+  Rng worker_crash_rng_;
+  Rng worker_stall_rng_;
   FaultStats stats_;
 };
 

@@ -51,14 +51,49 @@ struct FaultPlan {
   /// (health-check / connection-reset latency) before re-dispatching.
   SimDuration crash_detection_latency = 100 * kMillisecond;
 
+  // --- Worker fault classes (cluster blast radius, ISSUE 9) -----------
+  //
+  // Container faults above take down at most one batch; the classes below
+  // take down a whole worker VM — its in-flight batches AND its warm
+  // pool. They are drawn by the cluster dispatch plane's detector scan
+  // (one decision per live worker per scan), never by the single-node
+  // schedulers, so enabling them cannot perturb a single-worker run.
+
+  /// The worker VM dies silently: it stops completing work (all results
+  /// after the crash instant are lost) while the router, unaware, keeps
+  /// routing to it until the failure detector declares it dead. One
+  /// decision per live worker per detector scan.
+  double worker_crash_rate = 0.0;
+
+  /// The worker wedges: it stops completing (results are delayed, not
+  /// lost) but still accepts routed work. The stall lasts
+  /// worker_stall_multiplier times the detector's suspicion threshold, so
+  /// multipliers above ~1.5 guarantee a death declaration and failover
+  /// while small ones model blips the detector rides out.
+  double worker_stall_rate = 0.0;
+  double worker_stall_multiplier = 4.0;
+
+  /// Cold re-boot time of a crashed worker before it rejoins the routing
+  /// set. The replacement starts with an empty warm pool — the crash's
+  /// second-order cost is the cold starts it re-inflicts.
+  SimDuration worker_restart_latency = 2 * kSecond;
+
   /// True when any fault class can fire.
   bool any() const {
     return cold_start_failure_rate > 0.0 || container_crash_rate > 0.0 ||
            exec_error_rate > 0.0 || storage_failure_rate > 0.0 ||
-           straggler_rate > 0.0;
+           straggler_rate > 0.0 || worker_faults();
   }
 
-  /// A plan injecting every fault class at the same `rate`.
+  /// True when a worker-level fault class can fire (cluster runs only).
+  bool worker_faults() const {
+    return worker_crash_rate > 0.0 || worker_stall_rate > 0.0;
+  }
+
+  /// A plan injecting every container-level fault class at the same
+  /// `rate`. Worker classes stay off: they only mean something behind the
+  /// cluster dispatch plane, and the single-node differential harness
+  /// reuses these plans.
   static FaultPlan uniform(double rate, std::uint64_t seed) {
     FaultPlan plan;
     plan.seed = seed;

@@ -21,7 +21,11 @@ Container::~Container() {
   resident += static_cast<Bytes>(active_invocations_) *
               machine_.config().per_invocation_memory;
   machine_.add_memory(-resident);
-  if (cpu_group_ != sim::CpuScheduler::kNoGroup) {
+  // A condemned machine (dead worker VM) may still have in-flight CPU
+  // tasks in this group; it is torn down wholesale with its scheduler,
+  // so the orderly empty-group check would only reject a state the
+  // crash semantics deliberately produce.
+  if (cpu_group_ != sim::CpuScheduler::kNoGroup && !machine_.condemned()) {
     machine_.cpu().remove_group(cpu_group_);
   }
 }

@@ -42,11 +42,19 @@ class Machine {
   /// Busy core-seconds consumed so far.
   double busy_core_seconds() { return cpu_->busy_core_seconds(); }
 
+  /// Marks the machine as a dead worker VM: it will never be gracefully
+  /// dismantled, so containers skip the orderly CPU-group teardown (a
+  /// crashed host does not unwind its cgroup hierarchy). The whole
+  /// machine — CPU scheduler included — dies together shortly after.
+  void condemn() { condemned_ = true; }
+  bool condemned() const { return condemned_; }
+
  private:
   sim::Simulator& sim_;
   RuntimeConfig config_;
   std::unique_ptr<sim::CpuScheduler> cpu_;
   sim::Gauge memory_gauge_;
+  bool condemned_ = false;
 };
 
 }  // namespace faasbatch::runtime
