@@ -17,6 +17,13 @@
 // invocations were failover re-dispatched — the cost of a worker death
 // is visible as the p99 climb relative to the crash-free row.
 //
+// Part 3 — pull vs push under skew. A workload with ~90% of arrivals on
+// a few hot functions, routed by the push plane (bind at arrival,
+// affinity pins hot keys to one worker) versus the pull plane (late
+// binding + cross-worker stealing with warm-pool sharing). Reported per
+// mode: p99, steal counts, and the max/mean worker-utilization ratio —
+// the imbalance stealing exists to close.
+//
 // Usage:
 //   bench_cluster [quick=1] [invocations=N] [seed=S] [reps=3]
 //                 [out=cluster.json] [--trace t.json] [--metrics]
@@ -70,12 +77,10 @@ cluster::ClusterSpec chaos_spec(double crash_rate) {
   return spec;
 }
 
-ChaosCell run_chaos_cell(const std::string& name, double crash_rate,
-                         const trace::Workload& workload, std::size_t reps) {
+ChaosCell run_cell(const std::string& name, const cluster::ClusterSpec& spec,
+                   const trace::Workload& workload, std::size_t reps) {
   ChaosCell cell;
   cell.name = name;
-  cell.crash_rate = crash_rate;
-  const cluster::ClusterSpec spec = chaos_spec(crash_rate);
   double best_seconds = 0.0;
   for (std::size_t rep = 0; rep < reps; ++rep) {
     const auto start = SteadyClock::now();
@@ -91,6 +96,24 @@ ChaosCell run_chaos_cell(const std::string& name, double crash_rate,
           : 0.0;
   cell.p99_ms = cell.result.latency.total().percentile(0.99);
   return cell;
+}
+
+ChaosCell run_chaos_cell(const std::string& name, double crash_rate,
+                         const trace::Workload& workload, std::size_t reps) {
+  ChaosCell cell = run_cell(name, chaos_spec(crash_rate), workload, reps);
+  cell.crash_rate = crash_rate;
+  return cell;
+}
+
+/// Peak-to-mean worker CPU utilization: 1.0 = perfectly level.
+double utilization_imbalance(const cluster::ClusterResult& result) {
+  double peak = 0.0, total = 0.0;
+  for (const auto& worker : result.workers) {
+    peak = std::max(peak, worker.cpu_utilization);
+    total += worker.cpu_utilization;
+  }
+  const double mean = total / static_cast<double>(result.workers.size());
+  return mean > 0.0 ? peak / mean : 0.0;
 }
 
 }  // namespace
@@ -177,7 +200,53 @@ int main(int argc, char** argv) {
   std::cout << "\nEvery invocation stays terminally accounted while workers "
                "die and restart; the p99 climb over the\ncrash-free row is "
                "the end-to-end price of failover re-dispatch (detection delay "
-               "+ retry backoff + cold start).\n";
+               "+ retry backoff + cold start).\n\n";
+
+  std::cout << "# Pull vs push: ~90% of arrivals on a few hot functions\n\n";
+  trace::WorkloadSpec skew_spec = workload_spec;
+  skew_spec.hot_fraction = 0.1;
+  skew_spec.hot_mass = 0.9;
+  const trace::Workload skewed = trace::synthesize_workload(skew_spec);
+  metrics::Table pull_table({"workers", "mode", "p99_total_ms", "pulls",
+                             "steals", "stolen", "imbalance",
+                             "wall_inv_per_s"});
+  const std::vector<std::size_t> pull_workers =
+      quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{4, 8};
+  for (const std::size_t workers : pull_workers) {
+    for (const auto mode :
+         {cluster::SchedulingMode::kPush, cluster::SchedulingMode::kPull}) {
+      cluster::ClusterSpec spec;
+      spec.workers = workers;
+      spec.balancer = cluster::BalancerKind::kFunctionAffinity;
+      spec.worker_spec.scheduler = schedulers::SchedulerKind::kFaasBatch;
+      spec.mode = mode;
+      if (mode == cluster::SchedulingMode::kPull) {
+        spec.pull.worker_capacity = 8;
+        spec.pull.pull_batch = 16;
+        spec.pull.steal.min_victim_backlog = 4;
+        spec.pull.steal.steal_fraction = 0.5;
+        spec.pull.steal.max_steal = 16;
+      }
+      const std::string name =
+          "cluster/" + std::string(cluster::scheduling_mode_name(mode)) +
+          "_skew/w" + std::to_string(workers);
+      cells.push_back(run_cell(name, spec, skewed, reps));
+      const ChaosCell& cell = cells.back();
+      pull_table.add_row(
+          {std::to_string(workers),
+           std::string(cluster::scheduling_mode_name(mode)),
+           metrics::Table::num(cell.p99_ms, 1),
+           std::to_string(cell.result.transfer.pulls),
+           std::to_string(cell.result.transfer.steals),
+           std::to_string(cell.result.transfer.stolen),
+           metrics::Table::num(utilization_imbalance(cell.result), 2),
+           metrics::Table::num(cell.throughput_ips, 0)});
+    }
+  }
+  pull_table.print(std::cout);
+  std::cout << "\nLate binding + stealing levels the utilization skew that "
+               "pins a push-affinity cluster to its hot\nworkers; the steal "
+               "columns show how much work moved to make that happen.\n";
 
   if (const auto path = config.raw("out")) {
     JsonObject root;
@@ -197,6 +266,10 @@ int main(int argc, char** argv) {
           Json{static_cast<std::int64_t>(cell.result.re_dispatched)};
       o["worker_crashes"] = Json{
           static_cast<std::int64_t>(cell.result.fault_stats.worker_crashes)};
+      o["steals"] =
+          Json{static_cast<std::int64_t>(cell.result.transfer.steals)};
+      o["stolen"] =
+          Json{static_cast<std::int64_t>(cell.result.transfer.stolen)};
       bench_list.push_back(Json{std::move(o)});
     }
     root["benchmarks"] = Json{std::move(bench_list)};

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "cluster/failure_detector.hpp"
+#include "cluster/steal_policy.hpp"
 #include "cluster/worker_state.hpp"
 #include "eval/experiment.hpp"
 
@@ -48,6 +49,35 @@ namespace faasbatch::cluster {
 enum class BalancerKind { kRoundRobin, kLeastOutstanding, kFunctionAffinity };
 
 std::string_view balancer_kind_name(BalancerKind kind);
+
+/// How work binds to workers.
+enum class SchedulingMode {
+  /// Arrivals bind at routing time: the balancer picks a worker up front
+  /// and the invocation rides it (the pre-pull plane, kept selectable).
+  kPush,
+  /// Late binding over a front-end pending queue: an invocation binds
+  /// only when a worker with free capacity pulls it, idle workers steal
+  /// from loaded backlogs, and placement prefers workers already holding
+  /// a warm container for the function (balancer = cold-key fallback).
+  kPull,
+};
+
+std::string_view scheduling_mode_name(SchedulingMode mode);
+
+/// Knobs for SchedulingMode::kPull.
+struct PullOptions {
+  /// Injected-but-not-terminal invocations one worker may hold; further
+  /// pulled work waits in the worker's backlog (the steal target). 0 =
+  /// unbounded: every pull injects immediately, which degenerates to
+  /// warm-preferring push and keeps fault-free runs event-identical to
+  /// the push plane.
+  std::size_t worker_capacity = 0;
+  /// Max invocations of one function key taken per pull. Pulls take a
+  /// whole key run up to this even beyond free capacity — full batches
+  /// are the paper's lever — and the excess becomes stealable backlog.
+  std::size_t pull_batch = 64;
+  StealPolicyOptions steal;
+};
 
 /// An operator intervention scheduled at a virtual time.
 struct OperatorAction {
@@ -66,6 +96,11 @@ struct ClusterSpec {
   /// Worker count; each is a full Machine+ContainerPool+Scheduler.
   std::size_t workers = 4;
   BalancerKind balancer = BalancerKind::kFunctionAffinity;
+  /// kPull with the default unbounded capacity binds arrivals
+  /// immediately (warm-preferring, balancer fallback); set
+  /// pull.worker_capacity to opt into true late binding + stealing.
+  SchedulingMode mode = SchedulingMode::kPull;
+  PullOptions pull;
   /// Per-worker configuration (scheduler, runtime constants, chaos plan).
   /// Worker-level fault classes in worker_spec.fault_plan (worker_crash_
   /// rate, worker_stall_rate, worker_restart_latency) are drawn by the
@@ -89,6 +124,8 @@ struct WorkerResult {
   /// invocations this worker stranded by dying (their terminal outcome
   /// lands on the survivor that finished them).
   eval::OutcomeCounts outcomes;
+  /// Pull/steal/requeue activity (pull mode; all zero under kPush).
+  eval::TransferCounts transfer;
   std::uint64_t crashes = 0;
   std::uint64_t stalls = 0;
   std::uint64_t restarts = 0;
@@ -106,6 +143,8 @@ struct ClusterResult {
   std::size_t shed = 0;
   /// Failover re-dispatches (an invocation can re-dispatch repeatedly).
   std::size_t re_dispatched = 0;
+  /// Cluster-wide pull/steal/requeue totals (sum of workers[].transfer).
+  eval::TransferCounts transfer;
   /// Terminally-accounted invocations; equals the workload size whenever
   /// run_cluster_experiment returns.
   std::size_t accounted = 0;

@@ -22,6 +22,38 @@ obs::Counter& redispatch_total() {
   return c;
 }
 
+obs::Counter& pulls_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_cluster_pulls_total");
+  return c;
+}
+
+obs::Counter& steals_total() {
+  static obs::Counter& c = obs::metrics().counter("fb_cluster_steals_total");
+  return c;
+}
+
+obs::Counter& stolen_total() {
+  static obs::Counter& c =
+      obs::metrics().counter("fb_cluster_stolen_invocations_total");
+  return c;
+}
+
+obs::Counter& requeued_total() {
+  static obs::Counter& c =
+      obs::metrics().counter("fb_cluster_backlog_requeued_total");
+  return c;
+}
+
+obs::Gauge& pending_depth_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("fb_cluster_pending_depth");
+  return g;
+}
+
+obs::Gauge& pending_age_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("fb_cluster_pending_age_ms");
+  return g;
+}
+
 obs::Gauge& worker_state_gauge(std::size_t worker) {
   return obs::metrics().gauge("fb_cluster_worker_state{worker=\"" +
                               std::to_string(worker) + "\"}");
@@ -186,6 +218,14 @@ void DispatchPlane::dispatch_to(std::size_t worker, InvocationId id) {
 }
 
 void DispatchPlane::route_arrival(InvocationId id) {
+  if (spec_.mode == SchedulingMode::kPull) {
+    // Late binding: queue unbound; the pump binds when a worker has
+    // capacity. With nobody routable the work simply waits here — the
+    // queue subsumes the push plane's parked_arrivals_.
+    pending_.push(id, records_[id].function, sim_.now());
+    pump();
+    return;
+  }
   const std::vector<std::size_t> candidates = route_candidates();
   if (candidates.empty()) {
     parked_arrivals_.push_back(id);
@@ -196,6 +236,13 @@ void DispatchPlane::route_arrival(InvocationId id) {
 
 void DispatchPlane::redispatch(InvocationId id) {
   if (done_ || assignments_[id].terminal) return;
+  if (spec_.mode == SchedulingMode::kPull) {
+    // Failover work re-enters the queue like a fresh arrival at the
+    // retry instant; survivors pull it when they have room.
+    pending_.push(id, records_[id].function, sim_.now());
+    pump();
+    return;
+  }
   const std::vector<std::size_t> candidates = route_candidates();
   if (candidates.empty()) {
     parked_redispatches_.push_back(id);
@@ -211,6 +258,175 @@ void DispatchPlane::flush_parked() {
   parked_redispatches_.clear();
   for (const InvocationId id : arrivals) route_arrival(id);
   for (const InvocationId id : redispatches) redispatch(id);
+}
+
+void DispatchPlane::pump() {
+  if (done_ || spec_.mode != SchedulingMode::kPull) return;
+  if (pumping_) {
+    // Reentrant trigger (a synchronous shed inside an injection, a
+    // completion inside a scan): fold into the running pump instead of
+    // recursing — the outer loop re-runs until nothing moves.
+    pump_again_ = true;
+    return;
+  }
+  pumping_ = true;
+  do {
+    pump_again_ = false;
+    while (!done_ && pump_pass()) {
+    }
+  } while (pump_again_ && !done_);
+  pumping_ = false;
+  update_pending_gauges();
+}
+
+bool DispatchPlane::pump_pass() {
+  bool progress = false;
+  if (backlog_total_ > 0) {
+    for (std::size_t w = 0; w < slots_.size() && !done_; ++w) {
+      progress |= inject_backlog(w);
+    }
+    if (done_) return false;
+  }
+  if (try_pull()) return true;
+  if (backlog_total_ > 0 && try_steal()) return true;
+  return progress;
+}
+
+std::size_t DispatchPlane::free_capacity(std::size_t worker) const {
+  const std::size_t capacity = spec_.pull.worker_capacity;
+  if (capacity == 0) return static_cast<std::size_t>(-1);  // unbounded
+  const std::size_t outstanding = slots_[worker].outstanding;
+  return capacity > outstanding ? capacity - outstanding : 0;
+}
+
+std::vector<std::size_t> DispatchPlane::pull_candidates() const {
+  std::vector<std::size_t> candidates = route_candidates();
+  std::vector<std::size_t> free;
+  free.reserve(candidates.size());
+  for (const std::size_t w : candidates) {
+    if (slots_[w].instance != nullptr && free_capacity(w) > 0) {
+      free.push_back(w);
+    }
+  }
+  return free;
+}
+
+std::size_t DispatchPlane::pick_puller(
+    FunctionId function, const std::vector<std::size_t>& candidates) {
+  // Shared warm-pool state: a worker already holding an idle container
+  // for this function wins (ties via rendezvous, so the choice is stable
+  // across runs); cold keys fall back to the configured balancer.
+  std::vector<std::size_t> warm;
+  for (const std::size_t w : candidates) {
+    if (slots_[w].instance->pool->has_idle(function)) warm.push_back(w);
+  }
+  if (!warm.empty()) return rendezvous_pick(function, warm);
+  return pick_route(function, candidates);
+}
+
+bool DispatchPlane::inject_backlog(std::size_t worker) {
+  Slot& slot = slots_[worker];
+  if (slot.backlog.empty()) return false;
+  if (slot.state != WorkerState::kUp && slot.state != WorkerState::kSuspect) {
+    return false;
+  }
+  bool any = false;
+  while (!slot.backlog.empty() && free_capacity(worker) > 0 && !done_) {
+    const PendingItem item = slot.backlog.front();
+    slot.backlog.pop_front();
+    --backlog_total_;
+    dispatch_to(worker, item.id);
+    any = true;
+  }
+  return any;
+}
+
+bool DispatchPlane::try_pull() {
+  if (pending_.empty()) return false;
+  const std::vector<std::size_t> pullers = pull_candidates();
+  if (pullers.empty()) return false;
+  const FunctionId key = pending_.front_key();
+  const std::size_t worker = pick_puller(key, pullers);
+  Slot& slot = slots_[worker];
+  std::vector<PendingItem> batch;
+  pending_.pull_key(key, spec_.pull.pull_batch, batch);
+  ++slot.result.transfer.pulls;
+  slot.result.transfer.pulled += batch.size();
+  pulls_total().inc();
+  for (const PendingItem& item : batch) slot.backlog.push_back(item);
+  backlog_total_ += batch.size();
+  inject_backlog(worker);
+  return true;
+}
+
+bool DispatchPlane::try_steal() {
+  std::vector<std::size_t> depths(slots_.size(), 0);
+  std::size_t deepest = 0;
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    depths[w] = slots_[w].backlog.size();
+    deepest = std::max(deepest, depths[w]);
+  }
+  if (deepest < spec_.pull.steal.min_victim_backlog) return false;
+  const std::vector<std::size_t> thieves = pull_candidates();
+  const std::vector<std::size_t> affine_set = route_candidates();
+  for (const std::size_t thief : thieves) {
+    // A thief with its own backlog is not idle — capacity, not work, is
+    // what it lacks; stealing more would just relocate the imbalance.
+    if (!slots_[thief].backlog.empty()) continue;
+    const auto victim = pick_victim(depths, thief, spec_.pull.steal);
+    if (!victim.has_value()) continue;
+    Slot& victim_slot = slots_[*victim];
+    const std::size_t budget =
+        steal_budget(victim_slot.backlog.size(), spec_.pull.steal);
+    runtime::ContainerPool& thief_pool = *slots_[thief].instance->pool;
+    const std::vector<std::size_t> indices = select_steal_indices(
+        victim_slot.backlog, budget,
+        [&thief_pool](FunctionId f) { return thief_pool.has_idle(f); },
+        [&affine_set, thief](FunctionId f) {
+          return rendezvous_pick(f, affine_set) == thief;
+        });
+    if (indices.empty()) continue;
+    // Move picked items thief-ward in original FIFO order; erase from
+    // the victim back-to-front so earlier indices stay valid.
+    Slot& thief_slot = slots_[thief];
+    for (const std::size_t index : indices) {
+      thief_slot.backlog.push_back(victim_slot.backlog[index]);
+    }
+    for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+      victim_slot.backlog.erase(victim_slot.backlog.begin() +
+                                static_cast<std::ptrdiff_t>(*it));
+    }
+    ++thief_slot.result.transfer.steals;
+    thief_slot.result.transfer.stolen += indices.size();
+    victim_slot.result.transfer.victimized += indices.size();
+    steals_total().inc();
+    stolen_total().inc(indices.size());
+    inject_backlog(thief);
+    return true;
+  }
+  return false;
+}
+
+void DispatchPlane::requeue_backlog(std::size_t worker) {
+  Slot& slot = slots_[worker];
+  if (slot.backlog.empty()) return;
+  const std::vector<PendingItem> items(slot.backlog.begin(),
+                                       slot.backlog.end());
+  slot.backlog.clear();
+  backlog_total_ -= items.size();
+  pending_.requeue_front(items);
+  slot.result.transfer.requeued += items.size();
+  requeued_total().inc(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) chaos_.note_requeue();
+}
+
+void DispatchPlane::update_pending_gauges() {
+  pending_depth_gauge().set(static_cast<double>(pending_.depth()));
+  const SimTime oldest = pending_.oldest_enqueued();
+  pending_age_gauge().set(
+      pending_.empty() ? 0.0
+                       : static_cast<double>(sim_.now() - oldest) /
+                             static_cast<double>(kMillisecond));
 }
 
 void DispatchPlane::on_worker_notify(std::size_t worker, Instance* self,
@@ -252,6 +468,7 @@ void DispatchPlane::account_shed(std::size_t worker, InvocationId id) {
   slot.result.outcomes.count(core::Outcome::kShed);
   // No chaos_.finish(): shed invocations never held an admission slot.
   account_one(worker);
+  pump();  // the shed freed injection capacity
 }
 
 void DispatchPlane::merge_completion(std::size_t worker,
@@ -276,6 +493,7 @@ void DispatchPlane::merge_completion(std::size_t worker,
   detector_.beat(worker, sim_.now());
   chaos_.finish();
   account_one(worker);
+  pump();  // the completion freed injection capacity
 }
 
 void DispatchPlane::account_one(std::size_t worker) {
@@ -402,6 +620,11 @@ void DispatchPlane::declare_dead(std::size_t worker, SimTime now) {
       instance->pool->stats().total_provisioned;
   slot.zombies.push_back(std::move(slot.instance));
 
+  // Pull mode: backlog work was bound here but never injected — it rode
+  // no attempt and died with nothing. It returns to the head of the
+  // pending queue (no attempt charge, no fault) for survivors to pull.
+  requeue_backlog(worker);
+
   // Everything routed here and not yet terminal is stranded, in id order
   // for determinism.
   std::vector<InvocationId> stranded;
@@ -458,6 +681,8 @@ void DispatchPlane::declare_dead(std::size_t worker, SimTime now) {
     }
   }
 
+  pump();  // requeued backlog needs a live puller now, not next arrival
+
   if (draining) return;  // a dying drain completes the drain; no restart
   sim_.schedule_after(
       chaos_.injector().plan().worker_restart_latency,
@@ -477,6 +702,7 @@ void DispatchPlane::restart_worker(std::size_t worker, std::uint64_t epoch) {
   detector_.reset(worker, sim_.now());
   set_state(worker, WorkerState::kUp);
   flush_parked();
+  pump();  // a fresh worker is a fresh puller
 }
 
 void DispatchPlane::apply_action(const OperatorAction& action) {
@@ -488,8 +714,12 @@ void DispatchPlane::apply_action(const OperatorAction& action) {
           slot.state != WorkerState::kSuspect) {
         return;
       }
+      // Un-injected backlog leaves with the drain — it belongs to the
+      // queue again, not to a worker that is going away.
+      requeue_backlog(action.worker);
       set_state(action.worker, slot.outstanding == 0 ? WorkerState::kDrained
                                                      : WorkerState::kDraining);
+      pump();
       return;
     case OperatorAction::Kind::kRejoin:
       if (slot.state != WorkerState::kDead &&
@@ -507,6 +737,7 @@ void DispatchPlane::apply_action(const OperatorAction& action) {
       detector_.reset(action.worker, sim_.now());
       set_state(action.worker, WorkerState::kUp);
       flush_parked();
+      pump();
       return;
   }
 }
@@ -567,7 +798,9 @@ ClusterResult DispatchPlane::finish() {
     result.failed += worker.outcomes.failed;
     result.shed += worker.outcomes.shed;
     result.re_dispatched += worker.outcomes.re_dispatched;
+    result.transfer += worker.transfer;
     fingerprint = hash_combine(fingerprint, worker.outcomes.fingerprint());
+    fingerprint = hash_combine(fingerprint, worker.transfer.fingerprint());
     fingerprint = fnv1a_u64(worker.restarts, fingerprint);
     fingerprint =
         fnv1a_u64(static_cast<std::uint64_t>(worker.final_state), fingerprint);

@@ -35,13 +35,29 @@
 //  * Drain/rejoin: operator actions stop routing to a worker, let its
 //    in-flight finish, and remove it; rejoin (and crash restart after
 //    worker_restart_latency) brings a fresh cold instance back.
+//
+//  * Pull scheduling (SchedulingMode::kPull): arrivals queue unbound in
+//    a front-end PendingQueue; the pump binds an invocation only when a
+//    worker with free capacity takes it (late binding). A pull takes a
+//    whole function-key run up to pull_batch — the excess beyond the
+//    worker's capacity sits in its plane-side backlog, which idle
+//    workers steal from (warm-for-the-thief keys first, then
+//    rendezvous-affine) when the queue runs dry. On worker death,
+//    injected work fails over through the retry policy as under push,
+//    while backlog work — bound but never started — returns to the head
+//    of the queue with no attempt charged. All pump activity runs inside
+//    virtual-clock event callbacks in worker-index order, so pull/steal
+//    sequences are deterministic and fingerprints reproduce exactly.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/pending_queue.hpp"
+#include "cluster/steal_policy.hpp"
 
 namespace faasbatch::obs {
 class Gauge;
@@ -111,6 +127,11 @@ class DispatchPlane {
     /// can fire harmlessly.
     std::vector<std::unique_ptr<Instance>> zombies;
     std::size_t outstanding = 0;
+    /// Pull mode: invocations bound to this worker but not yet injected
+    /// (a pull's excess over free capacity). Stealable; reclaimed to the
+    /// pending queue on death or drain. Bounded by max(pull_batch,
+    /// steal.max_steal), so scans over it stay O(1)-ish.
+    std::deque<PendingItem> backlog;
     /// Incremented per death; restart events carry the epoch they were
     /// scheduled for so a rejoin-then-redeath never double-restarts.
     std::uint64_t death_epoch = 0;
@@ -135,6 +156,25 @@ class DispatchPlane {
   void route_arrival(InvocationId id);
   void redispatch(InvocationId id);
   void flush_parked();
+
+  /// Pull scheduling. pump() drives inject -> pull -> steal to a fixed
+  /// point inside the current event; reentrant calls (a synchronous shed
+  /// during injection) fold into the running pump.
+  void pump();
+  bool pump_pass();
+  std::size_t free_capacity(std::size_t worker) const;
+  /// Workers allowed to take new work: routable with free capacity.
+  std::vector<std::size_t> pull_candidates() const;
+  /// Warm-preferring worker choice for `function` (balancer fallback).
+  std::size_t pick_puller(FunctionId function,
+                          const std::vector<std::size_t>& candidates);
+  bool inject_backlog(std::size_t worker);
+  bool try_pull();
+  bool try_steal();
+  /// Returns a worker's backlog to the head of the pending queue
+  /// (death/drain); charges no attempts, counts requeues.
+  void requeue_backlog(std::size_t worker);
+  void update_pending_gauges();
 
   /// Completion path (the per-worker notify_complete target).
   void on_worker_notify(std::size_t worker, Instance* self, InvocationId id);
@@ -171,6 +211,13 @@ class DispatchPlane {
   /// Work with no routable worker, flushed when one returns.
   std::vector<InvocationId> parked_arrivals_;
   std::vector<InvocationId> parked_redispatches_;
+
+  /// Pull mode: unbound work awaiting a puller.
+  PendingQueue pending_;
+  /// Sum of all slots' backlog sizes (pump early-out).
+  std::size_t backlog_total_ = 0;
+  bool pumping_ = false;
+  bool pump_again_ = false;
 
   std::size_t rr_cursor_ = 0;
   std::size_t accounted_ = 0;

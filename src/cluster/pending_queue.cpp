@@ -1,0 +1,76 @@
+#include "cluster/pending_queue.hpp"
+
+#include <algorithm>
+
+namespace faasbatch::cluster {
+
+void PendingQueue::push(InvocationId id, FunctionId function, SimTime now) {
+  std::deque<PendingItem>& fifo = keys_[function];
+  if (fifo.empty()) key_order_.push_back(function);
+  fifo.push_back(PendingItem{id, function, now});
+  ++depth_;
+}
+
+void PendingQueue::requeue_front(const std::vector<PendingItem>& items) {
+  if (items.empty()) return;
+  // Keys of the reclaimed items, in first-appearance order.
+  std::vector<FunctionId> reclaimed_keys;
+  for (const PendingItem& item : items) {
+    if (std::find(reclaimed_keys.begin(), reclaimed_keys.end(),
+                  item.function) == reclaimed_keys.end()) {
+      reclaimed_keys.push_back(item.function);
+    }
+  }
+  // Prepend per key in reverse so the first reclaimed item of each key
+  // ends up at that key's head, ahead of anything queued since.
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    keys_[it->function].push_front(*it);
+    ++depth_;
+  }
+  // Affected keys take the head of the activation order (their work is
+  // the oldest in the system now), preserving first-appearance order;
+  // unaffected keys keep their relative order behind them.
+  for (const FunctionId key : reclaimed_keys) {
+    const auto pos = std::find(key_order_.begin(), key_order_.end(), key);
+    if (pos != key_order_.end()) key_order_.erase(pos);
+  }
+  for (auto it = reclaimed_keys.rbegin(); it != reclaimed_keys.rend(); ++it) {
+    key_order_.push_front(*it);
+  }
+}
+
+FunctionId PendingQueue::front_key() const { return key_order_.front(); }
+
+std::size_t PendingQueue::key_depth(FunctionId function) const {
+  const auto it = keys_.find(function);
+  return it == keys_.end() ? 0 : it->second.size();
+}
+
+SimTime PendingQueue::oldest_enqueued() const {
+  if (empty()) return 0;
+  return keys_.at(key_order_.front()).front().enqueued;
+}
+
+std::size_t PendingQueue::pull_key(FunctionId key, std::size_t max,
+                                   std::vector<PendingItem>& out) {
+  const auto it = keys_.find(key);
+  if (it == keys_.end() || max == 0) return 0;
+  std::deque<PendingItem>& fifo = it->second;
+  std::size_t taken = 0;
+  while (taken < max && !fifo.empty()) {
+    out.push_back(fifo.front());
+    fifo.pop_front();
+    ++taken;
+  }
+  depth_ -= taken;
+  if (fifo.empty()) deactivate(key);
+  return taken;
+}
+
+void PendingQueue::deactivate(FunctionId key) {
+  keys_.erase(key);
+  const auto pos = std::find(key_order_.begin(), key_order_.end(), key);
+  if (pos != key_order_.end()) key_order_.erase(pos);
+}
+
+}  // namespace faasbatch::cluster

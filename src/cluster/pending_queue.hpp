@@ -1,0 +1,77 @@
+// Front-end pending queue for pull-based cluster scheduling.
+//
+// Arrivals queue here unbound; an invocation is bound to a worker only
+// when that worker pulls it (late binding — Hiku / Kaffes et al.). The
+// queue is keyed by function so a single pull hands a worker a
+// contiguous run of one function's arrivals — the cluster analogue of
+// the paper's Invoke Mapper window: batching opportunities survive the
+// indirection because same-function work stays together.
+//
+// Ordering contract (the determinism the plane's fingerprints rely on):
+//  * Per key, items leave in exactly the order they entered (FIFO).
+//  * Across keys, pulls serve the key that became non-empty first
+//    (activation order), so a long run of one hot key cannot starve an
+//    older key that queued before it grew.
+//  * Iteration never touches unordered_map order — every scan walks the
+//    explicit activation deque, so two runs of the same workload replay
+//    byte-identical pull sequences.
+//
+// requeue_front() is the failure path: when a worker dies or drains with
+// pulled-but-not-yet-injected work, those items return to the head of
+// their key (and their keys to the head of the activation order) so
+// reclaimed work does not lose its place behind younger arrivals.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace faasbatch::cluster {
+
+/// One queued-but-unbound invocation.
+struct PendingItem {
+  InvocationId id = 0;
+  FunctionId function = 0;
+  /// Queue entry time (arrival, or the requeue/redispatch instant).
+  SimTime enqueued = 0;
+};
+
+class PendingQueue {
+ public:
+  /// Appends to the back of the key's FIFO; activates the key at the
+  /// back of the activation order if it was empty.
+  void push(InvocationId id, FunctionId function, SimTime now);
+
+  /// Returns reclaimed items (FIFO order preserved) to the front: each
+  /// item re-enters the head of its key, and the affected keys move to
+  /// the head of the activation order in first-appearance order.
+  void requeue_front(const std::vector<PendingItem>& items);
+
+  bool empty() const { return depth_ == 0; }
+  std::size_t depth() const { return depth_; }
+
+  /// Oldest-activated key with pending items. Precondition: !empty().
+  FunctionId front_key() const;
+  /// Pending items of one key (0 for unknown keys).
+  std::size_t key_depth(FunctionId function) const;
+  /// Enqueue time of the item a pull would take first; 0 when empty.
+  SimTime oldest_enqueued() const;
+
+  /// Pops up to `max` items of `key` in FIFO order into `out` (appended).
+  /// Returns the count taken; a fully drained key deactivates.
+  std::size_t pull_key(FunctionId key, std::size_t max,
+                       std::vector<PendingItem>& out);
+
+ private:
+  void deactivate(FunctionId key);
+
+  /// Keys with pending items, oldest activation first.
+  std::deque<FunctionId> key_order_;
+  std::unordered_map<FunctionId, std::deque<PendingItem>> keys_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace faasbatch::cluster

@@ -88,6 +88,26 @@ std::uint64_t OutcomeCounts::fingerprint() const {
   return h;
 }
 
+TransferCounts& TransferCounts::operator+=(const TransferCounts& other) {
+  pulls += other.pulls;
+  pulled += other.pulled;
+  steals += other.steals;
+  stolen += other.stolen;
+  victimized += other.victimized;
+  requeued += other.requeued;
+  return *this;
+}
+
+std::uint64_t TransferCounts::fingerprint() const {
+  std::uint64_t h = fnv1a_u64(pulls);
+  h = fnv1a_u64(pulled, h);
+  h = fnv1a_u64(steals, h);
+  h = fnv1a_u64(stolen, h);
+  h = fnv1a_u64(victimized, h);
+  h = fnv1a_u64(requeued, h);
+  return h;
+}
+
 ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const trace::Workload& workload) {
   sim::Simulator simulator;

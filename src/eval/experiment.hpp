@@ -71,6 +71,31 @@ struct OutcomeCounts {
   std::uint64_t fingerprint() const;
 };
 
+/// Work-transfer tally for one pull-mode cluster worker: how its work
+/// arrived (pulled from the pending queue, stolen from a peer's backlog)
+/// and how it left without running (stolen away, requeued by death or
+/// drain). All zero for push-mode clusters and single-node experiments.
+struct TransferCounts {
+  /// Pull operations this worker performed against the pending queue.
+  std::uint64_t pulls = 0;
+  /// Invocations those pulls took.
+  std::uint64_t pulled = 0;
+  /// Steal operations this worker performed as the thief.
+  std::uint64_t steals = 0;
+  /// Invocations those steals took.
+  std::uint64_t stolen = 0;
+  /// Invocations stolen away from this worker's backlog (as the victim).
+  std::uint64_t victimized = 0;
+  /// Backlog invocations returned to the pending queue when this worker
+  /// died or drained before injecting them (no attempt consumed).
+  std::uint64_t requeued = 0;
+
+  TransferCounts& operator+=(const TransferCounts& other);
+
+  /// Stable FNV-1a fold over every counter (determinism checks).
+  std::uint64_t fingerprint() const;
+};
+
 struct ExperimentResult {
   std::string scheduler_name;
   std::size_t invocations = 0;

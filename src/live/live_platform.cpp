@@ -138,6 +138,8 @@ LivePlatform::LivePlatform(LivePlatformOptions options)
     dispatch_options.window = options_.policy == LivePolicy::kFaasBatch
                                   ? options_.window
                                   : std::chrono::milliseconds(0);
+    dispatch_options.steal_min_depth = options_.steal_min_depth;
+    dispatch_options.steal_max_batch = options_.steal_max_batch;
     sharded_ = std::make_unique<Dispatcher>(
         dispatch_options,
         [this](std::size_t shard, std::vector<RequestPtr> items,

@@ -125,6 +125,14 @@ struct LivePlatformOptions {
   /// spill past the ring into a mutex-guarded side queue, never shed);
   /// 0 = kDefaultShardRingCapacity.
   std::size_t shard_ring_capacity = 0;
+  /// Cross-shard work-stealing for kSharded (0 = off): a shard whose
+  /// depth reaches this after an enqueue nudges the dispatch workers; an
+  /// idle worker drains the deepest qualifying shard early instead of
+  /// waiting out the batching window. Off by default — stealing trades
+  /// batch density for tail latency and only pays under skewed load.
+  std::size_t steal_min_depth = 0;
+  /// Max items one steal takes from the victim shard.
+  std::size_t steal_max_batch = 256;
 
   /// Stall-watchdog threshold: a dispatch loop with pending work and no
   /// heartbeat for this long is reported unhealthy. Must exceed the

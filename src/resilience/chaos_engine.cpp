@@ -32,6 +32,7 @@ std::uint64_t ChaosCounters::fingerprint() const {
   h = fnv1a_u64(sheds, h);
   h = fnv1a_u64(terminal_failures, h);
   h = fnv1a_u64(deadline_failures, h);
+  h = fnv1a_u64(requeues, h);
   return h;
 }
 

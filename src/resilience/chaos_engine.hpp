@@ -26,6 +26,10 @@ struct ChaosCounters {
   std::uint64_t sheds = 0;
   std::uint64_t terminal_failures = 0;
   std::uint64_t deadline_failures = 0;
+  /// Bound-but-not-injected invocations returned to the cluster pending
+  /// queue when their worker died or drained (pull-mode clusters only;
+  /// no attempt is consumed — the work never started anywhere).
+  std::uint64_t requeues = 0;
 
   /// Stable FNV-1a fold over every counter.
   std::uint64_t fingerprint() const;
@@ -49,6 +53,10 @@ class ChaosEngine {
   /// Releases the admission slot of one terminally-accounted invocation
   /// (not called for shed ones — they were never admitted).
   void finish();
+
+  /// Records one backlog invocation returned to a pending queue by a
+  /// worker death or drain (folded into the determinism fingerprint).
+  void note_requeue() { ++counters_.requeues; }
 
   /// Decides the fate of invocation `id` after a failed attempt at time
   /// `now`: either grants a retry (returns true and sets `backoff` to the

@@ -340,6 +340,99 @@ TEST(ClusterChaosTest, SingleWorkerContainerChaosMatchesStandalone) {
   EXPECT_GT(cluster.fault_stats.total(), 0u);
 }
 
+// --- Pull scheduling under chaos -----------------------------------------
+
+/// Bounded-capacity pull spec over the fast-detector chaos base: real
+/// backlogs form (pull_batch > worker_capacity), so worker deaths hit
+/// mid-pull and mid-steal state, not just injected work.
+ClusterSpec pull_chaos_spec(double crash_rate, double stall_rate,
+                            std::uint64_t seed = 99) {
+  ClusterSpec spec =
+      chaos_spec(schedulers::SchedulerKind::kFaasBatch, crash_rate, stall_rate,
+                 seed);
+  spec.mode = SchedulingMode::kPull;
+  spec.pull.worker_capacity = 6;
+  spec.pull.pull_batch = 16;
+  spec.pull.steal.min_victim_backlog = 4;
+  spec.pull.steal.steal_fraction = 0.5;
+  spec.pull.steal.max_steal = 8;
+  return spec;
+}
+
+trace::Workload skewed_workload_of(std::size_t invocations,
+                                   std::uint64_t seed) {
+  trace::WorkloadSpec spec;
+  spec.kind = trace::FunctionKind::kCpuIntensive;
+  spec.invocations = invocations;
+  spec.num_functions = 10;
+  spec.hot_fraction = 0.1;
+  spec.hot_mass = 0.9;
+  spec.seed = seed;
+  return trace::synthesize_workload(spec);
+}
+
+TEST(ClusterChaosTest, PullCrashPlanStrandsNothing) {
+  // Workers die while holding stealable backlog: the backlog returns to
+  // the queue head uncharged (requeues counted), injected work fails
+  // over through the retry policy, and everything terminally accounts.
+  const auto workload = skewed_workload_of(400, 43);
+  const ClusterSpec spec = pull_chaos_spec(/*crash_rate=*/0.04,
+                                           /*stall_rate=*/0.0);
+  const ClusterResult result = run_cluster_experiment(spec, workload);
+  expect_terminally_accounted(result, 400);
+  EXPECT_GT(result.fault_stats.worker_crashes, 0u);
+  EXPECT_GT(result.transfer.pulls, 0u);
+  EXPECT_GT(result.transfer.steals, 0u);
+  EXPECT_GT(result.transfer.requeued, 0u);
+}
+
+TEST(ClusterChaosTest, PullCombinedPlanStrandsNothing) {
+  const auto workload = skewed_workload_of(400, 41);
+  const ClusterSpec spec = pull_chaos_spec(/*crash_rate=*/0.03,
+                                           /*stall_rate=*/0.03);
+  const ClusterResult result = run_cluster_experiment(spec, workload);
+  expect_terminally_accounted(result, 400);
+  EXPECT_GT(result.transfer.pulls, 0u);
+}
+
+TEST(ClusterChaosTest, PullDrainRequeuesBacklogLossFree) {
+  // Draining a worker returns its unstarted backlog to the queue; with
+  // no fault classes in the plan the run must stay loss-free.
+  const auto workload = skewed_workload_of(300, 47);
+  ClusterSpec spec;
+  spec.workers = 3;
+  spec.mode = SchedulingMode::kPull;
+  spec.pull.worker_capacity = 4;
+  spec.pull.pull_batch = 16;
+  spec.actions.push_back({/*at=*/50 * kMillisecond,
+                          OperatorAction::Kind::kDrain, /*worker=*/1});
+  const ClusterResult result = run_cluster_experiment(spec, workload);
+  EXPECT_EQ(result.completed, 300u);
+  EXPECT_EQ(result.workers[1].final_state, WorkerState::kDrained);
+}
+
+TEST(ClusterChaosTest, PullDoubleRunFingerprintIsIdentical) {
+  // The headline determinism gate with stealing in play: two runs of
+  // the same (seed, plan, spec) must match byte-for-byte — fault
+  // fingerprints, transfer counts, and per-worker outcome hashes.
+  const auto workload = skewed_workload_of(400, 53);
+  const ClusterSpec spec = pull_chaos_spec(0.04, 0.04, /*seed=*/5);
+  const ClusterResult first = run_cluster_experiment(spec, workload);
+  const ClusterResult second = run_cluster_experiment(spec, workload);
+  ASSERT_GT(first.transfer.steals, 0u);  // the gate is vacuous otherwise
+  EXPECT_EQ(first.chaos_fingerprint, second.chaos_fingerprint);
+  EXPECT_EQ(first.fault_stats.fingerprint(), second.fault_stats.fingerprint());
+  EXPECT_EQ(first.transfer.fingerprint(), second.transfer.fingerprint());
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.makespan, second.makespan);
+  for (std::size_t w = 0; w < spec.workers; ++w) {
+    EXPECT_EQ(first.workers[w].outcomes.fingerprint(),
+              second.workers[w].outcomes.fingerprint());
+    EXPECT_EQ(first.workers[w].transfer.fingerprint(),
+              second.workers[w].transfer.fingerprint());
+  }
+}
+
 // --- Failure detector unit tests -----------------------------------------
 
 TEST(FailureDetectorTest, IdleWorkersAreAlwaysHealthy) {

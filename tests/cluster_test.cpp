@@ -52,9 +52,13 @@ TEST(ClusterTest, SingleWorkerMatchesStandaloneExperiment) {
 }
 
 TEST(ClusterTest, RoundRobinBalancesRoutingExactly) {
+  // Pins push semantics: under kPull even round-robin prefers a worker
+  // already warm for the function, so exact 1/N splits hold only for the
+  // bind-at-routing plane.
   const auto workload = workload_of(300, 8);
   ClusterSpec spec;
   spec.workers = 3;
+  spec.mode = SchedulingMode::kPush;
   spec.balancer = BalancerKind::kRoundRobin;
   const ClusterResult result = run_cluster_experiment(spec, workload);
   for (const auto& worker : result.workers) EXPECT_EQ(worker.routed, 100u);
@@ -82,6 +86,7 @@ TEST(ClusterTest, AffinityPreservesFaasBatchConsolidation) {
   const auto workload = workload_of(400, 8, 23);
   ClusterSpec affinity;
   affinity.workers = 4;
+  affinity.mode = SchedulingMode::kPush;  // pins push routing semantics
   affinity.balancer = BalancerKind::kFunctionAffinity;
   affinity.worker_spec.scheduler = schedulers::SchedulerKind::kFaasBatch;
   const ClusterResult affinity_result = run_cluster_experiment(affinity, workload);
@@ -97,11 +102,149 @@ TEST(ClusterTest, LeastOutstandingAvoidsHotWorker) {
   const auto workload = workload_of(200, 8);
   ClusterSpec spec;
   spec.workers = 4;
+  spec.mode = SchedulingMode::kPush;  // pins push routing semantics
   spec.balancer = BalancerKind::kLeastOutstanding;
   const ClusterResult result = run_cluster_experiment(spec, workload);
   // No worker should be left idle while others overflow.
   for (const auto& worker : result.workers) EXPECT_GT(worker.routed, 0u);
   EXPECT_LT(result.routing_imbalance(), 2.0);
+}
+
+// --- Pull-based scheduling ------------------------------------------------
+
+// One hot function receiving 90% of arrivals: the worst case for
+// bind-at-routing affinity (one worker eats the hot key) and the
+// motivating case for pull + steal.
+trace::Workload skewed_workload(std::size_t invocations,
+                                std::uint64_t seed = 31) {
+  trace::WorkloadSpec spec;
+  spec.kind = trace::FunctionKind::kCpuIntensive;
+  spec.invocations = invocations;
+  spec.num_functions = 10;
+  spec.hot_fraction = 0.1;
+  spec.hot_mass = 0.9;
+  spec.seed = seed;
+  return trace::synthesize_workload(spec);
+}
+
+ClusterSpec pull_spec(std::size_t workers) {
+  ClusterSpec spec;
+  spec.workers = workers;
+  spec.mode = SchedulingMode::kPull;
+  spec.pull.worker_capacity = 8;
+  spec.pull.pull_batch = 16;
+  spec.pull.steal.min_victim_backlog = 4;
+  spec.pull.steal.steal_fraction = 0.5;
+  spec.pull.steal.max_steal = 16;
+  return spec;
+}
+
+double utilization_imbalance(const ClusterResult& result) {
+  double peak = 0.0, total = 0.0;
+  for (const WorkerResult& worker : result.workers) {
+    peak = std::max(peak, worker.cpu_utilization);
+    total += worker.cpu_utilization;
+  }
+  const double mean = total / static_cast<double>(result.workers.size());
+  return mean > 0.0 ? peak / mean : 0.0;
+}
+
+TEST(ClusterPullTest, UnboundedPullSingleWorkerMatchesStandalone) {
+  // The cluster-vs-single differential, pull edition: one worker, no
+  // capacity bound — the pump binds each arrival inside its own arrival
+  // event, replaying run_experiment's exact outcome sequence.
+  const auto workload = workload_of(150, 6);
+  ClusterSpec spec;
+  spec.workers = 1;
+  spec.mode = SchedulingMode::kPull;
+  const ClusterResult cluster = run_cluster_experiment(spec, workload);
+
+  const eval::ExperimentResult standalone =
+      eval::run_experiment(spec.worker_spec, workload);
+  EXPECT_EQ(cluster.completed, standalone.completed);
+  EXPECT_EQ(cluster.total_containers(), standalone.containers_provisioned);
+  EXPECT_EQ(cluster.makespan, standalone.makespan);
+  EXPECT_EQ(cluster.transfer.pulled, 150u);
+  EXPECT_EQ(cluster.transfer.steals, 0u);  // nobody to steal from
+}
+
+TEST(ClusterPullTest, BoundedPullSingleWorkerAccountsEverything) {
+  // With a real capacity bound the single worker late-binds: outcomes
+  // still all account, and everything arrives via pulls.
+  const auto workload = workload_of(150, 6);
+  ClusterSpec spec = pull_spec(1);
+  const ClusterResult result = run_cluster_experiment(spec, workload);
+  EXPECT_EQ(result.accounted, 150u);
+  EXPECT_EQ(result.completed + result.failed + result.shed, 150u);
+  EXPECT_EQ(result.transfer.pulled, 150u);
+  EXPECT_EQ(result.transfer.steals, 0u);
+}
+
+TEST(ClusterPullTest, UnboundedPullMatchesPushOnColdAffinityRun) {
+  // Fault-free, capacity-unbounded pull degenerates to warm-preferring
+  // push: on an affinity cluster the warm worker IS the affine worker,
+  // so both planes route identically.
+  const auto workload = workload_of(300, 8);
+  ClusterSpec push;
+  push.workers = 4;
+  push.mode = SchedulingMode::kPush;
+  const ClusterResult push_result = run_cluster_experiment(push, workload);
+
+  ClusterSpec pull = push;
+  pull.mode = SchedulingMode::kPull;
+  const ClusterResult pull_result = run_cluster_experiment(pull, workload);
+
+  EXPECT_EQ(pull_result.completed, push_result.completed);
+  EXPECT_EQ(pull_result.makespan, push_result.makespan);
+  EXPECT_EQ(pull_result.total_containers(), push_result.total_containers());
+  for (std::size_t w = 0; w < push.workers; ++w) {
+    EXPECT_EQ(pull_result.workers[w].routed, push_result.workers[w].routed)
+        << "worker " << w;
+  }
+}
+
+TEST(ClusterPullTest, SkewedLoadStealsAndRebalances) {
+  // The skew regression gate: 90% of arrivals on one function must
+  // produce steals, and pull + steal must hold the max/mean worker
+  // utilization ratio under a pinned bound that push affinity (hot key
+  // pinned to one worker) cannot meet.
+  const auto workload = skewed_workload(600);
+  const ClusterSpec pull = pull_spec(4);
+  const ClusterResult pull_result = run_cluster_experiment(pull, workload);
+  EXPECT_EQ(pull_result.accounted, 600u);
+  EXPECT_GT(pull_result.transfer.steals, 0u);
+  EXPECT_GT(pull_result.transfer.stolen, 0u);
+
+  ClusterSpec push = pull;
+  push.mode = SchedulingMode::kPush;
+  const ClusterResult push_result = run_cluster_experiment(push, workload);
+
+  const double pull_ratio = utilization_imbalance(pull_result);
+  const double push_ratio = utilization_imbalance(push_result);
+  EXPECT_LT(pull_ratio, push_ratio);
+  EXPECT_LT(pull_ratio, 2.0);  // pinned bound: balance can't regress
+}
+
+TEST(ClusterPullTest, PullRunsAreDeterministic) {
+  const auto workload = skewed_workload(400, 7);
+  const ClusterSpec spec = pull_spec(3);
+  const ClusterResult a = run_cluster_experiment(spec, workload);
+  const ClusterResult b = run_cluster_experiment(spec, workload);
+  EXPECT_EQ(a.chaos_fingerprint, b.chaos_fingerprint);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.transfer.pulls, b.transfer.pulls);
+  EXPECT_EQ(a.transfer.steals, b.transfer.steals);
+  EXPECT_EQ(a.transfer.stolen, b.transfer.stolen);
+  for (std::size_t w = 0; w < spec.workers; ++w) {
+    EXPECT_EQ(a.workers[w].routed, b.workers[w].routed);
+    EXPECT_EQ(a.workers[w].transfer.fingerprint(),
+              b.workers[w].transfer.fingerprint());
+  }
+}
+
+TEST(ClusterPullTest, SchedulingModeNames) {
+  EXPECT_EQ(scheduling_mode_name(SchedulingMode::kPush), "push");
+  EXPECT_EQ(scheduling_mode_name(SchedulingMode::kPull), "pull");
 }
 
 TEST(ClusterTest, Validation) {

@@ -1,0 +1,477 @@
+// Property and stress tests for the pull-scheduling building blocks:
+// the cluster's PendingQueue + steal policy (pure, deterministic) and
+// the live pipeline's cross-shard steal path (concurrent, lock-based).
+//
+// The concurrent tests follow the mpsc_ring_test idiom — producers
+// rendezvous at a latch, nothing sleeps, a VirtualClock pins the
+// batching window open so the only consumption path under test is the
+// steal. CI runs this binary in the tsan job's loop.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <latch>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/pending_queue.hpp"
+#include "cluster/steal_policy.hpp"
+#include "common/clock.hpp"
+#include "live/dispatch/shard.hpp"
+#include "live/dispatch/sharded_dispatcher.hpp"
+
+namespace faasbatch::cluster {
+namespace {
+
+// --- PendingQueue ordering contract ---------------------------------------
+
+TEST(PendingQueueTest, FifoPerKey) {
+  PendingQueue queue;
+  queue.push(1, 7, 10);
+  queue.push(2, 7, 20);
+  queue.push(3, 7, 30);
+  std::vector<PendingItem> out;
+  EXPECT_EQ(queue.pull_key(7, 2, out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 2u);
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(queue.pull_key(7, 10, out), 1u);
+  EXPECT_EQ(out[2].id, 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(PendingQueueTest, FrontKeyFollowsActivationOrder) {
+  PendingQueue queue;
+  queue.push(1, 5, 0);   // key 5 activates first
+  queue.push(2, 9, 0);   // then key 9
+  queue.push(3, 5, 0);   // growing key 5 must not re-activate it
+  EXPECT_EQ(queue.front_key(), 5u);
+  std::vector<PendingItem> out;
+  queue.pull_key(5, 100, out);  // drains key 5 -> deactivates
+  EXPECT_EQ(queue.front_key(), 9u);
+  queue.push(4, 5, 0);  // key 5 re-activates BEHIND key 9
+  EXPECT_EQ(queue.front_key(), 9u);
+}
+
+TEST(PendingQueueTest, PartialPullKeepsKeyActive) {
+  PendingQueue queue;
+  queue.push(1, 5, 0);
+  queue.push(2, 5, 0);
+  std::vector<PendingItem> out;
+  queue.pull_key(5, 1, out);
+  EXPECT_EQ(queue.front_key(), 5u);
+  EXPECT_EQ(queue.key_depth(5), 1u);
+}
+
+TEST(PendingQueueTest, OldestEnqueuedTracksFrontItem) {
+  PendingQueue queue;
+  EXPECT_EQ(queue.oldest_enqueued(), 0);
+  queue.push(1, 5, 40);
+  queue.push(2, 9, 10);  // younger key, later activation
+  EXPECT_EQ(queue.oldest_enqueued(), 40);
+}
+
+TEST(PendingQueueTest, RequeueFrontRestoresHeadOfKeyAndOrder) {
+  PendingQueue queue;
+  queue.push(1, 5, 0);
+  queue.push(2, 5, 0);
+  queue.push(3, 9, 0);
+  std::vector<PendingItem> pulled;
+  queue.pull_key(5, 2, pulled);  // key 5 drained, key 9 now front
+  queue.push(4, 5, 0);           // new arrival re-activates key 5 behind 9
+  EXPECT_EQ(queue.front_key(), 9u);
+
+  // The worker died: its pulled items return to the head of key 5, and
+  // key 5 returns to the head of the activation order.
+  queue.requeue_front(pulled);
+  EXPECT_EQ(queue.front_key(), 5u);
+  ASSERT_EQ(queue.key_depth(5), 3u);
+  std::vector<PendingItem> out;
+  queue.pull_key(5, 3, out);
+  EXPECT_EQ(out[0].id, 1u);  // reclaimed items ahead of the newer arrival
+  EXPECT_EQ(out[1].id, 2u);
+  EXPECT_EQ(out[2].id, 4u);
+  EXPECT_EQ(queue.front_key(), 9u);
+}
+
+TEST(PendingQueueTest, RequeueMultipleKeysKeepsFirstAppearanceOrder) {
+  PendingQueue queue;
+  queue.push(9, 3, 0);  // resident key
+  const std::vector<PendingItem> reclaimed = {
+      {1, 7, 0}, {2, 4, 0}, {3, 7, 0}};
+  queue.requeue_front(reclaimed);
+  EXPECT_EQ(queue.depth(), 4u);
+  EXPECT_EQ(queue.front_key(), 7u);  // first-appearance order: 7 then 4
+  std::vector<PendingItem> out;
+  queue.pull_key(7, 10, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 3u);
+  EXPECT_EQ(queue.front_key(), 4u);
+  queue.pull_key(4, 10, out);
+  EXPECT_EQ(queue.front_key(), 3u);
+}
+
+// --- PendingQueue op-fuzz vs. a reference model ---------------------------
+//
+// Double-entry bookkeeping: a seeded op mix (push / pull / crash-requeue)
+// runs against the queue and an independently maintained model; every op
+// cross-checks order and depths, and the final drain proves conservation
+// (every pushed id leaves exactly once — nothing lost, nothing doubled).
+
+struct QueueModel {
+  std::map<FunctionId, std::deque<InvocationId>> keys;
+  std::deque<FunctionId> order;
+
+  void push(InvocationId id, FunctionId key) {
+    if (keys[key].empty()) order.push_back(key);
+    keys[key].push_back(id);
+  }
+  std::vector<InvocationId> pull(FunctionId key, std::size_t max) {
+    std::vector<InvocationId> out;
+    auto& fifo = keys[key];
+    while (out.size() < max && !fifo.empty()) {
+      out.push_back(fifo.front());
+      fifo.pop_front();
+    }
+    if (fifo.empty()) {
+      keys.erase(key);
+      order.erase(std::find(order.begin(), order.end(), key));
+    }
+    return out;
+  }
+  void requeue(const std::vector<PendingItem>& items) {
+    std::vector<FunctionId> reclaimed;
+    for (const PendingItem& item : items) {
+      if (std::find(reclaimed.begin(), reclaimed.end(), item.function) ==
+          reclaimed.end()) {
+        reclaimed.push_back(item.function);
+      }
+    }
+    for (auto it = items.rbegin(); it != items.rend(); ++it) {
+      keys[it->function].push_front(it->id);
+    }
+    for (const FunctionId key : reclaimed) {
+      const auto pos = std::find(order.begin(), order.end(), key);
+      if (pos != order.end()) order.erase(pos);
+    }
+    for (auto it = reclaimed.rbegin(); it != reclaimed.rend(); ++it) {
+      order.push_front(*it);
+    }
+  }
+};
+
+/// Deterministic LCG (same constants as MSVC's) — no std::random in tests.
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ull + 1442695040888963407ull; }
+  std::size_t below(std::size_t n) { return static_cast<std::size_t>((next() >> 33) % n); }
+};
+
+void run_fuzz(std::uint64_t seed, std::size_t ops,
+              std::vector<InvocationId>& committed) {
+  PendingQueue queue;
+  QueueModel model;
+  Lcg rng{seed};
+  InvocationId next_id = 1;
+  std::vector<std::vector<PendingItem>> in_flight;  // pulled, not committed
+  std::size_t pushed = 0;
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::size_t roll = rng.below(10);
+    if (roll < 5) {  // push
+      const FunctionId key = static_cast<FunctionId>(rng.below(8));
+      queue.push(next_id, key, static_cast<SimTime>(op));
+      model.push(next_id, key);
+      ++next_id;
+      ++pushed;
+    } else if (roll < 8 && !queue.empty()) {  // pull the front key
+      const FunctionId key = queue.front_key();
+      ASSERT_FALSE(model.order.empty());
+      EXPECT_EQ(key, model.order.front());
+      const std::size_t max = 1 + rng.below(5);
+      std::vector<PendingItem> batch;
+      queue.pull_key(key, max, batch);
+      const std::vector<InvocationId> expect = model.pull(key, max);
+      ASSERT_EQ(batch.size(), expect.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(batch[i].id, expect[i]);
+      }
+      in_flight.push_back(std::move(batch));
+    } else if (roll == 8 && !in_flight.empty()) {  // crash: requeue a batch
+      const std::size_t pick = rng.below(in_flight.size());
+      queue.requeue_front(in_flight[pick]);
+      model.requeue(in_flight[pick]);
+      in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (!in_flight.empty()) {  // commit: the batch executed
+      const std::size_t pick = rng.below(in_flight.size());
+      for (const PendingItem& item : in_flight[pick]) {
+        committed.push_back(item.id);
+      }
+      in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    EXPECT_EQ(queue.empty(), model.order.empty());
+  }
+
+  // Drain everything still queued or in flight.
+  while (!queue.empty()) {
+    const FunctionId key = queue.front_key();
+    EXPECT_EQ(key, model.order.front());
+    std::vector<PendingItem> batch;
+    queue.pull_key(key, 1000, batch);
+    const std::vector<InvocationId> expect = model.pull(key, 1000);
+    ASSERT_EQ(batch.size(), expect.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].id, expect[i]);
+      committed.push_back(batch[i].id);
+    }
+  }
+  for (const auto& batch : in_flight) {
+    for (const PendingItem& item : batch) committed.push_back(item.id);
+  }
+
+  // Conservation: every pushed id accounted exactly once.
+  EXPECT_EQ(committed.size(), pushed);
+  std::vector<InvocationId> sorted = committed;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "an invocation left the queue twice";
+}
+
+TEST(PendingQueueFuzzTest, NoLossNoDuplicationAcrossSeeds) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull, 14ull, 15ull}) {
+    std::vector<InvocationId> committed;
+    run_fuzz(seed, 2000, committed);
+  }
+}
+
+TEST(PendingQueueFuzzTest, ReplayIsDeterministic) {
+  std::vector<InvocationId> first, second;
+  run_fuzz(99, 3000, first);
+  run_fuzz(99, 3000, second);
+  EXPECT_EQ(first, second);
+}
+
+// --- Steal policy decisions -----------------------------------------------
+
+TEST(StealPolicyTest, PickVictimTakesDeepestAboveThreshold) {
+  StealPolicyOptions options;
+  options.min_victim_backlog = 4;
+  EXPECT_EQ(pick_victim({0, 9, 3, 12}, /*thief=*/0, options), 3u);
+  EXPECT_EQ(pick_victim({0, 9, 3, 2}, 0, options), 1u);
+  // Below threshold everywhere: no victim.
+  EXPECT_EQ(pick_victim({3, 3, 3, 3}, 0, options), std::nullopt);
+}
+
+TEST(StealPolicyTest, PickVictimNeverPicksTheThief) {
+  StealPolicyOptions options;
+  options.min_victim_backlog = 1;
+  EXPECT_EQ(pick_victim({20, 5}, /*thief=*/0, options), 1u);
+  EXPECT_EQ(pick_victim({20}, 0, options), std::nullopt);
+}
+
+TEST(StealPolicyTest, PickVictimTiesBreakToLowerIndex) {
+  StealPolicyOptions options;
+  options.min_victim_backlog = 1;
+  EXPECT_EQ(pick_victim({3, 8, 8, 8}, /*thief=*/1, options), 2u);
+  EXPECT_EQ(pick_victim({8, 3, 8, 8}, 1, options), 0u);
+}
+
+TEST(StealPolicyTest, StealBudgetIsFractionRoundedUpAndCapped) {
+  StealPolicyOptions options;
+  options.steal_fraction = 0.5;
+  options.max_steal = 8;
+  EXPECT_EQ(steal_budget(1, options), 1u);   // ceil(0.5)
+  EXPECT_EQ(steal_budget(7, options), 4u);   // ceil(3.5)
+  EXPECT_EQ(steal_budget(100, options), 8u); // max_steal cap
+  options.steal_fraction = 2.0;              // clamped to the backlog
+  EXPECT_EQ(steal_budget(5, options), 5u);
+}
+
+TEST(StealPolicyTest, SelectPrefersWarmThenAffineThenRestNewestFirst) {
+  // Backlog (front = oldest): f0 f1 f2 f0 f1 f2. Thief warm for f2,
+  // affine for f1.
+  std::deque<PendingItem> backlog;
+  for (InvocationId id = 0; id < 6; ++id) {
+    backlog.push_back({id, static_cast<FunctionId>(id % 3), 0});
+  }
+  const auto warm = [](FunctionId f) { return f == 2; };
+  const auto affine = [](FunctionId f) { return f == 1; };
+  // Budget 3: both f2 items (newest first: index 5 then 2), then the
+  // newest f1 item (index 4). Output ascending for caller-side erase.
+  const auto indices = select_steal_indices(backlog, 3, warm, affine);
+  EXPECT_EQ(indices, (std::vector<std::size_t>{2, 4, 5}));
+  // Budget 6 takes everything, still ascending.
+  const auto all = select_steal_indices(backlog, 6, warm, affine);
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(StealPolicyTest, SelectFallsBackToNewestOfTheRest) {
+  std::deque<PendingItem> backlog;
+  for (InvocationId id = 0; id < 4; ++id) backlog.push_back({id, 9, 0});
+  const auto none = [](FunctionId) { return false; };
+  // No warm or affine items: take the newest, leave the victim its
+  // oldest (FIFO progress survives the steal).
+  const auto indices = select_steal_indices(backlog, 2, none, none);
+  EXPECT_EQ(indices, (std::vector<std::size_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace faasbatch::cluster
+
+// --- Live pipeline: cross-shard steal -------------------------------------
+
+namespace faasbatch::live::dispatch {
+namespace {
+
+/// A VirtualClock pinned at zero keeps a nonzero batching window open
+/// forever, so nothing drains through the flush loop — every pre-close
+/// consumption below is a steal.
+TEST(ShardStealTest, StealsAreCountedAndNothingIsLostConcurrently) {
+  VirtualClock clock;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+
+  std::mutex flushed_mutex;
+  std::vector<int> flushed;
+  Shard<int>::Options options;
+  options.index = 0;
+  options.ring_capacity = 64;  // small ring: exercise the overflow path
+  options.clock = &clock;
+  options.window = std::chrono::milliseconds(10'000);
+  Shard<int> shard(options, [&](std::size_t, std::vector<int> items,
+                                ClockTime, ClockTime) {
+    std::lock_guard<std::mutex> lock(flushed_mutex);
+    flushed.insert(flushed.end(), items.begin(), items.end());
+  });
+
+  std::latch gate(kProducers + 1);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      gate.arrive_and_wait();
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (shard.try_enqueue(p * kPerProducer + i) != Admit::kOk) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // The thief runs concurrently with the producers, mid-stream.
+  std::vector<int> stolen;
+  gate.arrive_and_wait();
+  for (int round = 0; round < 200; ++round) {
+    shard.try_steal(7, stolen);
+    std::this_thread::yield();
+  }
+  for (std::thread& t : producers) t.join();
+  shard.close();
+  shard.join();  // final sweep flushes whatever the thief left behind
+
+  const ShardSnapshot snap = shard.snapshot();
+  EXPECT_EQ(snap.stolen, stolen.size());
+  std::vector<int> all = stolen;
+  {
+    std::lock_guard<std::mutex> lock(flushed_mutex);
+    all.insert(all.end(), flushed.begin(), flushed.end());
+  }
+  ASSERT_EQ(all.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_EQ(all[static_cast<std::size_t>(i)], i)
+        << "item lost or duplicated across steal + flush";
+  }
+}
+
+TEST(ShardStealTest, StealRespectsMaxAndEmptyShardYieldsNothing) {
+  VirtualClock clock;
+  Shard<int>::Options options;
+  options.clock = &clock;
+  options.window = std::chrono::milliseconds(10'000);
+  Shard<int> shard(options, [](std::size_t, std::vector<int>, ClockTime,
+                               ClockTime) {});
+  std::vector<int> out;
+  EXPECT_EQ(shard.try_steal(4, out), 0u);
+  for (int i = 0; i < 10; ++i) shard.try_enqueue(i);
+  EXPECT_EQ(shard.try_steal(4, out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));  // ring order preserved
+  EXPECT_EQ(shard.snapshot().depth, 6u);
+  shard.close();
+  shard.join();
+}
+
+TEST(ShardedDispatcherStealTest, IdleWorkersDrainBackloggedShardsEarly) {
+  VirtualClock clock;
+  constexpr int kItems = 256;
+  // The steal hint is advisory: a nudge that fires before any worker has
+  // parked is dropped by design (the next enqueue re-arms it, and the
+  // window flush is the correctness backstop). The test therefore keeps
+  // enqueueing fresh items until a steal lands, with headroom to spare.
+  constexpr int kMaxItems = kItems + 20000;
+  std::vector<std::atomic<int>> executed(kMaxItems);
+  std::atomic<int> done{0};
+
+  using Dispatcher = ShardedDispatcher<int, std::vector<int>>;
+  Dispatcher::Options options;
+  options.shards = 4;
+  options.workers = 2;
+  options.clock = &clock;
+  options.window = std::chrono::milliseconds(10'000);  // never elapses
+  options.steal_min_depth = 4;
+  options.steal_max_batch = 64;
+
+  std::unique_ptr<Dispatcher> dispatcher;
+  dispatcher = std::make_unique<Dispatcher>(
+      options,
+      [&](std::size_t, std::vector<int> items, ClockTime, ClockTime) {
+        dispatcher->submit(std::move(items));
+      },
+      [&](std::vector<int>&& batch) {
+        for (const int v : batch) {
+          executed[static_cast<std::size_t>(v)].fetch_add(1,
+              std::memory_order_relaxed);
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  int enqueued = 0;
+  for (; enqueued < kItems; ++enqueued) {
+    ASSERT_EQ(dispatcher->enqueue(static_cast<std::size_t>(enqueued) % 4,
+                                  int(enqueued)),
+              Admit::kOk);
+  }
+  // With the window pinned open, steals are the only path to execution.
+  // Every extra enqueue re-fires the hint against a now-parked worker.
+  while (done.load(std::memory_order_relaxed) == 0 && enqueued < kMaxItems) {
+    ASSERT_EQ(dispatcher->enqueue(static_cast<std::size_t>(enqueued) % 4,
+                                  int(enqueued)),
+              Admit::kOk);
+    ++enqueued;
+    std::this_thread::yield();
+  }
+  std::uint64_t stolen = 0;
+  for (const ShardSnapshot& snap : dispatcher->snapshots()) {
+    stolen += snap.stolen;
+  }
+  EXPECT_GT(stolen, 0u) << "no steal fired while the window was pinned open";
+
+  dispatcher->close();
+  dispatcher->join();  // final sweeps flush what the thieves left
+  dispatcher.reset();
+  for (int i = 0; i < enqueued; ++i) {
+    EXPECT_EQ(executed[static_cast<std::size_t>(i)].load(), 1)
+        << "item " << i << " lost or double-executed";
+  }
+}
+
+}  // namespace
+}  // namespace faasbatch::live::dispatch
